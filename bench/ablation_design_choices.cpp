@@ -1,0 +1,172 @@
+// Ablations of the framework's design choices (DESIGN.md §5).
+//
+//  A. Direct peer-to-peer boundary exchanges vs host-staged exchanges
+//     (the §6.2 argument against NMF-mGPU's MPI path), on the Game of Life.
+//  B. ILP sweep: elements-per-thread from 1x1 to 4x4 on the Game of Life
+//     (extends Fig 7's single 4x2 data point; §4.5.1).
+//  C. Device-side ReduceScatter vs host-gather aggregation of duplicated
+//     reductive outputs (the framework extension used by the hybrid
+//     deep-learning trainer).
+#include <vector>
+
+#include "apps/game_of_life.hpp"
+#include "bench/bench_common.hpp"
+#include "multi/maps_multi.hpp"
+
+namespace {
+
+using namespace maps::multi;
+
+double gol_ms(int gpus, bool host_staged) {
+  sim::Node node(sim::homogeneous_node(sim::gtx780(), gpus),
+                 sim::ExecMode::TimingOnly);
+  Scheduler sched(node);
+  sched.set_force_host_staged(host_staged);
+  std::vector<int> dummy(1);
+  Matrix<int> a(8192, 8192, "A"), b(8192, 8192, "B");
+  a.Bind(dummy.data());
+  b.Bind(dummy.data());
+  return apps::gol::run(sched, a, b, 100, apps::gol::Scheme::MapsIlp) / 100;
+}
+
+template <int ILPX, int ILPY>
+double gol_ilp_ms() {
+  sim::Node node(sim::homogeneous_node(sim::gtx780(), 1),
+                 sim::ExecMode::TimingOnly);
+  Scheduler sched(node);
+  std::vector<int> dummy(1);
+  Matrix<int> a(8192, 8192, "A"), b(8192, 8192, "B");
+  a.Bind(dummy.data());
+  b.Bind(dummy.data());
+  using Win = Window2D<int, 1, maps::WRAP, ILPX, ILPY>;
+  using Out = StructuredInjective<int, 2, ILPX, ILPY>;
+  sched.AnalyzeCall(Win(a), Out(b));
+  sched.AnalyzeCall(Win(b), Out(a));
+  sched.WaitAll();
+  const double t0 = node.now_ms();
+  for (int i = 0; i < 100; ++i) {
+    if (i % 2 == 0) {
+      sched.Invoke(apps::gol::maps_cost_hints(),
+                   apps::gol::MapsTick<ILPX, ILPY>{}, Win(a), Out(b));
+    } else {
+      sched.Invoke(apps::gol::maps_cost_hints(),
+                   apps::gol::MapsTick<ILPX, ILPY>{}, Win(b), Out(a));
+    }
+  }
+  sched.WaitAll();
+  return (node.now_ms() - t0) / 100;
+}
+
+/// Duplicated-partial aggregation, either on the host (Gather) or on the
+/// devices (ReduceScatter); returns ms per aggregation.
+double aggregate_ms(bool reduce_scatter, std::size_t elems) {
+  sim::Node node(sim::homogeneous_node(sim::gtx780(), 4),
+                 sim::ExecMode::TimingOnly);
+  Scheduler sched(node);
+  std::vector<float> host(1);
+  Vector<float> in(elems, "in"), acc(elems, "acc");
+  in.Bind(host.data());
+  acc.Bind(host.data());
+  auto routine = [](RoutineArgs& a) {
+    sim::LaunchStats st;
+    st.label = "produce_partial";
+    st.blocks = 64;
+    a.node->launch(a.stream, st, nullptr);
+    return true;
+  };
+  sched.InvokeUnmodified(routine, nullptr, Work{elems},
+                         Block2D<float>(static_cast<Datum&>(in)),
+                         SumReduced<float>(acc));
+  sched.WaitAll();
+  const double t0 = node.now_ms();
+  const int reps = 20;
+  for (int i = 0; i < reps; ++i) {
+    sched.InvokeUnmodified(routine, nullptr, Work{elems},
+                           Block2D<float>(static_cast<Datum&>(in)),
+                           SumReduced<float>(acc));
+    if (reduce_scatter) {
+      sched.ReduceScatter(acc, Work{elems});
+      sched.WaitAll();
+    } else {
+      sched.Gather(acc);
+    }
+  }
+  return (node.now_ms() - t0) / reps;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  bench::print_setup_header("Ablations: P2P exchanges, ILP depth, "
+                            "device-side aggregation (GTX 780)");
+
+  // A. P2P vs host-staged exchanges.
+  struct ARow {
+    int gpus;
+    double p2p, staged;
+  };
+  std::vector<ARow> a_rows;
+  for (int g : {2, 4}) {
+    a_rows.push_back(ARow{g, gol_ms(g, false), gol_ms(g, true)});
+    bench::register_sim_benchmark(
+        "ablation/exchange/p2p/gpus:" + std::to_string(g), a_rows.back().p2p);
+    bench::register_sim_benchmark(
+        "ablation/exchange/host_staged/gpus:" + std::to_string(g),
+        a_rows.back().staged);
+  }
+
+  // B. ILP sweep.
+  struct BRow {
+    const char* ilp;
+    double ms;
+  };
+  std::vector<BRow> b_rows = {
+      {"1x1", gol_ilp_ms<1, 1>()}, {"2x1", gol_ilp_ms<2, 1>()},
+      {"2x2", gol_ilp_ms<2, 2>()}, {"4x2", gol_ilp_ms<4, 2>()},
+      {"4x4", gol_ilp_ms<4, 4>()},
+  };
+  for (const auto& r : b_rows) {
+    bench::register_sim_benchmark(std::string("ablation/ilp/") + r.ilp, r.ms);
+  }
+
+  // C. Aggregation path.
+  struct CRow {
+    std::size_t elems;
+    double gather, rs;
+  };
+  std::vector<CRow> c_rows;
+  for (std::size_t elems : {1u << 16, 1u << 20, 1u << 22}) {
+    c_rows.push_back(CRow{elems, aggregate_ms(false, elems),
+                          aggregate_ms(true, elems)});
+    bench::register_sim_benchmark(
+        "ablation/aggregate/host_gather/elems:" + std::to_string(elems),
+        c_rows.back().gather);
+    bench::register_sim_benchmark(
+        "ablation/aggregate/reduce_scatter/elems:" + std::to_string(elems),
+        c_rows.back().rs);
+  }
+
+  const int rc = bench::run_registered_benchmarks(argc, argv);
+
+  std::printf("\nA. Game of Life (8K^2) boundary exchanges, ms/iteration:\n");
+  std::printf("  %6s %12s %14s %10s\n", "GPUs", "direct P2P", "host-staged",
+              "penalty");
+  for (const auto& r : a_rows) {
+    std::printf("  %6d %11.3f %14.3f %9.2fx\n", r.gpus, r.p2p, r.staged,
+                r.staged / r.p2p);
+  }
+
+  std::printf("\nB. ILP depth sweep (single GPU, 8K^2 Game of Life):\n");
+  for (const auto& r : b_rows) {
+    std::printf("  ILP %-4s %8.3f ms/iter (%.2fx vs 1x1)\n", r.ilp, r.ms,
+                b_rows[0].ms / r.ms);
+  }
+
+  std::printf("\nC. Aggregating 4 duplicated float partials, ms/op:\n");
+  std::printf("  %10s %14s %16s\n", "elements", "host Gather",
+              "ReduceScatter");
+  for (const auto& r : c_rows) {
+    std::printf("  %10zu %13.3f %16.3f\n", r.elems, r.gather, r.rs);
+  }
+  return rc;
+}

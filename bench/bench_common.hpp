@@ -1,0 +1,108 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Every bench binary reproduces one table or figure of the paper's
+// evaluation (§5-§6): it reruns the experiment in the simulator at the
+// paper's nominal sizes (TimingOnly mode), registers the measurements with
+// google-benchmark (manual time = simulated time), and prints a
+// paper-comparison summary. EXPERIMENTS.md records the paper-vs-measured
+// discussion; DESIGN.md §4 is the experiment index.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/node.hpp"
+#include "sim/presets.hpp"
+
+namespace bench {
+
+inline constexpr int kMaxGpus = 4;
+
+/// Prints the experimental-setup header (the paper's Table 3).
+inline void print_setup_header(const char* experiment) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s\n", experiment);
+  std::printf("Simulated setup (paper Table 3): nodes of 4 GPUs, PCIe-3 "
+              "pairs\n");
+  for (const auto& spec : sim::paper_device_models()) {
+    std::printf("  %-12s (%s)  %2d SMs x %3d cores @ %.2f GHz, %4.0f GiB/s, "
+                "%zu GiB\n",
+                spec.name.c_str(), sim::to_string(spec.arch), spec.sm_count,
+                spec.cores_per_sm, spec.clock_ghz, spec.mem_bandwidth_gbps,
+                spec.global_mem_bytes >> 30);
+  }
+  std::printf("==============================================================="
+              "=\n");
+}
+
+/// Collected measurement rows: (series name -> per-GPU-count milliseconds).
+class ScalingTable {
+public:
+  void set(const std::string& series, int gpus, double ms) {
+    rows_[series].resize(kMaxGpus, 0.0);
+    rows_[series][static_cast<std::size_t>(gpus - 1)] = ms;
+  }
+  double get(const std::string& series, int gpus) const {
+    return rows_.at(series)[static_cast<std::size_t>(gpus - 1)];
+  }
+  bool has(const std::string& series) const { return rows_.contains(series); }
+
+  /// Prints "time (speedup)" per GPU count, paper-figure style.
+  void print(const char* title, const char* unit = "ms") const {
+    std::printf("\n%s\n", title);
+    std::printf("  %-34s %14s %14s %14s %14s\n", "series", "1 GPU", "2 GPUs",
+                "3 GPUs", "4 GPUs");
+    for (const auto& [name, v] : rows_) {
+      std::printf("  %-34s", name.c_str());
+      for (int g = 0; g < kMaxGpus; ++g) {
+        if (v[static_cast<std::size_t>(g)] <= 0) {
+          std::printf(" %14s", "-");
+          continue;
+        }
+        const double speedup = v[0] / v[static_cast<std::size_t>(g)];
+        std::printf(" %8.3f%s(%4.2fx)", v[static_cast<std::size_t>(g)], unit,
+                    speedup);
+      }
+      std::printf("\n");
+    }
+  }
+
+  const std::map<std::string, std::vector<double>>& rows() const {
+    return rows_;
+  }
+
+private:
+  std::map<std::string, std::vector<double>> rows_;
+};
+
+/// Registers one precomputed simulated measurement as a google-benchmark
+/// entry reporting manual time.
+inline void register_sim_benchmark(const std::string& name, double sim_ms) {
+  benchmark::RegisterBenchmark(name.c_str(),
+                               [sim_ms](benchmark::State& state) {
+                                 for (auto _ : state) {
+                                   state.SetIterationTime(sim_ms * 1e-3);
+                                 }
+                               })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+inline int run_registered_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+} // namespace bench

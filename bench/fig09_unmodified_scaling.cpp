@@ -1,0 +1,132 @@
+// Figure 9 + Table 4: matrix multiplication via unmodified GPU routines,
+// MAPS-Multi vs CUBLAS-XT (paper §5.4).
+//
+// A chain of 1,000 multiplications of two 8K matrices. Over MAPS-Multi, the
+// CUBLAS-style routine runs with resident device buffers: after the first
+// upload, no transfers occur. CUBLAS-XT's host-based API re-stages
+// everything per call, destroying chained-kernel performance. Table 4's
+// single-GPU column shows CUBLAS over MAPS-Multi within 0.2-1.3% of native
+// CUBLAS while CUBLAS-XT is ~4-5x slower.
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "multi/maps_multi.hpp"
+#include "simblas/simblas.hpp"
+
+namespace {
+
+using namespace maps::multi;
+
+constexpr std::size_t kN = 8192;
+constexpr int kChain = 1000;
+
+/// Average per-multiplication time of the chain over MAPS-Multi.
+double maps_chain_ms(const sim::DeviceSpec& spec, int gpus) {
+  sim::Node node(sim::homogeneous_node(spec, gpus), sim::ExecMode::TimingOnly);
+  Scheduler sched(node);
+  std::vector<float> dummy(1);
+  Matrix<float> b(kN, kN, "B"), c1(kN, kN, "C1"), c2(kN, kN, "C2");
+  b.Bind(dummy.data());
+  c1.Bind(dummy.data());
+  c2.Bind(dummy.data());
+  simblas::Gemm(sched, c1, b, c2); // first call pays the uploads
+  sched.WaitAll();
+  const double t0 = node.now_ms();
+  for (int i = 0; i < kChain / 2; ++i) {
+    simblas::Gemm(sched, c2, b, c1);
+    simblas::Gemm(sched, c1, b, c2);
+  }
+  sched.WaitAll();
+  return (node.now_ms() - t0) / kChain;
+}
+
+/// Average per-multiplication time of the chain with the XT-style handle.
+double xt_chain_ms(const sim::DeviceSpec& spec, int gpus) {
+  sim::Node node(sim::homogeneous_node(spec, gpus), sim::ExecMode::TimingOnly);
+  std::vector<int> devices;
+  for (int d = 0; d < gpus; ++d) {
+    devices.push_back(d);
+  }
+  simblas::XtHandle xt(node, devices);
+  std::vector<float> a(1), b(1), c(1); // TimingOnly: contents unused
+  xt.sgemm(kN, kN, kN, 1.0f, a.data(), b.data(), 0.0f, c.data()); // warm-up
+  xt.synchronize();
+  const double t0 = node.now_ms();
+  // 1/10th of the chain is representative (the XT path has no cross-call
+  // state); scale the count back up in the average.
+  constexpr int kXtCalls = kChain / 10;
+  for (int i = 0; i < kXtCalls; ++i) {
+    xt.sgemm(kN, kN, kN, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  }
+  xt.synchronize();
+  return (node.now_ms() - t0) / kXtCalls;
+}
+
+/// Native "CUBLAS": the same tuned kernel invoked directly on one device
+/// with resident buffers and no framework (Table 4 column 2).
+double native_chain_ms(const sim::DeviceSpec& spec) {
+  sim::Node node(sim::homogeneous_node(spec, 1), sim::ExecMode::TimingOnly);
+  sim::Buffer* b = node.malloc_device(0, kN * kN * 4);
+  sim::Buffer* c1 = node.malloc_device(0, kN * kN * 4);
+  sim::Buffer* c2 = node.malloc_device(0, kN * kN * 4);
+  (void)b;
+  (void)c1;
+  (void)c2;
+  const auto s = node.default_stream(0);
+  node.synchronize();
+  const double t0 = node.now_ms();
+  for (int i = 0; i < kChain; ++i) {
+    simblas::sgemm(node, 0, s, kN, kN, kN, 1.0f, nullptr, nullptr, 0.0f,
+                   nullptr);
+  }
+  node.synchronize();
+  return (node.now_ms() - t0) / kChain;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  bench::print_setup_header("Figure 9 + Table 4: chained 8K SGEMM, "
+                            "MAPS-Multi (unmodified CUBLAS) vs CUBLAS-XT");
+
+  bench::ScalingTable table;
+  struct T4Row {
+    std::string device;
+    double native, maps, xt;
+  };
+  std::vector<T4Row> t4;
+  for (const auto& spec : sim::paper_device_models()) {
+    for (int g = 1; g <= bench::kMaxGpus; ++g) {
+      const double m = maps_chain_ms(spec, g);
+      const double x = xt_chain_ms(spec, g);
+      table.set("CUBLAS-over-MAPS/" + spec.name, g, m);
+      table.set("CUBLAS-XT/" + spec.name, g, x);
+      bench::register_sim_benchmark(
+          "fig09/maps/" + spec.name + "/gpus:" + std::to_string(g), m);
+      bench::register_sim_benchmark(
+          "fig09/xt/" + spec.name + "/gpus:" + std::to_string(g), x);
+    }
+    t4.push_back(T4Row{spec.name, native_chain_ms(spec),
+                       table.get("CUBLAS-over-MAPS/" + spec.name, 1),
+                       table.get("CUBLAS-XT/" + spec.name, 1)});
+  }
+
+  const int rc = bench::run_registered_benchmarks(argc, argv);
+
+  table.print(
+      "Figure 9 reproduction: avg ms per multiplication (speedup vs 1 GPU)");
+
+  std::printf("\nTable 4 reproduction: single-GPU avg ms per multiplication\n");
+  std::printf("  %-14s %10s %18s %12s %12s\n", "device", "CUBLAS",
+              "CUBLAS-over-MAPS", "overhead", "CUBLAS-XT");
+  for (const auto& r : t4) {
+    std::printf("  %-14s %9.2f %18.2f %11.2f%% %11.2f\n", r.device.c_str(),
+                r.native, r.maps, 100.0 * (r.maps - r.native) / r.native,
+                r.xt);
+  }
+  std::printf(
+      "\nPaper reference (Table 4): CUBLAS 365.21/338.65/245.31 ms; over\n"
+      "MAPS-Multi +0.2-1.3%%; CUBLAS-XT 1393.26/1830.82/1017.64 ms. Fig 9:\n"
+      "MAPS-Multi scaling surpasses CUBLAS-XT on all three platforms.\n");
+  return rc;
+}

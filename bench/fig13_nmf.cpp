@@ -1,0 +1,66 @@
+// Figure 13: NMF performance, MAPS-Multi vs NMF-mGPU (paper §6.2).
+//
+// Factorizing a 16K x 4K matrix with k = 128 on 1-4 GPUs of each device
+// model. Paper: MAPS-Multi yields higher throughput and better scalability
+// than NMF-mGPU on all device types (4x GTX 980 reach ~3.17x); the baseline
+// is Kepler-tuned and exchanges data through the host over MPI/IPC, while
+// MAPS-Multi uses direct peer-to-peer transfers.
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "multi/maps_multi.hpp"
+#include "nmf/nmf.hpp"
+
+namespace {
+
+constexpr int kIterations = 10;
+
+double maps_ms(const sim::DeviceSpec& spec, int gpus) {
+  sim::Node node(sim::homogeneous_node(spec, gpus), sim::ExecMode::TimingOnly);
+  maps::multi::Scheduler sched(node);
+  std::vector<float> v(1), w, h; // TimingOnly: backing never touched
+  return nmf::run_maps(sched, v, w, h, nmf::Shape{}, kIterations).sim_ms /
+         kIterations;
+}
+
+double baseline_ms(const sim::DeviceSpec& spec, int gpus) {
+  sim::Node node(sim::homogeneous_node(spec, gpus), sim::ExecMode::TimingOnly);
+  std::vector<float> v(1), w, h;
+  return nmf::run_mgpu_baseline(node, v, w, h, nmf::Shape{}, kIterations,
+                                gpus)
+             .sim_ms /
+         kIterations;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  bench::print_setup_header(
+      "Figure 13: NMF of a 16K x 4K matrix (k=128), MAPS-Multi vs NMF-mGPU");
+
+  bench::ScalingTable table;
+  for (const auto& spec : sim::paper_device_models()) {
+    for (int g = 1; g <= bench::kMaxGpus; ++g) {
+      const double m = maps_ms(spec, g);
+      const double b = baseline_ms(spec, g);
+      table.set("MAPS-Multi/" + spec.name, g, m);
+      table.set("NMF-mGPU/" + spec.name, g, b);
+      bench::register_sim_benchmark(
+          "fig13/maps/" + spec.name + "/gpus:" + std::to_string(g), m);
+      bench::register_sim_benchmark(
+          "fig13/nmf-mgpu/" + spec.name + "/gpus:" + std::to_string(g), b);
+    }
+  }
+
+  const int rc = bench::run_registered_benchmarks(argc, argv);
+
+  table.print("Figure 13 reproduction: ms per NMF iteration "
+              "(speedup vs 1 GPU)");
+  std::printf(
+      "\nPaper reference: MAPS-Multi has higher throughput and better\n"
+      "scalability than NMF-mGPU on all device types (~3.17x on 4x GTX 980);\n"
+      "the baseline's MPI exchanges pass through the host, MAPS-Multi uses\n"
+      "direct peer-to-peer transfers. NMF-mGPU's kernels are Kepler-tuned\n"
+      "(~15,000 lines vs a single 870-line MAPS-Multi file).\n");
+  return rc;
+}

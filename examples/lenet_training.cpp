@@ -1,0 +1,39 @@
+// Deep learning on multiple GPUs (paper §6.1): trains LeNet on synthetic
+// digits with each of the multi-GPU strategies of Fig 11 and reports
+// accuracy and simulated throughput.
+#include <cstdio>
+
+#include "multi/maps_multi.hpp"
+#include "nn/trainer.hpp"
+#include "sim/presets.hpp"
+
+using namespace maps::multi;
+
+int main() {
+  // A small LeNet so the functional run stays quick; the fig11 benchmark
+  // runs the paper's full 28x28 network at batch 2048 in TimingOnly mode.
+  nn::LeNetConfig cfg;
+  cfg.image = 14;
+  cfg.kernel = 3;
+  cfg.conv1_filters = 4;
+  cfg.conv2_filters = 6;
+  cfg.fc1_units = 24;
+
+  nn::SyntheticDigits data(512, cfg.image, cfg.classes, 7);
+
+  for (nn::Strategy strategy :
+       {nn::Strategy::DataParallel, nn::Strategy::Hybrid,
+        nn::Strategy::TorchLike}) {
+    sim::Node node(sim::homogeneous_node(sim::gtx780(), 4));
+    Scheduler sched(node);
+    nn::LeNetParams params(cfg, 1);
+    nn::Trainer trainer(sched, params, data, /*batch=*/64, strategy, 0.2f);
+    const nn::TrainResult r = trainer.train(60);
+    const std::size_t correct =
+        nn::lenet_eval(params, data.images(0), data.labels(0), 256);
+    std::printf("%-32s loss=%.3f  accuracy=%zu/256  sim %.1f kimg/s\n",
+                nn::to_string(strategy), r.final_loss, correct,
+                r.images_per_second / 1e3);
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Unmodified GPU routines (paper §4.6, Fig 5): running a tuned CUBLAS-style
+// SGEMM on multiple GPUs by declaring its access patterns — Block(2D) for
+// the first operand, Block(2D-Transposed) for the second, Structured
+// Injective for the output. The framework derives segmentation and keeps
+// chained results resident on the devices (§5.4).
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "multi/maps_multi.hpp"
+#include "sim/presets.hpp"
+#include "simblas/simblas.hpp"
+
+using namespace maps::multi;
+
+int main() {
+  constexpr std::size_t n = 256;
+  constexpr int chain = 8;
+
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<float> dist(-0.05f, 0.05f);
+  std::vector<float> a(n * n), b(n * n), c(n * n, 0.0f);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    a[i] = dist(rng);
+    b[i] = dist(rng);
+  }
+  b[0] += 1.0f; // keep the chain numerically tame
+
+  sim::Node node(sim::homogeneous_node(sim::gtx780(), 4));
+  Scheduler sched(node);
+
+  Matrix<float> A(n, n, "A"), B(n, n, "B"), C(n, n, "C");
+  A.Bind(a.data());
+  B.Bind(b.data());
+  C.Bind(c.data());
+
+  // C = A x B, then keep multiplying by B with results staying on the GPUs:
+  // after the first call, the location monitor finds every operand resident
+  // and no transfer is issued.
+  simblas::Gemm(sched, A, B, C);
+  sched.WaitAll();
+  const auto h2d_after_first = node.stats().bytes_h2d;
+  for (int i = 1; i < chain; i += 2) {
+    simblas::Gemm(sched, C, B, A);
+    simblas::Gemm(sched, A, B, C);
+  }
+  sched.WaitAll();
+  const bool resident = node.stats().bytes_h2d == h2d_after_first;
+  sched.Gather(C);
+
+  std::printf("chained %d SGEMMs (%zu^3) on %d GPUs\n", chain + 1, n,
+              node.device_count());
+  std::printf("transfers after first call: %s (paper §5.4: chained kernels "
+              "stay resident)\n",
+              resident ? "none" : "UNEXPECTED");
+  std::printf("C[0]=%.4f, simulated time: %.3f ms\n", c[0], node.now_ms());
+  return resident ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// Game of Life application (the paper's running example, Fig 2-3, §5.1-5.2).
+//
+// Three implementation schemes, matching Fig 7:
+//  * naive         — direct global-memory reads per neighbor, no shared
+//                    staging (an unmodified routine over MAPS-Multi);
+//  * MAPS          — pattern-based kernel with shared-memory staging, no ILP;
+//  * MAPS + ILP    — the same kernel with 8 elements (4 columns, 2 rows) per
+//                    thread (§5.2).
+//
+// All variants use the Window(2D, r=1, WRAP) input and Structured Injective
+// output patterns, so boundary exchanges across devices are inferred
+// automatically in every scheme.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "multi/maps_multi.hpp"
+
+namespace apps::gol {
+
+/// One Game of Life tick as a MAPS-Multi kernel (Fig 2b).
+template <int ILPX, int ILPY> struct MapsTick {
+  using Win = maps::multi::Window2D<int, 1, maps::WRAP, ILPX, ILPY>;
+  using Out = maps::multi::StructuredInjective<int, 2, ILPX, ILPY>;
+
+  void operator()(const maps::ThreadContext&, Win& current_gen,
+                  Out& next_gen) const {
+    MAPS_FOREACH(cell, next_gen) {
+      int live_neighbors = 0;
+      MAPS_FOREACH_ALIGNED(n, current_gen, cell) {
+        if (!n.is_center()) {
+          live_neighbors += *n;
+        }
+      }
+      const int is_live = current_gen.at(cell, 0, 0);
+      *cell = (live_neighbors == 3 || (is_live && live_neighbors == 2)) ? 1 : 0;
+    }
+    next_gen.commit();
+  }
+};
+
+/// Cost hints for the MAPS Game of Life kernel (integer rule evaluation).
+maps::multi::CostHints maps_cost_hints();
+
+/// Naive Game of Life kernel: per-cell global reads of all 8 neighbors with
+/// imperfect coalescing, no shared staging (Fig 7's baseline). Routine
+/// parameters: { Window2D(current, r=1, WRAP), StructuredInjective(next) }.
+bool NaiveTickRoutine(maps::multi::RoutineArgs& args);
+
+/// Which scheme a driver run uses.
+enum class Scheme { Naive, Maps, MapsIlp };
+
+/// Drives `iterations` double-buffered ticks over MAPS-Multi and gathers the
+/// final generation into the buffer bound to A or B.
+/// Returns simulated milliseconds for the whole run.
+double run(maps::multi::Scheduler& sched, maps::multi::Matrix<int>& a,
+           maps::multi::Matrix<int>& b, int iterations, Scheme scheme);
+
+/// Sequential CPU reference tick (toroidal world).
+void reference_tick(std::vector<int>& grid, std::size_t width,
+                    std::size_t height);
+
+} // namespace apps::gol

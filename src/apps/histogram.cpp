@@ -1,0 +1,70 @@
+#include "apps/histogram.hpp"
+
+#include "simcub/simcub.hpp"
+
+namespace apps::histogram {
+
+using namespace maps::multi;
+
+bool NaiveRoutine(RoutineArgs& args) {
+  const auto& seg = args.container_segments[0];
+  const std::size_t rows = seg.m_dimensions[0];
+  const std::size_t cols = seg.m_dimensions[1];
+  const int* image = args.parameters[0].as<int>();
+  int* hist = args.parameters[1].as<int>();
+
+  sim::LaunchStats st;
+  st.label = "histogram::naive";
+  const std::uint64_t pixels = rows * cols;
+  st.blocks = std::max<std::uint64_t>(1, pixels / 256);
+  st.threads_per_block = 256;
+  st.global_bytes_read = pixels * sizeof(int);
+  st.global_atomics = pixels; // §5.3: one global atomic per pixel
+  args.node->launch(args.stream, st, [image, hist, pixels] {
+    for (std::size_t i = 0; i < pixels; ++i) {
+      ++hist[static_cast<std::size_t>(image[i]) % kBins];
+    }
+  });
+  return true;
+}
+
+double run(Scheduler& sched, Matrix<int>& image, Vector<int>& hist,
+           int iterations, Scheme scheme) {
+  using In = Window2D<int, 0, maps::NO_CHECKS, 8>;
+  using Out = ReductiveStatic<int, kBins, 8>;
+
+  sched.WaitAll();
+  const double t0 = sched.node().now_ms();
+
+  CostHints hints;
+  hints.flops_per_elem = 3.0;
+  for (int i = 0; i < iterations; ++i) {
+    switch (scheme) {
+    case Scheme::Maps:
+      sched.Invoke(hints, MapsKernel<8>{}, In(image), Out(hist));
+      break;
+    case Scheme::Naive:
+      sched.InvokeUnmodified(NaiveRoutine, nullptr,
+                             Work{image.height(), image.width()}, In(image),
+                             Out(hist));
+      break;
+    case Scheme::Cub:
+      sched.InvokeUnmodified(simcub::HistogramRoutine, nullptr,
+                             Work{image.height(), image.width()}, In(image),
+                             Out(hist));
+      break;
+    }
+  }
+  sched.Gather(hist);
+  return sched.node().now_ms() - t0;
+}
+
+std::vector<int> reference(const std::vector<int>& image) {
+  std::vector<int> hist(kBins, 0);
+  for (int p : image) {
+    ++hist[static_cast<std::size_t>(p) % kBins];
+  }
+  return hist;
+}
+
+} // namespace apps::histogram

@@ -1,0 +1,54 @@
+// Histogram application (paper §4.5.3, §5.3, Fig 4 & Fig 8).
+//
+// Three implementation schemes, matching Fig 8:
+//  * naive — one global atomic per pixel (the §5.3 baseline whose runtime
+//    explodes on Maxwell);
+//  * MAPS  — the pattern-based kernel of Fig 4 (Window(2D, r=0) input,
+//    Reductive Static output) with device-level aggregators;
+//  * CUB   — the tuned simcub routine.
+//
+// The naive and CUB variants run on multiple GPUs as unmodified routines
+// over MAPS-Multi, exactly as the paper does (§5.3: "the former two programs
+// were also implemented over MAPS-Multi using unmodified routines").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "multi/maps_multi.hpp"
+
+namespace apps::histogram {
+
+inline constexpr int kBins = 256;
+
+/// The Fig 4 kernel: Window2D (1x1) input, ReductiveStatic output, ILP.
+template <int ILP> struct MapsKernel {
+  using In = maps::multi::Window2D<int, 0, maps::NO_CHECKS, ILP>;
+  using Out = maps::multi::ReductiveStatic<int, kBins, ILP>;
+
+  void operator()(const maps::ThreadContext&, In& image, Out& hist) const {
+    MAPS_FOREACH(hist_iter, hist) {
+      auto image_iter = image.align(hist_iter);
+      const auto bin = static_cast<std::size_t>(*image_iter) % kBins;
+      hist_iter[bin] += 1;
+    }
+    hist.commit();
+  }
+};
+
+/// Naive kernel: global atomics per pixel. Routine parameters:
+/// { Window2D(image, r=0), ReductiveStatic(hist) }.
+bool NaiveRoutine(maps::multi::RoutineArgs& args);
+
+enum class Scheme { Naive, Maps, Cub };
+
+/// Computes `iterations` histograms of the bound image over MAPS-Multi with
+/// the chosen scheme, gathering (and thereby sum-aggregating) at the end.
+/// Returns simulated milliseconds for the whole run.
+double run(maps::multi::Scheduler& sched, maps::multi::Matrix<int>& image,
+           maps::multi::Vector<int>& hist, int iterations, Scheme scheme);
+
+/// Sequential CPU reference.
+std::vector<int> reference(const std::vector<int>& image);
+
+} // namespace apps::histogram

@@ -1,0 +1,67 @@
+// Device-level fundamentals shared by all MAPS containers: grid geometry,
+// boundary modes and the per-thread execution context.
+//
+// The "multiple device abstraction" of the paper (§4, Fig 1b) is realized by
+// GridContext: kernels see a single virtual grid; each device executes a
+// contiguous slice of its thread-blocks at an offset, so kernel code is
+// identical on one GPU and on many.
+#pragma once
+
+#include <cstdint>
+
+namespace maps {
+
+struct Dim3 {
+  unsigned x = 1, y = 1, z = 1;
+  std::uint64_t count() const {
+    return static_cast<std::uint64_t>(x) * y * z;
+  }
+};
+
+/// Out-of-range handling for Window patterns (paper Fig 2: WRAP, NO_CHECKS).
+enum class Boundary {
+  Wrap,    ///< Toroidal wrap-around (Game of Life).
+  Clamp,   ///< Clamp to the nearest valid element.
+  Zero,    ///< Out-of-range reads produce T{}.
+  NoChecks ///< Caller guarantees accesses stay in range (r=0 windows).
+};
+
+inline constexpr Boundary WRAP = Boundary::Wrap;
+inline constexpr Boundary CLAMP = Boundary::Clamp;
+inline constexpr Boundary ZERO = Boundary::Zero;
+inline constexpr Boundary NO_CHECKS = Boundary::NoChecks;
+
+/// The virtual multi-GPU grid as seen by one device.
+struct GridContext {
+  Dim3 grid_dim;  ///< Virtual (whole-task) grid dimensions, in blocks.
+  Dim3 block_dim; ///< Threads per block.
+  /// First virtual block row executed by this device (offsetting the
+  /// thread-blocks in each device differently, §4).
+  unsigned block_row_offset = 0;
+  /// Number of virtual block rows executed by this device.
+  unsigned block_rows = 0;
+  int device = 0;
+  int device_count = 1;
+  /// Work (element) dimensions of the task, pre-ILP.
+  unsigned work_width = 1, work_height = 1;
+  /// Elements processed per thread (from the output container, §4.5.1).
+  unsigned ilp_x = 1, ilp_y = 1;
+};
+
+/// Per-thread state during functional execution. The framework advances this
+/// across blocks/threads; containers read it to resolve index-free accesses.
+struct ThreadContext {
+  const GridContext* grid = nullptr;
+  Dim3 block;  ///< Virtual block index (global across devices).
+  Dim3 thread; ///< Thread index within the block.
+
+  /// Work-space coordinates of this thread's first ILP element.
+  unsigned work_x0() const {
+    return (block.x * grid->block_dim.x + thread.x) * grid->ilp_x;
+  }
+  unsigned work_y0() const {
+    return (block.y * grid->block_dim.y + thread.y) * grid->ilp_y;
+  }
+};
+
+} // namespace maps

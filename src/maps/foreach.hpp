@@ -1,0 +1,18 @@
+// Iteration macros mirroring the paper's device-level API (Fig 2b, Fig 4).
+//
+//   MAPS_FOREACH(iter, out)                — loop over the ILP elements of an
+//                                            output container.
+//   MAPS_FOREACH_ALIGNED(it, in, out_iter) — loop over the input elements
+//                                            aligned with one output element
+//                                            (e.g. a stencil neighborhood).
+//
+// In CUDA MAPS these expand to #pragma unroll loops over compile-time ILP
+// extents; here they are ordinary range-for over lightweight iterators.
+#pragma once
+
+#define MAPS_FOREACH(iter, container)                                          \
+  for (auto iter = (container).begin(); iter != (container).end(); ++iter)
+
+#define MAPS_FOREACH_ALIGNED(iter, container, outer_iter)                      \
+  for (auto iter = (container).aligned_begin(outer_iter);                      \
+       iter != (container).aligned_end(outer_iter); ++iter)

@@ -1,0 +1,22 @@
+#include "multi/datum.hpp"
+
+namespace maps::multi {
+
+Datum::Datum(std::string name, std::vector<std::size_t> dims,
+             std::size_t elem_size)
+    : name_(std::move(name)), dims_(std::move(dims)), elem_size_(elem_size) {
+  if (dims_.empty()) {
+    throw std::invalid_argument("Datum requires at least one dimension");
+  }
+  for (std::size_t d : dims_) {
+    if (d == 0) {
+      throw std::invalid_argument("Datum dimensions must be positive");
+    }
+  }
+  row_bytes_ = elem_size_;
+  for (std::size_t i = 1; i < dims_.size(); ++i) {
+    row_bytes_ *= dims_[i];
+  }
+}
+
+} // namespace maps::multi

@@ -1,0 +1,95 @@
+// Datum: the host-side N-dimensional data structure of the MAPS-Multi
+// programming paradigm (§2.1).
+//
+// A Datum never owns host memory — the paradigm binds each datum to an
+// existing host buffer (`Bind`, Table 2), mirroring the paper's design where
+// host memory management stays outside the framework. Device-side instances
+// are allocated by the Memory Analyzer (memory_analyzer.hpp).
+//
+// Layout is row-major with the partition dimension outermost (dimension 0):
+// Matrix<T>(width, height) has dims {height, width} and is partitioned in
+// row bands; NDArray<T, N> is partitioned along its first dimension.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace maps::multi {
+
+/// Type-erased host-bound N-D array. Concrete typed wrappers below.
+class Datum {
+public:
+  Datum(std::string name, std::vector<std::size_t> dims,
+        std::size_t elem_size);
+  virtual ~Datum() = default;
+  Datum(const Datum&) = delete;
+  Datum& operator=(const Datum&) = delete;
+
+  /// Registers an existing host buffer as this datum's storage (Table 2).
+  void BindRaw(void* host_ptr) { host_ptr_ = host_ptr; }
+  bool bound() const { return host_ptr_ != nullptr; }
+  void* host_raw() const { return host_ptr_; }
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::size_t>& dims() const { return dims_; }
+  std::size_t elem_size() const { return elem_size_; }
+
+  /// Extent of the partition dimension.
+  std::size_t rows() const { return dims_[0]; }
+  /// Bytes per dimension-0 slice ("row band" unit).
+  std::size_t row_bytes() const { return row_bytes_; }
+  /// Elements per dimension-0 slice.
+  std::size_t row_elems() const { return row_bytes_ / elem_size_; }
+  std::size_t total_bytes() const { return row_bytes_ * rows(); }
+
+  std::byte* host_row(std::size_t row) const {
+    return static_cast<std::byte*>(host_ptr_) + row * row_bytes_;
+  }
+
+  /// Stable identity used as the location-monitor key.
+  const void* key() const { return this; }
+
+private:
+  std::string name_;
+  std::vector<std::size_t> dims_;
+  std::size_t elem_size_;
+  std::size_t row_bytes_;
+  void* host_ptr_ = nullptr;
+};
+
+/// 1-D datum of T.
+template <typename T> class Vector : public Datum {
+public:
+  explicit Vector(std::size_t n, std::string name = "vector")
+      : Datum(std::move(name), {n}, sizeof(T)) {}
+  void Bind(T* host) { BindRaw(host); }
+  std::size_t length() const { return dims()[0]; }
+};
+
+/// 2-D datum of T. Constructor order follows the paper: Matrix<T>(width,
+/// height) (Fig 2a line 5); storage is row-major, partitioned by rows.
+template <typename T> class Matrix : public Datum {
+public:
+  Matrix(std::size_t width, std::size_t height, std::string name = "matrix")
+      : Datum(std::move(name), {height, width}, sizeof(T)) {}
+  void Bind(T* host) { BindRaw(host); }
+  std::size_t width() const { return dims()[1]; }
+  std::size_t height() const { return dims()[0]; }
+};
+
+/// N-dimensional datum of T, partitioned along dimension 0 (e.g. the batch
+/// dimension of the 4-D tensors in the paper's deep-learning application).
+template <typename T, std::size_t N> class NDArray : public Datum {
+public:
+  explicit NDArray(std::array<std::size_t, N> dims,
+                   std::string name = "ndarray")
+      : Datum(std::move(name), {dims.begin(), dims.end()}, sizeof(T)) {}
+  void Bind(T* host) { BindRaw(host); }
+};
+
+} // namespace maps::multi

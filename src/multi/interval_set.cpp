@@ -1,0 +1,124 @@
+#include "multi/interval_set.hpp"
+
+#include <algorithm>
+
+namespace maps::multi {
+
+RowInterval intersect(const RowInterval& a, const RowInterval& b) {
+  RowInterval r{std::max(a.begin, b.begin), std::min(a.end, b.end)};
+  if (r.empty()) {
+    return RowInterval{0, 0};
+  }
+  return r;
+}
+
+IntervalSet::IntervalSet(std::vector<RowInterval> intervals)
+    : intervals_(std::move(intervals)) {
+  normalize();
+}
+
+void IntervalSet::normalize() {
+  std::erase_if(intervals_, [](const RowInterval& iv) { return iv.empty(); });
+  std::sort(intervals_.begin(), intervals_.end(),
+            [](const RowInterval& a, const RowInterval& b) {
+              return a.begin < b.begin;
+            });
+  std::vector<RowInterval> merged;
+  for (const auto& iv : intervals_) {
+    if (!merged.empty() && iv.begin <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, iv.end);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  intervals_ = std::move(merged);
+}
+
+void IntervalSet::add(RowInterval iv) {
+  if (iv.empty()) {
+    return;
+  }
+  intervals_.push_back(iv);
+  normalize();
+}
+
+void IntervalSet::remove(RowInterval iv) {
+  if (iv.empty()) {
+    return;
+  }
+  std::vector<RowInterval> result;
+  for (const auto& cur : intervals_) {
+    if (cur.end <= iv.begin || cur.begin >= iv.end) {
+      result.push_back(cur);
+      continue;
+    }
+    if (cur.begin < iv.begin) {
+      result.push_back(RowInterval{cur.begin, iv.begin});
+    }
+    if (cur.end > iv.end) {
+      result.push_back(RowInterval{iv.end, cur.end});
+    }
+  }
+  intervals_ = std::move(result);
+}
+
+bool IntervalSet::covers(const RowInterval& iv) const {
+  if (iv.empty()) {
+    return true;
+  }
+  std::size_t pos = iv.begin;
+  for (const auto& cur : intervals_) {
+    if (cur.end <= pos) {
+      continue;
+    }
+    if (cur.begin > pos) {
+      return false;
+    }
+    pos = cur.end;
+    if (pos >= iv.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t IntervalSet::total_rows() const {
+  std::size_t n = 0;
+  for (const auto& iv : intervals_) {
+    n += iv.size();
+  }
+  return n;
+}
+
+std::vector<RowInterval>
+IntervalSet::intersection_with(const RowInterval& iv) const {
+  std::vector<RowInterval> result;
+  for (const auto& cur : intervals_) {
+    RowInterval x = intersect(cur, iv);
+    if (!x.empty()) {
+      result.push_back(x);
+    }
+  }
+  return result;
+}
+
+std::vector<RowInterval>
+IntervalSet::missing_from(const RowInterval& iv) const {
+  std::vector<RowInterval> result;
+  std::size_t pos = iv.begin;
+  for (const auto& cur : intervals_) {
+    if (cur.end <= pos || cur.begin >= iv.end) {
+      continue;
+    }
+    if (cur.begin > pos) {
+      result.push_back(RowInterval{pos, cur.begin});
+    }
+    pos = std::max(pos, cur.end);
+  }
+  if (pos < iv.end) {
+    result.push_back(RowInterval{pos, iv.end});
+  }
+  return result;
+}
+
+} // namespace maps::multi

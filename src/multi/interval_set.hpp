@@ -1,0 +1,54 @@
+// Half-open row-interval arithmetic used by the Segment Location Monitor.
+//
+// All MAPS-Multi transfers in this reproduction are bands of whole rows along
+// the partition dimension (DESIGN.md §5), so the N-dimensional rectangle
+// intersections of the paper's Algorithm 2 reduce to 1-D interval algebra on
+// row ranges. The operations here are exactly the primitives that algorithm
+// needs: intersection, subtraction and coverage tests over sorted disjoint
+// interval sets.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace maps::multi {
+
+/// Half-open interval of global datum rows: [begin, end).
+struct RowInterval {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+  bool empty() const { return end <= begin; }
+  friend bool operator==(const RowInterval&, const RowInterval&) = default;
+};
+
+/// Intersection of two intervals (empty interval when disjoint).
+RowInterval intersect(const RowInterval& a, const RowInterval& b);
+
+/// A set of disjoint, sorted intervals.
+class IntervalSet {
+public:
+  IntervalSet() = default;
+  explicit IntervalSet(std::vector<RowInterval> intervals);
+
+  void add(RowInterval iv);    ///< Union with one interval (merges).
+  void remove(RowInterval iv); ///< Set difference with one interval.
+  void clear() { intervals_.clear(); }
+
+  bool covers(const RowInterval& iv) const;
+  bool empty() const { return intervals_.empty(); }
+  std::size_t total_rows() const;
+
+  /// Portions of `iv` contained in this set.
+  std::vector<RowInterval> intersection_with(const RowInterval& iv) const;
+  /// Portions of `iv` NOT contained in this set.
+  std::vector<RowInterval> missing_from(const RowInterval& iv) const;
+
+  const std::vector<RowInterval>& intervals() const { return intervals_; }
+
+private:
+  void normalize();
+  std::vector<RowInterval> intervals_;
+};
+
+} // namespace maps::multi

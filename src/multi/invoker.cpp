@@ -1,0 +1,63 @@
+#include "multi/invoker.hpp"
+
+namespace maps::multi {
+
+InvokerThread::InvokerThread(int slot)
+    : slot_(slot), thread_([this] { run(); }) {}
+
+InvokerThread::~InvokerThread() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void InvokerThread::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push_back(std::move(job));
+  }
+  cv_.notify_all();
+}
+
+void InvokerThread::flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return jobs_.empty() && !busy_; });
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void InvokerThread::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+    if (stop_ && jobs_.empty()) {
+      return;
+    }
+    auto job = std::move(jobs_.front());
+    jobs_.pop_front();
+    busy_ = true;
+    lock.unlock();
+    try {
+      job();
+    } catch (...) {
+      lock.lock();
+      if (!error_) {
+        error_ = std::current_exception();
+      }
+      busy_ = false;
+      cv_.notify_all();
+      continue;
+    }
+    lock.lock();
+    busy_ = false;
+    cv_.notify_all();
+  }
+}
+
+} // namespace maps::multi

@@ -1,0 +1,46 @@
+// Invoker threads (§4.3): one host thread per device, queuing commands to
+// its designated device so copies and kernel launches are issued
+// concurrently across devices. Synchronization with the scheduler uses
+// flush() barriers; exceptions thrown by jobs are captured and rethrown at
+// the next flush.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace maps::multi {
+
+class InvokerThread {
+public:
+  explicit InvokerThread(int slot);
+  ~InvokerThread();
+  InvokerThread(const InvokerThread&) = delete;
+  InvokerThread& operator=(const InvokerThread&) = delete;
+
+  /// Queues a job (typically: enqueue this task's commands for my device).
+  void submit(std::function<void()> job);
+
+  /// Blocks until all submitted jobs completed; rethrows the first captured
+  /// job exception, if any.
+  void flush();
+
+  int slot() const { return slot_; }
+
+private:
+  void run();
+
+  int slot_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> jobs_;
+  std::exception_ptr error_;
+  bool stop_ = false;
+  bool busy_ = false;
+  std::thread thread_;
+};
+
+} // namespace maps::multi

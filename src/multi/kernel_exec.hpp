@@ -1,0 +1,53 @@
+// Functional execution of a MAPS-Multi kernel over one device's share of the
+// virtual grid.
+//
+// On real hardware the grid's thread-blocks run on the device's
+// multiprocessors; here the framework sweeps the device's block rows and the
+// threads within each block sequentially (the simulated Node accounts the
+// parallel execution time separately, via LaunchStats). Containers receive
+// the advancing ThreadContext, which is what makes the kernel body index
+// free.
+#pragma once
+
+#include <cstdint>
+#include <tuple>
+#include <utility>
+
+#include "maps/common.hpp"
+
+namespace maps::multi {
+
+namespace detail {
+
+template <typename Kernel, typename Tuple, std::size_t... I>
+void run_device_grid_impl(const maps::GridContext& gc, const Kernel& kernel,
+                          Tuple& pats, std::index_sequence<I...>) {
+  maps::ThreadContext tc;
+  tc.grid = &gc;
+  const unsigned brow_end = gc.block_row_offset + gc.block_rows;
+  for (unsigned by = gc.block_row_offset; by < brow_end; ++by) {
+    for (unsigned bx = 0; bx < gc.grid_dim.x; ++bx) {
+      tc.block = maps::Dim3{bx, by, 0};
+      for (unsigned ty = 0; ty < gc.block_dim.y; ++ty) {
+        for (unsigned tx = 0; tx < gc.block_dim.x; ++tx) {
+          tc.thread = maps::Dim3{tx, ty, 0};
+          (std::get<I>(pats).set_thread(&tc), ...);
+          kernel(tc, std::get<I>(pats)...);
+        }
+      }
+    }
+  }
+}
+
+} // namespace detail
+
+/// Runs `kernel(tc, patterns...)` for every thread of this device's block
+/// rows of the virtual grid.
+template <typename Kernel, typename... Patterns>
+void run_device_grid(const maps::GridContext& gc, const Kernel& kernel,
+                     std::tuple<Patterns...>& pats) {
+  detail::run_device_grid_impl(gc, kernel, pats,
+                               std::index_sequence_for<Patterns...>{});
+}
+
+} // namespace maps::multi

@@ -1,0 +1,177 @@
+#include "multi/location_monitor.hpp"
+
+namespace maps::multi {
+
+SegmentLocationMonitor::SegmentLocationMonitor(int slots)
+    : locations_(slots + 1) {}
+
+void SegmentLocationMonitor::register_datum(const Datum* datum) {
+  if (known(datum)) {
+    return;
+  }
+  State s;
+  s.up_to_date.resize(static_cast<std::size_t>(locations_));
+  s.last_output.resize(static_cast<std::size_t>(locations_));
+  if (datum->bound()) {
+    // The bound host buffer is the initial authoritative copy.
+    s.up_to_date[kHost].add(RowInterval{0, datum->rows()});
+  }
+  states_.emplace(datum->key(), std::move(s));
+}
+
+bool SegmentLocationMonitor::known(const Datum* datum) const {
+  return states_.contains(datum->key());
+}
+
+SegmentLocationMonitor::State&
+SegmentLocationMonitor::state(const Datum* datum) {
+  auto it = states_.find(datum->key());
+  if (it == states_.end()) {
+    throw std::logic_error("location monitor: unknown datum '" +
+                           datum->name() + "'");
+  }
+  return it->second;
+}
+
+const SegmentLocationMonitor::State&
+SegmentLocationMonitor::state(const Datum* datum) const {
+  auto it = states_.find(datum->key());
+  if (it == states_.end()) {
+    throw std::logic_error("location monitor: unknown datum '" +
+                           datum->name() + "'");
+  }
+  return it->second;
+}
+
+std::vector<SegmentLocationMonitor::CopyOp>
+SegmentLocationMonitor::plan_copies(const Datum* datum, int target,
+                                    const RowInterval& required,
+                                    bool target_holds_slot) const {
+  const State& s = state(datum);
+  if (s.has_pending) {
+    throw std::runtime_error(
+        "datum '" + datum->name() +
+        "' has partial (unaggregated) device copies; Gather it before using "
+        "it as an input");
+  }
+
+  std::vector<CopyOp> ops;
+  // Algorithm 2 lines 2-4: up to date on the target — nothing to do. (Halo
+  // slots at non-global positions always need the copy.)
+  std::vector<RowInterval> missing;
+  if (target_holds_slot) {
+    missing =
+        s.up_to_date[static_cast<std::size_t>(target)].missing_from(required);
+  } else if (!required.empty()) {
+    missing.push_back(required);
+  }
+  if (missing.empty()) {
+    return ops;
+  }
+
+  for (const RowInterval& miss : missing) {
+    // Lines 5-8: a single location holding the whole piece.
+    int single = -1;
+    for (int l = 0; l < locations_; ++l) {
+      if ((l != target || !target_holds_slot) &&
+          s.up_to_date[static_cast<std::size_t>(l)].covers(miss)) {
+        single = l;
+        break;
+      }
+    }
+    if (single >= 0) {
+      ops.push_back(CopyOp{single, miss});
+      continue;
+    }
+    // Lines 9-14: intersect with every other device's holdings.
+    IntervalSet remaining({std::vector<RowInterval>{miss}});
+    for (int l = 1; l < locations_ && !remaining.empty(); ++l) {
+      if (l == target && target_holds_slot) {
+        continue;
+      }
+      for (const RowInterval& piece : remaining.intervals()) {
+        for (const RowInterval& hit :
+             s.up_to_date[static_cast<std::size_t>(l)].intersection_with(
+                 piece)) {
+          ops.push_back(CopyOp{l, hit});
+        }
+      }
+      for (std::size_t i = ops.size(); i-- > 0;) {
+        if (ops[i].src_location == l) {
+          remaining.remove(ops[i].rows);
+        }
+      }
+    }
+    // Host fallback for whatever no device holds.
+    for (const RowInterval& piece : remaining.intervals()) {
+      for (const RowInterval& hit :
+           s.up_to_date[kHost].intersection_with(piece)) {
+        ops.push_back(CopyOp{kHost, hit});
+        remaining.remove(hit);
+      }
+    }
+    if (!remaining.empty()) {
+      throw std::runtime_error("datum '" + datum->name() + "': rows [" +
+                               std::to_string(remaining.intervals()[0].begin) +
+                               ", " +
+                               std::to_string(remaining.intervals()[0].end) +
+                               ") are not available at any location (reading "
+                               "data that was never written?)");
+    }
+  }
+  return ops;
+}
+
+void SegmentLocationMonitor::mark_copied(const Datum* datum, int target,
+                                         const RowInterval& rows) {
+  state(datum).up_to_date[static_cast<std::size_t>(target)].add(rows);
+}
+
+void SegmentLocationMonitor::mark_written(const Datum* datum, int writer,
+                                          const RowInterval& rows) {
+  State& s = state(datum);
+  for (int l = 0; l < locations_; ++l) {
+    if (l != writer) {
+      s.up_to_date[static_cast<std::size_t>(l)].remove(rows);
+      s.last_output[static_cast<std::size_t>(l)].remove(rows);
+    }
+  }
+  s.up_to_date[static_cast<std::size_t>(writer)].add(rows);
+  s.last_output[static_cast<std::size_t>(writer)].add(rows);
+}
+
+const IntervalSet& SegmentLocationMonitor::up_to_date(const Datum* datum,
+                                                      int location) const {
+  return state(datum).up_to_date[static_cast<std::size_t>(location)];
+}
+
+const IntervalSet& SegmentLocationMonitor::last_output(const Datum* datum,
+                                                       int location) const {
+  return state(datum).last_output[static_cast<std::size_t>(location)];
+}
+
+void SegmentLocationMonitor::set_pending_aggregation(const Datum* datum,
+                                                     PendingAggregation agg) {
+  State& s = state(datum);
+  // Partial writes invalidate every replica of the datum.
+  for (auto& set : s.up_to_date) {
+    set.clear();
+  }
+  for (auto& set : s.last_output) {
+    set.clear();
+  }
+  s.pending = std::move(agg);
+  s.has_pending = true;
+}
+
+const SegmentLocationMonitor::PendingAggregation*
+SegmentLocationMonitor::pending_aggregation(const Datum* datum) const {
+  const State& s = state(datum);
+  return s.has_pending ? &s.pending : nullptr;
+}
+
+void SegmentLocationMonitor::clear_pending_aggregation(const Datum* datum) {
+  state(datum).has_pending = false;
+}
+
+} // namespace maps::multi

@@ -1,0 +1,91 @@
+// The Segment Location Monitor (§4.4, Algorithm 2 of the paper).
+//
+// Tracks, per datum, which rows are up to date at every location (the host
+// and each device slot), plus which rows each location last produced
+// (lastOutput). When the scheduler needs a segment on a device, the monitor
+// computes the minimal list of copy operations: nothing when the target is
+// already up to date; a single copy when one location holds everything;
+// otherwise interval intersections against every other device's holdings
+// (the paper's N-dimensional rectangle intersections, reduced to row
+// intervals — see interval_set.hpp). The upToDate list also caches unmodified
+// replicas so repeated reads cost no transfers.
+//
+// Reductive/unstructured outputs leave the datum "pending aggregation":
+// device copies are partial and must not serve as sources; Gather resolves
+// the state by aggregating to the host.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "multi/datum.hpp"
+#include "multi/interval_set.hpp"
+#include "multi/pattern_spec.hpp"
+
+namespace maps::multi {
+
+class SegmentLocationMonitor {
+public:
+  /// Location index convention: 0 = host, 1 + slot = device slot.
+  static constexpr int kHost = 0;
+  static int loc(int slot) { return slot + 1; }
+
+  explicit SegmentLocationMonitor(int slots);
+
+  /// First use of a datum: its bound host buffer is the authoritative copy.
+  void register_datum(const Datum* datum);
+  bool known(const Datum* datum) const;
+
+  struct CopyOp {
+    int src_location = kHost;
+    RowInterval rows;
+  };
+
+  /// Algorithm 2: plans the copies making `required` up to date at `target`.
+  /// Throws if some rows exist nowhere (reading uninitialized output data).
+  ///
+  /// `target_holds_slot`: when false, the rows are destined for a buffer
+  /// slot that does not correspond to their global position (a Wrap/Clamp
+  /// halo slot), so the target's own up-to-date holdings do not satisfy the
+  /// requirement — they may, however, serve as the copy's source (an
+  /// intra-device transfer when a wrapped boundary folds onto one device).
+  std::vector<CopyOp> plan_copies(const Datum* datum, int target,
+                                  const RowInterval& required,
+                                  bool target_holds_slot = true) const;
+
+  /// Marks rows as valid (unmodified replica) at a location after a copy.
+  void mark_copied(const Datum* datum, int target, const RowInterval& rows);
+  /// Marks rows as (re)written by `writer`: all other locations' replicas of
+  /// those rows become stale.
+  void mark_written(const Datum* datum, int writer, const RowInterval& rows);
+
+  const IntervalSet& up_to_date(const Datum* datum, int location) const;
+  const IntervalSet& last_output(const Datum* datum, int location) const;
+
+  // --- Aggregation state (Reductive / Unstructured outputs) ----------------
+  struct PendingAggregation {
+    AggregationKind kind = AggregationKind::None;
+    std::function<void(void*, const void*, std::size_t)> op;
+    std::vector<int> writer_slots; ///< Slots holding partial copies.
+  };
+  void set_pending_aggregation(const Datum* datum, PendingAggregation agg);
+  const PendingAggregation* pending_aggregation(const Datum* datum) const;
+  void clear_pending_aggregation(const Datum* datum);
+
+private:
+  struct State {
+    std::vector<IntervalSet> up_to_date;  // per location
+    std::vector<IntervalSet> last_output; // per location
+    PendingAggregation pending;
+    bool has_pending = false;
+  };
+  State& state(const Datum* datum);
+  const State& state(const Datum* datum) const;
+
+  int locations_;
+  std::map<const void*, State> states_;
+};
+
+} // namespace maps::multi

@@ -1,0 +1,25 @@
+// Umbrella header for the MAPS-Multi framework.
+//
+//   #include "multi/maps_multi.hpp"
+//
+// pulls in the full host-level API (Datum/Matrix/Vector/NDArray, the pattern
+// containers, Scheduler, unmodified-routine support) and the device-level
+// iteration macros, matching the paper's single-header usage style (the CUDA
+// MAPS framework is header-only, §1).
+#pragma once
+
+#include "maps/common.hpp"
+#include "maps/foreach.hpp"
+
+#include "multi/datum.hpp"
+#include "multi/input_patterns.hpp"
+#include "multi/output_patterns.hpp"
+#include "multi/routine.hpp"
+#include "multi/scheduler.hpp"
+
+/// API-parity macro with the paper's kernel signature helper (Fig 2b). The
+/// reproduction's kernels receive the thread context explicitly, so this is
+/// documentation-only.
+#define MAPS_MULTIDEF
+/// API-parity macro with the paper's per-kernel initialization (Fig 2b).
+#define MAPS_MULTI_INIT() ((void)0)

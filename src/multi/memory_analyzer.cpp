@@ -1,0 +1,101 @@
+#include "multi/memory_analyzer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace maps::multi {
+
+MemoryAnalyzer::MemoryAnalyzer(sim::Node& node, std::vector<int> devices)
+    : node_(node), devices_(std::move(devices)) {}
+
+MemoryAnalyzer::~MemoryAnalyzer() { release_all(); }
+
+void MemoryAnalyzer::record(const PatternSpec& spec, const SegmentReq& req,
+                            int slot) {
+  if (!req.active) {
+    return;
+  }
+  const Key key{spec.datum->key(), slot};
+  auto [it, inserted] = plans_.try_emplace(
+      key, Plan{req.origin, req.origin + static_cast<long>(req.local_rows),
+                0});
+  if (!inserted) {
+    // N-dimensional bounding box of stored + predicted requirements (§4.2);
+    // with row-band segmentation this is a 1-D interval hull.
+    it->second.origin = std::min(it->second.origin, req.origin);
+    it->second.end = std::max(it->second.end,
+                              req.origin + static_cast<long>(req.local_rows));
+  }
+  if (spec.agg == AggregationKind::MaskedMerge) {
+    // Unstructured Injective carries a per-element write mask after the
+    // payload (DESIGN.md).
+    it->second.extra_tail_bytes = std::max(
+        it->second.extra_tail_bytes,
+        spec.datum->rows() * spec.datum->row_elems());
+  }
+  datum_of_[key] = spec.datum;
+}
+
+const MemoryAnalyzer::Alloc& MemoryAnalyzer::ensure(const Datum* datum,
+                                                    int slot) {
+  const Key key{datum->key(), slot};
+  auto plan_it = plans_.find(key);
+  if (plan_it == plans_.end()) {
+    throw std::logic_error("MemoryAnalyzer::ensure: datum '" + datum->name() +
+                           "' was never analyzed for slot " +
+                           std::to_string(slot));
+  }
+  const Plan& plan = plan_it->second;
+  auto alloc_it = allocs_.find(key);
+  if (alloc_it != allocs_.end()) {
+    Alloc& a = alloc_it->second;
+    if (plan.origin < a.origin ||
+        plan.end > a.origin + static_cast<long>(a.rows)) {
+      throw std::runtime_error(
+          "MemoryAnalyzer: requirements for datum '" + datum->name() +
+          "' grew after allocation on slot " + std::to_string(slot) +
+          "; AnalyzeCall every task before the first Invoke (paper §4.2)");
+    }
+    return a;
+  }
+  Alloc a;
+  a.origin = plan.origin;
+  a.rows = plan.rows();
+  a.row_bytes = datum->row_bytes();
+  const std::size_t bytes = a.rows * a.row_bytes + plan.extra_tail_bytes;
+  a.buffer = node_.malloc_device(devices_.at(static_cast<std::size_t>(slot)),
+                                 bytes);
+  return allocs_.emplace(key, a).first->second;
+}
+
+const MemoryAnalyzer::Alloc* MemoryAnalyzer::find(const Datum* datum,
+                                                  int slot) const {
+  auto it = allocs_.find(Key{datum->key(), slot});
+  return it == allocs_.end() ? nullptr : &it->second;
+}
+
+const MemoryAnalyzer::Plan* MemoryAnalyzer::plan(const Datum* datum,
+                                                 int slot) const {
+  auto it = plans_.find(Key{datum->key(), slot});
+  return it == plans_.end() ? nullptr : &it->second;
+}
+
+std::size_t MemoryAnalyzer::allocated_bytes(int slot) const {
+  std::size_t total = 0;
+  for (const auto& [key, alloc] : allocs_) {
+    if (key.second == slot && alloc.buffer != nullptr) {
+      total += alloc.buffer->size();
+    }
+  }
+  return total;
+}
+
+void MemoryAnalyzer::release_all() {
+  for (auto& [key, alloc] : allocs_) {
+    node_.free_device(alloc.buffer);
+    alloc.buffer = nullptr;
+  }
+  allocs_.clear();
+}
+
+} // namespace maps::multi

@@ -1,0 +1,86 @@
+// The Memory Analyzer (§4.2 of the paper).
+//
+// Per-device buffers can be (a) whole-datum preallocations, (b) fragmented
+// runtime allocations, or (c) exact preallocations from the access-pattern
+// specification. MAPS-Multi — and this reproduction — implements (c): the
+// analyzer tracks, per (datum, device), the bounding box of every segment
+// requirement seen so far (AnalyzeCall), then materializes one contiguous
+// device buffer covering it.
+//
+// As in the paper, requirements discovered only after allocation are a
+// programmer error: if a later task needs a larger box than what was
+// allocated, ensure() throws with guidance to AnalyzeCall all tasks first
+// (§4.2: "a framework runtime error could occur when insufficient memory is
+// allocated").
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sim/node.hpp"
+
+#include "multi/datum.hpp"
+#include "multi/segmenter.hpp"
+
+namespace maps::multi {
+
+class MemoryAnalyzer {
+public:
+  /// `devices`: sim device id per scheduler slot.
+  MemoryAnalyzer(sim::Node& node, std::vector<int> devices);
+  ~MemoryAnalyzer();
+  MemoryAnalyzer(const MemoryAnalyzer&) = delete;
+  MemoryAnalyzer& operator=(const MemoryAnalyzer&) = delete;
+
+  /// Bounding box of all requirements recorded for (datum, slot), in virtual
+  /// global rows [origin, end).
+  struct Plan {
+    long origin = 0;
+    long end = 0;
+    std::size_t extra_tail_bytes = 0; ///< e.g. write masks (MaskedMerge)
+    std::size_t rows() const { return static_cast<std::size_t>(end - origin); }
+  };
+
+  /// Materialized device buffer for (datum, slot).
+  struct Alloc {
+    sim::Buffer* buffer = nullptr;
+    long origin = 0;
+    std::size_t rows = 0;
+    std::size_t row_bytes = 0;
+
+    /// Byte offset of a virtual global row inside the buffer.
+    std::size_t row_offset(long virtual_row) const {
+      return static_cast<std::size_t>(virtual_row - origin) * row_bytes;
+    }
+  };
+
+  /// Records one requirement (AnalyzeCall path; also called lazily from
+  /// Invoke for unanalyzed tasks).
+  void record(const PatternSpec& spec, const SegmentReq& req, int slot);
+
+  /// Returns the allocation for (datum, slot), materializing it on first
+  /// use. Throws if the recorded plan outgrew an existing allocation.
+  const Alloc& ensure(const Datum* datum, int slot);
+
+  /// Allocation lookup without materialization (nullptr if none).
+  const Alloc* find(const Datum* datum, int slot) const;
+  /// Plan lookup (nullptr if the datum was never analyzed for this slot).
+  const Plan* plan(const Datum* datum, int slot) const;
+
+  /// Total bytes currently allocated on a slot by the analyzer.
+  std::size_t allocated_bytes(int slot) const;
+
+  /// Releases all device buffers (also done by the destructor).
+  void release_all();
+
+private:
+  using Key = std::pair<const void*, int>;
+  sim::Node& node_;
+  std::vector<int> devices_;
+  std::map<Key, Plan> plans_;
+  std::map<Key, Alloc> allocs_;
+  std::map<Key, const Datum*> datum_of_; // for diagnostics & row_bytes
+};
+
+} // namespace maps::multi

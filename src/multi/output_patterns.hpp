@@ -1,0 +1,340 @@
+// Output memory access pattern containers (§3.2 of the paper).
+//
+// The five output classes — Structured Injective, Unstructured Injective,
+// Reductive Static, Reductive Dynamic and Irregular — classify all mappings
+// from threads to outputs. The Segmentation/AggregationKind each spec()
+// declares is what drives per-device allocation, exact-segment partitioning
+// (Structured Injective conserves memory, §3.2) and host-side aggregation on
+// Gather.
+//
+// Device-level aggregators (§4.5.2) are modeled in two places: functionally,
+// writes land in the device's private buffer and are combined on gather;
+// cost-wise, task_cost.cpp charges shared-memory atomics plus one coalesced
+// global commit per block instead of per-thread global atomics.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "multi/pattern_base.hpp"
+
+namespace maps::multi {
+
+// ---------------------------------------------------------------------------
+// Structured Injective
+// ---------------------------------------------------------------------------
+
+/// Each thread writes a fixed number of distinct output elements whose
+/// indices coincide with the work dimensions (e.g. matrix multiplication,
+/// Game of Life). Paper type: StructuredInjective<T, DIMS, ILPX, ILPY>.
+template <typename T, int Dims = 2, int ILPX = 1, int ILPY = 1>
+class StructuredInjective : public detail::PatternBase {
+public:
+  StructuredInjective() = default;
+  explicit StructuredInjective(Datum& d) : PatternBase(&d) {}
+
+  PatternSpec spec() const {
+    PatternSpec s;
+    s.kind = PatternKind::StructuredInjective;
+    s.is_input = false;
+    s.datum = datum_;
+    s.seg = Segmentation::PartitionAligned;
+    s.agg = AggregationKind::None;
+    s.ilp_x = ILPX;
+    s.ilp_y = ILPY;
+    return s;
+  }
+
+  struct SharedData {}; // API parity with the CUDA implementation
+  void init() {}
+  void init(SharedData&) {}
+
+  class iterator {
+  public:
+    iterator(const StructuredInjective* c, const maps::ThreadContext& tc)
+        : c_(c), cur_(tc) {}
+
+    T& operator*() const {
+      const DeviceView& v = c_->view();
+      const long ly = static_cast<long>(cur_.work_y()) - v.origin;
+      assert(ly >= 0 && static_cast<std::size_t>(ly) < v.rows);
+      return *reinterpret_cast<T*>(v.base + static_cast<std::size_t>(ly) *
+                                                v.pitch +
+                                   cur_.work_x() * sizeof(T));
+    }
+    unsigned work_x() const { return cur_.work_x(); }
+    unsigned work_y() const { return cur_.work_y(); }
+    /// Linear index in the global output datum.
+    std::size_t global_index() const {
+      return static_cast<std::size_t>(cur_.work_y()) * c_->view().row_elems +
+             cur_.work_x();
+    }
+    iterator& operator++() {
+      cur_.advance();
+      return *this;
+    }
+    bool operator!=(IterEnd) const { return !cur_.done(); }
+
+  private:
+    const StructuredInjective* c_;
+    detail::IlpCursor cur_;
+  };
+
+  iterator begin() const { return iterator(this, tc()); }
+  IterEnd end() const { return IterEnd{}; }
+
+  /// Device-level aggregator commit (§4.5.2): writes are flushed to global
+  /// memory per block. Functionally a no-op — the cost model charges it.
+  void commit() {}
+};
+
+// ---------------------------------------------------------------------------
+// Reductive (Static)
+// ---------------------------------------------------------------------------
+
+/// Many-to-one mapping with a predetermined number of outputs (histogram).
+/// Each device holds a private full copy; Gather sum-aggregates. Paper type:
+/// ReductiveStatic<T, BINS, ILP> (Fig 4).
+template <typename T, int Bins, int ILP = 1>
+class ReductiveStatic : public detail::PatternBase {
+public:
+  ReductiveStatic() = default;
+  explicit ReductiveStatic(Datum& d) : PatternBase(&d) {
+    if (d.rows() * d.row_elems() != static_cast<std::size_t>(Bins)) {
+      throw std::invalid_argument(
+          "ReductiveStatic: datum size does not match BINS");
+    }
+  }
+
+  PatternSpec spec() const {
+    PatternSpec s;
+    s.kind = PatternKind::ReductiveStatic;
+    s.is_input = false;
+    s.datum = datum_;
+    s.seg = Segmentation::DuplicateFull;
+    s.agg = AggregationKind::Sum;
+    s.ilp_x = ILP;
+    s.agg_op = [](void* acc, const void* part, std::size_t elems) {
+      T* a = static_cast<T*>(acc);
+      const T* p = static_cast<const T*>(part);
+      for (std::size_t i = 0; i < elems; ++i) {
+        a[i] += p[i];
+      }
+    };
+    return s;
+  }
+
+  struct SharedData {};
+  void init() {}
+  void init(SharedData&) {}
+
+  /// Handle for one work element; indexing selects the output bin, as in
+  /// `hist_iter[bin] += 1` (Fig 4 line 16). Accumulation goes to the
+  /// device-private copy — the simulated equivalent of the shared-memory
+  /// aggregator path.
+  class iterator {
+  public:
+    iterator(const ReductiveStatic* c, const maps::ThreadContext& tc)
+        : c_(c), cur_(tc) {}
+    T& operator[](std::size_t bin) const {
+      assert(bin < static_cast<std::size_t>(Bins));
+      return reinterpret_cast<T*>(c_->view().base)[bin];
+    }
+    unsigned work_x() const { return cur_.work_x(); }
+    unsigned work_y() const { return cur_.work_y(); }
+    iterator& operator++() {
+      cur_.advance();
+      return *this;
+    }
+    bool operator!=(IterEnd) const { return !cur_.done(); }
+
+  private:
+    const ReductiveStatic* c_;
+    detail::IlpCursor cur_;
+  };
+
+  iterator begin() const { return iterator(this, tc()); }
+  IterEnd end() const { return IterEnd{}; }
+  void commit() {}
+};
+
+/// Runtime-sized Reductive (Static) for unmodified routines: every device
+/// accumulates into a private, zero-initialized full copy of the datum;
+/// Gather sums the partials. This is how the deep-learning application's
+/// weight gradients behave under data parallelism (§6.1) — the per-device
+/// partial derivatives of the same parameters are aggregated during the
+/// network update phase.
+template <typename T> class SumReduced : public detail::PatternBase {
+public:
+  SumReduced() = default;
+  explicit SumReduced(Datum& d) : PatternBase(&d) {}
+
+  PatternSpec spec() const {
+    PatternSpec s;
+    s.kind = PatternKind::ReductiveStatic;
+    s.is_input = false;
+    s.datum = datum_;
+    s.seg = Segmentation::DuplicateFull;
+    s.agg = AggregationKind::Sum;
+    s.agg_op = [](void* acc, const void* part, std::size_t elems) {
+      T* a = static_cast<T*>(acc);
+      const T* p = static_cast<const T*>(part);
+      for (std::size_t i = 0; i < elems; ++i) {
+        a[i] += p[i];
+      }
+    };
+    return s;
+  }
+
+  struct SharedData {};
+  void init() {}
+  void init(SharedData&) {}
+  void commit() {}
+};
+
+// ---------------------------------------------------------------------------
+// Reductive (Dynamic)
+// ---------------------------------------------------------------------------
+
+/// Fewer outputs than threads, count determined at runtime (predicate-based
+/// filtering, §3.2). Each device appends locally; Gather concatenates the
+/// per-device results into the output datum in device order.
+template <typename T, int ILP = 1>
+class ReductiveDynamic : public detail::PatternBase {
+public:
+  ReductiveDynamic() = default;
+  explicit ReductiveDynamic(Vector<T>& d) : PatternBase(&d) {}
+
+  PatternSpec spec() const {
+    PatternSpec s;
+    s.kind = PatternKind::ReductiveDynamic;
+    s.is_input = false;
+    s.datum = datum_;
+    s.seg = Segmentation::DynamicAppend;
+    s.agg = AggregationKind::Append;
+    s.ilp_x = ILP;
+    return s;
+  }
+
+  struct SharedData {};
+  void init() {}
+  void init(SharedData&) {}
+
+  /// Framework hook: installs the per-device append counter for this launch.
+  void bind_append_counter(std::uint64_t* counter) { count_ = counter; }
+
+  /// Appends one result to this device's output segment.
+  void append(const T& value) const {
+    const DeviceView& v = view();
+    if (*count_ >= v.rows) {
+      throw std::runtime_error("ReductiveDynamic: device segment overflow");
+    }
+    reinterpret_cast<T*>(v.base)[(*count_)++] = value;
+  }
+
+  class iterator {
+  public:
+    explicit iterator(const maps::ThreadContext& tc) : cur_(tc) {}
+    unsigned work_x() const { return cur_.work_x(); }
+    unsigned work_y() const { return cur_.work_y(); }
+    iterator& operator++() {
+      cur_.advance();
+      return *this;
+    }
+    bool operator!=(IterEnd) const { return !cur_.done(); }
+
+  private:
+    detail::IlpCursor cur_;
+  };
+  iterator begin() const { return iterator(tc()); }
+  IterEnd end() const { return IterEnd{}; }
+  void commit() {}
+
+private:
+  std::uint64_t* count_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Unstructured Injective
+// ---------------------------------------------------------------------------
+
+/// Injective writes whose indices are uncorrelated with thread indices (FFT
+/// output, §3.2): every device duplicates the datum and records which
+/// elements it wrote; Gather merges the scattered results.
+template <typename T, int ILP = 1>
+class UnstructuredInjective : public detail::PatternBase {
+public:
+  UnstructuredInjective() = default;
+  explicit UnstructuredInjective(Datum& d) : PatternBase(&d) {}
+
+  PatternSpec spec() const {
+    PatternSpec s;
+    s.kind = PatternKind::UnstructuredInjective;
+    s.is_input = false;
+    s.datum = datum_;
+    s.seg = Segmentation::DuplicateFull;
+    s.agg = AggregationKind::MaskedMerge;
+    s.ilp_x = ILP;
+    return s;
+  }
+
+  struct SharedData {};
+  void init() {}
+  void init(SharedData&) {}
+
+  /// Writes one element anywhere in the global datum.
+  void write(std::size_t index, const T& value) const {
+    const DeviceView& v = view();
+    const std::size_t elems = v.datum_rows * v.row_elems;
+    assert(index < elems);
+    reinterpret_cast<T*>(v.base)[index] = value;
+    // Per-device write mask, stored after the payload (DESIGN.md §3).
+    v.base[elems * sizeof(T) + index] = std::byte{1};
+  }
+
+  class iterator {
+  public:
+    explicit iterator(const maps::ThreadContext& tc)
+        : cur_(tc), work_width_(tc.grid->work_width) {}
+    unsigned work_x() const { return cur_.work_x(); }
+    unsigned work_y() const { return cur_.work_y(); }
+    /// Linear index of the current work element in the task's work space.
+    std::size_t global_work_index() const {
+      return static_cast<std::size_t>(cur_.work_y()) * work_width_ +
+             cur_.work_x();
+    }
+    iterator& operator++() {
+      cur_.advance();
+      return *this;
+    }
+    bool operator!=(IterEnd) const { return !cur_.done(); }
+
+  private:
+    detail::IlpCursor cur_;
+    unsigned work_width_ = 0;
+  };
+  iterator begin() const { return iterator(tc()); }
+  IterEnd end() const { return IterEnd{}; }
+  void commit() {}
+};
+
+// ---------------------------------------------------------------------------
+// Irregular output
+// ---------------------------------------------------------------------------
+
+/// Unknown number of outputs per thread (ray tracing, §3.2). Mechanically an
+/// append pattern with full-capacity device segments.
+template <typename T>
+class IrregularOutput : public ReductiveDynamic<T, 1> {
+public:
+  IrregularOutput() = default;
+  explicit IrregularOutput(Vector<T>& d) : ReductiveDynamic<T, 1>(d) {}
+
+  PatternSpec spec() const {
+    PatternSpec s = ReductiveDynamic<T, 1>::spec();
+    s.kind = PatternKind::IrregularOutput;
+    return s;
+  }
+};
+
+} // namespace maps::multi

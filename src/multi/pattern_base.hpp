@@ -1,0 +1,80 @@
+// Shared plumbing for the dual-facet pattern containers.
+//
+// Every MAPS-Multi container template plays two roles, exactly as in the
+// paper's code samples (Fig 2): on the host it wraps a Datum and describes
+// its access pattern (the `Win2D(A)` argument objects); on the device it is
+// the index-free, thread-level interface the kernel body uses. The framework
+// fills the device facet (bind) and advances the per-thread context
+// (set_thread) while sweeping the virtual grid.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+#include "maps/common.hpp"
+#include "multi/pattern_spec.hpp"
+
+namespace maps::multi {
+
+namespace detail {
+
+class PatternBase {
+public:
+  /// Framework hook: installs this device's buffer geometry.
+  void bind(const DeviceView& view) { view_ = view; }
+  /// Framework hook: installs the current thread's context.
+  void set_thread(const maps::ThreadContext* tc) { tc_ = tc; }
+
+  const DeviceView& view() const { return view_; }
+  const maps::ThreadContext& tc() const {
+    assert(tc_ != nullptr);
+    return *tc_;
+  }
+  Datum* datum() const { return datum_; }
+
+protected:
+  explicit PatternBase(Datum* datum = nullptr) : datum_(datum) {}
+  Datum* datum_ = nullptr;
+  DeviceView view_{};
+  const maps::ThreadContext* tc_ = nullptr;
+};
+
+/// Enumerates the ILP elements assigned to the current thread in work space,
+/// skipping coordinates outside the task's work dimensions (edge blocks).
+/// The ILP extents come from the GridContext at run time: the planner
+/// normalizes the output container's template parameters onto the grid
+/// (e.g. folding ILP into the partition dimension for 1-D work).
+class IlpCursor {
+public:
+  explicit IlpCursor(const maps::ThreadContext& tc)
+      : x0_(tc.work_x0()), y0_(tc.work_y0()), w_(tc.grid->work_width),
+        h_(tc.grid->work_height), ilp_x_(tc.grid->ilp_x),
+        count_(tc.grid->ilp_x * tc.grid->ilp_y), i_(0) {
+    skip_out_of_range();
+  }
+
+  unsigned work_x() const { return x0_ + i_ % ilp_x_; }
+  unsigned work_y() const { return y0_ + i_ / ilp_x_; }
+  bool done() const { return i_ >= count_; }
+
+  void advance() {
+    ++i_;
+    skip_out_of_range();
+  }
+
+private:
+  void skip_out_of_range() {
+    while (i_ < count_ && (work_x() >= w_ || work_y() >= h_)) {
+      ++i_;
+    }
+  }
+  unsigned x0_ = 0, y0_ = 0, w_ = 0, h_ = 0;
+  unsigned ilp_x_ = 1, count_ = 1, i_ = 1;
+};
+
+} // namespace detail
+
+/// End-of-iteration sentinel shared by all container iterators.
+struct IterEnd {};
+
+} // namespace maps::multi

@@ -1,0 +1,937 @@
+#include "multi/scheduler.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+namespace maps::multi {
+
+namespace {
+constexpr maps::Dim3 kBlock2D{32, 8, 1};
+constexpr maps::Dim3 kBlock1D{1, 128, 1};
+} // namespace
+
+Scheduler::Scheduler(sim::Node& node, std::vector<int> devices)
+    : node_(node),
+      devices_(devices.empty() ? [&] {
+        std::vector<int> all(static_cast<std::size_t>(node.device_count()));
+        std::iota(all.begin(), all.end(), 0);
+        return all;
+      }() : std::move(devices)),
+      analyzer_(node_, devices_),
+      monitor_(static_cast<int>(devices_.size())) {
+  for (std::size_t s = 0; s < devices_.size(); ++s) {
+    compute_streams_.push_back(node_.create_stream(devices_[s]));
+    copy_streams_.push_back(node_.create_stream(devices_[s]));
+    copy_streams2_.push_back(node_.create_stream(devices_[s]));
+    invokers_.push_back(std::make_unique<InvokerThread>(static_cast<int>(s)));
+  }
+}
+
+Scheduler::~Scheduler() {
+  // Drain invokers before the analyzer frees device buffers referenced by
+  // still-enqueued jobs.
+  for (auto& inv : invokers_) {
+    try {
+      inv->flush();
+    } catch (...) {
+      // Destructor: swallow job errors that were never collected.
+    }
+  }
+}
+
+void Scheduler::set_task_overhead_us(double task_us, double per_device_us) {
+  task_overhead_us_ = task_us;
+  per_device_overhead_us_ = per_device_us;
+}
+
+std::uint64_t* Scheduler::append_counter(const Datum* datum, int slot) {
+  auto& vec = append_counts_[datum->key()];
+  if (!vec) {
+    vec = std::make_shared<std::vector<std::uint64_t>>(devices_.size(), 0);
+  }
+  return &(*vec)[static_cast<std::size_t>(slot)];
+}
+
+TaskPartition
+Scheduler::derive_partition(const std::vector<PatternSpec>& specs,
+                            const Work* work, int slots_eff) const {
+  if (work != nullptr) {
+    return make_partition(work->rows, work->cols, maps::Dim3{1, 1, 1}, 1, 1,
+                          slots_eff);
+  }
+  // Work dimensions come from the first Structured Injective output; when a
+  // task has none (e.g. histogram), from the first Window input (Fig 4).
+  const PatternSpec* dims_src = nullptr;
+  for (const auto& s : specs) {
+    if (s.kind == PatternKind::StructuredInjective) {
+      dims_src = &s;
+      break;
+    }
+  }
+  if (dims_src == nullptr) {
+    for (const auto& s : specs) {
+      if (s.is_input && s.kind == PatternKind::Window) {
+        dims_src = &s;
+        break;
+      }
+    }
+  }
+  if (dims_src == nullptr) {
+    for (const auto& s : specs) {
+      if (s.seg == Segmentation::PartitionAligned) {
+        dims_src = &s;
+        break;
+      }
+    }
+  }
+  if (dims_src == nullptr && !specs.empty()) {
+    dims_src = &specs.front();
+  }
+  if (dims_src == nullptr) {
+    throw std::invalid_argument("Invoke: task has no pattern arguments");
+  }
+  const std::size_t rows = dims_src->datum->rows();
+  const std::size_t cols = dims_src->datum->row_elems();
+
+  // ILP configuration comes from the output containers (§4.5.1).
+  unsigned ilp_x = 1, ilp_y = 1;
+  for (const auto& s : specs) {
+    if (!s.is_input) {
+      ilp_x = static_cast<unsigned>(s.ilp_x);
+      ilp_y = static_cast<unsigned>(s.ilp_y);
+      break;
+    }
+  }
+  if (cols == 1) {
+    // 1-D work: fold all ILP into the partition dimension.
+    ilp_y = std::max(1u, ilp_x * ilp_y);
+    ilp_x = 1;
+    return make_partition(rows, cols, kBlock1D, ilp_x, ilp_y, slots_eff);
+  }
+  return make_partition(rows, cols, kBlock2D, ilp_x, ilp_y, slots_eff);
+}
+
+void Scheduler::analyze_task(std::vector<PatternSpec> specs,
+                             const Work* work) {
+  bool single = work != nullptr && work->single_device;
+  for (const auto& s : specs) {
+    monitor_.register_datum(s.datum);
+    single = single || s.seg == Segmentation::SingleDevice;
+  }
+  const int slots_eff = single ? 1 : slots();
+  TaskPartition partition = derive_partition(specs, work, slots_eff);
+  for (int slot = 0; slot < slots_eff; ++slot) {
+    for (const auto& s : specs) {
+      analyzer_.record(s, compute_requirement(s, partition, slot), slot);
+    }
+  }
+}
+
+void Scheduler::plan_copies_for(TaskPlan& plan, int slot, int pattern_index,
+                                const SegmentReq& req,
+                                const MemoryAnalyzer::Alloc& alloc) {
+  const PatternSpec& spec = plan.specs[static_cast<std::size_t>(pattern_index)];
+  Datum* datum = spec.datum;
+  DevicePlan& dp = plan.devices[static_cast<std::size_t>(slot)];
+  const int dst_loc = SegmentLocationMonitor::loc(slot);
+
+  for (const CopyRegion& region : req.input_regions) {
+    if (region.zero_fill) {
+      PlannedCopy c;
+      c.pattern_index = pattern_index;
+      c.zero_fill = true;
+      c.whole_buffer = req.whole;
+      c.dst_buffer = alloc.buffer;
+      if (c.whole_buffer) {
+        c.dst_offset = 0;
+        c.bytes = alloc.buffer->size();
+      } else {
+        c.dst_offset = static_cast<std::size_t>(
+                           region.local_row + (req.origin - alloc.origin)) *
+                       alloc.row_bytes;
+        c.bytes = alloc.row_bytes;
+      }
+      const RowInterval dst_local{
+          c.whole_buffer ? 0
+                         : static_cast<std::size_t>(region.local_row +
+                                                    (req.origin - alloc.origin)),
+          c.whole_buffer ? alloc.rows
+                         : static_cast<std::size_t>(region.local_row +
+                                                    (req.origin - alloc.origin)) +
+                               1};
+      auto& dst_access = access_[{datum->key(), dst_loc}];
+      dst_access.collect(dst_local, c.waits);
+      c.done = node_.create_event();
+      dst_access.write(dst_local, EventRef{c.done, true});
+      dp.copies.push_back(std::move(c));
+      continue;
+    }
+
+    // Whether this region lands at its global position (core / interior
+    // halo) or in a Wrap/Clamp slot that must be refilled every task.
+    const bool aligned = region.local_row + req.origin ==
+                         static_cast<long>(region.global.begin);
+
+    // The region's rows are served per Algorithm 2.
+    for (const auto& op :
+         monitor_.plan_copies(datum, dst_loc, region.global, aligned)) {
+      PlannedCopy c;
+      c.pattern_index = pattern_index;
+      c.src_location = op.src_location;
+      c.rows = op.rows;
+      c.dst_buffer = alloc.buffer;
+      const long local = region.local_row +
+                         static_cast<long>(op.rows.begin - region.global.begin) +
+                         (req.origin - alloc.origin);
+      c.dst_offset = static_cast<std::size_t>(local) * alloc.row_bytes;
+      c.bytes = op.rows.size() * alloc.row_bytes;
+      if (op.src_location == SegmentLocationMonitor::kHost) {
+        if (!datum->bound()) {
+          throw std::runtime_error("datum '" + datum->name() +
+                                   "' must be bound to a host buffer before "
+                                   "it is used as input");
+        }
+        c.src_host = datum->host_row(op.rows.begin);
+      } else {
+        const int src_slot = op.src_location - 1;
+        const auto* src_alloc = analyzer_.find(datum, src_slot);
+        if (src_alloc == nullptr) {
+          throw std::logic_error("location monitor references an allocation "
+                                 "that does not exist");
+        }
+        c.src_buffer = src_alloc->buffer;
+        c.src_offset = src_alloc->row_offset(
+            static_cast<long>(op.rows.begin));
+      }
+      // Producer availability of exactly the copied rows at the source
+      // (GLOBAL rows), plus WAR against prior readers/writers of the
+      // destination slot (LOCAL rows).
+      avail_[{datum->key(), op.src_location}].collect(op.rows, c.waits);
+      const RowInterval dst_local{
+          static_cast<std::size_t>(local),
+          static_cast<std::size_t>(local) + op.rows.size()};
+      auto& dst_access = access_[{datum->key(), dst_loc}];
+      dst_access.collect(dst_local, c.waits);
+      c.done = node_.create_event();
+      dst_access.write(dst_local, EventRef{c.done, true});
+      // Register the read on the source (LOCAL rows there).
+      RowInterval src_local = op.rows; // host: local == global
+      if (op.src_location != SegmentLocationMonitor::kHost) {
+        const auto* src_alloc =
+            analyzer_.find(datum, op.src_location - 1);
+        src_local = RowInterval{
+            static_cast<std::size_t>(static_cast<long>(op.rows.begin) -
+                                     src_alloc->origin),
+            static_cast<std::size_t>(static_cast<long>(op.rows.end) -
+                                     src_alloc->origin)};
+      }
+      access_[{datum->key(), op.src_location}].add_reader(
+          src_local, EventRef{c.done, true});
+      // Only rows whose virtual position equals their global position can
+      // later serve as copy sources (wrapped/clamped halo slots cannot),
+      // and only then does the replica register as available data that
+      // later tasks may chain on.
+      if (aligned) {
+        monitor_.mark_copied(datum, dst_loc, op.rows);
+        avail_[{datum->key(), dst_loc}].update(op.rows, EventRef{c.done, true});
+      }
+      dp.copies.push_back(std::move(c));
+    }
+  }
+}
+
+std::shared_ptr<Scheduler::TaskPlan>
+Scheduler::plan_task(std::vector<PatternSpec> specs, const Work* work,
+                     const CostHints& hints, const char* label) {
+  auto plan = std::make_shared<TaskPlan>();
+  plan->handle = next_task_++;
+  plan->specs = std::move(specs);
+
+  bool single = work != nullptr && work->single_device;
+  for (const auto& s : plan->specs) {
+    monitor_.register_datum(s.datum);
+    single = single || s.seg == Segmentation::SingleDevice;
+  }
+  const int slots_eff = single ? 1 : slots();
+  plan->partition = derive_partition(plan->specs, work, slots_eff);
+  plan->devices.resize(devices_.size());
+
+  // Record requirements first (lazy AnalyzeCall) so allocations cover this
+  // task even if the programmer skipped the explicit call.
+  std::vector<std::vector<SegmentReq>> reqs(
+      static_cast<std::size_t>(slots_eff));
+  for (int slot = 0; slot < slots_eff; ++slot) {
+    for (const auto& s : plan->specs) {
+      reqs[static_cast<std::size_t>(slot)].push_back(
+          compute_requirement(s, plan->partition, slot));
+      analyzer_.record(s, reqs[static_cast<std::size_t>(slot)].back(), slot);
+    }
+  }
+
+  for (int slot = 0; slot < slots_eff; ++slot) {
+    DevicePlan& dp = plan->devices[static_cast<std::size_t>(slot)];
+    const auto& slot_reqs = reqs[static_cast<std::size_t>(slot)];
+    dp.active = std::any_of(slot_reqs.begin(), slot_reqs.end(),
+                            [](const SegmentReq& r) { return r.active; });
+    if (!dp.active) {
+      continue;
+    }
+    ++plan->active_slots;
+
+    // Grid context: the multiple-device abstraction (§4, Fig 1b).
+    dp.grid.grid_dim = maps::Dim3{
+        static_cast<unsigned>(plan->partition.blocks_x),
+        static_cast<unsigned>(plan->partition.blocks_y), 1};
+    dp.grid.block_dim = plan->partition.block_dim;
+    dp.grid.block_row_offset = static_cast<unsigned>(
+        plan->partition.block_rows[static_cast<std::size_t>(slot)].begin);
+    dp.grid.block_rows = static_cast<unsigned>(
+        plan->partition.block_rows[static_cast<std::size_t>(slot)].size());
+    dp.grid.device = slot;
+    dp.grid.device_count = slots_eff;
+    dp.grid.work_width = static_cast<unsigned>(plan->partition.work_cols);
+    dp.grid.work_height = static_cast<unsigned>(plan->partition.work_rows);
+    dp.grid.ilp_x = plan->partition.ilp_x;
+    dp.grid.ilp_y = plan->partition.ilp_y;
+
+    // Allocations, views, transfers.
+    for (std::size_t i = 0; i < plan->specs.size(); ++i) {
+      const PatternSpec& s = plan->specs[i];
+      const SegmentReq& req = slot_reqs[i];
+      if (!req.active) {
+        dp.views.emplace_back();
+        dp.params.emplace_back();
+        dp.segments.emplace_back();
+        continue;
+      }
+      const auto& alloc = analyzer_.ensure(s.datum, slot);
+
+      DeviceView view;
+      view.base = alloc.buffer->data();
+      view.pitch = alloc.row_bytes;
+      view.origin = alloc.origin;
+      view.rows = alloc.rows;
+      view.row_elems = s.datum->row_elems();
+      view.datum_rows = s.datum->rows();
+      view.core_begin = req.core.begin;
+      view.core_end = req.core.end;
+      dp.views.push_back(view);
+
+      RoutineParam param;
+      param.buffer = alloc.buffer;
+      param.byte_offset = alloc.row_offset(static_cast<long>(req.core.begin));
+      param.view = view;
+      dp.params.push_back(param);
+
+      Segment seg;
+      seg.global_row_begin = req.core.begin;
+      seg.global_row_end = req.core.end;
+      seg.m_dimensions = s.datum->dims();
+      seg.m_dimensions[0] = req.core.size();
+      dp.segments.push_back(std::move(seg));
+
+      plan_copies_for(*plan, slot, static_cast<int>(i), req, alloc);
+
+      if (!s.is_input) {
+        // WAR/WAW: the kernel overwrites these local rows.
+        const RowInterval core_local{
+            static_cast<std::size_t>(static_cast<long>(req.core.begin) -
+                                     alloc.origin),
+            static_cast<std::size_t>(static_cast<long>(req.core.end) -
+                                     alloc.origin)};
+        access_[{s.datum->key(), SegmentLocationMonitor::loc(slot)}].collect(
+            core_local, dp.kernel_waits);
+      }
+    }
+
+    // Kernel dependencies: every one of this task's incoming copies/fills
+    // on this device, plus — for outputs — every previous reader/writer of
+    // the written rows (WAR/WAW; collected in the pattern loop above).
+    // Input data produced by earlier kernels on this device is ordered by
+    // the compute stream itself, and earlier tasks' incoming copies are
+    // covered transitively (their kernels waited on them).
+    for (const PlannedCopy& c : dp.copies) {
+      if (std::find(dp.kernel_waits.begin(), dp.kernel_waits.end(), c.done) ==
+          dp.kernel_waits.end()) {
+        dp.kernel_waits.push_back(c.done);
+      }
+    }
+    dp.kernel_done = node_.create_event();
+
+    dp.stats = task_launch_stats(plan->specs, plan->partition, slot, hints,
+                                 label);
+  }
+
+  // Post-kernel location state (the actual commands are enqueued by the
+  // invoker threads; the monitor reflects the state after the task).
+  for (int slot = 0; slot < slots_eff; ++slot) {
+    DevicePlan& dp = plan->devices[static_cast<std::size_t>(slot)];
+    if (!dp.active) {
+      continue;
+    }
+    const int loc = SegmentLocationMonitor::loc(slot);
+    for (std::size_t i = 0; i < plan->specs.size(); ++i) {
+      const PatternSpec& s = plan->specs[i];
+      const SegmentReq& req = reqs[static_cast<std::size_t>(slot)][i];
+      if (!req.active) {
+        continue;
+      }
+      const auto* alloc = analyzer_.find(s.datum, slot);
+      auto& acc = access_[{s.datum->key(), loc}];
+      if (s.is_input) {
+        // The kernel read the whole local buffer (core + halos).
+        acc.add_reader(RowInterval{0, alloc->rows},
+                       EventRef{dp.kernel_done, true});
+      } else {
+        // Private (duplicated) partials span the whole datum; aligned
+        // outputs produce exactly their core rows.
+        const RowInterval produced =
+            req.private_copy ? RowInterval{0, s.datum->rows()} : req.core;
+        avail_[{s.datum->key(), loc}].update(produced,
+                                             EventRef{dp.kernel_done, true});
+        const RowInterval core_local{
+            static_cast<std::size_t>(static_cast<long>(req.core.begin) -
+                                     alloc->origin),
+            static_cast<std::size_t>(static_cast<long>(req.core.end) -
+                                     alloc->origin)};
+        acc.write(core_local, EventRef{dp.kernel_done, true});
+        if (!req.private_copy) {
+          monitor_.mark_written(s.datum, loc, req.core);
+        }
+      }
+    }
+  }
+
+  // Reductive / unstructured outputs: register the pending aggregation and
+  // reset the per-device append counters.
+  for (const auto& s : plan->specs) {
+    if (s.is_input || s.agg == AggregationKind::None) {
+      continue;
+    }
+    SegmentLocationMonitor::PendingAggregation agg;
+    agg.kind = s.agg;
+    agg.op = s.agg_op;
+    for (int slot = 0; slot < slots_eff; ++slot) {
+      if (plan->devices[static_cast<std::size_t>(slot)].active) {
+        agg.writer_slots.push_back(slot);
+      }
+    }
+    monitor_.set_pending_aggregation(s.datum, std::move(agg));
+    if (s.agg == AggregationKind::Append) {
+      auto& counts = append_counts_[s.datum->key()];
+      if (!counts) {
+        counts =
+            std::make_shared<std::vector<std::uint64_t>>(devices_.size(), 0);
+      }
+      std::fill(counts->begin(), counts->end(), 0);
+    }
+  }
+
+  return plan;
+}
+
+void Scheduler::enqueue_device_commands(
+    std::shared_ptr<TaskPlan> plan, int slot, std::function<void()> body,
+    UnmodifiedRoutine routine, void* context,
+    std::shared_ptr<std::vector<std::vector<std::byte>>> consts) {
+  const DevicePlan& dp = plan->devices[static_cast<std::size_t>(slot)];
+  const sim::StreamId copy_stream = copy_streams_[static_cast<std::size_t>(slot)];
+  const sim::StreamId compute_stream =
+      compute_streams_[static_cast<std::size_t>(slot)];
+
+  // Copies alternate between the device's two copy streams so independent
+  // transfers exploit both copy engines (§2: "multiple memory copy engines
+  // that allow simultaneous two-way memory transfer").
+  int rr = 0;
+  for (const PlannedCopy& c : dp.copies) {
+    const sim::StreamId cs =
+        (rr++ % 2 == 0) ? copy_stream
+                        : copy_streams2_[static_cast<std::size_t>(slot)];
+    for (sim::EventId w : c.waits) {
+      node_.wait_event_generation(cs, w, 1);
+    }
+    if (c.zero_fill) {
+      node_.memset_device(cs, c.dst_buffer, c.dst_offset, 0, c.bytes);
+    } else if (c.src_host != nullptr) {
+      node_.memcpy_h2d(cs, c.dst_buffer, c.dst_offset, c.src_host, c.bytes);
+    } else if (force_host_staged_ &&
+               c.src_buffer->device() != c.dst_buffer->device()) {
+      node_.memcpy_p2p_host_staged(cs, c.dst_buffer, c.dst_offset,
+                                   c.src_buffer, c.src_offset, c.bytes);
+    } else {
+      node_.memcpy_p2p(cs, c.dst_buffer, c.dst_offset, c.src_buffer,
+                       c.src_offset, c.bytes);
+    }
+    node_.record_event(c.done, cs);
+  }
+
+  for (sim::EventId ev : dp.kernel_waits) {
+    node_.wait_event_generation(compute_stream, ev, 1);
+  }
+  if (routine) {
+    RoutineArgs args;
+    args.node = &node_;
+    args.device_idx = slot;
+    args.sim_device = devices_[static_cast<std::size_t>(slot)];
+    args.stream = compute_stream;
+    args.context = context;
+    args.parameters = dp.params;
+    args.container_segments = dp.segments;
+    args.constants = *consts;
+    if (!routine(args)) {
+      throw std::runtime_error("unmodified routine reported failure");
+    }
+  } else {
+    node_.launch(compute_stream, dp.stats, std::move(body));
+  }
+  node_.record_event(dp.kernel_done, compute_stream);
+}
+
+TaskHandle Scheduler::dispatch_kernel(std::shared_ptr<TaskPlan> plan,
+                                      const BodyFactory& factory) {
+  node_.advance_host_us(task_overhead_us_ +
+                        per_device_overhead_us_ * plan->active_slots);
+  const double issue_s = node_.host_now_s();
+  for (int slot = 0; slot < slots(); ++slot) {
+    const DevicePlan& dp = plan->devices[static_cast<std::size_t>(slot)];
+    if (!dp.active) {
+      continue;
+    }
+    auto body = factory(slot, dp.grid, dp.views);
+    invokers_[static_cast<std::size_t>(slot)]->submit(
+        [this, plan, slot, issue_s, body = std::move(body)]() mutable {
+          sim::Node::ScopedIssueFloor floor(node_, issue_s);
+          enqueue_device_commands(plan, slot, std::move(body), nullptr,
+                                  nullptr, nullptr);
+        });
+  }
+  return plan->handle;
+}
+
+TaskHandle Scheduler::dispatch_routine(std::shared_ptr<TaskPlan> plan,
+                                       UnmodifiedRoutine routine,
+                                       void* context,
+                                       std::vector<std::vector<std::byte>>
+                                           consts) {
+  node_.advance_host_us(task_overhead_us_ +
+                        per_device_overhead_us_ * plan->active_slots);
+  auto shared_consts = std::make_shared<std::vector<std::vector<std::byte>>>(
+      std::move(consts));
+  const double issue_s = node_.host_now_s();
+  for (int slot = 0; slot < slots(); ++slot) {
+    if (!plan->devices[static_cast<std::size_t>(slot)].active) {
+      continue;
+    }
+    invokers_[static_cast<std::size_t>(slot)]->submit(
+        [this, plan, slot, issue_s, routine, context, shared_consts] {
+          sim::Node::ScopedIssueFloor floor(node_, issue_s);
+          enqueue_device_commands(plan, slot, nullptr, routine, context,
+                                  shared_consts);
+        });
+  }
+  return plan->handle;
+}
+
+void Scheduler::GatherAsync(Datum& datum) {
+  if (!datum.bound()) {
+    throw std::runtime_error("Gather: datum '" + datum.name() +
+                             "' is not bound to a host buffer");
+  }
+  if (!monitor_.known(&datum)) {
+    monitor_.register_datum(&datum);
+    return; // never touched by a task: host copy is authoritative
+  }
+  node_.advance_host_us(task_overhead_us_);
+
+  const auto* pending = monitor_.pending_aggregation(&datum);
+  std::vector<sim::EventId> ready_events;
+
+  if (pending != nullptr) {
+    // §3.2: duplicated outputs are gathered from every device and
+    // post-processed on the host.
+    struct Staged {
+      int slot;
+      std::shared_ptr<std::vector<std::byte>> bytes;
+      std::size_t rows;
+    };
+    auto staged = std::make_shared<std::vector<Staged>>();
+    for (int slot : pending->writer_slots) {
+      const auto* alloc = analyzer_.find(&datum, slot);
+      if (alloc == nullptr) {
+        continue;
+      }
+      auto host_bytes =
+          std::make_shared<std::vector<std::byte>>(alloc->buffer->size());
+      staged->push_back(Staged{slot, host_bytes, alloc->rows});
+      const sim::EventId ev = node_.create_event();
+      ready_events.push_back(ev);
+      const sim::StreamId stream =
+          copy_streams_[static_cast<std::size_t>(slot)];
+      std::vector<sim::EventId> producers;
+      avail_[{datum.key(), SegmentLocationMonitor::loc(slot)}].collect(
+          RowInterval{0, datum.rows()}, producers);
+      access_[{datum.key(), SegmentLocationMonitor::loc(slot)}].add_reader(
+          RowInterval{0, alloc->rows}, EventRef{ev, true});
+      sim::Buffer* buffer = alloc->buffer;
+      const double issue_s = node_.host_now_s();
+      invokers_[static_cast<std::size_t>(slot)]->submit(
+          [this, stream, producers, buffer, host_bytes, ev, issue_s] {
+            sim::Node::ScopedIssueFloor floor(node_, issue_s);
+            for (sim::EventId w : producers) {
+              node_.wait_event_generation(stream, w, 1);
+            }
+            node_.memcpy_d2h(stream, host_bytes->data(), buffer, 0,
+                             buffer->size());
+            node_.record_event(ev, stream);
+          });
+    }
+
+    const sim::EventId host_ready = node_.create_event();
+    // Host-side aggregation cost scales with the staged volume (~25 GB/s:
+    // a multi-threaded combine over resident pages).
+    double staged_bytes = 0;
+    for (const auto& st : *staged) {
+      staged_bytes += static_cast<double>(st.bytes->size());
+    }
+    const double agg_cost_us = 10.0 + staged_bytes * 0.04e-3;
+    const AggregationKind kind = pending->kind;
+    auto op = pending->op;
+    auto counts_it = append_counts_.find(datum.key());
+    auto counts = counts_it == append_counts_.end()
+                      ? nullptr
+                      : counts_it->second;
+    auto& gathered = gathered_counts_[datum.key()];
+    if (!gathered) {
+      gathered = std::make_shared<std::size_t>(0);
+    }
+    auto gathered_out = gathered;
+    Datum* dptr = &datum;
+    const sim::StreamId agg_stream = copy_streams_[0];
+    const double agg_issue_s = node_.host_now_s();
+    invokers_[0]->submit([this, agg_stream, ready_events, staged, kind, op,
+                          counts, gathered_out, dptr, host_ready, agg_cost_us,
+                          agg_issue_s] {
+      sim::Node::ScopedIssueFloor floor(node_, agg_issue_s);
+      for (sim::EventId ev : ready_events) {
+        node_.wait_event_generation(agg_stream, ev, 1);
+      }
+      node_.host_func(
+          agg_stream,
+          [staged, kind, op, counts, gathered_out, dptr] {
+            const std::size_t row_bytes = dptr->row_bytes();
+            const std::size_t elems = dptr->rows() * dptr->row_elems();
+            const std::size_t esize = dptr->elem_size();
+            std::byte* host = static_cast<std::byte*>(dptr->host_raw());
+            switch (kind) {
+            case AggregationKind::Sum: {
+              bool first = true;
+              for (const auto& st : *staged) {
+                if (first) {
+                  std::memcpy(host, st.bytes->data(), elems * esize);
+                  first = false;
+                } else {
+                  op(host, st.bytes->data(), elems);
+                }
+              }
+              break;
+            }
+            case AggregationKind::Append: {
+              std::size_t total = 0;
+              for (const auto& st : *staged) {
+                const std::size_t n =
+                    counts ? (*counts)[static_cast<std::size_t>(st.slot)] : 0;
+                std::memcpy(host + total * row_bytes, st.bytes->data(),
+                            n * row_bytes);
+                total += n;
+              }
+              *gathered_out = total;
+              break;
+            }
+            case AggregationKind::MaskedMerge: {
+              for (const auto& st : *staged) {
+                const std::byte* payload = st.bytes->data();
+                const std::byte* mask = payload + elems * esize;
+                for (std::size_t i = 0; i < elems; ++i) {
+                  if (mask[i] != std::byte{0}) {
+                    std::memcpy(host + i * esize, payload + i * esize, esize);
+                  }
+                }
+              }
+              break;
+            }
+            case AggregationKind::None:
+              break;
+            }
+          },
+          agg_cost_us);
+      node_.record_event(host_ready, agg_stream);
+    });
+    avail_[{datum.key(), SegmentLocationMonitor::kHost}].update(
+        RowInterval{0, datum.rows()}, EventRef{host_ready, true});
+    monitor_.clear_pending_aggregation(&datum);
+    monitor_.mark_copied(&datum, SegmentLocationMonitor::kHost,
+                         RowInterval{0, datum.rows()});
+    // Device partials are stale now.
+    for (int slot = 0; slot < slots(); ++slot) {
+      // (up_to_date for devices was already cleared when the partial write
+      // was registered.)
+      (void)slot;
+    }
+    return;
+  }
+
+  // Structured outputs: Algorithm 2 with the host as the target.
+  const auto ops = monitor_.plan_copies(&datum, SegmentLocationMonitor::kHost,
+                                        RowInterval{0, datum.rows()});
+  if (ops.empty()) {
+    return;
+  }
+  for (const auto& op : ops) {
+    if (op.src_location == SegmentLocationMonitor::kHost) {
+      continue;
+    }
+    const int slot = op.src_location - 1;
+    const auto* alloc = analyzer_.find(&datum, slot);
+    if (alloc == nullptr) {
+      throw std::logic_error("gather: missing allocation");
+    }
+    const sim::EventId ev = node_.create_event();
+    ready_events.push_back(ev);
+    const sim::StreamId stream = copy_streams_[static_cast<std::size_t>(slot)];
+    std::vector<sim::EventId> producers;
+    avail_[{datum.key(), op.src_location}].collect(op.rows, producers);
+    // The d2h both reads the device rows and overwrites the host rows.
+    const RowInterval src_local{
+        static_cast<std::size_t>(static_cast<long>(op.rows.begin) -
+                                 alloc->origin),
+        static_cast<std::size_t>(static_cast<long>(op.rows.end) -
+                                 alloc->origin)};
+    access_[{datum.key(), op.src_location}].add_reader(src_local,
+                                                       EventRef{ev, true});
+    auto& host_access = access_[{datum.key(), SegmentLocationMonitor::kHost}];
+    host_access.collect(op.rows, producers);
+    host_access.write(op.rows, EventRef{ev, true});
+    sim::Buffer* buffer = alloc->buffer;
+    const std::size_t src_off =
+        alloc->row_offset(static_cast<long>(op.rows.begin));
+    std::byte* dst = datum.host_row(op.rows.begin);
+    const std::size_t bytes = op.rows.size() * alloc->row_bytes;
+    const double issue_s = node_.host_now_s();
+    invokers_[static_cast<std::size_t>(slot)]->submit(
+        [this, stream, producers, buffer, src_off, dst, bytes, ev, issue_s] {
+          sim::Node::ScopedIssueFloor floor(node_, issue_s);
+          for (sim::EventId w : producers) {
+            node_.wait_event_generation(stream, w, 1);
+          }
+          node_.memcpy_d2h(stream, dst, buffer, src_off, bytes);
+          node_.record_event(ev, stream);
+        });
+    monitor_.mark_copied(&datum, SegmentLocationMonitor::kHost, op.rows);
+  }
+  // Single event covering all gather pieces, so later reads of the host
+  // buffer have one dependency.
+  const sim::EventId host_ready = node_.create_event();
+  const sim::StreamId agg_stream = copy_streams_[0];
+  const double issue_s = node_.host_now_s();
+  invokers_[0]->submit([this, agg_stream, ready_events, host_ready, issue_s] {
+    sim::Node::ScopedIssueFloor floor(node_, issue_s);
+    for (sim::EventId ev : ready_events) {
+      node_.wait_event_generation(agg_stream, ev, 1);
+    }
+    node_.record_event(host_ready, agg_stream);
+  });
+  avail_[{datum.key(), SegmentLocationMonitor::kHost}].update(
+      RowInterval{0, datum.rows()}, EventRef{host_ready, true});
+}
+
+void Scheduler::MarkHostModified(Datum& datum) {
+  if (!datum.bound()) {
+    throw std::runtime_error("MarkHostModified: datum '" + datum.name() +
+                             "' is not bound");
+  }
+  if (!monitor_.known(&datum)) {
+    monitor_.register_datum(&datum);
+    return;
+  }
+  monitor_.mark_written(&datum, SegmentLocationMonitor::kHost,
+                        RowInterval{0, datum.rows()});
+  // Host-code writes happen at the current host clock; nothing to chain on.
+  avail_[{datum.key(), SegmentLocationMonitor::kHost}] = IntervalEventMap{};
+  access_[{datum.key(), SegmentLocationMonitor::kHost}] = AccessMap{};
+}
+
+void Scheduler::ReduceScatter(Datum& datum, Work work) {
+  const auto* pending = monitor_.pending_aggregation(&datum);
+  if (pending == nullptr) {
+    throw std::runtime_error("ReduceScatter: datum '" + datum.name() +
+                             "' has no pending aggregation");
+  }
+  if (pending->kind != AggregationKind::Sum || !pending->op) {
+    throw std::runtime_error(
+        "ReduceScatter: only Sum-aggregated outputs are supported");
+  }
+  node_.advance_host_us(task_overhead_us_);
+
+  const TaskPartition partition =
+      make_partition(work.rows == 0 ? datum.rows() : work.rows, 1,
+                     maps::Dim3{1, 1, 1}, 1, 1, slots());
+  const std::size_t row_bytes = datum.row_bytes();
+  auto op = pending->op;
+  const auto writers = pending->writer_slots;
+
+  for (int t = 0; t < slots(); ++t) {
+    const RowInterval rows =
+        partition.work_row_ranges[static_cast<std::size_t>(t)];
+    if (rows.empty()) {
+      continue;
+    }
+    const auto* dst_alloc = analyzer_.find(&datum, t);
+    if (dst_alloc == nullptr) {
+      continue;
+    }
+    const int t_loc = SegmentLocationMonitor::loc(t);
+    const std::size_t seg_bytes = rows.size() * row_bytes;
+
+    // Staging area on the target for the peers' partial segments.
+    struct Piece {
+      sim::Buffer* src = nullptr;
+      std::size_t src_off = 0;
+      std::vector<sim::EventId> waits;
+      sim::EventId done = 0;
+    };
+    std::vector<Piece> pieces;
+    sim::Buffer* staging = nullptr;
+    for (int s : writers) {
+      if (s == t) {
+        continue;
+      }
+      const auto* src_alloc = analyzer_.find(&datum, s);
+      if (src_alloc == nullptr) {
+        continue;
+      }
+      if (staging == nullptr) {
+        // Reuse the staging area across iterations.
+        auto& cached = reduce_staging_[{datum.key(), t}];
+        const std::size_t need = seg_bytes * (writers.size() - 1);
+        if (cached == nullptr || cached->size() < need) {
+          cached = node_.malloc_device(devices_[static_cast<std::size_t>(t)],
+                                       need);
+        }
+        staging = cached;
+      }
+      Piece piece;
+      piece.src = src_alloc->buffer;
+      piece.src_off = src_alloc->row_offset(static_cast<long>(rows.begin));
+      avail_[{datum.key(), SegmentLocationMonitor::loc(s)}].collect(
+          rows, piece.waits);
+      piece.done = node_.create_event();
+      access_[{datum.key(), SegmentLocationMonitor::loc(s)}].add_reader(
+          RowInterval{static_cast<std::size_t>(static_cast<long>(rows.begin) -
+                                               src_alloc->origin),
+                      static_cast<std::size_t>(static_cast<long>(rows.end) -
+                                               src_alloc->origin)},
+          EventRef{piece.done, true});
+      pieces.push_back(piece);
+    }
+
+    // Local sum kernel: dst rows += every staged partial segment.
+    const sim::EventId sum_done = node_.create_event();
+    std::vector<sim::EventId> sum_waits;
+    avail_[{datum.key(), t_loc}].collect(rows, sum_waits);
+    const RowInterval dst_local{
+        static_cast<std::size_t>(static_cast<long>(rows.begin) -
+                                 dst_alloc->origin),
+        static_cast<std::size_t>(static_cast<long>(rows.end) -
+                                 dst_alloc->origin)};
+    access_[{datum.key(), t_loc}].collect(dst_local, sum_waits);
+
+    sim::Buffer* dst_buffer = dst_alloc->buffer;
+    const std::size_t dst_off =
+        dst_alloc->row_offset(static_cast<long>(rows.begin));
+    const std::size_t elems = rows.size() * datum.row_elems();
+    const std::size_t n_pieces = pieces.size();
+    const double issue_s = node_.host_now_s();
+    const sim::StreamId copy_stream =
+        copy_streams_[static_cast<std::size_t>(t)];
+    const sim::StreamId copy_stream2 =
+        copy_streams2_[static_cast<std::size_t>(t)];
+    const sim::StreamId compute_stream =
+        compute_streams_[static_cast<std::size_t>(t)];
+    invokers_[static_cast<std::size_t>(t)]->submit([this, pieces, staging,
+                                                    seg_bytes, copy_stream,
+                                                    copy_stream2,
+                                                    compute_stream, sum_waits,
+                                                    sum_done, dst_buffer,
+                                                    dst_off, elems, n_pieces,
+                                                    op, issue_s] {
+      sim::Node::ScopedIssueFloor floor(node_, issue_s);
+      std::size_t off = 0;
+      int rr = 0;
+      for (const Piece& piece : pieces) {
+        const sim::StreamId cs = (rr++ % 2 == 0) ? copy_stream : copy_stream2;
+        for (sim::EventId w : piece.waits) {
+          node_.wait_event_generation(cs, w, 1);
+        }
+        node_.memcpy_p2p(cs, staging, off, piece.src, piece.src_off,
+                         seg_bytes);
+        node_.record_event(piece.done, cs);
+        off += seg_bytes;
+      }
+      for (const Piece& piece : pieces) {
+        node_.wait_event_generation(compute_stream, piece.done, 1);
+      }
+      for (sim::EventId w : sum_waits) {
+        node_.wait_event_generation(compute_stream, w, 1);
+      }
+      sim::LaunchStats st;
+      st.label = "reduce_scatter_sum";
+      st.blocks = std::max<std::uint64_t>(1, elems / 256);
+      st.threads_per_block = 256;
+      st.flops = elems * n_pieces;
+      st.global_bytes_read = seg_bytes * n_pieces + elems * 4;
+      st.global_bytes_written = elems * 4;
+      node_.launch(compute_stream, st, [staging, seg_bytes, dst_buffer,
+                                        dst_off, elems, n_pieces, op] {
+        if (staging == nullptr || !staging->has_backing()) {
+          return;
+        }
+        for (std::size_t k = 0; k < n_pieces; ++k) {
+          op(dst_buffer->data() + dst_off, staging->data() + k * seg_bytes,
+             elems);
+        }
+      });
+      node_.record_event(sum_done, compute_stream);
+    });
+
+    avail_[{datum.key(), t_loc}].update(rows, EventRef{sum_done, true});
+    access_[{datum.key(), t_loc}].write(dst_local, EventRef{sum_done, true});
+    monitor_.mark_written(&datum, t_loc, rows);
+  }
+  monitor_.clear_pending_aggregation(&datum);
+}
+
+void Scheduler::Gather(Datum& datum) {
+  GatherAsync(datum);
+  WaitAll();
+}
+
+void Scheduler::Wait(TaskHandle handle) {
+  (void)handle; // conservative: drain everything (see synchronize_stream)
+  WaitAll();
+}
+
+void Scheduler::WaitAll() {
+  for (auto& inv : invokers_) {
+    inv->flush();
+  }
+  node_.synchronize();
+}
+
+std::size_t Scheduler::gathered_count(const Datum& datum) const {
+  auto it = gathered_counts_.find(datum.key());
+  return it == gathered_counts_.end() ? 0 : *it->second;
+}
+
+} // namespace maps::multi

@@ -1,0 +1,400 @@
+// The MAPS-Multi Scheduler (§4.3, Algorithm 1): the main component of the
+// host-level infrastructure.
+//
+// The scheduler mediates between the framework and the devices: it
+// constructs Tasks from typed function calls, determines the grid
+// segmentation strategy from the access patterns, uses the Segmenters /
+// Memory Analyzer / Segment Location Monitor to infer allocations and
+// inter-GPU transfers, and queues copy and execution commands to each device
+// concurrently through per-device Invoker Threads — managing streams and
+// events so memory stays consistent.
+//
+// Public API follows the paper's Table 2: AnalyzeCall, Invoke,
+// InvokeUnmodified, Gather, GatherAsync, Wait, WaitAll.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <vector>
+
+#include "sim/node.hpp"
+
+#include "multi/datum.hpp"
+#include "multi/invoker.hpp"
+#include "multi/kernel_exec.hpp"
+#include "multi/location_monitor.hpp"
+#include "multi/memory_analyzer.hpp"
+#include "multi/pattern_spec.hpp"
+#include "multi/routine.hpp"
+#include "multi/segmenter.hpp"
+#include "multi/task_cost.hpp"
+
+namespace maps::multi {
+
+using TaskHandle = std::uint64_t;
+
+namespace detail {
+
+template <typename A>
+concept PatternArg = requires(const A& a) {
+  { a.spec() } -> std::convertible_to<PatternSpec>;
+};
+
+template <typename A> struct is_constant : std::false_type {};
+template <typename T> struct is_constant<Constant<T>> : std::true_type {};
+template <typename A>
+inline constexpr bool is_constant_v = is_constant<std::decay_t<A>>::value;
+
+template <typename P>
+concept HasAppendCounter = requires(P& p, std::uint64_t* c) {
+  p.bind_append_counter(c);
+};
+
+} // namespace detail
+
+class Scheduler {
+public:
+  /// Schedules on the given sim devices (all of the node's by default).
+  explicit Scheduler(sim::Node& node, std::vector<int> devices = {});
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // --- Host-level API (Table 2) ---------------------------------------------
+
+  /// Forward-declares a task so the Memory Analyzer can size per-device
+  /// allocations (§4.2). Accepts the same arguments as Invoke; non-pattern
+  /// arguments (the kernel, constants) are ignored.
+  template <typename... Args> void AnalyzeCall(const Args&... args) {
+    std::vector<PatternSpec> specs;
+    std::optional<Work> work;
+    std::vector<std::vector<std::byte>> consts;
+    collect(specs, work, consts, args...);
+    analyze_task(std::move(specs), work ? &*work : nullptr);
+  }
+
+  /// Schedules and runs a MAPS kernel across the devices. The kernel is any
+  /// callable `kernel(const maps::ThreadContext&, Patterns&...)`.
+  template <typename Kernel, detail::PatternArg... Patterns>
+  TaskHandle Invoke(const Kernel& kernel, Patterns... pats) {
+    return Invoke(CostHints{}, kernel, std::move(pats)...);
+  }
+
+  template <typename Kernel, detail::PatternArg... Patterns>
+  TaskHandle Invoke(const CostHints& hints, const Kernel& kernel,
+                    Patterns... pats) {
+    std::vector<PatternSpec> specs{pats.spec()...};
+    auto plan = plan_task(std::move(specs), nullptr, hints,
+                          kernel_label<Kernel>());
+    auto factory = [this, kernel, pats...](int slot,
+                                           const maps::GridContext& grid,
+                                           const std::vector<DeviceView>&
+                                               views) -> std::function<void()> {
+      auto tuple =
+          std::make_shared<std::tuple<Patterns...>>(pats...);
+      bind_tuple(*tuple, views, slot,
+                 std::index_sequence_for<Patterns...>{});
+      maps::GridContext gc = grid;
+      return [tuple, gc, kernel] { run_device_grid(gc, kernel, *tuple); };
+    };
+    return dispatch_kernel(plan, factory);
+  }
+
+  /// Runs an unmodified GPU routine on all devices (§4.6). `args` may mix
+  /// pattern containers and Constant<T> values; `work` defines the
+  /// partitioned work space (e.g. Work{n} for SAXPY over n elements).
+  template <typename... Args>
+  TaskHandle InvokeUnmodified(UnmodifiedRoutine routine, void* context,
+                              Work work, const Args&... args) {
+    std::vector<PatternSpec> specs;
+    std::optional<Work> w = work;
+    std::vector<std::vector<std::byte>> consts;
+    collect(specs, w, consts, args...);
+    auto plan = plan_task(std::move(specs), &*w, CostHints{}, "routine");
+    return dispatch_routine(plan, std::move(routine), context,
+                            std::move(consts));
+  }
+
+  /// Gathers a datum's up-to-date contents back to its bound host buffer,
+  /// applying the output pattern's aggregation (§3.2) when needed. Blocking.
+  void Gather(Datum& datum);
+  /// Asynchronous Gather; completes at the next Wait/WaitAll.
+  void GatherAsync(Datum& datum);
+
+  /// Declares that the bound host buffer was modified by host code (e.g. a
+  /// host-side parameter update): device replicas become stale and the next
+  /// task re-uploads what it needs.
+  void MarkHostModified(Datum& datum);
+
+  /// Device-side aggregation of a pending Reductive output (extension of the
+  /// paper's §4.5.2 aggregators to the inter-GPU level): each device
+  /// receives its aligned rows of every peer's partial copy over the
+  /// peer-to-peer interconnect and sums them locally, leaving the datum
+  /// partitioned exactly as a Structured Injective output of `work` would
+  /// be — no host round trip. Used by the hybrid deep-learning trainer for
+  /// the FC-layer deltas (§6.1: "exchanges less data, but more frequently,
+  /// between the GPUs").
+  void ReduceScatter(Datum& datum, Work work);
+
+  /// Waits for a specific task (conservatively drains the node).
+  void Wait(TaskHandle handle);
+  /// Waits for all scheduled work.
+  void WaitAll();
+
+  // --- Introspection & tuning -----------------------------------------------
+  sim::Node& node() { return node_; }
+  const std::vector<int>& devices() const { return devices_; }
+  int slots() const { return static_cast<int>(devices_.size()); }
+  MemoryAnalyzer& analyzer() { return analyzer_; }
+  SegmentLocationMonitor& monitor() { return monitor_; }
+
+  /// Rows actually produced into a ReductiveDynamic/Irregular output by the
+  /// last Gather of `datum`.
+  std::size_t gathered_count(const Datum& datum) const;
+
+  /// Host-side software cost charged per task (scheduler bookkeeping). The
+  /// defaults reproduce the paper's sub-1% unmodified-routine overhead
+  /// (Table 4); see EXPERIMENTS.md.
+  void set_task_overhead_us(double task_us, double per_device_us);
+
+  /// Ablation knob: route every inferred device-to-device exchange through
+  /// host RAM (the behaviour of the paper's MPI/host-based baselines)
+  /// instead of direct peer-to-peer transfers. Functionally identical,
+  /// used by bench/ablation_design_choices to quantify §6.2's argument.
+  void set_force_host_staged(bool on) { force_host_staged_ = on; }
+
+  std::uint64_t tasks_scheduled() const { return next_task_ - 1; }
+
+private:
+  struct EventRef {
+    sim::EventId id = 0;
+    bool valid = false;
+  };
+
+  /// Tracks which simulated event made each row range of a datum available
+  /// at one location. Availability must be range-granular: a halo fill into
+  /// a device must not serialize peers that read the device's core rows
+  /// (coarse per-location events recreate the very exchange-ring
+  /// serialization the framework exists to avoid).
+  class IntervalEventMap {
+  public:
+    /// Overwrites the range with a new producing event.
+    void update(const RowInterval& rows, EventRef ev) {
+      if (rows.empty() || !ev.valid) {
+        return;
+      }
+      std::vector<std::pair<RowInterval, EventRef>> next;
+      for (const auto& [iv, e] : entries_) {
+        if (iv.end <= rows.begin || iv.begin >= rows.end) {
+          next.emplace_back(iv, e);
+          continue;
+        }
+        if (iv.begin < rows.begin) {
+          next.emplace_back(RowInterval{iv.begin, rows.begin}, e);
+        }
+        if (iv.end > rows.end) {
+          next.emplace_back(RowInterval{rows.end, iv.end}, e);
+        }
+      }
+      next.emplace_back(rows, ev);
+      entries_ = std::move(next);
+    }
+    /// Events producing any part of the range.
+    void collect(const RowInterval& rows,
+                 std::vector<sim::EventId>& out) const {
+      for (const auto& [iv, e] : entries_) {
+        if (iv.end > rows.begin && iv.begin < rows.end && e.valid) {
+          if (std::find(out.begin(), out.end(), e.id) == out.end()) {
+            out.push_back(e.id);
+          }
+        }
+      }
+    }
+
+  private:
+    std::vector<std::pair<RowInterval, EventRef>> entries_;
+  };
+
+  /// Range-granular access ordering for one datum's buffer at one location,
+  /// in LOCAL buffer rows. Writers must wait for every prior reader/writer
+  /// of the rows they touch (WAR/WAW); readers accumulate and are trimmed by
+  /// the next write. Granularity matters for the same reason as above: a
+  /// peer reading this device's core rows must not order against fills of
+  /// its halo slots.
+  class AccessMap {
+  public:
+    void add_reader(const RowInterval& rows, EventRef ev) {
+      if (!rows.empty() && ev.valid) {
+        entries_.emplace_back(rows, ev);
+      }
+    }
+    void write(const RowInterval& rows, EventRef ev) {
+      if (rows.empty() || !ev.valid) {
+        return;
+      }
+      std::vector<std::pair<RowInterval, EventRef>> next;
+      for (const auto& [iv, e] : entries_) {
+        if (iv.end <= rows.begin || iv.begin >= rows.end) {
+          next.emplace_back(iv, e);
+          continue;
+        }
+        if (iv.begin < rows.begin) {
+          next.emplace_back(RowInterval{iv.begin, rows.begin}, e);
+        }
+        if (iv.end > rows.end) {
+          next.emplace_back(RowInterval{rows.end, iv.end}, e);
+        }
+      }
+      next.emplace_back(rows, ev);
+      entries_ = std::move(next);
+    }
+    void collect(const RowInterval& rows,
+                 std::vector<sim::EventId>& out) const {
+      for (const auto& [iv, e] : entries_) {
+        if (iv.end > rows.begin && iv.begin < rows.end && e.valid) {
+          if (std::find(out.begin(), out.end(), e.id) == out.end()) {
+            out.push_back(e.id);
+          }
+        }
+      }
+    }
+
+  private:
+    std::vector<std::pair<RowInterval, EventRef>> entries_;
+  };
+
+  struct PlannedCopy {
+    int pattern_index = 0;
+    bool zero_fill = false;
+    bool whole_buffer = false; ///< zero fill of the entire allocation
+    int src_location = 0;
+    RowInterval rows;
+    // Resolved addresses:
+    sim::Buffer* dst_buffer = nullptr;
+    std::size_t dst_offset = 0;
+    sim::Buffer* src_buffer = nullptr; ///< null when source is the host
+    std::size_t src_offset = 0;
+    const std::byte* src_host = nullptr;
+    std::size_t bytes = 0;
+    // Dependencies (producer availability + WAR):
+    std::vector<sim::EventId> waits;
+    sim::EventId done = 0;
+  };
+
+  struct DevicePlan {
+    bool active = false;
+    maps::GridContext grid;
+    std::vector<DeviceView> views;
+    std::vector<PlannedCopy> copies;
+    std::vector<sim::EventId> kernel_waits;
+    sim::EventId kernel_done = 0;
+    sim::LaunchStats stats;
+    // Routine plumbing:
+    std::vector<RoutineParam> params;
+    std::vector<Segment> segments;
+  };
+
+  struct TaskPlan {
+    TaskHandle handle = 0;
+    std::vector<PatternSpec> specs;
+    TaskPartition partition;
+    int active_slots = 0;
+    std::vector<DevicePlan> devices;
+  };
+
+  using BodyFactory = std::function<std::function<void()>(
+      int slot, const maps::GridContext&, const std::vector<DeviceView>&)>;
+
+  template <typename... Args>
+  void collect(std::vector<PatternSpec>& specs, std::optional<Work>& work,
+               std::vector<std::vector<std::byte>>& consts,
+               const Args&... args) {
+    auto one = [&](const auto& a) {
+      using A = std::decay_t<decltype(a)>;
+      if constexpr (detail::PatternArg<A>) {
+        specs.push_back(a.spec());
+      } else if constexpr (std::is_same_v<A, Work>) {
+        work = a;
+      } else if constexpr (detail::is_constant_v<A>) {
+        const auto* p = reinterpret_cast<const std::byte*>(&a.value);
+        consts.emplace_back(p, p + sizeof(a.value));
+      } else {
+        // Kernel functor or other non-pattern argument: ignored here.
+      }
+    };
+    (one(args), ...);
+  }
+
+  template <typename Tuple, std::size_t... I>
+  void bind_tuple(Tuple& tuple, const std::vector<DeviceView>& views, int slot,
+                  std::index_sequence<I...>) {
+    (std::get<I>(tuple).bind(views[I]), ...);
+    auto counters = [&](auto& p) {
+      using P = std::decay_t<decltype(p)>;
+      if constexpr (detail::HasAppendCounter<P>) {
+        p.bind_append_counter(append_counter(p.datum(), slot));
+      }
+    };
+    (counters(std::get<I>(tuple)), ...);
+  }
+
+  template <typename Kernel> static const char* kernel_label() {
+    return "maps_kernel";
+  }
+
+  // Non-template heavy lifting (scheduler.cpp):
+  void analyze_task(std::vector<PatternSpec> specs, const Work* work);
+  std::shared_ptr<TaskPlan> plan_task(std::vector<PatternSpec> specs,
+                                      const Work* work, const CostHints& hints,
+                                      const char* label);
+  TaskHandle dispatch_kernel(std::shared_ptr<TaskPlan> plan,
+                             const BodyFactory& factory);
+  TaskHandle dispatch_routine(std::shared_ptr<TaskPlan> plan,
+                              UnmodifiedRoutine routine, void* context,
+                              std::vector<std::vector<std::byte>> consts);
+  void enqueue_device_commands(std::shared_ptr<TaskPlan> plan, int slot,
+                               std::function<void()> body,
+                               UnmodifiedRoutine routine, void* context,
+                               std::shared_ptr<std::vector<std::vector<std::byte>>>
+                                   consts);
+  std::uint64_t* append_counter(const Datum* datum, int slot);
+  TaskPartition derive_partition(const std::vector<PatternSpec>& specs,
+                                 const Work* work, int slots_eff) const;
+  void plan_copies_for(TaskPlan& plan, int slot, int pattern_index,
+                       const SegmentReq& req,
+                       const MemoryAnalyzer::Alloc& alloc);
+
+  sim::Node& node_;
+  std::vector<int> devices_;
+  std::vector<sim::StreamId> compute_streams_, copy_streams_, copy_streams2_;
+  MemoryAnalyzer analyzer_;
+  SegmentLocationMonitor monitor_;
+  std::vector<std::unique_ptr<InvokerThread>> invokers_;
+
+  /// Which event made each row range of a datum available at a location
+  /// (0=host); GLOBAL rows, range-granular to keep boundary exchanges
+  /// parallel.
+  std::map<std::pair<const void*, int>, IntervalEventMap> avail_;
+  /// Reader/writer ordering per (datum, location), in LOCAL buffer rows.
+  std::map<std::pair<const void*, int>, AccessMap> access_;
+  /// Per-device append counters for dynamic outputs.
+  std::map<const void*, std::shared_ptr<std::vector<std::uint64_t>>>
+      append_counts_;
+  std::map<const void*, std::shared_ptr<std::size_t>> gathered_counts_;
+
+  /// Staging buffers owned by ReduceScatter, cached per (datum, slot).
+  std::map<std::pair<const void*, int>, sim::Buffer*> reduce_staging_;
+
+  bool force_host_staged_ = false;
+  double task_overhead_us_ = 60.0;
+  double per_device_overhead_us_ = 20.0;
+  TaskHandle next_task_ = 1;
+};
+
+} // namespace maps::multi

@@ -1,0 +1,71 @@
+// Grid partitioning and per-pattern segment requirements (Algorithm 1,
+// lines 2-5 of the paper).
+//
+// Task partitioning distributes thread-blocks evenly among the devices
+// (§2.1): the virtual grid's block rows are split into contiguous spans. A
+// Segmenter then derives, for every (pattern, device) pair, which datum rows
+// the device must hold locally — the aligned band plus halos for Window
+// patterns (with Wrap/Clamp/Zero boundary materialization at the global
+// edges), the whole datum for replicated patterns, or a private full copy
+// for duplicated reductive outputs.
+#pragma once
+
+#include <vector>
+
+#include "maps/common.hpp"
+#include "multi/interval_set.hpp"
+#include "multi/pattern_spec.hpp"
+
+namespace maps::multi {
+
+/// How a task's virtual grid is split across device slots.
+struct TaskPartition {
+  std::size_t work_rows = 0; ///< Work-space height (partition dimension).
+  std::size_t work_cols = 1; ///< Work-space width.
+  maps::Dim3 block_dim;
+  unsigned ilp_x = 1, ilp_y = 1;
+  std::size_t blocks_x = 1, blocks_y = 1;
+  /// Per slot: the block rows it executes.
+  std::vector<RowInterval> block_rows;
+  /// Per slot: the work (element) rows those blocks cover.
+  std::vector<RowInterval> work_row_ranges;
+
+  std::size_t rows_per_block_row() const {
+    return static_cast<std::size_t>(block_dim.y) * ilp_y;
+  }
+};
+
+/// Splits `work_rows` x `work_cols` work into thread-blocks and distributes
+/// contiguous block-row spans over `slots` devices.
+TaskPartition make_partition(std::size_t work_rows, std::size_t work_cols,
+                             maps::Dim3 block_dim, unsigned ilp_x,
+                             unsigned ilp_y, int slots);
+
+/// One region of a device-local buffer and how to fill it: either a copy of
+/// global datum rows or a zero fill (Boundary::Zero halos at global edges).
+struct CopyRegion {
+  RowInterval global;  ///< Source rows in the datum (unused for zero fill).
+  long local_row = 0;  ///< Destination row in the local buffer.
+  bool zero_fill = false;
+};
+
+/// A device's requirement on one datum for one task.
+struct SegmentReq {
+  bool active = false;       ///< Device participates in this task.
+  long origin = 0;           ///< Virtual global row at local row 0.
+  std::size_t local_rows = 0;
+  RowInterval core;          ///< Aligned rows (owned rows for outputs).
+  bool whole = false;        ///< Entire datum resident (replicate/duplicate).
+  bool private_copy = false; ///< Duplicate that is NOT a valid global copy
+                             ///< (reductive partials) — excluded from the
+                             ///< location monitor's up-to-date tracking.
+  /// Regions that must be valid before the kernel runs (inputs only).
+  std::vector<CopyRegion> input_regions;
+};
+
+/// Segmenter: infers the memory segmentation of one pattern for one device
+/// slot (Algorithm 1 line 4).
+SegmentReq compute_requirement(const PatternSpec& spec,
+                               const TaskPartition& partition, int slot);
+
+} // namespace maps::multi

@@ -1,0 +1,113 @@
+#include "multi/task_cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace maps::multi {
+
+sim::LaunchStats task_launch_stats(std::span<const PatternSpec> specs,
+                                   const TaskPartition& partition, int slot,
+                                   const CostHints& hints, const char* label) {
+  sim::LaunchStats st;
+  st.label = label;
+
+  const RowInterval work =
+      partition.work_row_ranges[static_cast<std::size_t>(slot)];
+  const RowInterval brows =
+      partition.block_rows[static_cast<std::size_t>(slot)];
+  const std::uint64_t elems =
+      static_cast<std::uint64_t>(work.size()) * partition.work_cols;
+  if (elems == 0) {
+    st.blocks = 0;
+    return st;
+  }
+
+  st.blocks = static_cast<std::uint64_t>(brows.size()) * partition.blocks_x;
+  st.threads_per_block =
+      static_cast<std::uint64_t>(partition.block_dim.x) * partition.block_dim.y;
+  const std::uint64_t threads = st.blocks * st.threads_per_block;
+
+  st.flops = static_cast<std::uint64_t>(
+      static_cast<double>(elems) * hints.flops_per_elem);
+  st.instr_overhead = static_cast<std::uint64_t>(
+      static_cast<double>(threads) * hints.instr_per_thread);
+  st.flop_efficiency = hints.flop_efficiency;
+
+  for (const PatternSpec& s : specs) {
+    const std::size_t esize = s.datum->elem_size();
+    const int ilp = std::max(1, s.ilp_x * s.ilp_y);
+    // ILP lets the compiler pipeline shared-memory accesses across the
+    // unrolled element loop (§4.5.1); saturates quickly.
+    const double pipeline = std::min(ilp, 4);
+
+    if (s.is_input) {
+      switch (s.kind) {
+      case PatternKind::Window: {
+        // Shared-staged tile: each block loads (span + 2r) rows/cols of its
+        // span; neighbors are then read from shared memory.
+        const double span_x =
+            static_cast<double>(partition.block_dim.x) * partition.ilp_x;
+        const double span_y =
+            static_cast<double>(partition.block_dim.y) * partition.ilp_y;
+        const double r = static_cast<double>(
+            std::max(s.radius_low, s.radius_high));
+        const bool one_d = s.datum->dims().size() == 1;
+        const double tile_factor =
+            one_d ? (span_y + 2 * r) / span_y
+                  : ((span_x + 2 * r) * (span_y + 2 * r)) / (span_x * span_y);
+        const double window_elems =
+            one_d ? (2 * r + 1) : (2 * r + 1) * (2 * r + 1);
+        st.global_bytes_read += static_cast<std::uint64_t>(
+            static_cast<double>(elems) * static_cast<double>(esize) *
+            tile_factor);
+        st.shared_ops += static_cast<std::uint64_t>(
+            static_cast<double>(elems) * (window_elems + tile_factor) /
+            pipeline);
+        break;
+      }
+      case PatternKind::Block2D:
+      case PatternKind::Block1D:
+      case PatternKind::Block2DTransposed:
+      case PatternKind::Adjacency:
+      case PatternKind::Permutation:
+      case PatternKind::Traversal:
+      case PatternKind::IrregularInput:
+        // Generic streamed read of the elements this device touches.
+        st.global_bytes_read += elems * esize;
+        break;
+      default:
+        break;
+      }
+    } else {
+      switch (s.kind) {
+      case PatternKind::StructuredInjective:
+        st.global_bytes_written += elems * esize; // coalesced commit
+        break;
+      case PatternKind::ReductiveStatic: {
+        // Device-level aggregator (§4.5.2): shared atomics per element plus
+        // one coalesced global commit per block.
+        st.shared_atomics += static_cast<std::uint64_t>(
+            static_cast<double>(elems) / pipeline);
+        const std::uint64_t bins = s.datum->rows() * s.datum->row_elems();
+        st.global_atomics += bins * st.blocks / 256 + st.blocks;
+        st.global_bytes_written += bins * esize * st.blocks / 64;
+        break;
+      }
+      case PatternKind::ReductiveDynamic:
+      case PatternKind::IrregularOutput:
+        st.shared_atomics += elems;
+        st.global_bytes_written += elems * esize / 4; // sparse commits
+        break;
+      case PatternKind::UnstructuredInjective:
+        // Scattered, uncoalesced global writes (one transaction each).
+        st.global_bytes_written += elems * std::max<std::size_t>(esize, 32);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  return st;
+}
+
+} // namespace maps::multi

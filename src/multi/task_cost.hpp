@@ -1,0 +1,36 @@
+// Derives a device's LaunchStats from the task's pattern specifications.
+//
+// This is the reproduction's embodiment of the paper's thesis: the access
+// pattern specification carries enough information to reason about the
+// kernel — here, including its cost. Window inputs charge shared-memory
+// staging (the tile load plus per-element neighborhood reads, pipelined by
+// ILP, §4.5.1-4.5.2); Structured Injective outputs charge coalesced global
+// writes; Reductive outputs charge shared atomics plus a per-block global
+// commit (the device-level aggregator of §4.5.2).
+#pragma once
+
+#include <span>
+
+#include "sim/launch_stats.hpp"
+
+#include "multi/pattern_spec.hpp"
+#include "multi/segmenter.hpp"
+
+namespace maps::multi {
+
+/// Per-kernel tunables supplied by the programmer (the paper's "programming
+/// hints"); defaults fit light element-wise kernels.
+struct CostHints {
+  double flops_per_elem = 8.0;
+  double instr_per_thread = 14.0;
+  /// FLOP efficiency override for compute-bound kernels (0 = generic).
+  double flop_efficiency = 0.0;
+};
+
+/// LaunchStats for the portion of the task that runs on one device slot.
+sim::LaunchStats task_launch_stats(std::span<const PatternSpec> specs,
+                                   const TaskPartition& partition, int slot,
+                                   const CostHints& hints,
+                                   const char* label);
+
+} // namespace maps::multi

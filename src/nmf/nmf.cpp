@@ -1,0 +1,513 @@
+#include "nmf/nmf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace nmf {
+
+using namespace maps::multi;
+
+namespace {
+
+constexpr float kEps = 1e-9f;
+
+void random_fill(std::vector<float>& v, unsigned seed, float lo = 0.1f,
+                 float hi = 1.0f) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(lo, hi);
+  for (auto& e : v) {
+    e = dist(rng);
+  }
+}
+
+/// Dense GEMM-shaped launch with tuned-library efficiency.
+void gemm_launch(RoutineArgs& a, const char* label, double flops,
+                 std::size_t bytes_read, std::size_t bytes_written,
+                 double efficiency_scale, std::function<void()> body) {
+  sim::LaunchStats st;
+  st.label = label;
+  st.blocks = std::max<std::uint64_t>(16, (bytes_read + bytes_written) / 8192);
+  st.threads_per_block = 256;
+  st.flops = static_cast<std::uint64_t>(flops);
+  st.global_bytes_read = bytes_read;
+  st.global_bytes_written = bytes_written;
+  st.flop_efficiency =
+      a.node->spec(a.sim_device).gemm_efficiency * efficiency_scale;
+  a.node->launch(a.stream, st, std::move(body));
+}
+
+} // namespace
+
+std::vector<float> synthetic_v(const Shape& shape, unsigned seed) {
+  // Planted low-rank structure plus noise, so the factorization converges.
+  const std::size_t r = std::max<std::size_t>(2, shape.k / 2);
+  std::vector<float> a(shape.n * r), b(r * shape.m);
+  random_fill(a, seed);
+  random_fill(b, seed + 1);
+  std::vector<float> v(shape.n * shape.m, 0.0f);
+  for (std::size_t i = 0; i < shape.n; ++i) {
+    for (std::size_t p = 0; p < r; ++p) {
+      const float av = a[i * r + p];
+      for (std::size_t j = 0; j < shape.m; ++j) {
+        v[i * shape.m + j] += av * b[p * shape.m + j];
+      }
+    }
+  }
+  return v;
+}
+
+double reconstruction_error(const std::vector<float>& v,
+                            const std::vector<float>& w,
+                            const std::vector<float>& h, const Shape& s) {
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < s.n; ++i) {
+    for (std::size_t j = 0; j < s.m; ++j) {
+      double wh = 0;
+      for (std::size_t p = 0; p < s.k; ++p) {
+        wh += static_cast<double>(w[i * s.k + p]) * h[p * s.m + j];
+      }
+      const double d = v[i * s.m + j] - wh;
+      num += d * d;
+      den += static_cast<double>(v[i * s.m + j]) * v[i * s.m + j];
+    }
+  }
+  return std::sqrt(num / std::max(den, 1e-30));
+}
+
+// ---------------------------------------------------------------------------
+// MAPS-Multi implementation (Fig 12)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct MapsNmfState {
+  Shape shape;
+  // V-tilde = V / (W H), computed in stripes.
+  std::vector<float> vtilde_host;
+  std::vector<float> aux_host, acc_host;
+};
+
+/// T1/T3: V~_stripe = V_stripe / (W_stripe x H). Patterns: V Block2D, W
+/// Block2D, H Block1D (replicated), V~ Structured Injective.
+bool vtilde_routine(RoutineArgs& a, const Shape& s) {
+  const std::size_t rows = a.container_segments[0].m_dimensions[0];
+  if (rows == 0) {
+    return true;
+  }
+  const float* v = a.parameters[0].as<float>();
+  const float* w = a.parameters[1].as<float>();
+  const float* h = a.parameters[2].as<float>();
+  float* vt = a.parameters[3].as<float>();
+  const std::size_t m = s.m, k = s.k;
+  gemm_launch(a, "nmf::vtilde", 2.0 * static_cast<double>(rows * k * m),
+              (rows * (k + m) + k * m) * 4, rows * m * 4, 1.0, [=] {
+                for (std::size_t i = 0; i < rows; ++i) {
+                  const float* wi = w + i * k;
+                  float* vti = vt + i * m;
+                  for (std::size_t j = 0; j < m; ++j) {
+                    vti[j] = 0.0f;
+                  }
+                  for (std::size_t p = 0; p < k; ++p) {
+                    const float wv = wi[p];
+                    const float* hp = h + p * m;
+                    for (std::size_t j = 0; j < m; ++j) {
+                      vti[j] += wv * hp[j];
+                    }
+                  }
+                  const float* vi = v + i * m;
+                  for (std::size_t j = 0; j < m; ++j) {
+                    vti[j] = vi[j] / std::max(vti[j], kEps);
+                  }
+                }
+              });
+  return true;
+}
+
+/// T2: Aux_partial = W_stripe^T x V~_stripe (k x m) and Acc_partial =
+/// column sums of W_stripe (k) — the orange blocks of Fig 12, computed
+/// independently per stripe and aggregated.
+bool aux_routine(RoutineArgs& a, const Shape& s) {
+  const std::size_t rows = a.container_segments[0].m_dimensions[0];
+  if (rows == 0) {
+    return true;
+  }
+  const float* w = a.parameters[0].as<float>();
+  const float* vt = a.parameters[1].as<float>();
+  float* aux = a.parameters[2].as<float>();
+  float* acc = a.parameters[3].as<float>();
+  const std::size_t m = s.m, k = s.k;
+  gemm_launch(a, "nmf::aux", 2.0 * static_cast<double>(rows * k * m),
+              rows * (k + m) * 4, (k * m + k) * 4, 1.0, [=] {
+                for (std::size_t i = 0; i < rows; ++i) {
+                  const float* wi = w + i * k;
+                  const float* vti = vt + i * m;
+                  for (std::size_t p = 0; p < k; ++p) {
+                    const float wv = wi[p];
+                    acc[p] += wv;
+                    if (wv == 0.0f) {
+                      continue;
+                    }
+                    float* auxp = aux + p * m;
+                    for (std::size_t j = 0; j < m; ++j) {
+                      auxp[j] += wv * vti[j];
+                    }
+                  }
+                }
+              });
+  return true;
+}
+
+/// T4: stripe-local W update — W_ij *= (V~ H^T)_ij / rowsum(H)_j. Needs only
+/// the replicated H: no inter-GPU exchange at all (§6.2).
+bool wupdate_routine(RoutineArgs& a, const Shape& s) {
+  const std::size_t rows = a.container_segments[0].m_dimensions[0];
+  if (rows == 0) {
+    return true;
+  }
+  const float* vt = a.parameters[0].as<float>();
+  const float* h = a.parameters[1].as<float>();
+  float* w = a.parameters[3].as<float>(); // in/out (parameters[2] aliases)
+  const std::size_t m = s.m, k = s.k;
+  gemm_launch(a, "nmf::wupdate", 2.0 * static_cast<double>(rows * k * m),
+              (rows * (k + m) + k * m) * 4, rows * k * 4, 1.0, [=] {
+                std::vector<float> hsum(k, 0.0f);
+                for (std::size_t p = 0; p < k; ++p) {
+                  const float* hp = h + p * m;
+                  for (std::size_t j = 0; j < m; ++j) {
+                    hsum[p] += hp[j];
+                  }
+                }
+                for (std::size_t i = 0; i < rows; ++i) {
+                  const float* vti = vt + i * m;
+                  float* wi = w + i * k;
+                  for (std::size_t p = 0; p < k; ++p) {
+                    const float* hp = h + p * m;
+                    float aux = 0.0f;
+                    for (std::size_t j = 0; j < m; ++j) {
+                      aux += vti[j] * hp[j];
+                    }
+                    wi[p] *= aux / std::max(hsum[p], kEps);
+                  }
+                }
+              });
+  return true;
+}
+
+} // namespace
+
+Result run_maps(Scheduler& sched, std::vector<float>& v, std::vector<float>& w,
+                std::vector<float>& h, const Shape& shape, int iterations) {
+  const bool functional = sched.node().functional();
+  w.assign(shape.n * shape.k, 0.0f);
+  h.assign(shape.k * shape.m, 0.0f);
+  random_fill(w, 101);
+  random_fill(h, 102);
+
+  MapsNmfState st;
+  st.shape = shape;
+  st.vtilde_host.resize(functional ? shape.n * shape.m : 1);
+  st.aux_host.resize(shape.k * shape.m);
+  st.acc_host.resize(shape.k);
+
+  Matrix<float> V(shape.m, shape.n, "V"), Vt(shape.m, shape.n, "Vtilde");
+  Matrix<float> W(shape.k, shape.n, "W");
+  Vector<float> H(shape.k * shape.m, "H");
+  Matrix<float> Aux(shape.m, shape.k, "Aux");
+  Vector<float> Acc(shape.k, "Acc");
+  V.Bind(v.data());
+  Vt.Bind(st.vtilde_host.data());
+  W.Bind(w.data());
+  H.Bind(h.data());
+  Aux.Bind(st.aux_host.data());
+  Acc.Bind(st.acc_host.data());
+
+  const Shape s = shape;
+  auto vtilde = [s](RoutineArgs& a) { return vtilde_routine(a, s); };
+  auto aux = [s](RoutineArgs& a) { return aux_routine(a, s); };
+  auto wupd = [s](RoutineArgs& a) { return wupdate_routine(a, s); };
+
+  // §4.2: forward-declare every task so allocations are sized once.
+  sched.AnalyzeCall(Work{shape.n}, Block2D<float>(V), Block2D<float>(W),
+                    Block1D<float>(H), StructuredInjective<float, 2>(Vt));
+  sched.AnalyzeCall(Work{shape.n}, Block2D<float>(W),
+                    Block2D<float>(static_cast<Datum&>(Vt)),
+                    SumReduced<float>(Aux), SumReduced<float>(Acc));
+  sched.AnalyzeCall(Work{shape.n}, Block2D<float>(static_cast<Datum&>(Vt)),
+                    Block1D<float>(H), Block2D<float>(W),
+                    StructuredInjective<float, 2>(W));
+
+  sched.WaitAll();
+  const double t0 = sched.node().now_ms();
+  for (int it = 0; it < iterations; ++it) {
+    // --- H update (Fig 12, left half) ---------------------------------------
+    sched.InvokeUnmodified(vtilde, nullptr, Work{shape.n}, Block2D<float>(V),
+                           Block2D<float>(W), Block1D<float>(H),
+                           StructuredInjective<float, 2>(Vt));
+    sched.InvokeUnmodified(aux, nullptr, Work{shape.n}, Block2D<float>(W),
+                           Block2D<float>(static_cast<Datum&>(Vt)),
+                           SumReduced<float>(Aux), SumReduced<float>(Acc));
+    // Exchange #1: aggregate the stripe partials.
+    sched.GatherAsync(Aux);
+    sched.GatherAsync(Acc);
+    sched.WaitAll();
+    // Tiny host-side element-wise H update (k x m).
+    sched.node().advance_host_us(
+        10.0 + static_cast<double>(shape.k * shape.m) * 0.4e-3);
+    if (functional) {
+      for (std::size_t p = 0; p < shape.k; ++p) {
+        for (std::size_t j = 0; j < shape.m; ++j) {
+          h[p * shape.m + j] *= st.aux_host[p * shape.m + j] /
+                                std::max(st.acc_host[p], kEps);
+        }
+      }
+    }
+    // Exchange #2: the updated H is re-broadcast on next use.
+    sched.MarkHostModified(H);
+
+    // --- W update (Fig 12, right half): fully stripe-local ------------------
+    sched.InvokeUnmodified(vtilde, nullptr, Work{shape.n}, Block2D<float>(V),
+                           Block2D<float>(W), Block1D<float>(H),
+                           StructuredInjective<float, 2>(Vt));
+    sched.InvokeUnmodified(wupd, nullptr, Work{shape.n},
+                           Block2D<float>(static_cast<Datum&>(Vt)),
+                           Block1D<float>(H), Block2D<float>(W),
+                           StructuredInjective<float, 2>(W));
+  }
+  sched.Gather(W);
+  sched.WaitAll();
+
+  Result r;
+  r.sim_ms = sched.node().now_ms() - t0;
+  r.iterations_per_s = iterations / (r.sim_ms * 1e-3);
+  if (functional) {
+    r.final_error = reconstruction_error(v, w, h, shape);
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// NMF-mGPU baseline
+// ---------------------------------------------------------------------------
+
+Result run_mgpu_baseline(sim::Node& node, std::vector<float>& v,
+                         std::vector<float>& w, std::vector<float>& h,
+                         const Shape& shape, int iterations, int gpus) {
+  const bool functional = node.functional();
+  w.assign(shape.n * shape.k, 0.0f);
+  h.assign(shape.k * shape.m, 0.0f);
+  random_fill(w, 101);
+  random_fill(h, 102);
+
+  // The baseline's kernels are hand-tuned for Kepler (§6.2: ILP, specialized
+  // instructions); on other architectures they lose their edge.
+  auto eff_scale = [&](int dev) {
+    return node.spec(dev).arch == sim::Arch::Kepler ? 0.90 : 0.72;
+  };
+  // MPI + IPC software latency per message (the paper's diagnosis: exchanges
+  // pass through the host).
+  const double mpi_us = 120.0;
+
+  const std::size_t n = shape.n, m = shape.m, k = shape.k;
+  struct Dev {
+    std::size_t row0 = 0, rows = 0;
+    sim::Buffer *v = nullptr, *vt = nullptr, *w = nullptr, *h = nullptr;
+    sim::Buffer *aux = nullptr, *acc = nullptr;
+    sim::StreamId stream = 0;
+  };
+  std::vector<Dev> devs(static_cast<std::size_t>(gpus));
+  for (int d = 0; d < gpus; ++d) {
+    Dev& dv = devs[static_cast<std::size_t>(d)];
+    dv.row0 = n * static_cast<std::size_t>(d) / static_cast<std::size_t>(gpus);
+    const std::size_t row1 =
+        n * static_cast<std::size_t>(d + 1) / static_cast<std::size_t>(gpus);
+    dv.rows = row1 - dv.row0;
+    dv.stream = node.default_stream(d);
+    dv.v = node.malloc_device(d, std::max<std::size_t>(1, dv.rows * m) * 4);
+    dv.vt = node.malloc_device(d, std::max<std::size_t>(1, dv.rows * m) * 4);
+    dv.w = node.malloc_device(d, std::max<std::size_t>(1, dv.rows * k) * 4);
+    dv.h = node.malloc_device(d, k * m * 4);
+    dv.aux = node.malloc_device(d, k * m * 4);
+    dv.acc = node.malloc_device(d, k * 4);
+    node.memcpy_h2d(dv.stream, dv.v, 0, v.data() + dv.row0 * m,
+                    dv.rows * m * 4);
+    node.memcpy_h2d(dv.stream, dv.w, 0, w.data() + dv.row0 * k,
+                    dv.rows * k * 4);
+    node.memcpy_h2d(dv.stream, dv.h, 0, h.data(), k * m * 4);
+  }
+  node.synchronize();
+
+  std::vector<float> aux_part(static_cast<std::size_t>(gpus) * k * m);
+  std::vector<float> acc_part(static_cast<std::size_t>(gpus) * k);
+
+  auto vtilde_kernel = [&](Dev& dv, int d) {
+    sim::LaunchStats st;
+    st.label = "nmfmgpu::vtilde";
+    st.blocks = std::max<std::uint64_t>(16, dv.rows * m / 2048);
+    st.flops = 2ull * dv.rows * k * m;
+    st.global_bytes_read = (dv.rows * (k + m) + k * m) * 4;
+    st.global_bytes_written = dv.rows * m * 4;
+    st.flop_efficiency = node.spec(d).gemm_efficiency * eff_scale(d);
+    const float* vv = dv.v->has_backing() ? dv.v->as<float>() : nullptr;
+    const float* ww = dv.w->has_backing() ? dv.w->as<float>() : nullptr;
+    const float* hh = dv.h->has_backing() ? dv.h->as<float>() : nullptr;
+    float* vt = dv.vt->has_backing() ? dv.vt->as<float>() : nullptr;
+    const std::size_t rows = dv.rows;
+    node.launch(dv.stream, st, [=] {
+      for (std::size_t i = 0; i < rows; ++i) {
+        float* vti = vt + i * m;
+        for (std::size_t j = 0; j < m; ++j) {
+          vti[j] = 0.0f;
+        }
+        for (std::size_t p = 0; p < k; ++p) {
+          const float wv = ww[i * k + p];
+          const float* hp = hh + p * m;
+          for (std::size_t j = 0; j < m; ++j) {
+            vti[j] += wv * hp[j];
+          }
+        }
+        for (std::size_t j = 0; j < m; ++j) {
+          vti[j] = vv[i * m + j] / std::max(vti[j], kEps);
+        }
+      }
+    });
+  };
+
+  node.synchronize();
+  const double t0 = node.now_ms();
+  for (int it = 0; it < iterations; ++it) {
+    // --- H update ------------------------------------------------------------
+    for (int d = 0; d < gpus; ++d) {
+      vtilde_kernel(devs[static_cast<std::size_t>(d)], d);
+    }
+    for (int d = 0; d < gpus; ++d) {
+      Dev& dv = devs[static_cast<std::size_t>(d)];
+      sim::LaunchStats st;
+      st.label = "nmfmgpu::aux";
+      st.blocks = std::max<std::uint64_t>(16, dv.rows * m / 2048);
+      st.flops = 2ull * dv.rows * k * m;
+      st.global_bytes_read = dv.rows * (k + m) * 4;
+      st.global_bytes_written = (k * m + k) * 4;
+      st.flop_efficiency = node.spec(d).gemm_efficiency * eff_scale(d);
+      float* aux = dv.aux->has_backing() ? dv.aux->as<float>() : nullptr;
+      float* acc = dv.acc->has_backing() ? dv.acc->as<float>() : nullptr;
+      const float* ww = dv.w->has_backing() ? dv.w->as<float>() : nullptr;
+      const float* vt = dv.vt->has_backing() ? dv.vt->as<float>() : nullptr;
+      const std::size_t rows = dv.rows;
+      node.launch(dv.stream, st, [=] {
+        std::fill(aux, aux + k * m, 0.0f);
+        std::fill(acc, acc + k, 0.0f);
+        for (std::size_t i = 0; i < rows; ++i) {
+          for (std::size_t p = 0; p < k; ++p) {
+            const float wv = ww[i * k + p];
+            acc[p] += wv;
+            if (wv == 0.0f) {
+              continue;
+            }
+            for (std::size_t j = 0; j < m; ++j) {
+              aux[p * m + j] += wv * vt[i * m + j];
+            }
+          }
+        }
+      });
+      // MPI_Reduce of the partials: every message crosses the host with
+      // software latency; the baseline synchronizes per step.
+      node.advance_host_us(mpi_us);
+      node.memcpy_d2h(dv.stream,
+                      aux_part.data() + static_cast<std::size_t>(d) * k * m,
+                      dv.aux, 0, k * m * 4);
+      node.memcpy_d2h(dv.stream,
+                      acc_part.data() + static_cast<std::size_t>(d) * k,
+                      dv.acc, 0, k * 4);
+      node.synchronize();
+    }
+    // Rank 0 combines and updates H on the host.
+    node.advance_host_us(mpi_us +
+                         static_cast<double>(k * m) * gpus * 0.15e-3);
+    if (functional) {
+      for (std::size_t p = 0; p < k; ++p) {
+        double acc = 0;
+        for (int d = 0; d < gpus; ++d) {
+          acc += acc_part[static_cast<std::size_t>(d) * k + p];
+        }
+        for (std::size_t j = 0; j < m; ++j) {
+          double aux = 0;
+          for (int d = 0; d < gpus; ++d) {
+            aux += aux_part[static_cast<std::size_t>(d) * k * m + p * m + j];
+          }
+          h[p * shape.m + j] *=
+              static_cast<float>(aux / std::max(acc, 1e-12));
+        }
+      }
+    }
+    // MPI_Bcast of H: host-staged to every device, serialized by rank 0.
+    for (int d = 0; d < gpus; ++d) {
+      Dev& dv = devs[static_cast<std::size_t>(d)];
+      node.advance_host_us(mpi_us);
+      node.memcpy_h2d(dv.stream, dv.h, 0, h.data(), k * m * 4);
+      node.synchronize();
+    }
+
+    // --- W update ------------------------------------------------------------
+    for (int d = 0; d < gpus; ++d) {
+      vtilde_kernel(devs[static_cast<std::size_t>(d)], d);
+    }
+    for (int d = 0; d < gpus; ++d) {
+      Dev& dv = devs[static_cast<std::size_t>(d)];
+      sim::LaunchStats st;
+      st.label = "nmfmgpu::wupdate";
+      st.blocks = std::max<std::uint64_t>(16, dv.rows * m / 2048);
+      st.flops = 2ull * dv.rows * k * m;
+      st.global_bytes_read = (dv.rows * (k + m) + k * m) * 4;
+      st.global_bytes_written = dv.rows * k * 4;
+      st.flop_efficiency = node.spec(d).gemm_efficiency * eff_scale(d);
+      float* ww = dv.w->has_backing() ? dv.w->as<float>() : nullptr;
+      const float* vt = dv.vt->has_backing() ? dv.vt->as<float>() : nullptr;
+      const float* hh = dv.h->has_backing() ? dv.h->as<float>() : nullptr;
+      const std::size_t rows = dv.rows;
+      node.launch(dv.stream, st, [=] {
+        std::vector<float> hsum(k, 0.0f);
+        for (std::size_t p = 0; p < k; ++p) {
+          for (std::size_t j = 0; j < m; ++j) {
+            hsum[p] += hh[p * m + j];
+          }
+        }
+        for (std::size_t i = 0; i < rows; ++i) {
+          for (std::size_t p = 0; p < k; ++p) {
+            float aux = 0.0f;
+            for (std::size_t j = 0; j < m; ++j) {
+              aux += vt[i * m + j] * hh[p * m + j];
+            }
+            ww[i * k + p] *= aux / std::max(hsum[p], kEps);
+          }
+        }
+      });
+    }
+    node.synchronize(); // per-iteration barrier
+  }
+  // Read W back.
+  for (int d = 0; d < gpus; ++d) {
+    Dev& dv = devs[static_cast<std::size_t>(d)];
+    node.memcpy_d2h(dv.stream, w.data() + dv.row0 * k, dv.w, 0,
+                    dv.rows * k * 4);
+  }
+  node.synchronize();
+
+  Result r;
+  r.sim_ms = node.now_ms() - t0;
+  r.iterations_per_s = iterations / (r.sim_ms * 1e-3);
+  if (functional) {
+    r.final_error = reconstruction_error(v, w, h, shape);
+  }
+  for (auto& dv : devs) {
+    node.free_device(dv.v);
+    node.free_device(dv.vt);
+    node.free_device(dv.w);
+    node.free_device(dv.h);
+    node.free_device(dv.aux);
+    node.free_device(dv.acc);
+  }
+  return r;
+}
+
+} // namespace nmf

@@ -1,0 +1,55 @@
+// Non-negative Matrix Factorization (paper §6.2, Fig 12-13).
+//
+// Given V (n x m), find W (n x k), H (k x m) with V ~= W H, via the
+// multiplicative update rules of Brunet et al. The MAPS-Multi implementation
+// follows the paper's memory-oriented task breakdown (Fig 12): V-tilde, Aux
+// and Acc are computed in independent row stripes so no device ever holds
+// the full V; the only inter-GPU exchanges happen twice per iteration,
+// around the H update (the W update is fully stripe-local given the
+// replicated H).
+//
+// The baseline reproduces NMF-mGPU: hand-tuned Kepler kernels whose
+// multi-GPU exchanges run over MPI, passing through the host with IPC
+// latencies (the paper's diagnosis of its inferior scaling).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "multi/maps_multi.hpp"
+#include "sim/node.hpp"
+
+namespace nmf {
+
+struct Result {
+  double sim_ms = 0;       ///< Simulated time for the timed iterations.
+  double iterations_per_s = 0;
+  double final_error = 0;  ///< ||V - WH||_F / ||V||_F (Functional mode only).
+};
+
+/// Problem dimensions; the paper factorizes 16K x 4K with k = 128.
+struct Shape {
+  std::size_t n = 16384, m = 4096, k = 128;
+};
+
+/// Deterministic non-negative test matrix with planted structure.
+std::vector<float> synthetic_v(const Shape& shape, unsigned seed = 3);
+
+/// Relative Frobenius reconstruction error on the host.
+double reconstruction_error(const std::vector<float>& v,
+                            const std::vector<float>& w,
+                            const std::vector<float>& h, const Shape& shape);
+
+/// MAPS-Multi NMF (Fig 12 task graph). W and H are initialized internally
+/// (seeded); on return (Functional mode) they hold the factorization.
+Result run_maps(maps::multi::Scheduler& sched, std::vector<float>& v,
+                std::vector<float>& w, std::vector<float>& h,
+                const Shape& shape, int iterations);
+
+/// NMF-mGPU-style baseline: same math, Kepler-tuned kernels, MPI/host-staged
+/// exchanges, synchronous steps. Runs directly against the simulator.
+Result run_mgpu_baseline(sim::Node& node, std::vector<float>& v,
+                         std::vector<float>& w, std::vector<float>& h,
+                         const Shape& shape, int iterations, int gpus);
+
+} // namespace nmf

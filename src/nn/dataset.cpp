@@ -1,0 +1,61 @@
+#include "nn/dataset.hpp"
+
+#include <algorithm>
+#include <random>
+
+namespace nn {
+
+SyntheticDigits::SyntheticDigits(std::size_t count, std::size_t image_size,
+                                 std::size_t classes, unsigned seed)
+    : image_size_(image_size) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> noise(-0.1f, 0.1f);
+  std::uniform_int_distribution<int> shift(-1, 1);
+
+  // Class templates: each class lights one block of a 4x3 grid plus a
+  // class-specific diagonal stroke — cleanly separable (like digit strokes)
+  // yet still requiring spatial feature extraction under shift and noise.
+  std::vector<std::vector<float>> templates(classes);
+  const std::size_t cell = std::max<std::size_t>(3, image_size / 4);
+  for (std::size_t c = 0; c < classes; ++c) {
+    auto& t = templates[c];
+    t.assign(image_elems(), 0.0f);
+    const std::size_t gy = (c % 3) * cell + 1;
+    const std::size_t gx = (c / 3) * (cell - 1) + 1;
+    for (std::size_t dy = 0; dy < cell && gy + dy < image_size; ++dy) {
+      for (std::size_t dx = 0; dx < cell && gx + dx < image_size; ++dx) {
+        t[(gy + dy) * image_size + gx + dx] = 0.9f;
+      }
+    }
+    // Diagonal stroke whose direction alternates by class parity.
+    for (std::size_t d = 0; d < image_size; ++d) {
+      const std::size_t x = (c % 2 == 0) ? d : image_size - 1 - d;
+      t[d * image_size + x] = std::max(t[d * image_size + x], 0.7f);
+    }
+  }
+
+  pixels_.resize(count * image_elems());
+  labels_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto label = static_cast<int>(rng() % classes);
+    labels_[i] = label;
+    const auto& t = templates[static_cast<std::size_t>(label)];
+    const int sy = shift(rng), sx = shift(rng);
+    float* img = pixels_.data() + i * image_elems();
+    for (std::size_t y = 0; y < image_size; ++y) {
+      for (std::size_t x = 0; x < image_size; ++x) {
+        const long ty = static_cast<long>(y) - sy;
+        const long tx = static_cast<long>(x) - sx;
+        float v = 0.0f;
+        if (ty >= 0 && tx >= 0 && ty < static_cast<long>(image_size) &&
+            tx < static_cast<long>(image_size)) {
+          v = t[static_cast<std::size_t>(ty) * image_size +
+                static_cast<std::size_t>(tx)];
+        }
+        img[y * image_size + x] = std::clamp(v + noise(rng), 0.0f, 1.0f);
+      }
+    }
+  }
+}
+
+} // namespace nn

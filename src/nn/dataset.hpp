@@ -1,0 +1,37 @@
+// Synthetic digit dataset — the reproduction's substitute for MNIST
+// (DESIGN.md §2): the paper's throughput experiments need realistic tensor
+// shapes (70,000 28x28 grayscale digits, batches of 2048), not real pixels.
+//
+// Each class is a fixed random blob pattern; samples are noisy, shifted
+// instances of their class template, so a LeNet genuinely learns to
+// classify them (convergence is asserted in tests).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nn {
+
+class SyntheticDigits {
+public:
+  SyntheticDigits(std::size_t count, std::size_t image_size = 28,
+                  std::size_t classes = 10, unsigned seed = 17);
+
+  std::size_t size() const { return labels_.size(); }
+  std::size_t image_elems() const { return image_size_ * image_size_; }
+
+  /// Pixel buffer of sample range [begin, begin+n), row-major.
+  const float* images(std::size_t begin = 0) const {
+    return pixels_.data() + begin * image_elems();
+  }
+  const int* labels(std::size_t begin = 0) const {
+    return labels_.data() + begin;
+  }
+
+private:
+  std::size_t image_size_;
+  std::vector<float> pixels_;
+  std::vector<int> labels_;
+};
+
+} // namespace nn

@@ -1,0 +1,269 @@
+#include "nn/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace nn {
+
+void conv_forward(const float* x, const float* w, const float* b, float* y,
+                  std::size_t batch, const ConvShape& s, bool relu) {
+  const std::size_t oh = s.out_h(), ow = s.out_w();
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* xn = x + n * s.in_size();
+    float* yn = y + n * s.out_size();
+    for (std::size_t oc = 0; oc < s.out_c; ++oc) {
+      float* yc = yn + oc * oh * ow;
+      const float bias = b != nullptr ? b[oc] : 0.0f;
+      for (std::size_t i = 0; i < oh * ow; ++i) {
+        yc[i] = bias;
+      }
+      for (std::size_t ic = 0; ic < s.in_c; ++ic) {
+        const float* xc = xn + ic * s.in_h * s.in_w;
+        const float* wk = w + (oc * s.in_c + ic) * s.k * s.k;
+        for (std::size_t ky = 0; ky < s.k; ++ky) {
+          for (std::size_t kx = 0; kx < s.k; ++kx) {
+            const float wv = wk[ky * s.k + kx];
+            if (wv == 0.0f) {
+              continue;
+            }
+            for (std::size_t y0 = 0; y0 < oh; ++y0) {
+              const float* xrow = xc + (y0 + ky) * s.in_w + kx;
+              float* yrow = yc + y0 * ow;
+              for (std::size_t x0 = 0; x0 < ow; ++x0) {
+                yrow[x0] += wv * xrow[x0];
+              }
+            }
+          }
+        }
+      }
+      if (relu) {
+        for (std::size_t i = 0; i < oh * ow; ++i) {
+          yc[i] = std::max(yc[i], 0.0f);
+        }
+      }
+    }
+  }
+}
+
+void conv_backward_data(const float* dy, const float* y, const float* w,
+                        float* dx, std::size_t batch, const ConvShape& s,
+                        bool relu) {
+  if (dx == nullptr) {
+    return;
+  }
+  const std::size_t oh = s.out_h(), ow = s.out_w();
+  std::memset(dx, 0, batch * s.in_size() * sizeof(float));
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* dyn = dy + n * s.out_size();
+    const float* yn = y + n * s.out_size();
+    float* dxn = dx + n * s.in_size();
+    for (std::size_t oc = 0; oc < s.out_c; ++oc) {
+      const float* dyc = dyn + oc * oh * ow;
+      const float* yc = yn + oc * oh * ow;
+      for (std::size_t ic = 0; ic < s.in_c; ++ic) {
+        float* dxc = dxn + ic * s.in_h * s.in_w;
+        const float* wk = w + (oc * s.in_c + ic) * s.k * s.k;
+        for (std::size_t y0 = 0; y0 < oh; ++y0) {
+          for (std::size_t x0 = 0; x0 < ow; ++x0) {
+            float g = dyc[y0 * ow + x0];
+            if (relu && yc[y0 * ow + x0] <= 0.0f) {
+              continue;
+            }
+            if (g == 0.0f) {
+              continue;
+            }
+            for (std::size_t ky = 0; ky < s.k; ++ky) {
+              float* dxrow = dxc + (y0 + ky) * s.in_w + x0;
+              const float* wrow = wk + ky * s.k;
+              for (std::size_t kx = 0; kx < s.k; ++kx) {
+                dxrow[kx] += g * wrow[kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void conv_backward_filter(const float* x, const float* dy, const float* y,
+                          float* dw, float* db, std::size_t batch,
+                          const ConvShape& s, bool relu) {
+  const std::size_t oh = s.out_h(), ow = s.out_w();
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* xn = x + n * s.in_size();
+    const float* dyn = dy + n * s.out_size();
+    const float* yn = y + n * s.out_size();
+    for (std::size_t oc = 0; oc < s.out_c; ++oc) {
+      const float* dyc = dyn + oc * oh * ow;
+      const float* yc = yn + oc * oh * ow;
+      for (std::size_t y0 = 0; y0 < oh; ++y0) {
+        for (std::size_t x0 = 0; x0 < ow; ++x0) {
+          float g = dyc[y0 * ow + x0];
+          if (relu && yc[y0 * ow + x0] <= 0.0f) {
+            continue;
+          }
+          if (g == 0.0f) {
+            continue;
+          }
+          db[oc] += g;
+          for (std::size_t ic = 0; ic < s.in_c; ++ic) {
+            const float* xc = xn + ic * s.in_h * s.in_w;
+            float* wk = dw + (oc * s.in_c + ic) * s.k * s.k;
+            for (std::size_t ky = 0; ky < s.k; ++ky) {
+              const float* xrow = xc + (y0 + ky) * s.in_w + x0;
+              float* wrow = wk + ky * s.k;
+              for (std::size_t kx = 0; kx < s.k; ++kx) {
+                wrow[kx] += g * xrow[kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void maxpool_forward(const float* x, float* y, std::size_t batch,
+                     std::size_t c, std::size_t h, std::size_t w) {
+  const std::size_t oh = h / 2, ow = w / 2;
+  for (std::size_t n = 0; n < batch * c; ++n) {
+    const float* xc = x + n * h * w;
+    float* yc = y + n * oh * ow;
+    for (std::size_t i = 0; i < oh; ++i) {
+      for (std::size_t j = 0; j < ow; ++j) {
+        const std::size_t base = 2 * i * w + 2 * j;
+        yc[i * ow + j] =
+            std::max(std::max(xc[base], xc[base + 1]),
+                     std::max(xc[base + w], xc[base + w + 1]));
+      }
+    }
+  }
+}
+
+void maxpool_backward(const float* x, const float* dy, float* dx,
+                      std::size_t batch, std::size_t c, std::size_t h,
+                      std::size_t w) {
+  const std::size_t oh = h / 2, ow = w / 2;
+  std::memset(dx, 0, batch * c * h * w * sizeof(float));
+  for (std::size_t n = 0; n < batch * c; ++n) {
+    const float* xc = x + n * h * w;
+    const float* dyc = dy + n * oh * ow;
+    float* dxc = dx + n * h * w;
+    for (std::size_t i = 0; i < oh; ++i) {
+      for (std::size_t j = 0; j < ow; ++j) {
+        const std::size_t base = 2 * i * w + 2 * j;
+        const std::size_t idx[4] = {base, base + 1, base + w, base + w + 1};
+        std::size_t best = idx[0];
+        for (int t = 1; t < 4; ++t) {
+          if (xc[idx[t]] > xc[best]) {
+            best = idx[t];
+          }
+        }
+        dxc[best] += dyc[i * ow + j];
+      }
+    }
+  }
+}
+
+void fc_forward(const float* x, const float* w, const float* b, float* y,
+                std::size_t batch, std::size_t in, std::size_t out,
+                bool relu) {
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* xn = x + n * in;
+    float* yn = y + n * out;
+    for (std::size_t o = 0; o < out; ++o) {
+      float acc = b != nullptr ? b[o] : 0.0f;
+      const float* wo = w + o * in;
+      for (std::size_t i = 0; i < in; ++i) {
+        acc += xn[i] * wo[i];
+      }
+      yn[o] = relu ? std::max(acc, 0.0f) : acc;
+    }
+  }
+}
+
+void fc_backward(const float* x, const float* y, const float* w,
+                 const float* dy, float* dx, float* dw, float* db,
+                 std::size_t batch, std::size_t in, std::size_t out,
+                 bool relu) {
+  if (dx != nullptr) {
+    std::memset(dx, 0, batch * in * sizeof(float));
+  }
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* xn = x + n * in;
+    const float* yn = y + n * out;
+    const float* dyn = dy + n * out;
+    float* dxn = dx != nullptr ? dx + n * in : nullptr;
+    for (std::size_t o = 0; o < out; ++o) {
+      float g = dyn[o];
+      if (relu && yn[o] <= 0.0f) {
+        continue;
+      }
+      if (g == 0.0f) {
+        continue;
+      }
+      db[o] += g;
+      const float* wo = w + o * in;
+      float* dwo = dw + o * in;
+      for (std::size_t i = 0; i < in; ++i) {
+        dwo[i] += g * xn[i];
+        if (dxn != nullptr) {
+          dxn[i] += g * wo[i];
+        }
+      }
+    }
+  }
+}
+
+void softmax_xent(const float* logits, const int* labels, float* dlogits,
+                  float* loss_accum, std::size_t batch,
+                  std::size_t batch_total, std::size_t classes) {
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* ln = logits + n * classes;
+    float* dn = dlogits + n * classes;
+    float maxv = ln[0];
+    for (std::size_t c = 1; c < classes; ++c) {
+      maxv = std::max(maxv, ln[c]);
+    }
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < classes; ++c) {
+      dn[c] = std::exp(ln[c] - maxv);
+      sum += dn[c];
+    }
+    const auto label = static_cast<std::size_t>(labels[n]);
+    for (std::size_t c = 0; c < classes; ++c) {
+      const float p = dn[c] / sum;
+      dn[c] = (p - (c == label ? 1.0f : 0.0f)) /
+              static_cast<float>(batch_total);
+      if (c == label) {
+        *loss_accum += -std::log(std::max(p, 1e-12f));
+      }
+    }
+  }
+}
+
+std::size_t count_correct(const float* logits, const int* labels,
+                          std::size_t batch, std::size_t classes) {
+  std::size_t correct = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* ln = logits + n * classes;
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < classes; ++c) {
+      if (ln[c] > ln[best]) {
+        best = c;
+      }
+    }
+    correct += best == static_cast<std::size_t>(labels[n]) ? 1 : 0;
+  }
+  return correct;
+}
+
+void sgd_step(float* w, const float* dw, std::size_t n, float lr) {
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] -= lr * dw[i];
+  }
+}
+
+} // namespace nn

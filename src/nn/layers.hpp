@@ -1,0 +1,79 @@
+// CPU reference math for the deep-learning substrate (paper §6.1).
+//
+// These are the functional bodies of the simulated GPU routines: 4-D
+// multi-convolution (each image convolved with several filters, Window(3D)
+// input / Structured Injective output in the paper's classification),
+// max-pooling, fully connected layers (Block(2D) x Block(2D-Transposed)) and
+// softmax cross-entropy. All tensors are row-major with the batch dimension
+// outermost; convolutions are "valid" (no padding), pooling is 2x2 stride 2,
+// exactly the LeNet configuration of the paper's evaluation.
+#pragma once
+
+#include <cstddef>
+
+namespace nn {
+
+/// Convolution layer geometry (valid convolution, square kernels).
+struct ConvShape {
+  std::size_t in_c = 1, in_h = 0, in_w = 0;
+  std::size_t out_c = 1, k = 5;
+  std::size_t out_h() const { return in_h - k + 1; }
+  std::size_t out_w() const { return in_w - k + 1; }
+  std::size_t in_size() const { return in_c * in_h * in_w; }
+  std::size_t out_size() const { return out_c * out_h() * out_w(); }
+  std::size_t weight_count() const { return out_c * in_c * k * k; }
+  /// FLOPs of one forward pass over `batch` images.
+  double forward_flops(std::size_t batch) const {
+    return 2.0 * static_cast<double>(batch) * static_cast<double>(out_c) *
+           static_cast<double>(in_c) * static_cast<double>(k * k) *
+           static_cast<double>(out_h() * out_w());
+  }
+};
+
+/// y = conv(x, w) + b, optionally ReLU'd. w layout: [out_c][in_c][k][k].
+void conv_forward(const float* x, const float* w, const float* b, float* y,
+                  std::size_t batch, const ConvShape& s, bool relu);
+
+/// dx = conv_backward_data(dy, w); pass dx = nullptr to skip (first layer).
+/// If relu, dy is masked by (y > 0) first (y = stored post-activation).
+void conv_backward_data(const float* dy, const float* y, const float* w,
+                        float* dx, std::size_t batch, const ConvShape& s,
+                        bool relu);
+
+/// Accumulates filter/bias gradients: dw += x (*) dy, db += sum(dy).
+void conv_backward_filter(const float* x, const float* dy, const float* y,
+                          float* dw, float* db, std::size_t batch,
+                          const ConvShape& s, bool relu);
+
+/// 2x2 stride-2 max pooling over [batch][c][h][w] (h, w even).
+void maxpool_forward(const float* x, float* y, std::size_t batch,
+                     std::size_t c, std::size_t h, std::size_t w);
+/// Routes dy back to the argmax positions (recomputed from x).
+void maxpool_backward(const float* x, const float* dy, float* dx,
+                      std::size_t batch, std::size_t c, std::size_t h,
+                      std::size_t w);
+
+/// y[batch][out] = x[batch][in] * W^T + b, W layout [out][in]; optional ReLU.
+void fc_forward(const float* x, const float* w, const float* b, float* y,
+                std::size_t batch, std::size_t in, std::size_t out, bool relu);
+/// dx = dy W (nullptr to skip); dw += dy^T x; db += colsum(dy); masked by
+/// (y > 0) when relu.
+void fc_backward(const float* x, const float* y, const float* w,
+                 const float* dy, float* dx, float* dw, float* db,
+                 std::size_t batch, std::size_t in, std::size_t out,
+                 bool relu);
+
+/// Softmax + cross-entropy: writes dlogits = (softmax - onehot)/batch_total
+/// and accumulates the summed loss into *loss_accum.
+void softmax_xent(const float* logits, const int* labels, float* dlogits,
+                  float* loss_accum, std::size_t batch,
+                  std::size_t batch_total, std::size_t classes);
+
+/// Counts correct argmax predictions.
+std::size_t count_correct(const float* logits, const int* labels,
+                          std::size_t batch, std::size_t classes);
+
+/// SGD step: w -= lr * dw over n elements.
+void sgd_step(float* w, const float* dw, std::size_t n, float lr);
+
+} // namespace nn

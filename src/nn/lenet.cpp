@@ -1,0 +1,155 @@
+#include "nn/lenet.hpp"
+
+#include <cmath>
+
+namespace nn {
+
+std::size_t LeNetConfig::param_count() const {
+  const ConvShape c1 = conv1(), c2 = conv2();
+  return c1.weight_count() + c1.out_c + c2.weight_count() + c2.out_c +
+         fc1_units * fc1_inputs() + fc1_units + classes * fc1_units + classes;
+}
+
+double LeNetConfig::train_flops_per_image() const {
+  const ConvShape c1 = conv1(), c2 = conv2();
+  const double fwd = c1.forward_flops(1) + c2.forward_flops(1) +
+                     2.0 * static_cast<double>(fc1_units * fc1_inputs()) +
+                     2.0 * static_cast<double>(classes * fc1_units);
+  return 3.0 * fwd; // backward ~ 2x forward
+}
+
+namespace {
+std::vector<float> init_weights(std::size_t n, std::size_t fan_in,
+                                std::mt19937& rng) {
+  std::normal_distribution<float> dist(
+      0.0f, std::sqrt(2.0f / static_cast<float>(fan_in)));
+  std::vector<float> w(n);
+  for (auto& v : w) {
+    v = dist(rng);
+  }
+  return w;
+}
+} // namespace
+
+LeNetParams::LeNetParams(const LeNetConfig& config, unsigned seed)
+    : cfg(config) {
+  std::mt19937 rng(seed);
+  const ConvShape c1 = cfg.conv1(), c2 = cfg.conv2();
+  conv1_w = init_weights(c1.weight_count(), c1.in_c * c1.k * c1.k, rng);
+  conv1_b.assign(c1.out_c, 0.0f);
+  conv2_w = init_weights(c2.weight_count(), c2.in_c * c2.k * c2.k, rng);
+  conv2_b.assign(c2.out_c, 0.0f);
+  fc1_w = init_weights(cfg.fc1_units * cfg.fc1_inputs(), cfg.fc1_inputs(), rng);
+  fc1_b.assign(cfg.fc1_units, 0.0f);
+  fc2_w = init_weights(cfg.classes * cfg.fc1_units, cfg.fc1_units, rng);
+  fc2_b.assign(cfg.classes, 0.0f);
+  zero_grads();
+}
+
+void LeNetParams::zero_grads() {
+  g_conv1_w.assign(conv1_w.size(), 0.0f);
+  g_conv1_b.assign(conv1_b.size(), 0.0f);
+  g_conv2_w.assign(conv2_w.size(), 0.0f);
+  g_conv2_b.assign(conv2_b.size(), 0.0f);
+  g_fc1_w.assign(fc1_w.size(), 0.0f);
+  g_fc1_b.assign(fc1_b.size(), 0.0f);
+  g_fc2_w.assign(fc2_w.size(), 0.0f);
+  g_fc2_b.assign(fc2_b.size(), 0.0f);
+}
+
+void LeNetParams::sgd(float lr) {
+  sgd_step(conv1_w.data(), g_conv1_w.data(), conv1_w.size(), lr);
+  sgd_step(conv1_b.data(), g_conv1_b.data(), conv1_b.size(), lr);
+  sgd_step(conv2_w.data(), g_conv2_w.data(), conv2_w.size(), lr);
+  sgd_step(conv2_b.data(), g_conv2_b.data(), conv2_b.size(), lr);
+  sgd_step(fc1_w.data(), g_fc1_w.data(), fc1_w.size(), lr);
+  sgd_step(fc1_b.data(), g_fc1_b.data(), fc1_b.size(), lr);
+  sgd_step(fc2_w.data(), g_fc2_w.data(), fc2_w.size(), lr);
+  sgd_step(fc2_b.data(), g_fc2_b.data(), fc2_b.size(), lr);
+}
+
+LeNetActivations::LeNetActivations(const LeNetConfig& config,
+                                   std::size_t batch_size)
+    : batch(batch_size) {
+  const ConvShape c1 = config.conv1(), c2 = config.conv2();
+  conv1.resize(batch * c1.out_size());
+  pool1.resize(batch * c2.in_size());
+  conv2.resize(batch * c2.out_size());
+  pool2.resize(batch * config.fc1_inputs());
+  fc1.resize(batch * config.fc1_units);
+  logits.resize(batch * config.classes);
+  dlogits.resize(batch * config.classes);
+  d_fc1.resize(batch * config.fc1_units);
+  d_pool2.resize(batch * config.fc1_inputs());
+  d_conv2.resize(batch * c2.out_size());
+  d_pool1.resize(batch * c2.in_size());
+  d_conv1.resize(batch * c1.out_size());
+}
+
+float lenet_train_step(LeNetParams& p, LeNetActivations& a,
+                       const float* images, const int* labels,
+                       std::size_t batch, std::size_t batch_total) {
+  const LeNetConfig& cfg = p.cfg;
+  const ConvShape c1 = cfg.conv1(), c2 = cfg.conv2();
+
+  // Forward.
+  conv_forward(images, p.conv1_w.data(), p.conv1_b.data(), a.conv1.data(),
+               batch, c1, /*relu=*/true);
+  maxpool_forward(a.conv1.data(), a.pool1.data(), batch, c1.out_c, c1.out_h(),
+                  c1.out_w());
+  conv_forward(a.pool1.data(), p.conv2_w.data(), p.conv2_b.data(),
+               a.conv2.data(), batch, c2, /*relu=*/true);
+  maxpool_forward(a.conv2.data(), a.pool2.data(), batch, c2.out_c, c2.out_h(),
+                  c2.out_w());
+  fc_forward(a.pool2.data(), p.fc1_w.data(), p.fc1_b.data(), a.fc1.data(),
+             batch, cfg.fc1_inputs(), cfg.fc1_units, /*relu=*/true);
+  fc_forward(a.fc1.data(), p.fc2_w.data(), p.fc2_b.data(), a.logits.data(),
+             batch, cfg.fc1_units, cfg.classes, /*relu=*/false);
+
+  // Loss.
+  float loss = 0.0f;
+  softmax_xent(a.logits.data(), labels, a.dlogits.data(), &loss, batch,
+               batch_total, cfg.classes);
+
+  // Backward.
+  fc_backward(a.fc1.data(), a.logits.data(), p.fc2_w.data(), a.dlogits.data(),
+              a.d_fc1.data(), p.g_fc2_w.data(), p.g_fc2_b.data(), batch,
+              cfg.fc1_units, cfg.classes, /*relu=*/false);
+  fc_backward(a.pool2.data(), a.fc1.data(), p.fc1_w.data(), a.d_fc1.data(),
+              a.d_pool2.data(), p.g_fc1_w.data(), p.g_fc1_b.data(), batch,
+              cfg.fc1_inputs(), cfg.fc1_units, /*relu=*/true);
+  maxpool_backward(a.conv2.data(), a.d_pool2.data(), a.d_conv2.data(), batch,
+                   c2.out_c, c2.out_h(), c2.out_w());
+  conv_backward_filter(a.pool1.data(), a.d_conv2.data(), a.conv2.data(),
+                       p.g_conv2_w.data(), p.g_conv2_b.data(), batch, c2,
+                       /*relu=*/true);
+  conv_backward_data(a.d_conv2.data(), a.conv2.data(), p.conv2_w.data(),
+                     a.d_pool1.data(), batch, c2, /*relu=*/true);
+  maxpool_backward(a.conv1.data(), a.d_pool1.data(), a.d_conv1.data(), batch,
+                   c1.out_c, c1.out_h(), c1.out_w());
+  conv_backward_filter(images, a.d_conv1.data(), a.conv1.data(),
+                       p.g_conv1_w.data(), p.g_conv1_b.data(), batch, c1,
+                       /*relu=*/true);
+  return loss;
+}
+
+std::size_t lenet_eval(const LeNetParams& p, const float* images,
+                       const int* labels, std::size_t batch) {
+  LeNetActivations a(p.cfg, batch);
+  const ConvShape c1 = p.cfg.conv1(), c2 = p.cfg.conv2();
+  conv_forward(images, p.conv1_w.data(), p.conv1_b.data(), a.conv1.data(),
+               batch, c1, true);
+  maxpool_forward(a.conv1.data(), a.pool1.data(), batch, c1.out_c, c1.out_h(),
+                  c1.out_w());
+  conv_forward(a.pool1.data(), p.conv2_w.data(), p.conv2_b.data(),
+               a.conv2.data(), batch, c2, true);
+  maxpool_forward(a.conv2.data(), a.pool2.data(), batch, c2.out_c, c2.out_h(),
+                  c2.out_w());
+  fc_forward(a.pool2.data(), p.fc1_w.data(), p.fc1_b.data(), a.fc1.data(),
+             batch, p.cfg.fc1_inputs(), p.cfg.fc1_units, true);
+  fc_forward(a.fc1.data(), p.fc2_w.data(), p.fc2_b.data(), a.logits.data(),
+             batch, p.cfg.fc1_units, p.cfg.classes, false);
+  return count_correct(a.logits.data(), labels, batch, p.cfg.classes);
+}
+
+} // namespace nn

@@ -1,0 +1,75 @@
+// LeNet — the convolutional network of the paper's deep-learning evaluation
+// (§6.1, Fig 10): conv(20@5x5) -> pool -> conv(50@5x5) -> pool ->
+// fc(500, ReLU) -> fc(10) -> softmax, trained on 28x28 digit images with
+// backpropagation.
+#pragma once
+
+#include <cstddef>
+#include <random>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace nn {
+
+struct LeNetConfig {
+  std::size_t image = 28;
+  std::size_t conv1_filters = 20;
+  std::size_t conv2_filters = 50;
+  std::size_t fc1_units = 500;
+  std::size_t classes = 10;
+  std::size_t kernel = 5;
+
+  ConvShape conv1() const {
+    return ConvShape{1, image, image, conv1_filters, kernel};
+  }
+  ConvShape conv2() const {
+    const std::size_t p1 = conv1().out_h() / 2;
+    return ConvShape{conv1_filters, p1, p1, conv2_filters, kernel};
+  }
+  std::size_t fc1_inputs() const {
+    const ConvShape c2 = conv2();
+    return c2.out_c * (c2.out_h() / 2) * (c2.out_w() / 2);
+  }
+  /// Total trainable parameters (the data-parallel exchange volume, §6.1).
+  std::size_t param_count() const;
+  /// Training FLOPs per image (forward + backward, approx. 3x forward).
+  double train_flops_per_image() const;
+};
+
+/// Host-resident parameters and gradients of one LeNet instance.
+struct LeNetParams {
+  explicit LeNetParams(const LeNetConfig& config, unsigned seed = 1);
+
+  LeNetConfig cfg;
+  std::vector<float> conv1_w, conv1_b, conv2_w, conv2_b;
+  std::vector<float> fc1_w, fc1_b, fc2_w, fc2_b;
+
+  std::vector<float> g_conv1_w, g_conv1_b, g_conv2_w, g_conv2_b;
+  std::vector<float> g_fc1_w, g_fc1_b, g_fc2_w, g_fc2_b;
+
+  void zero_grads();
+  void sgd(float lr);
+  std::size_t param_count() const { return cfg.param_count(); }
+};
+
+/// Intermediate activations for a batch (one device's share or the whole
+/// batch for the CPU reference).
+struct LeNetActivations {
+  LeNetActivations(const LeNetConfig& config, std::size_t batch);
+  std::size_t batch;
+  std::vector<float> conv1, pool1, conv2, pool2, fc1, logits, dlogits;
+  std::vector<float> d_fc1, d_pool2, d_conv2, d_pool1, d_conv1;
+};
+
+/// Full CPU training step (reference implementation used by tests and as
+/// the functional body of the simulated kernels): returns summed loss.
+float lenet_train_step(LeNetParams& params, LeNetActivations& acts,
+                       const float* images, const int* labels,
+                       std::size_t batch, std::size_t batch_total);
+
+/// Forward-only pass; returns number of correct predictions.
+std::size_t lenet_eval(const LeNetParams& params, const float* images,
+                       const int* labels, std::size_t batch);
+
+} // namespace nn

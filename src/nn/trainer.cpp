@@ -1,0 +1,932 @@
+#include "nn/trainer.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace nn {
+
+using namespace maps::multi;
+
+const char* to_string(Strategy s) {
+  switch (s) {
+  case Strategy::SingleGpu:
+    return "single-gpu (caffe-like)";
+  case Strategy::DataParallel:
+    return "data-parallel (MAPS-Multi)";
+  case Strategy::Hybrid:
+    return "hybrid data/model (MAPS-Multi)";
+  case Strategy::TorchLike:
+    return "torch-like baseline";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Enqueues one simulated layer kernel with tuned-library costs (all
+/// frameworks in Fig 11 use the same cuDNN v2 routines, hence the shared
+/// cost model).
+void layer_launch(RoutineArgs& a, const char* label, double flops,
+                  std::size_t bytes_read, std::size_t bytes_written,
+                  std::function<void()> body) {
+  sim::LaunchStats st;
+  st.label = label;
+  st.blocks = std::max<std::uint64_t>(8, (bytes_read + bytes_written) / 8192);
+  st.threads_per_block = 256;
+  st.flops = static_cast<std::uint64_t>(flops);
+  st.global_bytes_read = bytes_read;
+  st.global_bytes_written = bytes_written;
+  st.flop_efficiency = a.node->spec(a.sim_device).gemm_efficiency * 0.85;
+  a.node->launch(a.stream, st, std::move(body));
+}
+
+float* buf(sim::Buffer* b) {
+  return b != nullptr && b->has_backing() ? b->as<float>() : nullptr;
+}
+
+/// Per-device activation scratch, owned by the trainer — the
+/// programmer-generated context object pattern of Fig 5.
+struct DeviceScratch {
+  bool allocated = false;
+  sim::Buffer* conv1 = nullptr;
+  sim::Buffer* pool1 = nullptr;
+  sim::Buffer* conv2 = nullptr;
+  sim::Buffer* pool2 = nullptr;
+  sim::Buffer* fc1 = nullptr;
+  sim::Buffer* logits = nullptr;
+  sim::Buffer* dlogits = nullptr;
+  sim::Buffer* d_fc1 = nullptr;
+  sim::Buffer* d_pool2 = nullptr;
+  sim::Buffer* d_conv2 = nullptr;
+  sim::Buffer* d_pool1 = nullptr;
+  sim::Buffer* d_conv1 = nullptr;
+};
+
+} // namespace
+
+struct Trainer::Impl {
+  Scheduler& sched;
+  LeNetParams& params;
+  const SyntheticDigits& data;
+  std::size_t batch;
+  Strategy strategy;
+  float lr;
+  LeNetConfig cfg;
+
+  // --- Datums ---------------------------------------------------------------
+  Matrix<float> images; // [batch][pixels]
+  Vector<int> labels;
+  // Parameters. In the hybrid strategy, fc1's weights/bias are Matrices
+  // partitioned by output neuron — the paper's "single access pattern
+  // modification in the fully connected layers" (§6.1); everywhere else
+  // parameters are replicated vectors.
+  Vector<float> w_c1w, w_c1b, w_c2w, w_c2b, w_f1w_v, w_f1b_v, w_f2w, w_f2b;
+  Matrix<float> w_f1w_m, w_f1b_m;
+  Vector<float> g_c1w, g_c1b, g_c2w, g_c2b, g_f1w, g_f1b, g_f2w, g_f2b;
+  Vector<float> loss_d;
+  // Hybrid intermediates (the exchanged activations/deltas of Fig 10). The
+  // interface between the model-parallel FC part and the rest is the tiny
+  // logits tensor, so the frequent exchanges stay small (§6.1).
+  Matrix<float> pool2_out;  // [batch][fc1_in]
+  Matrix<float> fc1_act;    // [fc1_units][batch] — model-parallel layout
+  Matrix<float> logits_mp;  // [classes][batch] — summed partial logits
+  Matrix<float> dlogits_mp; // [batch][classes]
+  Matrix<float> g_f2w_mp;   // [fc1_units][classes] — neuron-partitioned
+  Matrix<float> d_pool2_d;  // [batch][fc1_in]
+  std::vector<float> d_pool2_host, pool2_host, fc1_act_host, logits_host,
+      dlogits_host, g_f2w_mp_host;
+
+  float loss_host = 0;
+  std::vector<DeviceScratch> scratch;
+  float last_loss = 0;
+
+  Impl(Scheduler& s, LeNetParams& p, const SyntheticDigits& d,
+       std::size_t batch_size, Strategy strat, float lr_in)
+      : sched(s), params(p), data(d), batch(batch_size), strategy(strat),
+        lr(lr_in), cfg(p.cfg),
+        images(d.image_elems(), batch, "images"), labels(batch, "labels"),
+        w_c1w(p.conv1_w.size(), "conv1_w"), w_c1b(p.conv1_b.size(), "conv1_b"),
+        w_c2w(p.conv2_w.size(), "conv2_w"), w_c2b(p.conv2_b.size(), "conv2_b"),
+        w_f1w_v(p.fc1_w.size(), "fc1_w"), w_f1b_v(p.fc1_b.size(), "fc1_b"),
+        w_f2w(p.fc2_w.size(), "fc2_w"), w_f2b(p.fc2_b.size(), "fc2_b"),
+        w_f1w_m(cfg.fc1_inputs(), cfg.fc1_units, "fc1_w_mp"),
+        w_f1b_m(1, cfg.fc1_units, "fc1_b_mp"),
+        g_c1w(p.g_conv1_w.size(), "g_conv1_w"),
+        g_c1b(p.g_conv1_b.size(), "g_conv1_b"),
+        g_c2w(p.g_conv2_w.size(), "g_conv2_w"),
+        g_c2b(p.g_conv2_b.size(), "g_conv2_b"),
+        g_f1w(p.g_fc1_w.size(), "g_fc1_w"), g_f1b(p.g_fc1_b.size(), "g_fc1_b"),
+        g_f2w(p.g_fc2_w.size(), "g_fc2_w"), g_f2b(p.g_fc2_b.size(), "g_fc2_b"),
+        loss_d(1, "loss"), pool2_out(cfg.fc1_inputs(), batch, "pool2_out"),
+        fc1_act(batch, cfg.fc1_units, "fc1_act"),
+        logits_mp(batch, cfg.classes, "logits_mp"),
+        dlogits_mp(cfg.classes, batch, "dlogits_mp"),
+        g_f2w_mp(cfg.classes, cfg.fc1_units, "g_fc2_w_mp"),
+        d_pool2_d(cfg.fc1_inputs(), batch, "d_pool2") {
+    w_c1w.Bind(p.conv1_w.data());
+    w_c1b.Bind(p.conv1_b.data());
+    w_c2w.Bind(p.conv2_w.data());
+    w_c2b.Bind(p.conv2_b.data());
+    w_f1w_v.Bind(p.fc1_w.data());
+    w_f1w_m.Bind(p.fc1_w.data());
+    w_f1b_v.Bind(p.fc1_b.data());
+    w_f1b_m.Bind(p.fc1_b.data());
+    w_f2w.Bind(p.fc2_w.data());
+    w_f2b.Bind(p.fc2_b.data());
+    g_c1w.Bind(p.g_conv1_w.data());
+    g_c1b.Bind(p.g_conv1_b.data());
+    g_c2w.Bind(p.g_conv2_w.data());
+    g_c2b.Bind(p.g_conv2_b.data());
+    g_f1w.Bind(p.g_fc1_w.data());
+    g_f1b.Bind(p.g_fc1_b.data());
+    g_f2w.Bind(p.g_fc2_w.data());
+    g_f2b.Bind(p.g_fc2_b.data());
+    loss_d.Bind(&loss_host);
+    pool2_host.resize(batch * cfg.fc1_inputs());
+    fc1_act_host.resize(batch * cfg.fc1_units);
+    logits_host.resize(batch * cfg.classes);
+    dlogits_host.resize(batch * cfg.classes);
+    g_f2w_mp_host.resize(cfg.classes * cfg.fc1_units);
+    d_pool2_host.resize(batch * cfg.fc1_inputs());
+    pool2_out.Bind(pool2_host.data());
+    fc1_act.Bind(fc1_act_host.data());
+    logits_mp.Bind(logits_host.data());
+    dlogits_mp.Bind(dlogits_host.data());
+    g_f2w_mp.Bind(g_f2w_mp_host.data());
+    d_pool2_d.Bind(d_pool2_host.data());
+    scratch.resize(static_cast<std::size_t>(sched.slots()));
+  }
+
+  DeviceScratch& ensure_scratch(RoutineArgs& a, std::size_t b_local) {
+    DeviceScratch& sc = scratch[static_cast<std::size_t>(a.device_idx)];
+    if (sc.allocated) {
+      return sc;
+    }
+    const ConvShape c1 = cfg.conv1(), c2 = cfg.conv2();
+    auto alloc = [&](std::size_t elems) {
+      return a.node->malloc_device(a.sim_device, elems * sizeof(float));
+    };
+    sc.conv1 = alloc(b_local * c1.out_size());
+    sc.pool1 = alloc(b_local * c2.in_size());
+    sc.conv2 = alloc(b_local * c2.out_size());
+    sc.pool2 = alloc(b_local * cfg.fc1_inputs());
+    sc.fc1 = alloc(b_local * cfg.fc1_units);
+    sc.logits = alloc(b_local * cfg.classes);
+    sc.dlogits = alloc(b_local * cfg.classes);
+    sc.d_fc1 = alloc(b_local * cfg.fc1_units);
+    sc.d_pool2 = alloc(b_local * cfg.fc1_inputs());
+    sc.d_conv2 = alloc(b_local * c2.out_size());
+    sc.d_pool1 = alloc(b_local * c2.in_size());
+    sc.d_conv1 = alloc(b_local * c1.out_size());
+    sc.allocated = true;
+    return sc;
+  }
+
+  // ==========================================================================
+  // Data-parallel (and torch-like) path: one fused fwd+bwd routine/iteration
+  // ==========================================================================
+
+  enum DpParam {
+    kImages = 0, kLabels, kC1w, kC1b, kC2w, kC2b, kF1w, kF1b, kF2w, kF2b,
+    kGc1w, kGc1b, kGc2w, kGc2b, kGf1w, kGf1b, kGf2w, kGf2b, kLoss,
+  };
+
+  bool dp_step(RoutineArgs& a) {
+    const std::size_t b_local = a.container_segments[kImages].m_dimensions[0];
+    if (b_local == 0) {
+      return true;
+    }
+    DeviceScratch& sc = ensure_scratch(a, b_local);
+    const ConvShape c1 = cfg.conv1(), c2 = cfg.conv2();
+    const std::size_t f1_in = cfg.fc1_inputs(), f1 = cfg.fc1_units,
+                      cls = cfg.classes;
+    const std::size_t bt = batch;
+    const LeNetConfig c = cfg;
+
+    const float* x = a.parameters[kImages].as<float>();
+    const int* lab = a.parameters[kLabels].as<int>();
+    const float* c1w = a.parameters[kC1w].as<float>();
+    const float* c1b = a.parameters[kC1b].as<float>();
+    const float* c2w = a.parameters[kC2w].as<float>();
+    const float* c2b = a.parameters[kC2b].as<float>();
+    const float* f1w = a.parameters[kF1w].as<float>();
+    const float* f1b = a.parameters[kF1b].as<float>();
+    const float* f2w = a.parameters[kF2w].as<float>();
+    const float* f2b = a.parameters[kF2b].as<float>();
+    float* gc1w = a.parameters[kGc1w].as<float>();
+    float* gc1b = a.parameters[kGc1b].as<float>();
+    float* gc2w = a.parameters[kGc2w].as<float>();
+    float* gc2b = a.parameters[kGc2b].as<float>();
+    float* gf1w = a.parameters[kGf1w].as<float>();
+    float* gf1b = a.parameters[kGf1b].as<float>();
+    float* gf2w = a.parameters[kGf2w].as<float>();
+    float* gf2b = a.parameters[kGf2b].as<float>();
+    float* loss = a.parameters[kLoss].as<float>();
+
+    // Forward.
+    layer_launch(a, "conv1_fwd", c1.forward_flops(b_local),
+                 b_local * c1.in_size() * 4, b_local * c1.out_size() * 4,
+                 [=] { conv_forward(x, c1w, c1b, buf(sc.conv1), b_local,
+                                    c.conv1(), true); });
+    layer_launch(a, "pool1", static_cast<double>(b_local * c2.in_size()),
+                 b_local * c1.out_size() * 4, b_local * c2.in_size() * 4,
+                 [=] {
+                   maxpool_forward(buf(sc.conv1), buf(sc.pool1), b_local,
+                                   c.conv1().out_c, c.conv1().out_h(),
+                                   c.conv1().out_w());
+                 });
+    layer_launch(a, "conv2_fwd", c2.forward_flops(b_local),
+                 b_local * c2.in_size() * 4, b_local * c2.out_size() * 4,
+                 [=] { conv_forward(buf(sc.pool1), c2w, c2b, buf(sc.conv2),
+                                    b_local, c.conv2(), true); });
+    layer_launch(a, "pool2", static_cast<double>(b_local * f1_in),
+                 b_local * c2.out_size() * 4, b_local * f1_in * 4, [=] {
+                   maxpool_forward(buf(sc.conv2), buf(sc.pool2), b_local,
+                                   c.conv2().out_c, c.conv2().out_h(),
+                                   c.conv2().out_w());
+                 });
+    layer_launch(a, "fc1_fwd", 2.0 * static_cast<double>(b_local * f1_in * f1),
+                 (b_local * f1_in + f1 * f1_in) * 4, b_local * f1 * 4, [=] {
+                   fc_forward(buf(sc.pool2), f1w, f1b, buf(sc.fc1), b_local,
+                              f1_in, f1, true);
+                 });
+    layer_launch(a, "fc2_fwd", 2.0 * static_cast<double>(b_local * f1 * cls),
+                 (b_local * f1 + cls * f1) * 4, b_local * cls * 4, [=] {
+                   fc_forward(buf(sc.fc1), f2w, f2b, buf(sc.logits), b_local,
+                              f1, cls, false);
+                 });
+    layer_launch(a, "softmax", static_cast<double>(b_local * cls * 8),
+                 b_local * cls * 4, b_local * cls * 4, [=] {
+                   softmax_xent(buf(sc.logits), lab, buf(sc.dlogits), loss,
+                                b_local, bt, cls);
+                 });
+    // Backward.
+    layer_launch(a, "fc2_bwd", 4.0 * static_cast<double>(b_local * f1 * cls),
+                 (b_local * (f1 + cls) + cls * f1) * 4,
+                 (b_local * f1 + cls * f1) * 4, [=] {
+                   fc_backward(buf(sc.fc1), buf(sc.logits), f2w,
+                               buf(sc.dlogits), buf(sc.d_fc1), gf2w, gf2b,
+                               b_local, f1, cls, false);
+                 });
+    layer_launch(a, "fc1_bwd",
+                 4.0 * static_cast<double>(b_local * f1_in * f1),
+                 (b_local * (f1 + f1_in) + f1 * f1_in) * 4,
+                 (b_local * f1_in + f1 * f1_in) * 4, [=] {
+                   fc_backward(buf(sc.pool2), buf(sc.fc1), f1w, buf(sc.d_fc1),
+                               buf(sc.d_pool2), gf1w, gf1b, b_local, f1_in,
+                               f1, true);
+                 });
+    layer_launch(a, "pool2_bwd", static_cast<double>(b_local * f1_in),
+                 b_local * f1_in * 4, b_local * c2.out_size() * 4, [=] {
+                   maxpool_backward(buf(sc.conv2), buf(sc.d_pool2),
+                                    buf(sc.d_conv2), b_local, c.conv2().out_c,
+                                    c.conv2().out_h(), c.conv2().out_w());
+                 });
+    layer_launch(a, "conv2_bwd", 2.0 * c2.forward_flops(b_local),
+                 b_local * (c2.in_size() + c2.out_size()) * 8,
+                 b_local * c2.in_size() * 4, [=] {
+                   conv_backward_filter(buf(sc.pool1), buf(sc.d_conv2),
+                                        buf(sc.conv2), gc2w, gc2b, b_local,
+                                        c.conv2(), true);
+                   conv_backward_data(buf(sc.d_conv2), buf(sc.conv2), c2w,
+                                      buf(sc.d_pool1), b_local, c.conv2(),
+                                      true);
+                 });
+    layer_launch(a, "pool1_bwd", static_cast<double>(b_local * c2.in_size()),
+                 b_local * c2.in_size() * 4, b_local * c1.out_size() * 4,
+                 [=] {
+                   maxpool_backward(buf(sc.conv1), buf(sc.d_pool1),
+                                    buf(sc.d_conv1), b_local, c.conv1().out_c,
+                                    c.conv1().out_h(), c.conv1().out_w());
+                 });
+    layer_launch(a, "conv1_bwd", c1.forward_flops(b_local),
+                 b_local * (c1.in_size() + c1.out_size()) * 4,
+                 c1.weight_count() * 4, [=] {
+                   conv_backward_filter(x, buf(sc.d_conv1), buf(sc.conv1),
+                                        gc1w, gc1b, b_local, c.conv1(), true);
+                 });
+    return true;
+  }
+
+  /// Single-device SGD update routine used by the torch-like baseline:
+  /// all weight updates happen on GPU 0 (§6.1's diagnosis). One task per
+  /// parameter tensor; parameters = { w (aligned in), g (replicated in),
+  /// w (aligned out) }.
+  bool gpu0_update(RoutineArgs& a) {
+    const float step = lr;
+    float* w = a.parameters[0].as<float>();
+    const float* g = a.parameters[1].as<float>();
+    const std::size_t n = a.container_segments[0].m_dimensions[0];
+    sim::LaunchStats st;
+    st.label = "sgd_update";
+    st.blocks = std::max<std::uint64_t>(1, n / 256);
+    st.flops = 2 * n;
+    st.global_bytes_read = 2 * n * 4;
+    st.global_bytes_written = n * 4;
+    a.node->launch(a.stream, st, [w, g, n, step] {
+      if (w != nullptr) {
+        sgd_step(w, g, n, step);
+      }
+    });
+    return true;
+  }
+
+  /// Issues the torch-like single-GPU update for one parameter vector.
+  void gpu0_update_task(Vector<float>& w, Vector<float>& g) {
+    auto update = [this](RoutineArgs& a) { return gpu0_update(a); };
+    sched.InvokeUnmodified(update, nullptr,
+                           Work{w.length(), 1, /*single_device=*/true},
+                           Block2D<float>(static_cast<Datum&>(w)),
+                           Block1D<float>(g),
+                           StructuredInjective<float, 1>(w));
+  }
+
+  void dp_iteration(std::size_t offset, bool torch_like) {
+    images.BindRaw(const_cast<float*>(data.images(offset)));
+    labels.BindRaw(const_cast<int*>(data.labels(offset)));
+    sched.MarkHostModified(images);
+    sched.MarkHostModified(labels);
+    loss_host = 0;
+
+    auto routine = [this](RoutineArgs& a) { return dp_step(a); };
+    sched.InvokeUnmodified(
+        routine, nullptr, Work{batch}, Block2D<float>(images),
+        Block2D<int>(static_cast<Datum&>(labels)), Block1D<float>(w_c1w),
+        Block1D<float>(w_c1b), Block1D<float>(w_c2w), Block1D<float>(w_c2b),
+        Block1D<float>(w_f1w_v), Block1D<float>(w_f1b_v),
+        Block1D<float>(w_f2w), Block1D<float>(w_f2b), SumReduced<float>(g_c1w),
+        SumReduced<float>(g_c1b), SumReduced<float>(g_c2w),
+        SumReduced<float>(g_c2b), SumReduced<float>(g_f1w),
+        SumReduced<float>(g_f1b), SumReduced<float>(g_f2w),
+        SumReduced<float>(g_f2b), SumReduced<float>(loss_d));
+
+    if (!torch_like) {
+      // MAPS data-parallel: gather the summed gradients, update on the host,
+      // re-upload parameters next iteration.
+      for (Datum* g : {static_cast<Datum*>(&g_c1w), static_cast<Datum*>(&g_c1b),
+                       static_cast<Datum*>(&g_c2w), static_cast<Datum*>(&g_c2b),
+                       static_cast<Datum*>(&g_f1w), static_cast<Datum*>(&g_f1b),
+                       static_cast<Datum*>(&g_f2w),
+                       static_cast<Datum*>(&g_f2b)}) {
+        sched.GatherAsync(*g);
+      }
+      sched.GatherAsync(loss_d);
+      sched.WaitAll();
+      // Host-side SGD (vectorized; cost modeled on the simulated clock).
+      sched.node().advance_host_us(
+          10.0 + static_cast<double>(params.param_count()) * 0.4e-3);
+      params.sgd(lr);
+      for (Datum* w : {static_cast<Datum*>(&w_c1w), static_cast<Datum*>(&w_c1b),
+                       static_cast<Datum*>(&w_c2w), static_cast<Datum*>(&w_c2b),
+                       static_cast<Datum*>(&w_f1w_v),
+                       static_cast<Datum*>(&w_f1b_v),
+                       static_cast<Datum*>(&w_f2w),
+                       static_cast<Datum*>(&w_f2b)}) {
+        sched.MarkHostModified(*w);
+      }
+    } else {
+      // Torch-like: gradients pass through the host, the update runs on a
+      // single GPU, parameters are broadcast from it, and every iteration
+      // performs unnecessary device-to-host copies plus a blocking sync.
+
+      for (Datum* g : {static_cast<Datum*>(&g_c1w), static_cast<Datum*>(&g_c1b),
+                       static_cast<Datum*>(&g_c2w), static_cast<Datum*>(&g_c2b),
+                       static_cast<Datum*>(&g_f1w), static_cast<Datum*>(&g_f1b),
+                       static_cast<Datum*>(&g_f2w),
+                       static_cast<Datum*>(&g_f2b)}) {
+        sched.GatherAsync(*g);
+      }
+      sched.GatherAsync(loss_d);
+      sched.WaitAll();
+      gpu0_update_task(w_c1w, g_c1w);
+      gpu0_update_task(w_c1b, g_c1b);
+      gpu0_update_task(w_c2w, g_c2w);
+      gpu0_update_task(w_c2b, g_c2b);
+      gpu0_update_task(w_f1w_v, g_f1w);
+      gpu0_update_task(w_f1b_v, g_f1b);
+      gpu0_update_task(w_f2w, g_f2w);
+      gpu0_update_task(w_f2b, g_f2b);
+      // "Unnecessary device-to-host copies in each iteration": all updated
+      // parameters are read back even though training never uses them on
+      // the host (this also keeps the host mirror valid for evaluation).
+      for (Datum* w : {static_cast<Datum*>(&w_c1w), static_cast<Datum*>(&w_c1b),
+                       static_cast<Datum*>(&w_c2w), static_cast<Datum*>(&w_c2b),
+                       static_cast<Datum*>(&w_f1w_v),
+                       static_cast<Datum*>(&w_f1b_v),
+                       static_cast<Datum*>(&w_f2w),
+                       static_cast<Datum*>(&w_f2b)}) {
+        sched.GatherAsync(*w);
+      }
+      sched.WaitAll();
+      // The Lua layer's per-iteration bookkeeping is host time that nothing
+      // overlaps (the loop is fully synchronous).
+      sched.node().advance_host_us(1500.0);
+    }
+    last_loss = loss_host / static_cast<float>(batch);
+  }
+
+  // ==========================================================================
+  // Hybrid data/model parallelism (§6.1, Fig 10)
+  // ==========================================================================
+
+  enum HyConv { hcImages = 0, hcLabelsUnused, hcC1w, hcC1b, hcC2w, hcC2b,
+                hcPool2Out };
+
+  bool hy_conv_fwd(RoutineArgs& a) {
+    const std::size_t b_local = a.container_segments[hcImages].m_dimensions[0];
+    if (b_local == 0) {
+      return true;
+    }
+    DeviceScratch& sc = ensure_scratch(a, b_local);
+    const ConvShape c1 = cfg.conv1(), c2 = cfg.conv2();
+    const LeNetConfig c = cfg;
+    const float* x = a.parameters[hcImages].as<float>();
+    const float* c1w = a.parameters[hcC1w].as<float>();
+    const float* c1b = a.parameters[hcC1b].as<float>();
+    const float* c2w = a.parameters[hcC2w].as<float>();
+    const float* c2b = a.parameters[hcC2b].as<float>();
+    float* out = a.parameters[hcPool2Out].as<float>();
+
+    layer_launch(a, "hy_conv_fwd",
+                 c1.forward_flops(b_local) + c2.forward_flops(b_local),
+                 b_local * (c1.in_size() + c2.in_size()) * 4,
+                 b_local * (c1.out_size() + c2.out_size()) * 4, [=] {
+                   conv_forward(x, c1w, c1b, buf(sc.conv1), b_local, c.conv1(),
+                                true);
+                   maxpool_forward(buf(sc.conv1), buf(sc.pool1), b_local,
+                                   c.conv1().out_c, c.conv1().out_h(),
+                                   c.conv1().out_w());
+                   conv_forward(buf(sc.pool1), c2w, c2b, buf(sc.conv2),
+                                b_local, c.conv2(), true);
+                   if (out != nullptr) {
+                     maxpool_forward(buf(sc.conv2), out, b_local,
+                                     c.conv2().out_c, c.conv2().out_h(),
+                                     c.conv2().out_w());
+                   }
+                 });
+    return true;
+  }
+
+  enum HyFc1F { f1Pool2 = 0, f1W, f1B, f1Act };
+
+  /// fc1 forward, partitioned by output neuron: each device computes its
+  /// neuron slice for the WHOLE batch from the replicated pool2 activations.
+  bool hy_fc1_fwd(RoutineArgs& a) {
+    const std::size_t units = a.container_segments[f1W].m_dimensions[0];
+    if (units == 0) {
+      return true;
+    }
+    const std::size_t f1_in = cfg.fc1_inputs();
+    const std::size_t b = batch;
+    const float* pool2 = a.parameters[f1Pool2].as<float>();
+    const float* w = a.parameters[f1W].as<float>(); // [units][f1_in] slice
+    const float* bias = a.parameters[f1B].as<float>();
+    float* act = a.parameters[f1Act].as<float>(); // [units][batch] slice
+
+    layer_launch(a, "hy_fc1_fwd", 2.0 * static_cast<double>(b * f1_in * units),
+                 (b * f1_in + units * f1_in) * 4, b * units * 4, [=] {
+                   for (std::size_t j = 0; j < units; ++j) {
+                     const float* wj = w + j * f1_in;
+                     float* aj = act + j * b;
+                     for (std::size_t n = 0; n < b; ++n) {
+                       float acc = bias[j];
+                       const float* xn = pool2 + n * f1_in;
+                       for (std::size_t i = 0; i < f1_in; ++i) {
+                         acc += wj[i] * xn[i];
+                       }
+                       aj[n] = std::max(acc, 0.0f);
+                     }
+                   }
+                 });
+    return true;
+  }
+
+  /// Partial logits, partitioned by fc1 neuron: each device contributes
+  /// logits_partial[c][n] += W2[c, its neurons] * act[its neurons, n]. The
+  /// tiny (classes x batch) interface is what crosses devices — not the
+  /// hidden activations.
+  enum HyLgt { lgAct = 0, lgW2, lgB2, lgOut };
+
+  bool hy_logits_partial(RoutineArgs& a) {
+    const std::size_t units = a.container_segments[lgAct].m_dimensions[0];
+    if (units == 0) {
+      return true;
+    }
+    const std::size_t unit0 = a.container_segments[lgAct].global_row_begin;
+    const std::size_t b = batch, cls = cfg.classes, f1 = cfg.fc1_units;
+    const float* act = a.parameters[lgAct].as<float>(); // [units][batch]
+    const float* w2 = a.parameters[lgW2].as<float>();   // [cls][f1] full
+    const float* b2 = a.parameters[lgB2].as<float>();
+    float* out = a.parameters[lgOut].as<float>(); // [cls][batch] partial
+
+    layer_launch(a, "hy_logits_partial",
+                 2.0 * static_cast<double>(b * units * cls),
+                 (b * units + cls * f1) * 4, b * cls * 4, [=] {
+                   for (std::size_t c = 0; c < cls; ++c) {
+                     float* oc = out + c * b;
+                     if (unit0 == 0) {
+                       for (std::size_t n = 0; n < b; ++n) {
+                         oc[n] += b2[c]; // bias contributed exactly once
+                       }
+                     }
+                     const float* wc = w2 + c * f1 + unit0;
+                     for (std::size_t j = 0; j < units; ++j) {
+                       const float wv = wc[j];
+                       if (wv == 0.0f) {
+                         continue;
+                       }
+                       const float* aj = act + j * b;
+                       for (std::size_t n = 0; n < b; ++n) {
+                         oc[n] += wv * aj[n];
+                       }
+                     }
+                   }
+                 });
+    return true;
+  }
+
+  /// Softmax + loss, partitioned by batch, from the reduce-scattered logits.
+  enum HySm { smLogits = 0, smLabels, smDl, smLoss };
+
+  bool hy_softmax(RoutineArgs& a) {
+    const std::size_t b_local = a.container_segments[smDl].m_dimensions[0];
+    if (b_local == 0) {
+      return true;
+    }
+    const std::size_t row0 = a.container_segments[smDl].global_row_begin;
+    const std::size_t b = batch, cls = cfg.classes;
+    const std::size_t bt = batch;
+    const float* logits = a.parameters[smLogits].as<float>(); // [cls][batch]
+    const int* lab = a.parameters[smLabels].as<int>();
+    float* dl = a.parameters[smDl].as<float>(); // [b_local][cls]
+    float* loss = a.parameters[smLoss].as<float>();
+
+    layer_launch(a, "hy_softmax", static_cast<double>(b_local * cls * 8),
+                 b_local * cls * 4, b_local * cls * 4, [=] {
+                   std::vector<float> row(cls);
+                   for (std::size_t n = 0; n < b_local; ++n) {
+                     for (std::size_t c = 0; c < cls; ++c) {
+                       row[c] = logits[c * b + row0 + n];
+                     }
+                     softmax_xent(row.data(), lab + n, dl + n * cls, loss, 1,
+                                  bt, cls);
+                   }
+                 });
+    return true;
+  }
+
+  /// fc1 backward with in-place on-device SGD plus the fc2 gradients, all
+  /// partitioned by fc1 neuron; the conv deltas come out as duplicated
+  /// partials for the reduce-scatter.
+  enum HyFc1B { b1Dl = 0, b1Pool2, b1W2, b1W, b1B, b1WOut, b1BOut, b1Gw2,
+                b1Gb2, b1DPool2, b1Act };
+
+  bool hy_fc1_bwd(RoutineArgs& a) {
+    const std::size_t units = a.container_segments[b1W].m_dimensions[0];
+    if (units == 0) {
+      return true;
+    }
+    const std::size_t unit0 = a.container_segments[b1W].global_row_begin;
+    const std::size_t f1_in = cfg.fc1_inputs();
+    const std::size_t b = batch, cls = cfg.classes, f1 = cfg.fc1_units;
+    const float step = lr;
+    const float* dl = a.parameters[b1Dl].as<float>();      // [batch][cls]
+    const float* pool2 = a.parameters[b1Pool2].as<float>(); // [batch][f1_in]
+    const float* w2 = a.parameters[b1W2].as<float>();       // [cls][f1]
+    float* w = a.parameters[b1WOut].as<float>();    // [units][f1_in] slice
+    float* bias = a.parameters[b1BOut].as<float>();
+    float* gw2 = a.parameters[b1Gw2].as<float>();   // [units][cls] slice
+    float* gb2 = a.parameters[b1Gb2].as<float>();   // duplicated partial
+    float* dpool2 = a.parameters[b1DPool2].as<float>(); // duplicated partial
+    const float* act = a.parameters[b1Act].as<float>(); // [units][batch]
+
+    layer_launch(
+        a, "hy_fc1_bwd", 8.0 * static_cast<double>(b * f1_in * units),
+        (b * (f1_in + units + cls) + units * f1_in) * 4,
+        (units * (f1_in + cls) + b * f1_in) * 4, [=] {
+          // db2 is independent of the neuron partition: slot 0 computes it.
+          if (unit0 == 0) {
+            for (std::size_t n = 0; n < b; ++n) {
+              for (std::size_t c = 0; c < cls; ++c) {
+                gb2[c] += dl[n * cls + c];
+              }
+            }
+          }
+          std::vector<float> dfc1(b); // this neuron's delta for all samples
+          for (std::size_t j = 0; j < units; ++j) {
+            const float* aj = act + j * b;
+            float* gw2j = gw2 + j * cls;
+            // d_fc1[j, n] and dw2[:, j], masked by ReLU.
+            for (std::size_t n = 0; n < b; ++n) {
+              float g = 0.0f;
+              const float* dn = dl + n * cls;
+              for (std::size_t c = 0; c < cls; ++c) {
+                gw2j[c] += dn[c] * aj[n];
+                g += dn[c] * w2[c * f1 + unit0 + j];
+              }
+              dfc1[n] = aj[n] > 0.0f ? g : 0.0f;
+            }
+            // Conv deltas from the PRE-update weights.
+            const float* wj = w + j * f1_in;
+            for (std::size_t n = 0; n < b; ++n) {
+              const float g = dfc1[n];
+              if (g == 0.0f) {
+                continue;
+              }
+              float* dp = dpool2 + n * f1_in;
+              for (std::size_t i = 0; i < f1_in; ++i) {
+                dp[i] += g * wj[i];
+              }
+            }
+            // In-place SGD on this device's parameter slice.
+            float* wjm = w + j * f1_in;
+            float gb = 0.0f;
+            for (std::size_t n = 0; n < b; ++n) {
+              const float g = dfc1[n];
+              if (g == 0.0f) {
+                continue;
+              }
+              gb += g;
+              const float* xn = pool2 + n * f1_in;
+              for (std::size_t i = 0; i < f1_in; ++i) {
+                wjm[i] -= step * g * xn[i];
+              }
+            }
+            bias[j] -= step * gb;
+          }
+        });
+    return true;
+  }
+
+  enum HyConvB { cbImages = 0, cbDPool2, cbC1w, cbC2w, cbGc1w, cbGc1b,
+                 cbGc2w, cbGc2b };
+
+  bool hy_conv_bwd(RoutineArgs& a) {
+    const std::size_t b_local = a.container_segments[cbImages].m_dimensions[0];
+    if (b_local == 0) {
+      return true;
+    }
+    DeviceScratch& sc = scratch[static_cast<std::size_t>(a.device_idx)];
+    const ConvShape c1 = cfg.conv1(), c2 = cfg.conv2();
+    const LeNetConfig c = cfg;
+    const float* x = a.parameters[cbImages].as<float>();
+    const float* dpool2 = a.parameters[cbDPool2].as<float>();
+    const float* c2w = a.parameters[cbC2w].as<float>();
+    float* gc1w = a.parameters[cbGc1w].as<float>();
+    float* gc1b = a.parameters[cbGc1b].as<float>();
+    float* gc2w = a.parameters[cbGc2w].as<float>();
+    float* gc2b = a.parameters[cbGc2b].as<float>();
+
+    layer_launch(a, "hy_conv_bwd",
+                 c1.forward_flops(b_local) + 2.0 * c2.forward_flops(b_local),
+                 b_local * (c1.in_size() + c2.in_size() + c2.out_size()) * 8,
+                 b_local * c2.in_size() * 4, [=] {
+                   maxpool_backward(buf(sc.conv2), dpool2, buf(sc.d_conv2),
+                                    b_local, c.conv2().out_c,
+                                    c.conv2().out_h(), c.conv2().out_w());
+                   conv_backward_filter(buf(sc.pool1), buf(sc.d_conv2),
+                                        buf(sc.conv2), gc2w, gc2b, b_local,
+                                        c.conv2(), true);
+                   conv_backward_data(buf(sc.d_conv2), buf(sc.conv2), c2w,
+                                      buf(sc.d_pool1), b_local, c.conv2(),
+                                      true);
+                   maxpool_backward(buf(sc.conv1), buf(sc.d_pool1),
+                                    buf(sc.d_conv1), b_local, c.conv1().out_c,
+                                    c.conv1().out_h(), c.conv1().out_w());
+                   conv_backward_filter(x, buf(sc.d_conv1), buf(sc.conv1),
+                                        gc1w, gc1b, b_local, c.conv1(), true);
+                 });
+    return true;
+  }
+
+  void hybrid_iteration(std::size_t offset) {
+    images.BindRaw(const_cast<float*>(data.images(offset)));
+    labels.BindRaw(const_cast<int*>(data.labels(offset)));
+    sched.MarkHostModified(images);
+    sched.MarkHostModified(labels);
+    loss_host = 0;
+
+    // T1: convolutional part, data-parallel (batch-aligned).
+    auto conv_fwd = [this](RoutineArgs& a) { return hy_conv_fwd(a); };
+    sched.InvokeUnmodified(conv_fwd, nullptr, Work{batch},
+                           Block2D<float>(images),
+                           Block2D<int>(static_cast<Datum&>(labels)),
+                           Block1D<float>(w_c1w), Block1D<float>(w_c1b),
+                           Block1D<float>(w_c2w), Block1D<float>(w_c2b),
+                           StructuredInjective<float, 2>(pool2_out));
+
+    // T2a: fc1 forward, model-parallel: the pool2 activations are exchanged
+    // (replicated) instead of the fc1 parameters.
+    auto fc1_fwd = [this](RoutineArgs& a) { return hy_fc1_fwd(a); };
+    sched.InvokeUnmodified(fc1_fwd, nullptr, Work{cfg.fc1_units},
+                           Block2DTransposed<float>(pool2_out),
+                           Block2D<float>(w_f1w_m),
+                           Block2D<float>(static_cast<Datum&>(w_f1b_m)),
+                           StructuredInjective<float, 2>(fc1_act));
+
+    // T2b: partial logits per neuron slice, reduce-scattered on the devices.
+    auto lgt = [this](RoutineArgs& a) { return hy_logits_partial(a); };
+    sched.InvokeUnmodified(lgt, nullptr, Work{cfg.fc1_units},
+                           Block2D<float>(fc1_act), Block1D<float>(w_f2w),
+                           Block1D<float>(w_f2b),
+                           SumReduced<float>(logits_mp));
+    sched.ReduceScatter(logits_mp, Work{cfg.classes});
+
+    // T2c: softmax + loss, batch-partitioned, from the tiny logits.
+    auto sm = [this](RoutineArgs& a) { return hy_softmax(a); };
+    sched.InvokeUnmodified(sm, nullptr, Work{batch},
+                           Block2DTransposed<float>(logits_mp),
+                           Block2D<int>(static_cast<Datum&>(labels)),
+                           StructuredInjective<float, 2>(dlogits_mp),
+                           SumReduced<float>(loss_d));
+
+    // T2d: fc1 backward + on-device fc1 SGD + fc2 gradients, model-parallel;
+    // only the (classes x batch) dlogits cross devices.
+    auto fc1_bwd = [this](RoutineArgs& a) { return hy_fc1_bwd(a); };
+    sched.InvokeUnmodified(
+        fc1_bwd, nullptr, Work{cfg.fc1_units},
+        Block2DTransposed<float>(dlogits_mp),
+        Block2DTransposed<float>(pool2_out), Block1D<float>(w_f2w),
+        Block2D<float>(w_f1w_m), Block2D<float>(static_cast<Datum&>(w_f1b_m)),
+        StructuredInjective<float, 2>(w_f1w_m),
+        StructuredInjective<float, 2>(w_f1b_m),
+        StructuredInjective<float, 2>(g_f2w_mp), SumReduced<float>(g_f2b),
+        SumReduced<float>(d_pool2_d), Block2D<float>(fc1_act));
+
+    // The duplicated conv deltas are aggregated ON the devices over the
+    // peer-to-peer interconnect (the "more frequent, smaller exchanges" of
+    // §6.1) — no host round trip and no synchronization.
+    sched.ReduceScatter(d_pool2_d, Work{batch});
+
+    // T3: conv backward, data-parallel again.
+    auto conv_bwd = [this](RoutineArgs& a) { return hy_conv_bwd(a); };
+    sched.InvokeUnmodified(
+        conv_bwd, nullptr, Work{batch}, Block2D<float>(images),
+        Block2D<float>(static_cast<Datum&>(d_pool2_d)),
+        Block1D<float>(w_c1w), Block1D<float>(w_c2w), SumReduced<float>(g_c1w),
+        SumReduced<float>(g_c1b), SumReduced<float>(g_c2w),
+        SumReduced<float>(g_c2b));
+
+    sched.GatherAsync(g_c1w);
+    sched.GatherAsync(g_c1b);
+    sched.GatherAsync(g_c2w);
+    sched.GatherAsync(g_c2b);
+    sched.GatherAsync(g_f2w_mp);
+    sched.GatherAsync(g_f2b);
+    sched.GatherAsync(loss_d);
+    sched.WaitAll();
+
+    // Host updates only the small conv + fc2 parameters; fc1 was already
+    // updated on the devices. g_f2w_mp is neuron-major ([j][c]).
+    sched.node().advance_host_us(
+        10.0 + static_cast<double>(params.conv1_w.size() +
+                                   params.conv2_w.size() +
+                                   params.fc2_w.size()) *
+                   0.4e-3);
+    sgd_step(params.conv1_w.data(), params.g_conv1_w.data(),
+             params.conv1_w.size(), lr);
+    sgd_step(params.conv1_b.data(), params.g_conv1_b.data(),
+             params.conv1_b.size(), lr);
+    sgd_step(params.conv2_w.data(), params.g_conv2_w.data(),
+             params.conv2_w.size(), lr);
+    sgd_step(params.conv2_b.data(), params.g_conv2_b.data(),
+             params.conv2_b.size(), lr);
+    for (std::size_t j = 0; j < cfg.fc1_units; ++j) {
+      for (std::size_t c = 0; c < cfg.classes; ++c) {
+        params.fc2_w[c * cfg.fc1_units + j] -=
+            lr * g_f2w_mp_host[j * cfg.classes + c];
+      }
+    }
+    sgd_step(params.fc2_b.data(), params.g_fc2_b.data(), params.fc2_b.size(),
+             lr);
+    for (Datum* w :
+         {static_cast<Datum*>(&w_c1w), static_cast<Datum*>(&w_c1b),
+          static_cast<Datum*>(&w_c2w), static_cast<Datum*>(&w_c2b),
+          static_cast<Datum*>(&w_f2w), static_cast<Datum*>(&w_f2b)}) {
+      sched.MarkHostModified(*w);
+    }
+    last_loss = loss_host / static_cast<float>(batch);
+  }
+
+  /// AnalyzeCall every task of the chosen strategy before the first Invoke,
+  /// as §4.2 requires, so per-device allocations are sized once to the
+  /// bounding box of all uses.
+  void analyze_all() {
+    if (analyzed_) {
+      return;
+    }
+    analyzed_ = true;
+    if (strategy == Strategy::Hybrid) {
+      sched.AnalyzeCall(Work{batch}, Block2D<float>(images),
+                        Block2D<int>(static_cast<Datum&>(labels)),
+                        Block1D<float>(w_c1w), Block1D<float>(w_c1b),
+                        Block1D<float>(w_c2w), Block1D<float>(w_c2b),
+                        StructuredInjective<float, 2>(pool2_out));
+      sched.AnalyzeCall(Work{cfg.fc1_units}, Block2DTransposed<float>(pool2_out),
+                        Block2D<float>(w_f1w_m),
+                        Block2D<float>(static_cast<Datum&>(w_f1b_m)),
+                        StructuredInjective<float, 2>(fc1_act));
+      sched.AnalyzeCall(Work{cfg.fc1_units}, Block2D<float>(fc1_act),
+                        Block1D<float>(w_f2w), Block1D<float>(w_f2b),
+                        SumReduced<float>(logits_mp));
+      sched.AnalyzeCall(Work{batch}, Block2DTransposed<float>(logits_mp),
+                        Block2D<int>(static_cast<Datum&>(labels)),
+                        StructuredInjective<float, 2>(dlogits_mp),
+                        SumReduced<float>(loss_d));
+      sched.AnalyzeCall(Work{cfg.fc1_units},
+                        Block2DTransposed<float>(dlogits_mp),
+                        Block2DTransposed<float>(pool2_out),
+                        Block1D<float>(w_f2w), Block2D<float>(w_f1w_m),
+                        Block2D<float>(static_cast<Datum&>(w_f1b_m)),
+                        StructuredInjective<float, 2>(w_f1w_m),
+                        StructuredInjective<float, 2>(w_f1b_m),
+                        StructuredInjective<float, 2>(g_f2w_mp),
+                        SumReduced<float>(g_f2b), SumReduced<float>(d_pool2_d),
+                        Block2D<float>(fc1_act));
+      sched.AnalyzeCall(Work{batch}, Block2D<float>(images),
+                        Block2D<float>(static_cast<Datum&>(d_pool2_d)),
+                        Block1D<float>(w_c1w), Block1D<float>(w_c2w),
+                        SumReduced<float>(g_c1w), SumReduced<float>(g_c1b),
+                        SumReduced<float>(g_c2w), SumReduced<float>(g_c2b));
+      return;
+    }
+    sched.AnalyzeCall(
+        Work{batch}, Block2D<float>(images),
+        Block2D<int>(static_cast<Datum&>(labels)), Block1D<float>(w_c1w),
+        Block1D<float>(w_c1b), Block1D<float>(w_c2w), Block1D<float>(w_c2b),
+        Block1D<float>(w_f1w_v), Block1D<float>(w_f1b_v),
+        Block1D<float>(w_f2w), Block1D<float>(w_f2b), SumReduced<float>(g_c1w),
+        SumReduced<float>(g_c1b), SumReduced<float>(g_c2w),
+        SumReduced<float>(g_c2b), SumReduced<float>(g_f1w),
+        SumReduced<float>(g_f1b), SumReduced<float>(g_f2w),
+        SumReduced<float>(g_f2b), SumReduced<float>(loss_d));
+    if (strategy == Strategy::TorchLike) {
+      auto analyze_update = [this](Vector<float>& w, Vector<float>& g) {
+        sched.AnalyzeCall(Work{w.length(), 1, /*single_device=*/true},
+                          Block2D<float>(static_cast<Datum&>(w)),
+                          Block1D<float>(g),
+                          StructuredInjective<float, 1>(w));
+      };
+      analyze_update(w_c1w, g_c1w);
+      analyze_update(w_c1b, g_c1b);
+      analyze_update(w_c2w, g_c2w);
+      analyze_update(w_c2b, g_c2b);
+      analyze_update(w_f1w_v, g_f1w);
+      analyze_update(w_f1b_v, g_f1b);
+      analyze_update(w_f2w, g_f2w);
+      analyze_update(w_f2b, g_f2b);
+    }
+  }
+  bool analyzed_ = false;
+
+  TrainResult train(int iterations) {
+    analyze_all();
+    sched.WaitAll();
+    const double t0 = sched.node().now_ms();
+    for (int it = 0; it < iterations; ++it) {
+      const std::size_t max_off = data.size() - batch;
+      const std::size_t offset =
+          max_off == 0 ? 0
+                       : (static_cast<std::size_t>(it) * batch) % max_off;
+      switch (strategy) {
+      case Strategy::SingleGpu:
+      case Strategy::DataParallel:
+        dp_iteration(offset, false);
+        break;
+      case Strategy::TorchLike:
+        dp_iteration(offset, true);
+        break;
+      case Strategy::Hybrid:
+        hybrid_iteration(offset);
+        break;
+      }
+    }
+    sched.WaitAll();
+    // Hybrid: bring the device-resident fc1 parameters back for evaluation.
+    if (strategy == Strategy::Hybrid) {
+      sched.Gather(w_f1w_m);
+      sched.Gather(w_f1b_m);
+    }
+    TrainResult r;
+    r.sim_ms = sched.node().now_ms() - t0;
+    r.images_per_second = static_cast<double>(batch) *
+                          static_cast<double>(iterations) / (r.sim_ms * 1e-3);
+    r.final_loss = last_loss;
+    return r;
+  }
+};
+
+Trainer::Trainer(Scheduler& sched, LeNetParams& params,
+                 const SyntheticDigits& data, std::size_t batch,
+                 Strategy strategy, float lr)
+    : impl_(std::make_unique<Impl>(sched, params, data, batch, strategy, lr)) {
+  if (batch == 0 || batch > data.size()) {
+    throw std::invalid_argument("Trainer: bad batch size");
+  }
+}
+
+Trainer::~Trainer() = default;
+
+TrainResult Trainer::train(int iterations) { return impl_->train(iterations); }
+
+} // namespace nn

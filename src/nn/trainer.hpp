@@ -1,0 +1,65 @@
+// Multi-GPU LeNet trainers over MAPS-Multi (paper §6.1, Fig 10-11).
+//
+// Four training strategies are compared in the paper's Fig 11:
+//
+//  * SingleGpu ("Caffe-like"): the whole network on one device (Caffe had no
+//    multi-GPU support at the time).
+//  * DataParallel (MAPS-Multi): each GPU trains on a batch slice; weights
+//    are replicated inputs (Block 1D), weight gradients are duplicated
+//    reductive outputs summed on gather, the host applies SGD and the next
+//    iteration re-uploads the parameters — "exchanging partial derivatives
+//    of all the parameters during the network update phase".
+//  * Hybrid data/model parallel (Krizhevsky's "one weird trick"): the
+//    convolutional part stays data-parallel, the first (large) fully
+//    connected layer is partitioned by output neurons so its parameters
+//    never leave the devices; activations and deltas are exchanged instead.
+//    In MAPS-Multi this is "a single access pattern modification in the
+//    fully connected layers" — Block(2D) weights become partition-aligned
+//    and the layer inputs become replicated (Block 2D-Transposed).
+//  * TorchLike baseline: data-parallel, but all weight updates run on a
+//    single GPU and every iteration performs unnecessary device-to-host
+//    copies and a blocking synchronization — the paper's diagnosis of
+//    Torch's inferior ~2.07x scaling.
+//
+// Functional mode trains a real network (tests assert convergence);
+// TimingOnly mode reproduces the Fig 11 throughput comparison at the paper's
+// batch size of 2048.
+#pragma once
+
+#include <memory>
+
+#include "multi/maps_multi.hpp"
+#include "nn/dataset.hpp"
+#include "nn/lenet.hpp"
+
+namespace nn {
+
+enum class Strategy { SingleGpu, DataParallel, Hybrid, TorchLike };
+
+const char* to_string(Strategy s);
+
+struct TrainResult {
+  double sim_ms = 0;           ///< Simulated time for the trained iterations.
+  double images_per_second = 0; ///< Throughput in simulated time (Fig 11).
+  float final_loss = 0;        ///< Mean loss of the last iteration.
+};
+
+class Trainer {
+public:
+  /// `batch` images per iteration, split across the scheduler's devices.
+  Trainer(maps::multi::Scheduler& sched, LeNetParams& params,
+          const SyntheticDigits& data, std::size_t batch, Strategy strategy,
+          float lr = 0.05f);
+  ~Trainer();
+  Trainer(const Trainer&) = delete;
+  Trainer& operator=(const Trainer&) = delete;
+
+  /// Runs `iterations` training steps; batches cycle through the dataset.
+  TrainResult train(int iterations);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+} // namespace nn

@@ -1,0 +1,69 @@
+// Device architecture descriptions for the multi-GPU node simulator.
+//
+// The simulator stands in for the CUDA runtime + physical GPUs of the paper's
+// testbed (SC'15 MAPS-Multi, Table 3). A DeviceSpec carries both the physical
+// configuration (SMs, cores, clock, memory) and the calibrated throughput
+// constants the cost model uses to turn a kernel's LaunchStats into simulated
+// time. Calibration sources are documented in presets.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sim {
+
+/// GPU micro-architecture family. The paper evaluates on Kepler (GTX 780,
+/// Titan Black) and Maxwell (GTX 980); the families differ materially in
+/// atomic-operation throughput (paper §5.3).
+enum class Arch {
+  Kepler,
+  Maxwell,
+};
+
+/// Returns a printable name for an architecture family.
+const char* to_string(Arch arch);
+
+/// Full description of one simulated device.
+///
+/// Physical fields mirror the paper's Table 3; throughput fields are the cost
+/// model's calibration constants (see cost_model.hpp for the formulas).
+struct DeviceSpec {
+  std::string name;       ///< Marketing name, e.g. "GTX 780".
+  Arch arch = Arch::Kepler;
+  int sm_count = 1;       ///< Number of multiprocessors.
+  int cores_per_sm = 192; ///< CUDA cores per multiprocessor.
+  double clock_ghz = 1.0; ///< Core clock.
+  std::size_t global_mem_bytes = 0; ///< Global RAM capacity.
+
+  // --- Cost-model calibration ---------------------------------------------
+  double mem_bandwidth_gbps = 200.0; ///< Global memory bandwidth (GB/s).
+  /// Fraction of peak FLOP/s a well-tuned dense kernel (GEMM) attains.
+  /// Calibrated from the paper's Table 4 single-GPU CUBLAS times.
+  double gemm_efficiency = 0.7;
+  /// Fraction of peak FLOP/s a generic compute-bound kernel attains.
+  double generic_efficiency = 0.45;
+  /// Aggregate global-atomic throughput (ops/s). Calibrated from the naive
+  /// histogram runtimes in §5.3 (6.09 / 6.41 / 30.92 ms for 67.1M atomics).
+  double global_atomic_ops_per_s = 1e10;
+  /// Aggregate shared-memory-atomic throughput (ops/s).
+  double shared_atomic_ops_per_s = 3e10;
+  /// Aggregate shared-memory access throughput (ops/s). Shared-staging
+  /// latency is what makes non-ILP MAPS slower than a naive kernel in Fig 7.
+  double shared_ops_per_s = 6e10;
+  /// Aggregate scalar-instruction issue rate (ops/s) charged for per-thread
+  /// fixed overhead (index math, loop control). ILP amortizes this.
+  double instr_ops_per_s = 2e12;
+  /// Fixed kernel-launch overhead (microseconds).
+  double kernel_launch_us = 7.0;
+  /// Maximum resident thread-blocks per SM (wave quantization).
+  int max_blocks_per_sm = 16;
+
+  /// Peak single-precision FLOP/s (2 flops/cycle/core FMA).
+  double peak_flops() const {
+    return 2.0 * static_cast<double>(sm_count) * cores_per_sm * clock_ghz *
+           1e9;
+  }
+};
+
+} // namespace sim

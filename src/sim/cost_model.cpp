@@ -1,0 +1,61 @@
+#include "sim/cost_model.hpp"
+
+#include <algorithm>
+
+namespace sim {
+
+double kernel_seconds(const DeviceSpec& spec, const LaunchStats& stats) {
+  const double eff =
+      stats.flop_efficiency > 0 ? stats.flop_efficiency : spec.generic_efficiency;
+
+  const double compute =
+      static_cast<double>(stats.flops) / (spec.peak_flops() * eff);
+  const double gmem =
+      static_cast<double>(stats.global_bytes_read + stats.global_bytes_written) /
+      (spec.mem_bandwidth_gbps * 1e9);
+  const double shmem =
+      static_cast<double>(stats.shared_ops) / spec.shared_ops_per_s;
+  const double gatom =
+      static_cast<double>(stats.global_atomics) / spec.global_atomic_ops_per_s;
+  const double satom =
+      static_cast<double>(stats.shared_atomics) / spec.shared_atomic_ops_per_s;
+  const double instr =
+      static_cast<double>(stats.instr_overhead) / spec.instr_ops_per_s;
+
+  double busy = std::max({compute, gmem, shmem, gatom, satom, instr});
+
+  // Wave quantization: a launch with fewer blocks than multiprocessors
+  // cannot use the whole device.
+  if (stats.blocks > 0) {
+    const double util = std::min(
+        1.0, static_cast<double>(stats.blocks) / spec.sm_count);
+    busy /= std::max(util, 1e-9);
+  }
+
+  return spec.kernel_launch_us * 1e-6 + stats.extra_us * 1e-6 + busy;
+}
+
+double copy_seconds(const Topology& topo, Endpoint src, Endpoint dst,
+                    std::size_t bytes, bool host_staged) {
+  if (!host_staged) {
+    return topo.transfer_seconds(src, dst, bytes);
+  }
+  // Device -> host RAM -> device, plus software (MPI/IPC or host-based API)
+  // latency. This is the path the paper identifies as the scaling killer in
+  // CUBLAS-XT (§5.4) and NMF-mGPU (§6.2).
+  const Endpoint host = Endpoint::host();
+  double t = topo.host_staging_software_us * 1e-6;
+  if (!src.is_host()) {
+    t += topo.transfer_seconds(src, host, bytes);
+  }
+  if (!dst.is_host()) {
+    t += topo.transfer_seconds(host, dst, bytes);
+  }
+  if (!src.is_host() && !dst.is_host()) {
+    // Across cluster nodes the staged copy additionally crosses the network.
+    t += topo.network_seconds(src.device, dst.device, bytes);
+  }
+  return t;
+}
+
+} // namespace sim

@@ -1,0 +1,31 @@
+// Roofline-style cost model turning LaunchStats + DeviceSpec into simulated
+// kernel time, and Topology into transfer time.
+//
+// A kernel's busy time is the maximum over its bottleneck candidates
+// (compute, global-memory traffic, shared-memory traffic, atomics,
+// per-thread instruction overhead), scaled up when the launch has too few
+// blocks to fill the device, plus a fixed launch overhead. This reproduces
+// the qualitative behaviours the paper's evaluation rests on: atomic-bound
+// naive histograms (§5.3), shared-latency-bound non-ILP stencils vs
+// instruction-overhead amortization with ILP (§5.2), and bandwidth/compute
+// bounds for BLAS-style kernels (§5.4).
+#pragma once
+
+#include <cstddef>
+
+#include "sim/arch.hpp"
+#include "sim/launch_stats.hpp"
+#include "sim/topology.hpp"
+
+namespace sim {
+
+/// Simulated execution time (seconds) of one kernel on one device.
+double kernel_seconds(const DeviceSpec& spec, const LaunchStats& stats);
+
+/// Simulated duration (seconds) of a single transfer. When `host_staged` is
+/// true the transfer bounces through host RAM (two hops plus software
+/// latency) — the behaviour of the CUBLAS-XT and MPI-based baselines.
+double copy_seconds(const Topology& topo, Endpoint src, Endpoint dst,
+                    std::size_t bytes, bool host_staged);
+
+} // namespace sim

@@ -1,0 +1,53 @@
+// Cost descriptor attached to every simulated kernel launch.
+//
+// In MAPS-Multi the memory access pattern specification carries everything
+// the framework needs for partitioning; in this reproduction the same
+// specification additionally yields the kernel's LaunchStats, from which the
+// cost model derives simulated execution time (see cost_model.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sim {
+
+struct LaunchStats {
+  std::uint64_t blocks = 1;            ///< Thread-blocks in this launch.
+  std::uint64_t threads_per_block = 1; ///< Threads per block.
+
+  std::uint64_t flops = 0; ///< Useful floating-point/integer ops.
+  std::uint64_t global_bytes_read = 0;
+  std::uint64_t global_bytes_written = 0;
+  std::uint64_t shared_ops = 0;      ///< Shared-memory accesses.
+  std::uint64_t global_atomics = 0;  ///< Atomic ops on global memory.
+  std::uint64_t shared_atomics = 0;  ///< Atomic ops on shared memory.
+  /// Fixed per-thread instruction overhead (index math, loop control),
+  /// counted in scalar instructions. ILP reduces this by running fewer,
+  /// fatter threads (paper §4.5.1).
+  std::uint64_t instr_overhead = 0;
+
+  /// FLOP efficiency override; 0 selects DeviceSpec::generic_efficiency.
+  /// Tuned routines (e.g. simblas GEMM) set their calibrated value.
+  double flop_efficiency = 0.0;
+  /// Additional fixed cost in microseconds (routine-specific setup).
+  double extra_us = 0.0;
+
+  std::string label; ///< For statistics and debugging.
+
+  /// Accumulates another launch's work into this descriptor (used when one
+  /// simulated launch stands for several fused stages).
+  LaunchStats& operator+=(const LaunchStats& o) {
+    blocks += o.blocks;
+    flops += o.flops;
+    global_bytes_read += o.global_bytes_read;
+    global_bytes_written += o.global_bytes_written;
+    shared_ops += o.shared_ops;
+    global_atomics += o.global_atomics;
+    shared_atomics += o.shared_atomics;
+    instr_overhead += o.instr_overhead;
+    extra_us += o.extra_us;
+    return *this;
+  }
+};
+
+} // namespace sim

@@ -1,0 +1,70 @@
+// Device memory management for the simulator.
+//
+// Each simulated device has a DeviceAllocator that tracks allocations against
+// the device's global-memory capacity. In Functional mode every allocation is
+// backed by real host heap memory so kernels can execute; in TimingOnly mode
+// (paper-scale benchmarks) only the accounting exists.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sim {
+
+/// Thrown when a device allocation exceeds the remaining global memory.
+class OutOfDeviceMemory : public std::runtime_error {
+public:
+  OutOfDeviceMemory(int device, std::size_t requested, std::size_t used,
+                    std::size_t capacity);
+  int device;
+  std::size_t requested, used, capacity;
+};
+
+/// One device allocation. Obtained from Node::malloc_device; freed via
+/// Node::free_device (or automatically when the Node is destroyed).
+class Buffer {
+public:
+  int device() const { return device_; }
+  std::size_t size() const { return bytes_; }
+  /// Backing storage; nullptr in TimingOnly mode.
+  std::byte* data() const { return data_.get(); }
+
+  /// Typed view of the backing store (Functional mode only).
+  template <typename T> T* as(std::size_t byte_offset = 0) const {
+    return reinterpret_cast<T*>(data_.get() + byte_offset);
+  }
+  bool has_backing() const { return data_ != nullptr; }
+
+private:
+  friend class DeviceAllocator;
+  Buffer(int device, std::size_t bytes, bool functional);
+  int device_;
+  std::size_t bytes_;
+  std::unique_ptr<std::byte[]> data_;
+};
+
+/// Capacity-accounting allocator for one device.
+class DeviceAllocator {
+public:
+  DeviceAllocator(int device, std::size_t capacity, bool functional);
+
+  Buffer* allocate(std::size_t bytes);
+  void free(Buffer* buffer);
+
+  std::size_t used() const { return used_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t allocation_count() const { return live_.size(); }
+
+private:
+  int device_;
+  std::size_t capacity_;
+  bool functional_;
+  std::size_t used_ = 0;
+  std::vector<std::unique_ptr<Buffer>> live_;
+};
+
+} // namespace sim

@@ -1,0 +1,623 @@
+#include "sim/node.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "sim/cost_model.hpp"
+
+namespace sim {
+
+namespace {
+constexpr double kHostFuncDefaultUs = 1.0;
+
+thread_local bool t_has_issue_floor = false;
+thread_local double t_issue_floor_s = 0.0;
+} // namespace
+
+Node::ScopedIssueFloor::ScopedIssueFloor(Node& node, double floor_s)
+    : previous_(t_issue_floor_s), had_previous_(t_has_issue_floor) {
+  (void)node;
+  t_has_issue_floor = true;
+  t_issue_floor_s = floor_s;
+}
+
+Node::ScopedIssueFloor::~ScopedIssueFloor() {
+  t_has_issue_floor = had_previous_;
+  t_issue_floor_s = previous_;
+}
+
+// One enqueued stream command. A plain struct (not a variant) keeps the event
+// loop simple; unused fields stay empty.
+namespace {
+double floor_or(double host_time_s) {
+  return t_has_issue_floor ? t_issue_floor_s : host_time_s;
+}
+} // namespace
+
+struct Node::Command {
+  enum class Kind { Kernel, Copy, HostFunc, RecordEvent, WaitEvent } kind;
+
+  /// Host time at enqueue; the command cannot start earlier (the host had
+  /// not issued it yet).
+  double issue_floor_s = 0.0;
+
+  // Kernel
+  LaunchStats stats;
+  std::function<void()> body; // also used by Copy (the data mover) & HostFunc
+
+  // Copy
+  Endpoint src, dst;
+  std::size_t bytes = 0;
+  bool host_staged = false;
+  double duration_override_s = -1.0; ///< >= 0 replaces the topology cost
+
+  // HostFunc
+  double host_cost_us = kHostFuncDefaultUs;
+
+  // RecordEvent / WaitEvent
+  EventId event = -1;
+  std::uint64_t event_generation = 0;
+};
+
+struct Node::StreamState {
+  int device = 0;
+  std::deque<Command> queue;
+  double last_completion_s = 0.0;
+};
+
+struct Node::EventState {
+  /// Number of record commands enqueued so far; waits capture this.
+  std::uint64_t enqueued_generation = 0;
+  /// Generation of the most recent record command already *processed*.
+  std::uint64_t processed_generation = 0;
+  /// Simulated completion time of each processed generation (1-based).
+  std::vector<double> completion_s;
+};
+
+struct Node::DeviceEngines {
+  double compute_free_s = 0.0;
+  double copy_free_s[2] = {0.0, 0.0};
+};
+
+Node::Node(std::vector<DeviceSpec> specs, Topology topo, ExecMode mode)
+    : specs_(std::move(specs)), topo_(std::move(topo)), mode_(mode) {
+  if (specs_.empty()) {
+    throw std::invalid_argument("Node requires at least one device");
+  }
+  if (topo_.device_count() != static_cast<int>(specs_.size())) {
+    throw std::invalid_argument("Topology/device-list size mismatch");
+  }
+  const bool functional = mode_ == ExecMode::Functional;
+  engines_.resize(specs_.size());
+  for (int d = 0; d < device_count(); ++d) {
+    allocators_.push_back(std::make_unique<DeviceAllocator>(
+        d, specs_[static_cast<std::size_t>(d)].global_mem_bytes, functional));
+  }
+  stats_.bytes_between.assign(
+      specs_.size() + 1, std::vector<std::uint64_t>(specs_.size() + 1, 0));
+  stats_.device_compute_seconds.assign(specs_.size(), 0.0);
+  for (int d = 0; d < device_count(); ++d) {
+    default_streams_.push_back(create_stream(d));
+  }
+}
+
+Node::Node(std::vector<DeviceSpec> specs, ExecMode mode)
+    : Node(specs, Topology::pcie3_pairs(static_cast<int>(specs.size())),
+           mode) {}
+
+Node::~Node() = default;
+
+const DeviceSpec& Node::spec(int device) const {
+  return specs_.at(static_cast<std::size_t>(device));
+}
+
+Buffer* Node::malloc_device(int device, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return allocators_.at(static_cast<std::size_t>(device))->allocate(bytes);
+}
+
+void Node::free_device(Buffer* buffer) {
+  if (buffer == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  allocators_.at(static_cast<std::size_t>(buffer->device()))->free(buffer);
+}
+
+std::size_t Node::device_mem_used(int device) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return allocators_.at(static_cast<std::size_t>(device))->used();
+}
+
+std::size_t Node::device_mem_capacity(int device) const {
+  return spec(device).global_mem_bytes;
+}
+
+StreamId Node::create_stream(int device) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (device < 0 || device >= device_count()) {
+    throw std::out_of_range("create_stream: bad device");
+  }
+  streams_.push_back(StreamState{device, {}, host_time_s_});
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+StreamId Node::default_stream(int device) const {
+  return default_streams_.at(static_cast<std::size_t>(device));
+}
+
+int Node::stream_device(StreamId stream) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return streams_.at(static_cast<std::size_t>(stream)).device;
+}
+
+EventId Node::create_event() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(EventState{});
+  return static_cast<EventId>(events_.size() - 1);
+}
+
+void Node::enqueue(StreamId stream, Command cmd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cmd.issue_floor_s = floor_or(host_time_s_);
+  streams_.at(static_cast<std::size_t>(stream)).queue.push_back(std::move(cmd));
+}
+
+void Node::memcpy_h2d(StreamId stream, Buffer* dst, std::size_t dst_off,
+                      const void* src, std::size_t bytes) {
+  assert(dst != nullptr && dst_off + bytes <= dst->size());
+  Command c;
+  c.kind = Command::Kind::Copy;
+  c.src = Endpoint::host();
+  c.dst = Endpoint::dev(dst->device());
+  c.bytes = bytes;
+  if (functional()) {
+    c.body = [=] { std::memcpy(dst->data() + dst_off, src, bytes); };
+  }
+  enqueue(stream, std::move(c));
+}
+
+void Node::memcpy_d2h(StreamId stream, void* dst, Buffer* src,
+                      std::size_t src_off, std::size_t bytes) {
+  assert(src != nullptr && src_off + bytes <= src->size());
+  Command c;
+  c.kind = Command::Kind::Copy;
+  c.src = Endpoint::dev(src->device());
+  c.dst = Endpoint::host();
+  c.bytes = bytes;
+  if (functional()) {
+    c.body = [=] { std::memcpy(dst, src->data() + src_off, bytes); };
+  }
+  enqueue(stream, std::move(c));
+}
+
+void Node::memcpy_p2p(StreamId stream, Buffer* dst, std::size_t dst_off,
+                      Buffer* src, std::size_t src_off, std::size_t bytes) {
+  assert(src != nullptr && dst != nullptr);
+  assert(src_off + bytes <= src->size() && dst_off + bytes <= dst->size());
+  Command c;
+  c.kind = Command::Kind::Copy;
+  c.src = Endpoint::dev(src->device());
+  c.dst = Endpoint::dev(dst->device());
+  // Without peer access (devices on different cluster nodes) the transfer
+  // stages through the hosts and the network.
+  c.host_staged = !topo_.peer_enabled(src->device(), dst->device());
+  c.bytes = bytes;
+  if (functional()) {
+    c.body = [=] {
+      std::memmove(dst->data() + dst_off, src->data() + src_off, bytes);
+    };
+  }
+  enqueue(stream, std::move(c));
+}
+
+void Node::memcpy_p2p_host_staged(StreamId stream, Buffer* dst,
+                                  std::size_t dst_off, Buffer* src,
+                                  std::size_t src_off, std::size_t bytes) {
+  assert(src != nullptr && dst != nullptr);
+  Command c;
+  c.kind = Command::Kind::Copy;
+  c.src = Endpoint::dev(src->device());
+  c.dst = Endpoint::dev(dst->device());
+  c.bytes = bytes;
+  c.host_staged = true;
+  if (functional()) {
+    c.body = [=] {
+      std::memmove(dst->data() + dst_off, src->data() + src_off, bytes);
+    };
+  }
+  enqueue(stream, std::move(c));
+}
+
+namespace {
+void copy_2d(std::byte* dst, std::size_t dst_pitch, const std::byte* src,
+             std::size_t src_pitch, std::size_t row_bytes, std::size_t height) {
+  for (std::size_t r = 0; r < height; ++r) {
+    std::memmove(dst + r * dst_pitch, src + r * src_pitch, row_bytes);
+  }
+}
+} // namespace
+
+void Node::memcpy_2d_h2d(StreamId stream, Buffer* dst, std::size_t dst_off,
+                         std::size_t dst_pitch, const void* src,
+                         std::size_t src_pitch, std::size_t row_bytes,
+                         std::size_t height) {
+  assert(dst != nullptr &&
+         dst_off + (height == 0 ? 0 : (height - 1) * dst_pitch + row_bytes) <=
+             dst->size());
+  Command c;
+  c.kind = Command::Kind::Copy;
+  c.src = Endpoint::host();
+  c.dst = Endpoint::dev(dst->device());
+  c.bytes = row_bytes * height;
+  if (functional()) {
+    c.body = [=] {
+      copy_2d(dst->data() + dst_off, dst_pitch,
+              static_cast<const std::byte*>(src), src_pitch, row_bytes, height);
+    };
+  }
+  enqueue(stream, std::move(c));
+}
+
+void Node::memcpy_2d_d2h(StreamId stream, void* dst, std::size_t dst_pitch,
+                         Buffer* src, std::size_t src_off,
+                         std::size_t src_pitch, std::size_t row_bytes,
+                         std::size_t height) {
+  assert(src != nullptr);
+  Command c;
+  c.kind = Command::Kind::Copy;
+  c.src = Endpoint::dev(src->device());
+  c.dst = Endpoint::host();
+  c.bytes = row_bytes * height;
+  if (functional()) {
+    c.body = [=] {
+      copy_2d(static_cast<std::byte*>(dst), dst_pitch, src->data() + src_off,
+              src_pitch, row_bytes, height);
+    };
+  }
+  enqueue(stream, std::move(c));
+}
+
+void Node::memcpy_2d_p2p(StreamId stream, Buffer* dst, std::size_t dst_off,
+                         std::size_t dst_pitch, Buffer* src,
+                         std::size_t src_off, std::size_t src_pitch,
+                         std::size_t row_bytes, std::size_t height) {
+  assert(src != nullptr && dst != nullptr);
+  Command c;
+  c.kind = Command::Kind::Copy;
+  c.src = Endpoint::dev(src->device());
+  c.dst = Endpoint::dev(dst->device());
+  c.bytes = row_bytes * height;
+  if (functional()) {
+    c.body = [=] {
+      copy_2d(dst->data() + dst_off, dst_pitch, src->data() + src_off,
+              src_pitch, row_bytes, height);
+    };
+  }
+  enqueue(stream, std::move(c));
+}
+
+void Node::memset_device(StreamId stream, Buffer* dst, std::size_t dst_off,
+                         int value, std::size_t bytes) {
+  assert(dst != nullptr && dst_off + bytes <= dst->size());
+  Command c;
+  c.kind = Command::Kind::Copy; // a memset occupies a copy engine
+  c.src = Endpoint::dev(dst->device());
+  c.dst = Endpoint::dev(dst->device());
+  c.bytes = bytes;
+  if (functional()) {
+    c.body = [=] { std::memset(dst->data() + dst_off, value, bytes); };
+  }
+  enqueue(stream, std::move(c));
+}
+
+void Node::stage_host_traffic(StreamId stream, std::size_t bytes,
+                              double seconds) {
+  Command c;
+  c.kind = Command::Kind::Copy;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    c.dst = Endpoint::dev(streams_.at(static_cast<std::size_t>(stream)).device);
+  }
+  c.src = Endpoint::host();
+  c.bytes = bytes;
+  c.duration_override_s = seconds;
+  enqueue(stream, std::move(c));
+}
+
+void Node::launch(StreamId stream, LaunchStats stats,
+                  std::function<void()> body) {
+  Command c;
+  c.kind = Command::Kind::Kernel;
+  c.stats = std::move(stats);
+  if (functional()) {
+    c.body = std::move(body);
+  }
+  enqueue(stream, std::move(c));
+}
+
+void Node::host_func(StreamId stream, std::function<void()> fn,
+                     double cost_us) {
+  Command c;
+  c.kind = Command::Kind::HostFunc;
+  c.host_cost_us = cost_us;
+  if (functional()) {
+    c.body = std::move(fn);
+  }
+  enqueue(stream, std::move(c));
+}
+
+void Node::record_event(EventId event, StreamId stream) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& ev = events_.at(static_cast<std::size_t>(event));
+  Command c;
+  c.kind = Command::Kind::RecordEvent;
+  c.event = event;
+  c.event_generation = ++ev.enqueued_generation;
+  c.issue_floor_s = floor_or(host_time_s_);
+  streams_.at(static_cast<std::size_t>(stream)).queue.push_back(std::move(c));
+}
+
+void Node::wait_event(StreamId stream, EventId event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto& ev = events_.at(static_cast<std::size_t>(event));
+  if (ev.enqueued_generation == 0) {
+    return; // CUDA semantics: waiting on a never-recorded event is a no-op
+  }
+  Command c;
+  c.kind = Command::Kind::WaitEvent;
+  c.event = event;
+  c.event_generation = ev.enqueued_generation;
+  c.issue_floor_s = floor_or(host_time_s_);
+  streams_.at(static_cast<std::size_t>(stream)).queue.push_back(std::move(c));
+}
+
+void Node::wait_event_generation(StreamId stream, EventId event,
+                                 std::uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.at(static_cast<std::size_t>(event)); // bounds check
+  Command c;
+  c.kind = Command::Kind::WaitEvent;
+  c.event = event;
+  c.event_generation = generation;
+  c.issue_floor_s = floor_or(host_time_s_);
+  streams_.at(static_cast<std::size_t>(stream)).queue.push_back(std::move(c));
+}
+
+double Node::command_duration(const Command& cmd, int device) const {
+  switch (cmd.kind) {
+  case Command::Kind::Kernel:
+    return kernel_seconds(specs_[static_cast<std::size_t>(device)], cmd.stats);
+  case Command::Kind::Copy:
+    if (cmd.duration_override_s >= 0) {
+      return cmd.duration_override_s;
+    }
+    // Device-local operations (memsets, intra-device copies) never touch
+    // the interconnect: they run at global-memory bandwidth.
+    if (!cmd.src.is_host() && !cmd.dst.is_host() &&
+        cmd.src.device == cmd.dst.device && !cmd.host_staged) {
+      const auto& spec = specs_[static_cast<std::size_t>(cmd.src.device)];
+      return 3e-6 + static_cast<double>(cmd.bytes) /
+                        (spec.mem_bandwidth_gbps * 1e9 / 2.0);
+    }
+    return copy_seconds(topo_, cmd.src, cmd.dst, cmd.bytes, cmd.host_staged);
+  case Command::Kind::HostFunc:
+    return cmd.host_cost_us * 1e-6;
+  case Command::Kind::RecordEvent:
+  case Command::Kind::WaitEvent:
+    return 0.0;
+  }
+  return 0.0;
+}
+
+void Node::account(const Command& cmd, int device, double duration) {
+  switch (cmd.kind) {
+  case Command::Kind::Kernel:
+    ++stats_.kernels_launched;
+    stats_.kernel_seconds += duration;
+    stats_.device_compute_seconds[static_cast<std::size_t>(device)] += duration;
+    break;
+  case Command::Kind::Copy: {
+    ++stats_.copies;
+    stats_.copy_seconds += duration;
+    const std::size_t si =
+        cmd.src.is_host() ? 0 : static_cast<std::size_t>(cmd.src.device) + 1;
+    const std::size_t di =
+        cmd.dst.is_host() ? 0 : static_cast<std::size_t>(cmd.dst.device) + 1;
+    stats_.bytes_between[si][di] += cmd.bytes;
+    if (cmd.host_staged) {
+      stats_.bytes_host_staged += cmd.bytes;
+    } else if (cmd.src.is_host()) {
+      stats_.bytes_h2d += cmd.bytes;
+    } else if (cmd.dst.is_host()) {
+      stats_.bytes_d2h += cmd.bytes;
+    } else if (cmd.src.device != cmd.dst.device) {
+      stats_.bytes_p2p += cmd.bytes;
+    }
+    break;
+  }
+  case Command::Kind::HostFunc:
+    ++stats_.host_funcs;
+    break;
+  default:
+    break;
+  }
+}
+
+void Node::drain_locked() {
+  // Deterministic list scheduler: repeatedly pick, among all stream heads
+  // whose dependencies are satisfied, the command with the earliest start
+  // time (ties broken by stream id), execute it functionally and advance the
+  // simulated clock state.
+  while (true) {
+    int best_stream = -1;
+    double best_start = std::numeric_limits<double>::infinity();
+    int best_engine = -1; // copy engine index, or -1
+
+    for (std::size_t s = 0; s < streams_.size(); ++s) {
+      auto& st = streams_[s];
+      if (st.queue.empty()) {
+        continue;
+      }
+      const Command& cmd = st.queue.front();
+      double ready = std::max(st.last_completion_s, cmd.issue_floor_s);
+      int engine = -1;
+
+      if (cmd.kind == Command::Kind::WaitEvent) {
+        const auto& ev = events_[static_cast<std::size_t>(cmd.event)];
+        if (ev.processed_generation < cmd.event_generation) {
+          continue; // dependency not yet resolved
+        }
+        ready = std::max(
+            ready, ev.completion_s[static_cast<std::size_t>(
+                       cmd.event_generation - 1)]);
+      } else if (cmd.kind == Command::Kind::Kernel) {
+        const auto& eng = engines_[static_cast<std::size_t>(st.device)];
+        ready = std::max(ready, eng.compute_free_s);
+      } else if (cmd.kind == Command::Kind::Copy) {
+        const auto& eng = engines_[static_cast<std::size_t>(st.device)];
+        engine = eng.copy_free_s[0] <= eng.copy_free_s[1] ? 0 : 1;
+        ready = std::max(ready, eng.copy_free_s[engine]);
+      }
+
+      // Strict '<' with ascending iteration keeps the lowest stream id on
+      // ties, making the schedule deterministic.
+      if (ready < best_start) {
+        best_start = ready;
+        best_stream = static_cast<int>(s);
+        best_engine = engine;
+      }
+    }
+
+    if (best_stream < 0) {
+      // Either fully drained or deadlocked on unrecorded events.
+      bool pending = false;
+      std::string diag;
+      for (std::size_t s = 0; s < streams_.size(); ++s) {
+        if (!streams_[s].queue.empty()) {
+          pending = true;
+          diag += " stream " + std::to_string(s) + " (device " +
+                  std::to_string(streams_[s].device) + ", " +
+                  std::to_string(streams_[s].queue.size()) + " cmds)";
+        }
+      }
+      if (pending) {
+        throw std::runtime_error(
+            "sim::Node deadlock: streams blocked on unprocessed events:" +
+            diag);
+      }
+      return;
+    }
+
+    auto& st = streams_[static_cast<std::size_t>(best_stream)];
+    Command cmd = std::move(st.queue.front());
+    st.queue.pop_front();
+
+    const double duration = command_duration(cmd, st.device);
+    const double completion = best_start + duration;
+
+    if (cmd.kind == Command::Kind::Kernel) {
+      engines_[static_cast<std::size_t>(st.device)].compute_free_s = completion;
+    } else if (cmd.kind == Command::Kind::Copy) {
+      engines_[static_cast<std::size_t>(st.device)]
+          .copy_free_s[best_engine] = completion;
+    } else if (cmd.kind == Command::Kind::RecordEvent) {
+      auto& ev = events_[static_cast<std::size_t>(cmd.event)];
+      ev.completion_s.resize(
+          std::max<std::size_t>(ev.completion_s.size(),
+                                static_cast<std::size_t>(cmd.event_generation)),
+          0.0);
+      ev.completion_s[static_cast<std::size_t>(cmd.event_generation - 1)] =
+          completion;
+      ev.processed_generation =
+          std::max(ev.processed_generation, cmd.event_generation);
+    }
+    st.last_completion_s = completion;
+    host_time_s_ = std::max(host_time_s_, completion);
+
+    if (trace_enabled_) {
+      TraceEvent te;
+      te.stream = best_stream;
+      te.device = st.device;
+      switch (cmd.kind) {
+      case Command::Kind::Kernel: te.kind = 'K'; te.label = cmd.stats.label; break;
+      case Command::Kind::Copy:
+        te.kind = 'C';
+        te.label = (cmd.src.is_host() ? std::string("H") : std::to_string(cmd.src.device)) +
+                   "->" + (cmd.dst.is_host() ? std::string("H") : std::to_string(cmd.dst.device)) +
+                   " " + std::to_string(cmd.bytes) + "B";
+        break;
+      case Command::Kind::HostFunc: te.kind = 'H'; break;
+      case Command::Kind::RecordEvent: te.kind = 'R'; te.label = "ev" + std::to_string(cmd.event); break;
+      case Command::Kind::WaitEvent: te.kind = 'W'; te.label = "ev" + std::to_string(cmd.event); break;
+      }
+      te.start = best_start;
+      te.end = completion;
+      trace_.push_back(std::move(te));
+    }
+
+    account(cmd, st.device, duration);
+    if (cmd.body) {
+      cmd.body(); // Functional mode: run the kernel/copy/host function
+    }
+  }
+}
+
+void Node::synchronize() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  drain_locked();
+}
+
+void Node::synchronize_stream(StreamId stream) {
+  (void)stream;
+  synchronize();
+}
+
+double Node::host_now_s() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return host_time_s_;
+}
+
+double Node::now_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return host_time_s_ * 1e3;
+}
+
+void Node::advance_host_us(double us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  host_time_s_ += us * 1e-6;
+}
+
+void Node::enable_trace(bool on) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trace_enabled_ = on;
+}
+
+void Node::clear_trace() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trace_.clear();
+}
+
+void Node::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = SimStats{};
+  stats_.bytes_between.assign(
+      specs_.size() + 1, std::vector<std::uint64_t>(specs_.size() + 1, 0));
+  stats_.device_compute_seconds.assign(specs_.size(), 0.0);
+}
+
+const char* to_string(Arch arch) {
+  switch (arch) {
+  case Arch::Kepler:
+    return "Kepler";
+  case Arch::Maxwell:
+    return "Maxwell";
+  }
+  return "?";
+}
+
+} // namespace sim

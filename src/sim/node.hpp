@@ -1,0 +1,202 @@
+// The simulated multi-GPU node: devices, streams, events and the
+// discrete-event engine.
+//
+// This module is the reproduction's substitute for the CUDA runtime plus the
+// paper's 4-GPU PCIe-3 testbed (DESIGN.md §2). It exposes the asynchronous
+// command-queue semantics the MAPS-Multi scheduler is written against:
+//
+//  * per-device in-order streams holding kernels, copies, memsets, event
+//    records/waits and host functions;
+//  * one compute engine and two copy engines per device, so copies overlap
+//    kernels and each other (paper §2);
+//  * events for cross-stream/cross-device synchronization;
+//  * peer-to-peer transfers over the node topology, with an explicit
+//    host-staged variant for the paper's baseline systems.
+//
+// Execution model: enqueue operations are cheap and thread-safe (the
+// scheduler's invoker threads call them concurrently). synchronize() runs a
+// deterministic list scheduler that processes commands in simulated-time
+// order, respecting stream order, event dependencies and engine
+// availability; in Functional mode each command's body also executes, so
+// results are real and verifiable. Simulated timestamps depend only on the
+// dependency graph, never on host wall-clock.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/arch.hpp"
+#include "sim/launch_stats.hpp"
+#include "sim/memory.hpp"
+#include "sim/stats.hpp"
+#include "sim/topology.hpp"
+
+namespace sim {
+
+/// Whether kernel/copy bodies actually run (tests, examples) or only their
+/// costs accrue (paper-scale benchmarks). See DESIGN.md §5.3.
+enum class ExecMode { Functional, TimingOnly };
+
+using StreamId = int;
+using EventId = int;
+
+class Node {
+public:
+  Node(std::vector<DeviceSpec> specs, Topology topo,
+       ExecMode mode = ExecMode::Functional);
+  explicit Node(std::vector<DeviceSpec> specs,
+                ExecMode mode = ExecMode::Functional);
+  ~Node();
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  int device_count() const { return static_cast<int>(specs_.size()); }
+  const DeviceSpec& spec(int device) const;
+  const Topology& topology() const { return topo_; }
+  ExecMode mode() const { return mode_; }
+  bool functional() const { return mode_ == ExecMode::Functional; }
+
+  // --- Memory ---------------------------------------------------------------
+  Buffer* malloc_device(int device, std::size_t bytes);
+  void free_device(Buffer* buffer);
+  std::size_t device_mem_used(int device) const;
+  std::size_t device_mem_capacity(int device) const;
+
+  // --- Streams & events -------------------------------------------------------
+  StreamId create_stream(int device);
+  /// The stream created for each device at construction time.
+  StreamId default_stream(int device) const;
+  int stream_device(StreamId stream) const;
+  EventId create_event();
+
+  // --- Commands ---------------------------------------------------------------
+  void memcpy_h2d(StreamId stream, Buffer* dst, std::size_t dst_off,
+                  const void* src, std::size_t bytes);
+  void memcpy_d2h(StreamId stream, void* dst, Buffer* src, std::size_t src_off,
+                  std::size_t bytes);
+  void memcpy_p2p(StreamId stream, Buffer* dst, std::size_t dst_off,
+                  Buffer* src, std::size_t src_off, std::size_t bytes);
+  /// Peer copy that bounces through host RAM (baseline systems only).
+  void memcpy_p2p_host_staged(StreamId stream, Buffer* dst, std::size_t dst_off,
+                              Buffer* src, std::size_t src_off,
+                              std::size_t bytes);
+
+  /// Strided 2D copies: `height` rows of `row_bytes`, with independent pitches.
+  void memcpy_2d_h2d(StreamId stream, Buffer* dst, std::size_t dst_off,
+                     std::size_t dst_pitch, const void* src,
+                     std::size_t src_pitch, std::size_t row_bytes,
+                     std::size_t height);
+  void memcpy_2d_d2h(StreamId stream, void* dst, std::size_t dst_pitch,
+                     Buffer* src, std::size_t src_off, std::size_t src_pitch,
+                     std::size_t row_bytes, std::size_t height);
+  void memcpy_2d_p2p(StreamId stream, Buffer* dst, std::size_t dst_off,
+                     std::size_t dst_pitch, Buffer* src, std::size_t src_off,
+                     std::size_t src_pitch, std::size_t row_bytes,
+                     std::size_t height);
+
+  void memset_device(StreamId stream, Buffer* dst, std::size_t dst_off,
+                     int value, std::size_t bytes);
+
+  /// Occupies a copy engine for an explicit duration, accounting `bytes` as
+  /// host-to-device traffic. Used by baseline models whose staging behaviour
+  /// (pinned-buffer bandwidth, host-side contention) is not derivable from
+  /// the point-to-point topology — e.g. CUBLAS-XT tile streaming (§5.4).
+  void stage_host_traffic(StreamId stream, std::size_t bytes, double seconds);
+
+  /// Enqueues a kernel. `body` runs inside the event loop (Functional mode)
+  /// in dependency order; it must not call back into the Node.
+  void launch(StreamId stream, LaunchStats stats, std::function<void()> body);
+
+  /// Enqueues a host-side function (e.g. aggregation) that runs when the
+  /// stream reaches it.
+  void host_func(StreamId stream, std::function<void()> fn,
+                 double cost_us = 1.0);
+
+  void record_event(EventId event, StreamId stream);
+  /// CUDA semantics: waits for the most recent record enqueued before this
+  /// call; a wait on a never-recorded event is a no-op.
+  void wait_event(StreamId stream, EventId event);
+  /// Strict variant for concurrent enqueue (the scheduler's invoker threads):
+  /// waits for the `generation`-th record of `event` even if that record has
+  /// not been enqueued yet. The matching record must be enqueued before the
+  /// next synchronize(), otherwise the drain reports a deadlock.
+  void wait_event_generation(StreamId stream, EventId event,
+                             std::uint64_t generation);
+
+  // --- Synchronization & clock -----------------------------------------------
+  /// Drains every stream, executing all pending commands.
+  void synchronize();
+  /// Semantically waits for one stream; conservatively drains everything
+  /// (simulated timestamps are unaffected — they depend only on the
+  /// dependency graph).
+  void synchronize_stream(StreamId stream);
+
+  /// Simulated host-visible clock, in milliseconds.
+  double now_ms() const;
+  /// Advances the host clock: models host-side software time (scheduler
+  /// bookkeeping, baseline library overhead). Subsequent commands cannot
+  /// start earlier than the advanced time.
+  void advance_host_us(double us);
+
+  /// While alive on a thread, commands enqueued from that thread use the
+  /// given simulated time as their issue floor instead of the node's current
+  /// host clock. The scheduler's invoker threads use this so a task's
+  /// commands are stamped with the host time at which the task was
+  /// *dispatched*, independent of when the worker thread actually enqueues
+  /// them (the main thread may already have advanced the clock for later
+  /// tasks).
+  class ScopedIssueFloor {
+  public:
+    ScopedIssueFloor(Node& node, double floor_s);
+    ~ScopedIssueFloor();
+    ScopedIssueFloor(const ScopedIssueFloor&) = delete;
+    ScopedIssueFloor& operator=(const ScopedIssueFloor&) = delete;
+
+  private:
+    double previous_;
+    bool had_previous_;
+  };
+  /// Current host clock in seconds (for capturing dispatch times).
+  double host_now_s() const;
+
+  const SimStats& stats() const { return stats_; }
+  void reset_stats();
+
+  /// Timeline tracing (start/end of every processed command).
+  void enable_trace(bool on);
+  const std::vector<TraceEvent>& trace() const { return trace_; }
+  void clear_trace();
+
+private:
+  struct Command;
+  struct StreamState;
+  struct EventState;
+  struct DeviceEngines;
+
+  void enqueue(StreamId stream, Command cmd);
+  void drain_locked();
+  double command_duration(const Command& cmd, int device) const;
+  void account(const Command& cmd, int device, double duration);
+
+  std::vector<DeviceSpec> specs_;
+  Topology topo_;
+  ExecMode mode_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<DeviceAllocator>> allocators_;
+  std::vector<StreamState> streams_;
+  std::vector<EventState> events_;
+  std::vector<DeviceEngines> engines_;
+  std::vector<StreamId> default_streams_;
+
+  double host_time_s_ = 0.0;
+  SimStats stats_;
+  bool trace_enabled_ = false;
+  std::vector<TraceEvent> trace_;
+};
+
+} // namespace sim

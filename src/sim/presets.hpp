@@ -1,0 +1,23 @@
+// Calibrated device presets for the paper's experimental setup (Table 3).
+#pragma once
+
+#include <vector>
+
+#include "sim/arch.hpp"
+
+namespace sim {
+
+/// NVIDIA GTX 780 (Kepler, 3 GiB, 12 SM x 192 cores).
+DeviceSpec gtx780();
+/// NVIDIA GTX Titan Black (Kepler, 6 GiB, 15 SM x 192 cores).
+DeviceSpec titan_black();
+/// NVIDIA GTX 980 (Maxwell, 4 GiB, 16 SM x 128 cores).
+DeviceSpec gtx980();
+
+/// All three presets, in the paper's Table 3 order.
+std::vector<DeviceSpec> paper_device_models();
+
+/// A node of `count` identical devices, as in the paper's test nodes.
+std::vector<DeviceSpec> homogeneous_node(const DeviceSpec& spec, int count);
+
+} // namespace sim

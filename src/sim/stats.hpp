@@ -1,0 +1,45 @@
+// Aggregate statistics collected by the simulated node.
+//
+// Tests use these to verify the framework's transfer behaviour (e.g. the
+// Game of Life exchanges exactly two boundary rows per device pair per
+// iteration, §5.1; unmodified-routine chains keep data resident, §5.4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sim {
+
+/// One processed command in the simulated timeline (tracing enabled via
+/// Node::enable_trace). Times in simulated seconds.
+struct TraceEvent {
+  int stream = 0;
+  int device = 0;
+  char kind = '?'; ///< K kernel, C copy, H host func, R record, W wait
+  double start = 0, end = 0;
+  std::string label;
+};
+
+struct SimStats {
+  std::uint64_t kernels_launched = 0;
+  std::uint64_t copies = 0;
+  std::uint64_t host_funcs = 0;
+
+  std::uint64_t bytes_h2d = 0;
+  std::uint64_t bytes_d2h = 0;
+  std::uint64_t bytes_p2p = 0; ///< device-to-device, direct peer path
+  std::uint64_t bytes_host_staged = 0; ///< device-to-device through the host
+
+  double kernel_seconds = 0; ///< Sum of kernel busy time across devices.
+  double copy_seconds = 0;   ///< Sum of transfer time across engines.
+
+  /// bytes_between[i][j]: bytes moved from endpoint i to endpoint j, where
+  /// index 0 is the host and index d+1 is device d.
+  std::vector<std::vector<std::uint64_t>> bytes_between;
+
+  /// Per-device busy time of the compute engine (seconds).
+  std::vector<double> device_compute_seconds;
+};
+
+} // namespace sim

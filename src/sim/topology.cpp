@@ -1,0 +1,97 @@
+#include "sim/topology.hpp"
+
+#include <stdexcept>
+
+namespace sim {
+
+Topology Topology::pcie3_pairs(int device_count) {
+  return Topology(device_count, /*h2d=*/12.0, /*d2h=*/12.5,
+                  /*p2p_same_bus=*/10.5, /*p2p_cross_bus=*/7.0,
+                  /*latency_us=*/9.0);
+}
+
+Topology Topology::cluster(int nodes, int gpus_per_node, double network_gbps,
+                           double network_latency_us) {
+  Topology t = pcie3_pairs(nodes * gpus_per_node);
+  t.cluster_nodes_ = nodes;
+  t.gpus_per_node_ = gpus_per_node;
+  t.network_gbps_ = network_gbps;
+  t.network_latency_us_ = network_latency_us;
+  return t;
+}
+
+Topology::Topology(int device_count, double h2d_gbps, double d2h_gbps,
+                   double p2p_same_bus_gbps, double p2p_cross_bus_gbps,
+                   double latency_us)
+    : device_count_(device_count), h2d_gbps_(h2d_gbps), d2h_gbps_(d2h_gbps),
+      p2p_same_bus_gbps_(p2p_same_bus_gbps),
+      p2p_cross_bus_gbps_(p2p_cross_bus_gbps), latency_us_(latency_us) {
+  if (device_count < 1) {
+    throw std::invalid_argument("Topology requires at least one device");
+  }
+}
+
+int Topology::bus_of(int device) const {
+  if (device < 0 || device >= device_count_) {
+    throw std::out_of_range("Topology::bus_of: bad device index");
+  }
+  return device / 2; // consecutive pairs share a PCIe bus (paper §5)
+}
+
+int Topology::cluster_node_of(int device) const {
+  if (gpus_per_node_ <= 0) {
+    return 0;
+  }
+  return device / gpus_per_node_;
+}
+
+bool Topology::peer_enabled(int src, int dst) const {
+  if (src < 0 || dst < 0 || src >= device_count_ || dst >= device_count_) {
+    return false;
+  }
+  // Peer access only exists within one node; cross-node transfers stage
+  // through the hosts and the network.
+  return cluster_node_of(src) == cluster_node_of(dst);
+}
+
+double Topology::network_seconds(int src_device, int dst_device,
+                                 std::size_t bytes) const {
+  if (cluster_node_of(src_device) == cluster_node_of(dst_device)) {
+    return 0.0;
+  }
+  return network_latency_us_ * 1e-6 +
+         static_cast<double>(bytes) / (network_gbps_ * 1e9);
+}
+
+double Topology::bandwidth_gbps(Endpoint src, Endpoint dst) const {
+  if (src.is_host() && dst.is_host()) {
+    return 25.0; // host memcpy; never on the critical path in practice
+  }
+  if (src.is_host()) {
+    return h2d_gbps_;
+  }
+  if (dst.is_host()) {
+    return d2h_gbps_;
+  }
+  if (src.device == dst.device) {
+    return 2.0 * p2p_same_bus_gbps_; // intra-device D2D
+  }
+  return bus_of(src.device) == bus_of(dst.device) ? p2p_same_bus_gbps_
+                                                  : p2p_cross_bus_gbps_;
+}
+
+double Topology::latency_us(Endpoint src, Endpoint dst) const {
+  if (!src.is_host() && !dst.is_host() && src.device != dst.device &&
+      bus_of(src.device) != bus_of(dst.device)) {
+    return latency_us_ * 1.5; // extra inter-socket hop
+  }
+  return latency_us_;
+}
+
+double Topology::transfer_seconds(Endpoint src, Endpoint dst,
+                                  std::size_t bytes) const {
+  const double bw = bandwidth_gbps(src, dst) * 1e9;
+  return latency_us(src, dst) * 1e-6 + static_cast<double>(bytes) / bw;
+}
+
+} // namespace sim

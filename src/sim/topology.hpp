@@ -1,0 +1,84 @@
+// Interconnect topology of a simulated multi-GPU node.
+//
+// The paper's nodes connect pairs of GPUs on two PCI-Express 3 buses, each
+// pair controlled by a different CPU (§5). Peer-to-peer transfers within a
+// bus go direct; transfers crossing buses traverse the inter-socket link and
+// are slower. Host-staged transfers (the CUBLAS-XT / MPI baselines of §5.4
+// and §6.2) bounce through host RAM and pay both hops plus software latency.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sim {
+
+/// Endpoint of a transfer: the host, or device index `device`.
+struct Endpoint {
+  int device = -1; ///< -1 designates the host.
+  bool is_host() const { return device < 0; }
+  static Endpoint host() { return Endpoint{-1}; }
+  static Endpoint dev(int d) { return Endpoint{d}; }
+};
+
+/// Per-node interconnect description with a simple per-hop bandwidth/latency
+/// model. All bandwidths are in GB/s, latencies in microseconds.
+class Topology {
+public:
+  /// Builds the paper's topology: `device_count` GPUs, consecutive pairs
+  /// sharing a PCIe-3 bus, with peer access enabled within a pair and
+  /// routed across the inter-socket link between pairs.
+  static Topology pcie3_pairs(int device_count);
+
+  /// Cluster of `nodes` multi-GPU nodes (the paper's §8 future-work
+  /// direction): inside a node the usual PCIe-pair layout; between nodes an
+  /// interconnect whose latency is orders of magnitude higher than PCIe.
+  /// Cross-node peers are not reachable directly — transfers stage through
+  /// the hosts and the network.
+  static Topology cluster(int nodes, int gpus_per_node,
+                          double network_gbps = 5.0,
+                          double network_latency_us = 30.0);
+
+  Topology() = default;
+  Topology(int device_count, double h2d_gbps, double d2h_gbps,
+           double p2p_same_bus_gbps, double p2p_cross_bus_gbps,
+           double latency_us);
+
+  int device_count() const { return device_count_; }
+  int bus_of(int device) const;
+  /// Cluster node a device belongs to (0 when single-node).
+  int cluster_node_of(int device) const;
+  int cluster_nodes() const { return cluster_nodes_; }
+  /// True when src and dst can exchange data without host staging
+  /// (false across cluster nodes).
+  bool peer_enabled(int src, int dst) const;
+
+  /// Network hop cost between two cluster nodes (0 within a node).
+  double network_seconds(int src_device, int dst_device,
+                         std::size_t bytes) const;
+
+  /// Effective bandwidth (GB/s) for a transfer between two endpoints.
+  double bandwidth_gbps(Endpoint src, Endpoint dst) const;
+  /// Fixed per-transfer latency (us) between two endpoints.
+  double latency_us(Endpoint src, Endpoint dst) const;
+
+  /// Duration in seconds of a single transfer of `bytes`.
+  double transfer_seconds(Endpoint src, Endpoint dst, std::size_t bytes) const;
+
+  /// Extra software latency (us) added by host-staged exchange baselines
+  /// (MPI/IPC in NMF-mGPU, host-based API in CUBLAS-XT).
+  double host_staging_software_us = 25.0;
+
+private:
+  int device_count_ = 0;
+  int cluster_nodes_ = 1;
+  int gpus_per_node_ = 0; // 0: all devices in one node
+  double network_gbps_ = 5.0;
+  double network_latency_us_ = 30.0;
+  double h2d_gbps_ = 12.0;
+  double d2h_gbps_ = 12.5;
+  double p2p_same_bus_gbps_ = 10.5;
+  double p2p_cross_bus_gbps_ = 7.0;
+  double latency_us_ = 9.0;
+};
+
+} // namespace sim

@@ -1,0 +1,49 @@
+#include "simcub/simcub.hpp"
+
+namespace simcub {
+
+double per_pixel_ns(const sim::DeviceSpec& spec) {
+  // Calibration targets at 8192^2 pixels (Fig 8's relationships):
+  //   GTX 780:     ~1.25 ms  (MAPS-Multi ~0.95 ms is FASTER here)
+  //   Titan Black: ~0.70 ms  (CUB faster than MAPS-Multi's ~0.85 ms)
+  //   GTX 980:     ~0.75 ms  (CUB clearly faster: Maxwell shared-atomic
+  //                           tuning MAPS cannot apply generically)
+  switch (spec.arch) {
+  case sim::Arch::Kepler:
+    return spec.sm_count >= 15 ? 0.0104 : 0.0186;
+  case sim::Arch::Maxwell:
+    return 0.0112;
+  }
+  return 0.02;
+}
+
+void histogram256(sim::Node& node, int device, sim::StreamId stream,
+                  const int* image, std::size_t rows, std::size_t cols,
+                  int* hist) {
+  const std::size_t pixels = rows * cols;
+  sim::LaunchStats st;
+  st.label = "simcub::histogram256";
+  st.blocks = std::max<std::uint64_t>(1, pixels / 2048);
+  st.threads_per_block = 256;
+  // The tuned cost is expressed directly: CUB's internal scheme (per-thread
+  // privatized bins, vectorized loads) is not modeled structurally.
+  st.extra_us = static_cast<double>(pixels) * per_pixel_ns(node.spec(device)) *
+                1e-3;
+  node.launch(stream, st, [=] {
+    for (std::size_t i = 0; i < pixels; ++i) {
+      ++hist[image[i] & 255];
+    }
+  });
+}
+
+bool HistogramRoutine(maps::multi::RoutineArgs& args) {
+  const auto& seg = args.container_segments[0];
+  const std::size_t rows = seg.m_dimensions[0];
+  const std::size_t cols = seg.m_dimensions[1];
+  histogram256(*args.node, args.sim_device, args.stream,
+               args.parameters[0].as<int>(), rows, cols,
+               args.parameters[1].as<int>());
+  return true;
+}
+
+} // namespace simcub

@@ -1,0 +1,32 @@
+// simcub — stand-in for the CUB GPU primitives library (paper §5.3, Fig 8).
+//
+// CUB's histogram contains architecture- and algorithm-specific
+// optimizations that a generic pattern-based framework cannot, by design,
+// incorporate. The paper observes that CUB is faster than MAPS-Multi on the
+// Titan Black and (more so) the GTX 980, while MAPS-Multi wins on the
+// GTX 780. We reproduce that relationship with per-architecture calibrated
+// per-pixel costs; see presets.cpp for the calibration method.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/node.hpp"
+
+#include "multi/routine.hpp"
+
+namespace simcub {
+
+/// Enqueues a 256-bin histogram of `rows x cols` int pixels into `hist`
+/// (accumulating). Hand-tuned per architecture.
+void histogram256(sim::Node& node, int device, sim::StreamId stream,
+                  const int* image, std::size_t rows, std::size_t cols,
+                  int* hist);
+
+/// MAPS-Multi unmodified-routine wrapper (§4.6): parameters =
+/// { Window2D(image, r=0), ReductiveStatic(hist) }.
+bool HistogramRoutine(maps::multi::RoutineArgs& args);
+
+/// Calibrated per-pixel cost (nanoseconds) of the tuned histogram on `spec`.
+double per_pixel_ns(const sim::DeviceSpec& spec);
+
+} // namespace simcub

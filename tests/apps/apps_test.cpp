@@ -1,0 +1,236 @@
+// Application-level tests: all Game of Life and histogram schemes agree with
+// the CPU references on every device count, and the calibrated performance
+// relationships of Fig 7 / Fig 8 / §5.3 hold in the cost model.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "apps/game_of_life.hpp"
+#include "apps/histogram.hpp"
+#include "sim/presets.hpp"
+#include "simcub/simcub.hpp"
+
+namespace {
+
+using namespace maps::multi;
+
+std::vector<int> random_cells(std::size_t n, unsigned seed, int mod = 2) {
+  std::mt19937 rng(seed);
+  std::vector<int> g(n);
+  for (auto& v : g) {
+    v = static_cast<int>(rng() % static_cast<unsigned>(mod));
+  }
+  return g;
+}
+
+struct SchemeDevices {
+  apps::gol::Scheme scheme;
+  int devices;
+};
+
+class GolSchemeTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GolSchemeTest, AllSchemesMatchReference) {
+  const auto scheme = static_cast<apps::gol::Scheme>(std::get<0>(GetParam()));
+  const int devices = std::get<1>(GetParam());
+  const std::size_t W = 128, H = 96;
+  const int iterations = 5;
+
+  std::vector<int> host_a = random_cells(W * H, 11);
+  std::vector<int> host_b(W * H, 0);
+  std::vector<int> ref = host_a;
+
+  sim::Node node(sim::homogeneous_node(sim::gtx780(), devices));
+  Scheduler sched(node);
+  Matrix<int> A(W, H, "A"), B(W, H, "B");
+  A.Bind(host_a.data());
+  B.Bind(host_b.data());
+
+  apps::gol::run(sched, A, B, iterations, scheme);
+  for (int i = 0; i < iterations; ++i) {
+    apps::gol::reference_tick(ref, W, H);
+  }
+  EXPECT_EQ((iterations % 2 == 0) ? host_a : host_b, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(SchemesByDevices, GolSchemeTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(1, 2, 4)));
+
+class HistSchemeTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HistSchemeTest, AllSchemesMatchReference) {
+  const auto scheme =
+      static_cast<apps::histogram::Scheme>(std::get<0>(GetParam()));
+  const int devices = std::get<1>(GetParam());
+  const std::size_t W = 160, H = 120;
+
+  std::vector<int> image = random_cells(W * H, 5, 256);
+  std::vector<int> hist(apps::histogram::kBins, 0);
+
+  sim::Node node(sim::homogeneous_node(sim::gtx980(), devices));
+  Scheduler sched(node);
+  Matrix<int> img(W, H, "image");
+  Vector<int> h(apps::histogram::kBins, "hist");
+  img.Bind(image.data());
+  h.Bind(hist.data());
+
+  apps::histogram::run(sched, img, h, /*iterations=*/1, scheme);
+  EXPECT_EQ(hist, apps::histogram::reference(image));
+}
+
+INSTANTIATE_TEST_SUITE_P(SchemesByDevices, HistSchemeTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(1, 2, 4)));
+
+// --- Calibration shape checks (paper-scale, TimingOnly) ----------------------
+
+double gol_time_ms(const sim::DeviceSpec& spec, int devices,
+                   apps::gol::Scheme scheme, std::size_t size = 8192,
+                   int iterations = 100) {
+  sim::Node node(sim::homogeneous_node(spec, devices),
+                 sim::ExecMode::TimingOnly);
+  Scheduler sched(node);
+  Matrix<int> A(size, size, "A"), B(size, size, "B");
+  std::vector<int> dummy(1); // TimingOnly: host buffers are never touched
+  A.Bind(dummy.data());
+  B.Bind(dummy.data());
+  return apps::gol::run(sched, A, B, iterations, scheme) / iterations;
+}
+
+TEST(Fig7CalibrationTest, NaiveBeatsNonIlpMapsBy20to50Percent) {
+  // §5.2: "the naive version outperforms the non-ILP version of MAPS-Multi
+  // by ~20-50%, depending on the architecture."
+  for (const auto& spec : sim::paper_device_models()) {
+    const double naive = gol_time_ms(spec, 1, apps::gol::Scheme::Naive);
+    const double maps = gol_time_ms(spec, 1, apps::gol::Scheme::Maps);
+    const double ratio = maps / naive;
+    EXPECT_GE(ratio, 1.15) << spec.name;
+    EXPECT_LE(ratio, 1.55) << spec.name;
+  }
+}
+
+TEST(Fig7CalibrationTest, IlpBeatsNaiveByAbout2point4x) {
+  // §5.2: "using ILP yields a ~2.42x performance increase over the naive
+  // version on all architectures."
+  for (const auto& spec : sim::paper_device_models()) {
+    const double naive = gol_time_ms(spec, 1, apps::gol::Scheme::Naive);
+    const double ilp = gol_time_ms(spec, 1, apps::gol::Scheme::MapsIlp);
+    const double speedup = naive / ilp;
+    EXPECT_GE(speedup, 2.1) << spec.name;
+    EXPECT_LE(speedup, 2.8) << spec.name;
+  }
+}
+
+double hist_time_ms(const sim::DeviceSpec& spec, int devices,
+                    apps::histogram::Scheme scheme, std::size_t size = 8192,
+                    int iterations = 100) {
+  sim::Node node(sim::homogeneous_node(spec, devices),
+                 sim::ExecMode::TimingOnly);
+  Scheduler sched(node);
+  Matrix<int> img(size, size, "image");
+  Vector<int> h(apps::histogram::kBins, "hist");
+  std::vector<int> dummy(1);
+  img.Bind(dummy.data());
+  h.Bind(dummy.data());
+  return apps::histogram::run(sched, img, h, iterations, scheme) / iterations;
+}
+
+TEST(Fig8CalibrationTest, NaiveHistogramRuntimesMatchSection53) {
+  // §5.3: ~6.09, ~6.41 and ~30.92 ms on a single GPU.
+  const double t780 =
+      hist_time_ms(sim::gtx780(), 1, apps::histogram::Scheme::Naive);
+  const double tblack =
+      hist_time_ms(sim::titan_black(), 1, apps::histogram::Scheme::Naive);
+  const double t980 =
+      hist_time_ms(sim::gtx980(), 1, apps::histogram::Scheme::Naive);
+  EXPECT_NEAR(t780, 6.09, 0.5);
+  EXPECT_NEAR(tblack, 6.41, 0.5);
+  EXPECT_NEAR(t980, 30.92, 1.5);
+}
+
+TEST(Fig8CalibrationTest, MapsVsCubRelationshipsPerArchitecture) {
+  // Fig 8: MAPS-Multi beats CUB on the GTX 780; CUB is faster on the Titan
+  // Black and more so on the GTX 980 — all within the same order of
+  // magnitude (unlike naive).
+  const double maps780 =
+      hist_time_ms(sim::gtx780(), 1, apps::histogram::Scheme::Maps);
+  const double cub780 =
+      hist_time_ms(sim::gtx780(), 1, apps::histogram::Scheme::Cub);
+  EXPECT_LT(maps780, cub780);
+
+  const double maps_tb =
+      hist_time_ms(sim::titan_black(), 1, apps::histogram::Scheme::Maps);
+  const double cub_tb =
+      hist_time_ms(sim::titan_black(), 1, apps::histogram::Scheme::Cub);
+  EXPECT_LT(cub_tb, maps_tb);
+
+  const double maps980 =
+      hist_time_ms(sim::gtx980(), 1, apps::histogram::Scheme::Maps);
+  const double cub980 =
+      hist_time_ms(sim::gtx980(), 1, apps::histogram::Scheme::Cub);
+  EXPECT_LT(cub980, maps980);
+  EXPECT_GT(maps_tb / cub_tb, 1.0);
+  EXPECT_GT((maps980 / cub980), (maps_tb / cub_tb)); // "more so" on Maxwell
+  // Same order of magnitude everywhere.
+  EXPECT_LT(cub780 / maps780, 3.0);
+  EXPECT_LT(maps980 / cub980, 3.0);
+}
+
+TEST(Fig6CalibrationTest, GolScalesToRoughly3point7xOn4Gpus) {
+  for (const auto& spec : sim::paper_device_models()) {
+    const double one = gol_time_ms(spec, 1, apps::gol::Scheme::MapsIlp);
+    const double four = gol_time_ms(spec, 4, apps::gol::Scheme::MapsIlp);
+    const double speedup = one / four;
+    EXPECT_GE(speedup, 3.3) << spec.name;
+    EXPECT_LE(speedup, 3.95) << spec.name;
+  }
+}
+
+TEST(Fig6CalibrationTest, HistogramScalesNearLinearly) {
+  for (const auto& spec : sim::paper_device_models()) {
+    const double one = hist_time_ms(spec, 1, apps::histogram::Scheme::Maps);
+    const double four = hist_time_ms(spec, 4, apps::histogram::Scheme::Maps);
+    const double speedup = one / four;
+    EXPECT_GE(speedup, 3.5) << spec.name;
+    EXPECT_LE(speedup, 4.05) << spec.name;
+  }
+}
+
+TEST(GolPropertyTest, GliderTranslatesAcrossDeviceBoundaries) {
+  // A glider moves one cell diagonally every 4 generations. Crossing the
+  // partition boundary exercises the halo exchange end to end: after
+  // 4*k generations the pattern must be an exact translation.
+  const std::size_t W = 64, H = 64;
+  std::vector<int> grid(W * H, 0);
+  auto set = [&](std::size_t y, std::size_t x) { grid[y * W + x] = 1; };
+  // Standard glider (heads down-right).
+  set(1, 2);
+  set(2, 3);
+  set(3, 1);
+  set(3, 2);
+  set(3, 3);
+  const std::vector<int> initial = grid;
+
+  std::vector<int> buf_b(W * H, 0);
+  sim::Node node(sim::homogeneous_node(sim::gtx780(), 4));
+  Scheduler sched(node);
+  Matrix<int> A(W, H, "A"), B(W, H, "B");
+  A.Bind(grid.data());
+  B.Bind(buf_b.data());
+  const int generations = 4 * 40; // crosses all three device boundaries
+  apps::gol::run(sched, A, B, generations, apps::gol::Scheme::Maps);
+
+  const std::size_t shift = static_cast<std::size_t>(generations / 4);
+  for (std::size_t y = 0; y < H; ++y) {
+    for (std::size_t x = 0; x < W; ++x) {
+      const std::size_t sy = (y + shift) % H, sx = (x + shift) % W;
+      ASSERT_EQ(grid[sy * W + sx], initial[y * W + x]) << y << "," << x;
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,143 @@
+// Shape-regression tests for the remaining evaluation figures: the
+// qualitative relationships the paper reports must hold in the simulated
+// measurements (the per-figure calibration tests live in apps_test.cpp).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "multi/maps_multi.hpp"
+#include "nmf/nmf.hpp"
+#include "nn/trainer.hpp"
+#include "sim/presets.hpp"
+#include "simblas/simblas.hpp"
+
+namespace {
+
+using namespace maps::multi;
+
+// --- Fig 9 / Table 4 ------------------------------------------------------------
+
+double maps_gemm_chain_ms(const sim::DeviceSpec& spec, int gpus, int chain) {
+  sim::Node node(sim::homogeneous_node(spec, gpus), sim::ExecMode::TimingOnly);
+  Scheduler sched(node);
+  std::vector<float> dummy(1);
+  Matrix<float> b(8192, 8192, "B"), c1(8192, 8192, "C1"), c2(8192, 8192, "C2");
+  b.Bind(dummy.data());
+  c1.Bind(dummy.data());
+  c2.Bind(dummy.data());
+  simblas::Gemm(sched, c1, b, c2);
+  sched.WaitAll();
+  const double t0 = node.now_ms();
+  for (int i = 0; i < chain / 2; ++i) {
+    simblas::Gemm(sched, c2, b, c1);
+    simblas::Gemm(sched, c1, b, c2);
+  }
+  sched.WaitAll();
+  return (node.now_ms() - t0) / chain;
+}
+
+double xt_gemm_chain_ms(const sim::DeviceSpec& spec, int gpus, int chain) {
+  sim::Node node(sim::homogeneous_node(spec, gpus), sim::ExecMode::TimingOnly);
+  std::vector<int> devices;
+  for (int d = 0; d < gpus; ++d) {
+    devices.push_back(d);
+  }
+  simblas::XtHandle xt(node, devices);
+  std::vector<float> h(1);
+  xt.sgemm(8192, 8192, 8192, 1.0f, h.data(), h.data(), 0.0f, h.data());
+  const double t0 = node.now_ms();
+  for (int i = 0; i < chain; ++i) {
+    xt.sgemm(8192, 8192, 8192, 1.0f, h.data(), h.data(), 0.0f, h.data());
+  }
+  return (node.now_ms() - t0) / chain;
+}
+
+TEST(Table4ShapeTest, SingleGpuGemmMatchesPaperAndXtIsSeveralTimesSlower) {
+  struct Case {
+    sim::DeviceSpec spec;
+    double cublas_ms;
+  } cases[] = {{sim::gtx780(), 365.21},
+               {sim::titan_black(), 338.65},
+               {sim::gtx980(), 245.31}};
+  for (const auto& c : cases) {
+    const double maps = maps_gemm_chain_ms(c.spec, 1, 20);
+    EXPECT_NEAR(maps, c.cublas_ms, 0.02 * c.cublas_ms) << c.spec.name;
+    const double xt = xt_gemm_chain_ms(c.spec, 1, 4);
+    EXPECT_GT(xt, 3.0 * maps) << c.spec.name; // paper: 3.8-5.4x
+    EXPECT_LT(xt, 7.0 * maps) << c.spec.name;
+  }
+}
+
+TEST(Fig9ShapeTest, MapsScalingSurpassesXtOnAllPlatforms) {
+  for (const auto& spec : sim::paper_device_models()) {
+    const double maps_speedup = maps_gemm_chain_ms(spec, 1, 10) /
+                                maps_gemm_chain_ms(spec, 4, 10);
+    const double xt_speedup =
+        xt_gemm_chain_ms(spec, 1, 4) / xt_gemm_chain_ms(spec, 4, 4);
+    EXPECT_GT(maps_speedup, xt_speedup) << spec.name;
+    EXPECT_GT(maps_speedup, 3.8) << spec.name;
+  }
+}
+
+// --- Fig 11 -----------------------------------------------------------------------
+
+double train_ips(nn::Strategy strategy, int gpus) {
+  sim::Node node(sim::homogeneous_node(sim::gtx780(), gpus),
+                 sim::ExecMode::TimingOnly);
+  Scheduler sched(node);
+  nn::LeNetConfig cfg;
+  nn::SyntheticDigits data(2049, cfg.image, cfg.classes, 5);
+  nn::LeNetParams params(cfg);
+  nn::Trainer trainer(sched, params, data, 2048, strategy);
+  trainer.train(1);
+  return trainer.train(6).images_per_second;
+}
+
+TEST(Fig11ShapeTest, StrategyOrderingMatchesPaper) {
+  const double dp1 = train_ips(nn::Strategy::DataParallel, 1);
+  const double dp4 = train_ips(nn::Strategy::DataParallel, 4);
+  const double hy1 = train_ips(nn::Strategy::Hybrid, 1);
+  const double hy4 = train_ips(nn::Strategy::Hybrid, 4);
+  const double to1 = train_ips(nn::Strategy::TorchLike, 1);
+  const double to4 = train_ips(nn::Strategy::TorchLike, 4);
+
+  // Single-GPU throughput is similar across frameworks (same routines).
+  EXPECT_NEAR(to1 / dp1, 1.0, 0.25);
+  EXPECT_NEAR(hy1 / dp1, 1.0, 0.25);
+  // Paper's 4-GPU ordering: MAPS data-parallel > MAPS hybrid > Torch.
+  const double dp_s = dp4 / dp1, hy_s = hy4 / hy1, to_s = to4 / to1;
+  EXPECT_GT(dp_s, hy_s);
+  EXPECT_GT(hy_s, to_s);
+  EXPECT_GT(dp_s, 2.8); // paper ~3.12
+  EXPECT_GT(hy_s, 2.2); // paper ~2.79
+  EXPECT_LT(to_s, 2.6); // paper ~2.07-2.3
+}
+
+// --- Fig 13 -----------------------------------------------------------------------
+
+TEST(Fig13ShapeTest, MapsNmfBeatsBaselineEverywhere) {
+  const nmf::Shape shape{}; // the paper's 16Kx4K, k=128
+  std::vector<float> v(1), w, h;
+  for (const auto& spec : sim::paper_device_models()) {
+    double maps[2], base[2];
+    int idx = 0;
+    for (int g : {1, 4}) {
+      sim::Node node(sim::homogeneous_node(spec, g),
+                     sim::ExecMode::TimingOnly);
+      Scheduler sched(node);
+      maps[idx] = nmf::run_maps(sched, v, w, h, shape, 10).sim_ms;
+      sim::Node node2(sim::homogeneous_node(spec, g),
+                      sim::ExecMode::TimingOnly);
+      base[idx] = nmf::run_mgpu_baseline(node2, v, w, h, shape, 10, g).sim_ms;
+      ++idx;
+    }
+    // Higher throughput at every device count...
+    EXPECT_LT(maps[0], base[0]) << spec.name;
+    EXPECT_LT(maps[1], base[1]) << spec.name;
+    // ...and better scalability (§6.2).
+    EXPECT_GT(maps[0] / maps[1], base[0] / base[1]) << spec.name;
+    EXPECT_GT(maps[0] / maps[1], 2.8) << spec.name; // paper ~3.17
+  }
+}
+
+} // namespace

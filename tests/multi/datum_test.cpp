@@ -1,0 +1,49 @@
+// Datum geometry and binding semantics (§2.1, Table 2).
+#include <gtest/gtest.h>
+
+#include "multi/datum.hpp"
+
+namespace {
+
+using namespace maps::multi;
+
+TEST(DatumTest, MatrixFollowsPaperConstructorOrder) {
+  Matrix<float> m(100, 40, "m"); // Matrix<T>(width, height), Fig 2a
+  EXPECT_EQ(m.width(), 100u);
+  EXPECT_EQ(m.height(), 40u);
+  EXPECT_EQ(m.rows(), 40u);            // partitioned by rows
+  EXPECT_EQ(m.row_bytes(), 400u);      // width * sizeof(float)
+  EXPECT_EQ(m.row_elems(), 100u);
+  EXPECT_EQ(m.total_bytes(), 16000u);
+}
+
+TEST(DatumTest, VectorIsPartitionedElementwise) {
+  Vector<double> v(77);
+  EXPECT_EQ(v.rows(), 77u);
+  EXPECT_EQ(v.row_bytes(), sizeof(double));
+  EXPECT_EQ(v.length(), 77u);
+}
+
+TEST(DatumTest, NDArrayPartitionsAlongDim0) {
+  NDArray<float, 4> t({8, 3, 10, 12}, "tensor");
+  EXPECT_EQ(t.rows(), 8u);
+  EXPECT_EQ(t.row_elems(), 3u * 10u * 12u);
+  EXPECT_EQ(t.row_bytes(), 3u * 10u * 12u * sizeof(float));
+}
+
+TEST(DatumTest, BindRegistersHostBuffer) {
+  std::vector<int> host(32);
+  Vector<int> v(32);
+  EXPECT_FALSE(v.bound());
+  v.Bind(host.data());
+  EXPECT_TRUE(v.bound());
+  EXPECT_EQ(v.host_row(3), reinterpret_cast<std::byte*>(host.data() + 3));
+}
+
+TEST(DatumTest, RejectsDegenerateDimensions) {
+  EXPECT_THROW(Matrix<int>(0, 10), std::invalid_argument);
+  EXPECT_THROW(Vector<int>(0), std::invalid_argument);
+  EXPECT_THROW((NDArray<int, 2>({4, 0})), std::invalid_argument);
+}
+
+} // namespace

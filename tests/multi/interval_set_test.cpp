@@ -1,0 +1,86 @@
+// Interval algebra underpinning the Segment Location Monitor (Algorithm 2).
+#include <gtest/gtest.h>
+
+#include "multi/interval_set.hpp"
+
+namespace {
+
+using maps::multi::IntervalSet;
+using maps::multi::RowInterval;
+
+TEST(IntervalSetTest, IntersectBasics) {
+  EXPECT_EQ(maps::multi::intersect({0, 10}, {5, 20}), (RowInterval{5, 10}));
+  EXPECT_TRUE(maps::multi::intersect({0, 5}, {5, 10}).empty());
+  EXPECT_TRUE(maps::multi::intersect({8, 9}, {0, 2}).empty());
+}
+
+TEST(IntervalSetTest, AddMergesAdjacentAndOverlapping) {
+  IntervalSet s;
+  s.add({0, 5});
+  s.add({5, 10});
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.intervals()[0], (RowInterval{0, 10}));
+  s.add({20, 30});
+  s.add({8, 22});
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.intervals()[0], (RowInterval{0, 30}));
+}
+
+TEST(IntervalSetTest, AddIgnoresEmpty) {
+  IntervalSet s;
+  s.add({7, 7});
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSetTest, RemoveSplits) {
+  IntervalSet s;
+  s.add({0, 100});
+  s.remove({40, 60});
+  ASSERT_EQ(s.intervals().size(), 2u);
+  EXPECT_EQ(s.intervals()[0], (RowInterval{0, 40}));
+  EXPECT_EQ(s.intervals()[1], (RowInterval{60, 100}));
+  EXPECT_EQ(s.total_rows(), 80u);
+}
+
+TEST(IntervalSetTest, RemoveEdgesAndAll) {
+  IntervalSet s;
+  s.add({10, 20});
+  s.remove({0, 12});
+  EXPECT_EQ(s.intervals()[0], (RowInterval{12, 20}));
+  s.remove({0, 100});
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSetTest, Covers) {
+  IntervalSet s(std::vector<RowInterval>{{0, 10}, {10, 20}, {30, 40}});
+  EXPECT_TRUE(s.covers({0, 20}));  // merged across pieces
+  EXPECT_TRUE(s.covers({5, 15}));
+  EXPECT_FALSE(s.covers({15, 35})); // hole at [20,30)
+  EXPECT_TRUE(s.covers({33, 33}));  // empty always covered
+}
+
+TEST(IntervalSetTest, IntersectionWith) {
+  IntervalSet s(std::vector<RowInterval>{{0, 10}, {20, 30}});
+  const auto hits = s.intersection_with({5, 25});
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], (RowInterval{5, 10}));
+  EXPECT_EQ(hits[1], (RowInterval{20, 25}));
+}
+
+TEST(IntervalSetTest, MissingFrom) {
+  IntervalSet s(std::vector<RowInterval>{{0, 10}, {20, 30}});
+  const auto gaps = s.missing_from({5, 40});
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_EQ(gaps[0], (RowInterval{10, 20}));
+  EXPECT_EQ(gaps[1], (RowInterval{30, 40}));
+  EXPECT_TRUE(s.missing_from({0, 10}).empty());
+}
+
+TEST(IntervalSetTest, MissingFromEmptySetIsWholeRange) {
+  IntervalSet s;
+  const auto gaps = s.missing_from({3, 9});
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0], (RowInterval{3, 9}));
+}
+
+} // namespace

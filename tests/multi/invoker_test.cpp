@@ -1,0 +1,71 @@
+// Invoker threads (§4.3): ordered execution, flush barriers, exception
+// capture and rethrow.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "multi/invoker.hpp"
+
+namespace {
+
+using maps::multi::InvokerThread;
+
+TEST(InvokerTest, JobsRunInSubmissionOrder) {
+  InvokerThread inv(0);
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    inv.submit([&order, i] { order.push_back(i); });
+  }
+  inv.flush();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(InvokerTest, FlushIsABarrier) {
+  InvokerThread inv(1);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    inv.submit([&done] { done.fetch_add(1); });
+  }
+  inv.flush();
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(InvokerTest, ExceptionsRethrowAtFlushThenClear) {
+  InvokerThread inv(2);
+  inv.submit([] { throw std::runtime_error("job failed"); });
+  inv.submit([] {}); // subsequent jobs still run
+  EXPECT_THROW(inv.flush(), std::runtime_error);
+  inv.submit([] {});
+  EXPECT_NO_THROW(inv.flush()); // error was consumed
+}
+
+TEST(InvokerTest, FirstErrorWins) {
+  InvokerThread inv(3);
+  inv.submit([] { throw std::runtime_error("first"); });
+  inv.submit([] { throw std::logic_error("second"); });
+  try {
+    inv.flush();
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(InvokerTest, DestructorJoinsWithPendingWork) {
+  std::atomic<int> done{0};
+  {
+    InvokerThread inv(4);
+    for (int i = 0; i < 50; ++i) {
+      inv.submit([&done] { done.fetch_add(1); });
+    }
+    // No flush: destructor must drain and join cleanly.
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+} // namespace

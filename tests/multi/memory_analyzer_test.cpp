@@ -1,0 +1,107 @@
+// Unit tests for the Memory Analyzer (§4.2): bounding-box accumulation
+// across AnalyzeCalls, exact preallocation, contiguity, mask tails and the
+// paper's insufficient-allocation error.
+#include <gtest/gtest.h>
+
+#include "multi/input_patterns.hpp"
+#include "multi/memory_analyzer.hpp"
+#include "multi/output_patterns.hpp"
+#include "sim/presets.hpp"
+
+namespace {
+
+using namespace maps::multi;
+
+class MemoryAnalyzerUnitTest : public ::testing::Test {
+protected:
+  MemoryAnalyzerUnitTest()
+      : node(sim::homogeneous_node(sim::gtx780(), 2)),
+        analyzer(node, {0, 1}), m(128, 256, "m") {
+    m.Bind(host.data());
+  }
+  TaskPartition partition(int slots) {
+    return make_partition(256, 128, maps::Dim3{32, 8, 1}, 1, 1, slots);
+  }
+  sim::Node node;
+  MemoryAnalyzer analyzer;
+  std::vector<int> host = std::vector<int>(128 * 256);
+  Matrix<int> m;
+};
+
+TEST_F(MemoryAnalyzerUnitTest, RecordsBoundingBoxAcrossCalls) {
+  const TaskPartition p = partition(2);
+  // First as an exact-segment output...
+  StructuredInjective<int, 2> out(m);
+  analyzer.record(out.spec(), compute_requirement(out.spec(), p, 0), 0);
+  EXPECT_EQ(analyzer.plan(&m, 0)->rows(), 128u);
+  // ...then as a halo'd input: the box grows to the union.
+  Window2D<int, 2, maps::CLAMP> win(m);
+  analyzer.record(win.spec(), compute_requirement(win.spec(), p, 0), 0);
+  EXPECT_EQ(analyzer.plan(&m, 0)->rows(), 132u); // +2 halo rows each side
+  EXPECT_EQ(analyzer.plan(&m, 0)->origin, -2);
+}
+
+TEST_F(MemoryAnalyzerUnitTest, EnsureAllocatesOncePerSlot) {
+  const TaskPartition p = partition(2);
+  StructuredInjective<int, 2> out(m);
+  for (int slot : {0, 1}) {
+    analyzer.record(out.spec(), compute_requirement(out.spec(), p, slot),
+                    slot);
+  }
+  const auto& a0 = analyzer.ensure(&m, 0);
+  const auto& again = analyzer.ensure(&m, 0);
+  EXPECT_EQ(a0.buffer, again.buffer);
+  EXPECT_EQ(a0.rows, 128u);
+  EXPECT_EQ(a0.row_bytes, 128u * sizeof(int));
+  EXPECT_EQ(node.device_mem_used(0), 128u * 128u * sizeof(int));
+  // Slot 1 allocates on device 1.
+  analyzer.ensure(&m, 1);
+  EXPECT_EQ(node.device_mem_used(1), 128u * 128u * sizeof(int));
+}
+
+TEST_F(MemoryAnalyzerUnitTest, GrowthAfterAllocationIsThePaperError) {
+  const TaskPartition p = partition(2);
+  StructuredInjective<int, 2> out(m);
+  analyzer.record(out.spec(), compute_requirement(out.spec(), p, 0), 0);
+  analyzer.ensure(&m, 0);
+  Window2D<int, 4, maps::CLAMP> win(m);
+  analyzer.record(win.spec(), compute_requirement(win.spec(), p, 0), 0);
+  EXPECT_THROW(analyzer.ensure(&m, 0), std::runtime_error);
+}
+
+TEST_F(MemoryAnalyzerUnitTest, MaskedMergeAddsMaskTail) {
+  const TaskPartition p = partition(2);
+  UnstructuredInjective<int> out(m);
+  analyzer.record(out.spec(), compute_requirement(out.spec(), p, 0), 0);
+  const auto& alloc = analyzer.ensure(&m, 0);
+  // Full duplicate + one mask byte per element.
+  EXPECT_EQ(alloc.buffer->size(),
+            256u * 128u * sizeof(int) + 256u * 128u);
+}
+
+TEST_F(MemoryAnalyzerUnitTest, EnsureWithoutAnalysisThrows) {
+  EXPECT_THROW(analyzer.ensure(&m, 0), std::logic_error);
+}
+
+TEST_F(MemoryAnalyzerUnitTest, ReleaseAllReturnsMemory) {
+  const TaskPartition p = partition(2);
+  StructuredInjective<int, 2> out(m);
+  analyzer.record(out.spec(), compute_requirement(out.spec(), p, 0), 0);
+  analyzer.ensure(&m, 0);
+  EXPECT_GT(analyzer.allocated_bytes(0), 0u);
+  analyzer.release_all();
+  EXPECT_EQ(analyzer.allocated_bytes(0), 0u);
+  EXPECT_EQ(node.device_mem_used(0), 0u);
+}
+
+TEST_F(MemoryAnalyzerUnitTest, RowOffsetMapsVirtualRows) {
+  MemoryAnalyzer::Alloc a;
+  a.origin = -2;
+  a.rows = 10;
+  a.row_bytes = 64;
+  EXPECT_EQ(a.row_offset(-2), 0u);
+  EXPECT_EQ(a.row_offset(0), 128u);
+  EXPECT_EQ(a.row_offset(5), 448u);
+}
+
+} // namespace

@@ -1,0 +1,307 @@
+// Scheduler edge cases: device subsets, async gathers, error propagation,
+// out-of-memory behaviour, host-modification semantics, Window2D boundary
+// sweeps on awkward sizes, and NDArray/WindowND tasks.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "multi/maps_multi.hpp"
+#include "sim/presets.hpp"
+
+namespace {
+
+using namespace maps::multi;
+
+struct AddOneKernel {
+  template <typename In, typename Out>
+  void operator()(const maps::ThreadContext&, In& in, Out& out) const {
+    MAPS_FOREACH(it, out) {
+      *it = in.at(it, 0) + 1.0f;
+    }
+  }
+};
+
+struct Copy1DKernel {
+  template <typename In, typename Out>
+  void operator()(const maps::ThreadContext&, In& in, Out& out) const {
+    MAPS_FOREACH(it, out) {
+      *it = in.at(it, 0);
+    }
+  }
+};
+
+struct NoopKernel {
+  template <typename A, typename B>
+  void operator()(const maps::ThreadContext&, A&, B&) const {}
+};
+
+struct ScaleKernel {
+  template <typename In, typename Out>
+  void operator()(const maps::ThreadContext&, In& x, Out& y) const {
+    MAPS_FOREACH(it, y) {
+      *it = 3 * x.at(it, 0, 0);
+    }
+  }
+};
+
+TEST(SchedulerEdgeTest, DeviceSubsetUsesOnlyListedDevices) {
+  sim::Node node(sim::homogeneous_node(sim::gtx780(), 4));
+  Scheduler sched(node, {1, 3}); // two of the four devices
+  const std::size_t W = 64, H = 64;
+  std::vector<int> a(W * H, 2), b(W * H, 0);
+  Matrix<int> A(W, H), B(W, H);
+  A.Bind(a.data());
+  B.Bind(b.data());
+  sched.Invoke(ScaleKernel{}, Window2D<int, 0, maps::NO_CHECKS>(A),
+               StructuredInjective<int, 2>(B));
+  sched.Gather(B);
+  EXPECT_EQ(b[0], 6);
+  EXPECT_EQ(b[W * H - 1], 6);
+  EXPECT_GT(node.stats().device_compute_seconds[1], 0.0);
+  EXPECT_GT(node.stats().device_compute_seconds[3], 0.0);
+  EXPECT_EQ(node.stats().device_compute_seconds[0], 0.0);
+  EXPECT_EQ(node.stats().device_compute_seconds[2], 0.0);
+}
+
+TEST(SchedulerEdgeTest, GatherAsyncCompletesAtWaitAll) {
+  sim::Node node(sim::homogeneous_node(sim::gtx780(), 2));
+  Scheduler sched(node);
+  const std::size_t n = 256;
+  std::vector<float> x(n, 1.0f), y(n, 0.0f);
+  Vector<float> X(n), Y(n);
+  X.Bind(x.data());
+  Y.Bind(y.data());
+  sched.Invoke(AddOneKernel{}, Window1D<float, 0, maps::NO_CHECKS>(X),
+               StructuredInjective<float, 1>(Y));
+  sched.GatherAsync(Y);
+  sched.WaitAll();
+  EXPECT_EQ(y[100], 2.0f);
+}
+
+TEST(SchedulerEdgeTest, FailingRoutineSurfacesAtWaitAll) {
+  sim::Node node(sim::homogeneous_node(sim::gtx780(), 2));
+  Scheduler sched(node);
+  std::vector<float> x(64, 0.0f);
+  Vector<float> X(64);
+  X.Bind(x.data());
+  auto bad = [](RoutineArgs&) { return false; };
+  sched.InvokeUnmodified(bad, nullptr, Work{64},
+                         Block2D<float>(static_cast<Datum&>(X)),
+                         StructuredInjective<float, 1>(X));
+  EXPECT_THROW(sched.WaitAll(), std::runtime_error);
+}
+
+TEST(SchedulerEdgeTest, DeviceOutOfMemoryPropagates) {
+  // A GTX 780 holds 3 GiB; a replicated 4 GiB datum cannot fit.
+  sim::Node node(sim::homogeneous_node(sim::gtx780(), 2),
+                 sim::ExecMode::TimingOnly);
+  Scheduler sched(node);
+  const std::size_t n = (4ull << 30) / sizeof(float);
+  std::vector<float> tiny(1);
+  Vector<float> X(n, "huge"), Y(1 << 10, "out");
+  X.Bind(tiny.data());
+  Y.Bind(tiny.data());
+  EXPECT_THROW(sched.Invoke(NoopKernel{}, Block1D<float>(X),
+                            StructuredInjective<float, 1>(Y)),
+               sim::OutOfDeviceMemory);
+}
+
+TEST(SchedulerEdgeTest, MarkHostModifiedForcesReupload) {
+  sim::Node node(sim::homogeneous_node(sim::gtx780(), 2));
+  Scheduler sched(node);
+  const std::size_t n = 512;
+  std::vector<float> x(n, 1.0f), y(n, 0.0f);
+  Vector<float> X(n), Y(n);
+  X.Bind(x.data());
+  Y.Bind(y.data());
+  using In = Window1D<float, 0, maps::NO_CHECKS>;
+  sched.Invoke(Copy1DKernel{}, In(X), StructuredInjective<float, 1>(Y));
+  sched.WaitAll();
+  // Host rewrites x; without notification the cached replicas would win.
+  std::fill(x.begin(), x.end(), 7.0f);
+  sched.MarkHostModified(X);
+  sched.Invoke(Copy1DKernel{}, In(X), StructuredInjective<float, 1>(Y));
+  sched.Gather(Y);
+  EXPECT_EQ(y[10], 7.0f);
+}
+
+TEST(SchedulerEdgeTest, GatherOfUntouchedDatumIsANoOp) {
+  sim::Node node(sim::homogeneous_node(sim::gtx780(), 2));
+  Scheduler sched(node);
+  std::vector<float> x(16, 3.0f);
+  Vector<float> X(16);
+  X.Bind(x.data());
+  sched.Gather(X); // never used by a task: host copy is authoritative
+  EXPECT_EQ(x[5], 3.0f);
+  EXPECT_EQ(node.stats().bytes_d2h, 0u);
+}
+
+TEST(SchedulerEdgeTest, UnboundGatherThrows) {
+  sim::Node node(sim::homogeneous_node(sim::gtx780(), 1));
+  Scheduler sched(node);
+  Vector<float> X(16);
+  EXPECT_THROW(sched.Gather(X), std::runtime_error);
+}
+
+// --- Window2D boundary sweep on awkward sizes ----------------------------------
+
+struct SumNeighborhood {
+  template <typename In, typename Out>
+  void operator()(const maps::ThreadContext&, In& x, Out& y) const {
+    MAPS_FOREACH(it, y) {
+      int acc = 0;
+      MAPS_FOREACH_ALIGNED(n, x, it) {
+        acc += *n;
+      }
+      *it = acc;
+    }
+  }
+};
+
+class Window2DBoundaryTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(Window2DBoundaryTest, NeighborhoodSumsMatchReference) {
+  const int devices = std::get<0>(GetParam());
+  const int boundary = std::get<1>(GetParam());
+  const std::size_t H = static_cast<std::size_t>(std::get<2>(GetParam()));
+  const std::size_t W = 37; // deliberately awkward width
+  std::mt19937 rng(H * 131u);
+  std::vector<int> x(W * H), y(W * H, -1);
+  for (auto& v : x) {
+    v = static_cast<int>(rng() % 9);
+  }
+  auto at = [&](long i, long j) -> int {
+    switch (boundary) {
+    case 0: // Wrap
+      i = (i % static_cast<long>(H) + static_cast<long>(H)) %
+          static_cast<long>(H);
+      j = (j % static_cast<long>(W) + static_cast<long>(W)) %
+          static_cast<long>(W);
+      break;
+    case 1: // Clamp
+      i = std::clamp<long>(i, 0, static_cast<long>(H) - 1);
+      j = std::clamp<long>(j, 0, static_cast<long>(W) - 1);
+      break;
+    default: // Zero
+      if (i < 0 || j < 0 || i >= static_cast<long>(H) ||
+          j >= static_cast<long>(W)) {
+        return 0;
+      }
+      break;
+    }
+    return x[static_cast<std::size_t>(i) * W + static_cast<std::size_t>(j)];
+  };
+
+  sim::Node node(sim::homogeneous_node(sim::gtx980(), devices));
+  Scheduler sched(node);
+  Matrix<int> X(W, H), Y(W, H);
+  X.Bind(x.data());
+  Y.Bind(y.data());
+  switch (boundary) {
+  case 0:
+    sched.Invoke(SumNeighborhood{}, Window2D<int, 1, maps::WRAP>(X),
+                 StructuredInjective<int, 2>(Y));
+    break;
+  case 1:
+    sched.Invoke(SumNeighborhood{}, Window2D<int, 1, maps::CLAMP>(X),
+                 StructuredInjective<int, 2>(Y));
+    break;
+  default:
+    sched.Invoke(SumNeighborhood{}, Window2D<int, 1, maps::ZERO>(X),
+                 StructuredInjective<int, 2>(Y));
+    break;
+  }
+  sched.Gather(Y);
+  for (std::size_t i = 0; i < H; ++i) {
+    for (std::size_t j = 0; j < W; ++j) {
+      int ref = 0;
+      for (int di = -1; di <= 1; ++di) {
+        for (int dj = -1; dj <= 1; ++dj) {
+          ref += at(static_cast<long>(i) + di, static_cast<long>(j) + dj);
+        }
+      }
+      ASSERT_EQ(y[i * W + j], ref) << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DevicesBoundarySize, Window2DBoundaryTest,
+    ::testing::Combine(::testing::Values(1, 3, 4), ::testing::Values(0, 1, 2),
+                       ::testing::Values(29, 64, 101)));
+
+// --- NDArray + WindowND: batched 1-slice blur ------------------------------------
+
+struct SliceBlur {
+  template <typename In, typename Out>
+  void operator()(const maps::ThreadContext&, In& x, Out& y) const {
+    MAPS_FOREACH(it, y) {
+      // dim0 = slice index (work row); inner = flattened (h, w).
+      const long slice = it.work_y();
+      const std::size_t inner = it.work_x();
+      *it = 0.25f * x.at(slice, -1, inner) + 0.5f * x.at(slice, 0, inner) +
+            0.25f * x.at(slice, +1, inner);
+    }
+  }
+};
+
+TEST(SchedulerEdgeTest, NDArrayWindowNDBlursAcrossSlices) {
+  const std::size_t slices = 48, h = 6, w = 5;
+  std::vector<float> x(slices * h * w), y(slices * h * w, 0.0f);
+  std::mt19937 rng(77);
+  std::uniform_real_distribution<float> dist(0, 1);
+  for (auto& v : x) {
+    v = dist(rng);
+  }
+  sim::Node node(sim::homogeneous_node(sim::titan_black(), 4));
+  Scheduler sched(node);
+  NDArray<float, 3> X({slices, h, w}, "x"), Y({slices, h, w}, "y");
+  X.Bind(x.data());
+  Y.Bind(y.data());
+  sched.Invoke(SliceBlur{}, WindowND<float, 3, 1, maps::CLAMP>(X),
+               StructuredInjective<float, 2>(Y));
+  sched.Gather(Y);
+  const std::size_t inner = h * w;
+  for (std::size_t s = 0; s < slices; s += 5) {
+    for (std::size_t i = 0; i < inner; i += 3) {
+      const std::size_t sm = s == 0 ? 0 : s - 1;
+      const std::size_t sp = s == slices - 1 ? s : s + 1;
+      const float ref = 0.25f * x[sm * inner + i] + 0.5f * x[s * inner + i] +
+                        0.25f * x[sp * inner + i];
+      ASSERT_NEAR(y[s * inner + i], ref, 1e-5f) << s << "," << i;
+    }
+  }
+}
+
+TEST(SchedulerEdgeTest, AllocationsHappenOnceAcrossIterations) {
+  // §4.2: the memory analyzer "allocates the necessary memory once,
+  // creating contiguous buffers" — iterating a task chain must not allocate
+  // again.
+  sim::Node node(sim::homogeneous_node(sim::gtx780(), 4));
+  Scheduler sched(node);
+  const std::size_t W = 64, H = 64;
+  std::vector<int> a(W * H, 1), b(W * H, 0);
+  Matrix<int> A(W, H), B(W, H);
+  A.Bind(a.data());
+  B.Bind(b.data());
+  using Win = Window2D<int, 1, maps::WRAP>;
+  using Out = StructuredInjective<int, 2>;
+  sched.AnalyzeCall(Win(A), Out(B));
+  sched.AnalyzeCall(Win(B), Out(A));
+  sched.Invoke(SumNeighborhood{}, Win(A), Out(B));
+  sched.Invoke(SumNeighborhood{}, Win(B), Out(A));
+  sched.WaitAll();
+  const std::size_t used_after_two = node.device_mem_used(0);
+  const std::size_t analyzer_bytes = sched.analyzer().allocated_bytes(0);
+  for (int i = 0; i < 10; ++i) {
+    sched.Invoke(SumNeighborhood{}, Win(A), Out(B));
+    sched.Invoke(SumNeighborhood{}, Win(B), Out(A));
+  }
+  sched.WaitAll();
+  EXPECT_EQ(node.device_mem_used(0), used_after_two);
+  EXPECT_EQ(sched.analyzer().allocated_bytes(0), analyzer_bytes);
+}
+
+} // namespace

@@ -1,0 +1,380 @@
+// End-to-end scheduler tests: the central invariant is that a task invoked
+// through MAPS-Multi on any number of simulated GPUs produces exactly the
+// same result as a sequential CPU reference.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "multi/maps_multi.hpp"
+#include "sim/presets.hpp"
+
+namespace {
+
+using namespace maps::multi;
+
+// --- Kernels ----------------------------------------------------------------
+
+// Game of Life tick (Fig 2b): Window2D input, StructuredInjective output.
+struct GameOfLifeTick {
+  template <typename Win, typename Out>
+  void operator()(const maps::ThreadContext&, Win& current, Out& next) const {
+    MAPS_FOREACH(cell, next) {
+      int live = 0;
+      MAPS_FOREACH_ALIGNED(n, current, cell) {
+        if (!n.is_center()) {
+          live += *n;
+        }
+      }
+      const int alive = current.at(cell, 0, 0);
+      *cell = (live == 3 || (alive && live == 2)) ? 1 : 0;
+    }
+    next.commit();
+  }
+};
+
+void gol_reference(std::vector<int>& grid, std::size_t w, std::size_t h) {
+  std::vector<int> next(grid.size());
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      int live = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) {
+            continue;
+          }
+          const std::size_t yy = (y + h + static_cast<std::size_t>(dy)) % h;
+          const std::size_t xx = (x + w + static_cast<std::size_t>(dx)) % w;
+          live += grid[yy * w + xx];
+        }
+      }
+      const int alive = grid[y * w + x];
+      next[y * w + x] = (live == 3 || (alive && live == 2)) ? 1 : 0;
+    }
+  }
+  grid = std::move(next);
+}
+
+std::vector<int> random_grid(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::vector<int> g(n);
+  for (auto& v : g) {
+    v = static_cast<int>(rng() & 1u);
+  }
+  return g;
+}
+
+sim::Node make_node(int devices,
+                    sim::ExecMode mode = sim::ExecMode::Functional) {
+  return sim::Node(sim::homogeneous_node(sim::titan_black(), devices), mode);
+}
+
+// --- Game of Life -----------------------------------------------------------
+
+class GolDevicesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GolDevicesTest, MatchesCpuReferenceOverIterations) {
+  const int devices = GetParam();
+  const std::size_t W = 96, H = 128;
+  const int iterations = 6;
+
+  std::vector<int> host_a = random_grid(W * H, 42);
+  std::vector<int> host_b(W * H, 0);
+  std::vector<int> reference = host_a;
+
+  sim::Node node = make_node(devices);
+  Scheduler sched(node);
+
+  Matrix<int> A(W, H, "A"), B(W, H, "B");
+  A.Bind(host_a.data());
+  B.Bind(host_b.data());
+
+  using Win = Window2D<int, 1, maps::WRAP>;
+  using Out = StructuredInjective<int, 2>;
+  sched.AnalyzeCall(Win(A), Out(B));
+  sched.AnalyzeCall(Win(B), Out(A));
+
+  for (int i = 0; i < iterations; ++i) {
+    if (i % 2 == 0) {
+      sched.Invoke(GameOfLifeTick{}, Win(A), Out(B));
+    } else {
+      sched.Invoke(GameOfLifeTick{}, Win(B), Out(A));
+    }
+    gol_reference(reference, W, H);
+  }
+  if (iterations % 2 == 0) {
+    sched.Gather(A);
+    EXPECT_EQ(host_a, reference);
+  } else {
+    sched.Gather(B);
+    EXPECT_EQ(host_b, reference);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DeviceCounts, GolDevicesTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(GolTest, BoundaryExchangeBytesPerIteration) {
+  // §5.1: the Game of Life requires two-line boundary exchanges per
+  // iteration. With 4 devices, 6 interior boundaries x 1 row each.
+  const std::size_t W = 256, H = 256;
+  std::vector<int> host_a = random_grid(W * H, 1);
+  std::vector<int> host_b(W * H, 0);
+
+  sim::Node node = make_node(4);
+  Scheduler sched(node);
+  Matrix<int> A(W, H, "A"), B(W, H, "B");
+  A.Bind(host_a.data());
+  B.Bind(host_b.data());
+  using Win = Window2D<int, 1, maps::WRAP>;
+  using Out = StructuredInjective<int, 2>;
+  sched.AnalyzeCall(Win(A), Out(B));
+  sched.AnalyzeCall(Win(B), Out(A));
+  sched.Invoke(GameOfLifeTick{}, Win(A), Out(B)); // all inputs from host
+  sched.WaitAll();
+  node.reset_stats();
+  sched.Invoke(GameOfLifeTick{}, Win(B), Out(A)); // halos now exchanged p2p
+  sched.WaitAll();
+  // 6 interior halo rows move p2p; the 2 wrap rows cross the node too.
+  const std::uint64_t row_bytes = W * sizeof(int);
+  EXPECT_EQ(node.stats().bytes_p2p, 8 * row_bytes);
+  EXPECT_EQ(node.stats().bytes_h2d, 0u); // nothing re-sent from the host
+}
+
+// --- Histogram (Reductive Static) --------------------------------------------
+
+struct HistogramKernel {
+  template <typename In, typename Out>
+  void operator()(const maps::ThreadContext&, In& image, Out& hist) const {
+    MAPS_FOREACH(h, hist) {
+      auto pixel = image.align(h);
+      h[static_cast<std::size_t>(*pixel)] += 1;
+    }
+    hist.commit();
+  }
+};
+
+class HistogramDevicesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramDevicesTest, SumAggregationMatchesReference) {
+  const int devices = GetParam();
+  const std::size_t W = 200, H = 160;
+  std::mt19937 rng(7);
+  std::vector<int> image(W * H);
+  for (auto& p : image) {
+    p = static_cast<int>(rng() % 256);
+  }
+  std::vector<int> hist(256, 0);
+  std::vector<int> expected(256, 0);
+  for (int p : image) {
+    expected[static_cast<std::size_t>(p)]++;
+  }
+
+  sim::Node node = make_node(devices);
+  Scheduler sched(node);
+  Matrix<int> img(W, H, "image");
+  Vector<int> h(256, "hist");
+  img.Bind(image.data());
+  h.Bind(hist.data());
+
+  using In = Window2D<int, 0, maps::NO_CHECKS>;
+  using Out = ReductiveStatic<int, 256>;
+  sched.AnalyzeCall(In(img), Out(h));
+  sched.Invoke(HistogramKernel{}, In(img), Out(h));
+  sched.Gather(h);
+  EXPECT_EQ(hist, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(DeviceCounts, HistogramDevicesTest,
+                         ::testing::Values(1, 2, 4));
+
+struct ReadHistKernel {
+  template <typename A, typename B>
+  void operator()(const maps::ThreadContext&, A&, B&) const {}
+};
+
+TEST(HistogramTest, ReuseWithoutGatherIsAnError) {
+  sim::Node node = make_node(2);
+  Scheduler sched(node);
+  const std::size_t W = 64, H = 64;
+  std::vector<int> image(W * H, 3);
+  std::vector<int> hist(256, 0);
+  Matrix<int> img(W, H);
+  Vector<int> h(256);
+  img.Bind(image.data());
+  h.Bind(hist.data());
+  using In = Window2D<int, 0, maps::NO_CHECKS>;
+  sched.Invoke(HistogramKernel{}, In(img), ReductiveStatic<int, 256>(h));
+  // Using the un-gathered (partial) histogram as an input must be refused.
+  EXPECT_THROW(sched.Invoke(ReadHistKernel{}, Block1D<int>(h),
+                            StructuredInjective<int, 2>(img)),
+               std::runtime_error);
+}
+
+// --- ILP --------------------------------------------------------------------
+
+TEST(IlpTest, IlpVariantsProduceIdenticalResults) {
+  const std::size_t W = 96, H = 64;
+  std::vector<int> init = random_grid(W * H, 99);
+
+  auto run = [&](auto win_tag, auto out_tag) {
+    using Win = decltype(win_tag);
+    using Out = decltype(out_tag);
+    std::vector<int> a = init, b(W * H, 0);
+    sim::Node node = make_node(3);
+    Scheduler sched(node);
+    Matrix<int> A(W, H), B(W, H);
+    A.Bind(a.data());
+    B.Bind(b.data());
+    sched.AnalyzeCall(Win(A), Out(B));
+    sched.Invoke(GameOfLifeTick{}, Win(A), Out(B));
+    sched.Gather(B);
+    return b;
+  };
+
+  const auto plain = run(Window2D<int, 1, maps::WRAP, 1, 1>{},
+                         StructuredInjective<int, 2, 1, 1>{});
+  const auto ilp42 = run(Window2D<int, 1, maps::WRAP, 4, 2>{},
+                         StructuredInjective<int, 2, 4, 2>{});
+  const auto ilp22 = run(Window2D<int, 1, maps::WRAP, 2, 2>{},
+                         StructuredInjective<int, 2, 2, 2>{});
+  EXPECT_EQ(plain, ilp42);
+  EXPECT_EQ(plain, ilp22);
+}
+
+// --- Unmodified routines (SAXPY, Fig 5) ---------------------------------------
+
+bool SaxpyRoutine(RoutineArgs& args) {
+  const float alpha = args.constant<float>(0);
+  const std::size_t n = args.container_segments[0].m_dimensions[0];
+  const float* x = args.parameters[0].as<float>();
+  float* y = args.parameters[1].as<float>(); // in/out (parameters[2] aliases)
+  sim::LaunchStats st;
+  st.label = "saxpy";
+  st.blocks = (n + 255) / 256;
+  st.threads_per_block = 256;
+  st.flops = 2 * n;
+  st.global_bytes_read = n * sizeof(float) * 2;
+  st.global_bytes_written = n * sizeof(float);
+  args.node->launch(args.stream, st, [x, y, n, alpha] {
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] = alpha * x[i] + y[i];
+    }
+  });
+  return true;
+}
+
+class SaxpyDevicesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SaxpyDevicesTest, RoutinePartitionsAndGathers) {
+  const int devices = GetParam();
+  const std::size_t n = 10007; // deliberately not a multiple of anything
+  std::vector<float> x(n), y(n), expected(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(i % 17);
+    y[i] = static_cast<float>(i % 5);
+    expected[i] = 2.5f * x[i] + y[i];
+  }
+  sim::Node node = make_node(devices);
+  Scheduler sched(node);
+  Vector<float> X(n, "x"), Y(n, "y");
+  X.Bind(x.data());
+  Y.Bind(y.data());
+
+  // x is consumed element-aligned with the partition; y is read AND written
+  // in place, so it appears both as an aligned input and as a Structured
+  // Injective output over the same datum.
+  sched.InvokeUnmodified(SaxpyRoutine, nullptr, Work{n, 1},
+                         Block2D<float>(static_cast<Datum&>(X)),
+                         Block2D<float>(static_cast<Datum&>(Y)),
+                         StructuredInjective<float, 1>(Y),
+                         Constant<float>(2.5f));
+  sched.Gather(Y);
+  EXPECT_EQ(y, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(DeviceCounts, SaxpyDevicesTest,
+                         ::testing::Values(1, 2, 4));
+
+// --- Memory analyzer behaviour (Fig 3) ----------------------------------------
+
+TEST(MemoryAnalyzerTest, GameOfLifeDoubleBufferingAllocations) {
+  const std::size_t W = 256, H = 256;
+  std::vector<int> a(W * H), b(W * H);
+  sim::Node node = make_node(4);
+  Scheduler sched(node);
+  Matrix<int> A(W, H, "A"), B(W, H, "B");
+  A.Bind(a.data());
+  B.Bind(b.data());
+  using Win = Window2D<int, 1, maps::WRAP>;
+  using Out = StructuredInjective<int, 2>;
+  sched.AnalyzeCall(Win(A), Out(B));
+  // After the first AnalyzeCall: A needs quarter + 2 halo rows; B a quarter.
+  const auto* planA = sched.analyzer().plan(&A, 1);
+  const auto* planB = sched.analyzer().plan(&B, 1);
+  ASSERT_NE(planA, nullptr);
+  ASSERT_NE(planB, nullptr);
+  EXPECT_EQ(planA->rows(), H / 4 + 2);
+  EXPECT_EQ(planB->rows(), H / 4);
+  // Second call (reversed roles): B grows to include halos; A unchanged
+  // (Fig 3: "its memory allocation remains unchanged").
+  sched.AnalyzeCall(Win(B), Out(A));
+  EXPECT_EQ(sched.analyzer().plan(&A, 1)->rows(), H / 4 + 2);
+  EXPECT_EQ(sched.analyzer().plan(&B, 1)->rows(), H / 4 + 2);
+}
+
+TEST(MemoryAnalyzerTest, GrowthAfterAllocationThrows) {
+  const std::size_t W = 64, H = 64;
+  std::vector<int> a(W * H), b(W * H);
+  sim::Node node = make_node(2);
+  Scheduler sched(node);
+  Matrix<int> A(W, H, "A"), B(W, H, "B");
+  A.Bind(a.data());
+  B.Bind(b.data());
+  using Out = StructuredInjective<int, 2>;
+  // Invoke without analyzing the reverse call first: A is allocated with no
+  // halo...
+  sched.Invoke(GameOfLifeTick{}, Window2D<int, 1, maps::WRAP>(A), Out(B));
+  sched.WaitAll();
+  // ...so the reverse task, which needs halos on B AND a halo'd A input,
+  // grows A's box and must be rejected with the paper's §4.2 error.
+  EXPECT_THROW(
+      sched.Invoke(GameOfLifeTick{}, Window2D<int, 1, maps::WRAP>(B), Out(A)),
+      std::runtime_error);
+}
+
+// --- Location monitor caching -------------------------------------------------
+
+struct GatherVectorKernel {
+  template <typename In, typename Out>
+  void operator()(const maps::ThreadContext&, In& in, Out& out) const {
+    MAPS_FOREACH(it, out) {
+      *it = in[it.work_y()];
+    }
+  }
+};
+
+TEST(LocationMonitorIntegrationTest, ReplicatedInputUploadedOnlyOnce) {
+  const std::size_t n = 4096;
+  std::vector<float> x(n, 1.0f), y(n, 0.0f);
+  sim::Node node = make_node(2);
+  Scheduler sched(node);
+  Vector<float> X(n, "x"), Y(n, "y");
+  X.Bind(x.data());
+  Y.Bind(y.data());
+
+  sched.AnalyzeCall(Block1D<float>(X), StructuredInjective<float, 1>(Y));
+  sched.Invoke(GatherVectorKernel{}, Block1D<float>(X),
+               StructuredInjective<float, 1>(Y));
+  sched.WaitAll();
+  const auto h2d_after_first = node.stats().bytes_h2d;
+  sched.Invoke(GatherVectorKernel{}, Block1D<float>(X),
+               StructuredInjective<float, 1>(Y));
+  sched.WaitAll();
+  // X replicas are cached in the upToDate list: no re-upload (§4.4).
+  EXPECT_EQ(node.stats().bytes_h2d, h2d_after_first);
+}
+
+} // namespace

@@ -1,0 +1,200 @@
+// Segmenter: even block distribution (§2.1) and per-pattern segment
+// requirements, including the boundary materializations of Window patterns.
+#include <gtest/gtest.h>
+
+#include "multi/input_patterns.hpp"
+#include "multi/output_patterns.hpp"
+#include "multi/segmenter.hpp"
+
+namespace {
+
+using namespace maps::multi;
+
+TaskPartition part2d(std::size_t h, std::size_t w, int slots, unsigned ilp_x = 1,
+                     unsigned ilp_y = 1) {
+  return make_partition(h, w, maps::Dim3{32, 8, 1}, ilp_x, ilp_y, slots);
+}
+
+TEST(PartitionTest, EvenBlockDistribution) {
+  const TaskPartition p = part2d(1024, 1024, 4);
+  EXPECT_EQ(p.blocks_x, 32u);
+  EXPECT_EQ(p.blocks_y, 128u);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(p.block_rows[static_cast<std::size_t>(s)].size(), 32u);
+    EXPECT_EQ(p.work_row_ranges[static_cast<std::size_t>(s)].size(), 256u);
+  }
+}
+
+TEST(PartitionTest, UnevenSplitCoversEverything) {
+  const TaskPartition p = part2d(1000, 64, 3);
+  std::size_t covered = 0;
+  for (int s = 0; s < 3; ++s) {
+    covered += p.work_row_ranges[static_cast<std::size_t>(s)].size();
+  }
+  EXPECT_EQ(covered, 1000u);
+  EXPECT_EQ(p.work_row_ranges[0].begin, 0u);
+  EXPECT_EQ(p.work_row_ranges[2].end, 1000u);
+}
+
+TEST(PartitionTest, IlpShrinksGrid) {
+  const TaskPartition a = part2d(1024, 1024, 1);
+  const TaskPartition b = part2d(1024, 1024, 1, 4, 2);
+  EXPECT_EQ(b.blocks_x, a.blocks_x / 4);
+  EXPECT_EQ(b.blocks_y, a.blocks_y / 2);
+}
+
+TEST(PartitionTest, MoreSlotsThanBlockRows) {
+  const TaskPartition p = part2d(8, 64, 4); // one block row total
+  int active = 0;
+  for (int s = 0; s < 4; ++s) {
+    if (!p.work_row_ranges[static_cast<std::size_t>(s)].empty()) {
+      ++active;
+    }
+  }
+  EXPECT_EQ(active, 1);
+}
+
+TEST(SegmenterTest, StructuredInjectiveExactSegments) {
+  Matrix<float> m(256, 1024);
+  StructuredInjective<float> out(m);
+  const TaskPartition p = part2d(1024, 256, 4);
+  for (int s = 0; s < 4; ++s) {
+    const SegmentReq req = compute_requirement(out.spec(), p, s);
+    ASSERT_TRUE(req.active);
+    EXPECT_EQ(req.local_rows, 256u); // exact quarter, no halo (§3.2)
+    EXPECT_EQ(req.core.begin, 256u * static_cast<std::size_t>(s));
+    EXPECT_FALSE(req.whole);
+    EXPECT_TRUE(req.input_regions.empty());
+  }
+}
+
+TEST(SegmenterTest, WindowAddsHaloRows) {
+  Matrix<int> m(128, 512);
+  Window2D<int, 2, maps::CLAMP> win(m);
+  const TaskPartition p = part2d(512, 128, 4);
+  const SegmentReq req = compute_requirement(win.spec(), p, 1);
+  ASSERT_TRUE(req.active);
+  EXPECT_EQ(req.core, (RowInterval{128, 256}));
+  EXPECT_EQ(req.local_rows, 128u + 4u);
+  EXPECT_EQ(req.origin, 126);
+  // Core + top halo + bottom halo, all plain copies for an interior device.
+  std::size_t copied = 0;
+  for (const auto& r : req.input_regions) {
+    EXPECT_FALSE(r.zero_fill);
+    copied += r.global.size();
+  }
+  EXPECT_EQ(copied, 132u);
+}
+
+TEST(SegmenterTest, WrapHaloWrapsAroundGlobalEdges) {
+  Matrix<int> m(64, 256);
+  Window2D<int, 1, maps::WRAP> win(m);
+  const TaskPartition p = part2d(256, 64, 4);
+  // Device 0's top halo is global row 255.
+  const SegmentReq top = compute_requirement(win.spec(), p, 0);
+  bool found_wrap = false;
+  for (const auto& r : top.input_regions) {
+    if (r.global.begin == 255 && r.global.end == 256 && r.local_row == 0) {
+      found_wrap = true;
+    }
+  }
+  EXPECT_TRUE(found_wrap);
+  // Device 3's bottom halo is global row 0.
+  const SegmentReq bottom = compute_requirement(win.spec(), p, 3);
+  bool found_wrap_bottom = false;
+  for (const auto& r : bottom.input_regions) {
+    if (r.global.begin == 0 && r.global.end == 1 &&
+        r.local_row == static_cast<long>(bottom.local_rows) - 1) {
+      found_wrap_bottom = true;
+    }
+  }
+  EXPECT_TRUE(found_wrap_bottom);
+}
+
+TEST(SegmenterTest, ClampHaloRepeatsEdgeRow) {
+  Matrix<int> m(64, 256);
+  Window2D<int, 2, maps::CLAMP> win(m);
+  const TaskPartition p = part2d(256, 64, 4);
+  const SegmentReq top = compute_requirement(win.spec(), p, 0);
+  int clamp_rows = 0;
+  for (const auto& r : top.input_regions) {
+    if (r.local_row < 2) {
+      EXPECT_EQ(r.global, (RowInterval{0, 1}));
+      ++clamp_rows;
+    }
+  }
+  EXPECT_EQ(clamp_rows, 2);
+}
+
+TEST(SegmenterTest, ZeroBoundaryEmitsZeroFill) {
+  Matrix<int> m(64, 256);
+  Window2D<int, 1, maps::ZERO> win(m);
+  const TaskPartition p = part2d(256, 64, 2);
+  const SegmentReq top = compute_requirement(win.spec(), p, 0);
+  bool has_zero = false;
+  for (const auto& r : top.input_regions) {
+    has_zero = has_zero || r.zero_fill;
+  }
+  EXPECT_TRUE(has_zero);
+  // Interior edge (bottom of device 0) is a normal neighbor copy.
+  const SegmentReq dev1 = compute_requirement(win.spec(), p, 1);
+  for (const auto& r : dev1.input_regions) {
+    if (r.local_row == 0) {
+      EXPECT_FALSE(r.zero_fill);
+      EXPECT_EQ(r.global, (RowInterval{127, 128}));
+    }
+  }
+}
+
+TEST(SegmenterTest, ReplicatePatternsNeedWholeDatum) {
+  Vector<float> v(10000);
+  Block1D<float> b(v);
+  const TaskPartition p = part2d(512, 64, 4);
+  for (int s = 0; s < 4; ++s) {
+    const SegmentReq req = compute_requirement(b.spec(), p, s);
+    EXPECT_TRUE(req.whole);
+    EXPECT_EQ(req.local_rows, 10000u);
+    EXPECT_FALSE(req.private_copy);
+  }
+}
+
+TEST(SegmenterTest, ReductiveStaticDuplicatesWithZeroInit) {
+  Vector<int> hist(256);
+  ReductiveStatic<int, 256> out(hist);
+  const TaskPartition p = part2d(512, 512, 4);
+  const SegmentReq req = compute_requirement(out.spec(), p, 2);
+  EXPECT_TRUE(req.whole);
+  EXPECT_TRUE(req.private_copy);
+  ASSERT_EQ(req.input_regions.size(), 1u);
+  EXPECT_TRUE(req.input_regions[0].zero_fill);
+}
+
+TEST(SegmenterTest, DynamicAppendCapacityIsLocalShare) {
+  Vector<float> out_data(100000);
+  ReductiveDynamic<float> out(out_data);
+  TaskPartition p = make_partition(100000, 1, maps::Dim3{1, 128, 1}, 1, 1, 4);
+  const SegmentReq req = compute_requirement(out.spec(), p, 0);
+  EXPECT_TRUE(req.private_copy);
+  EXPECT_EQ(req.local_rows,
+            p.work_row_ranges[0].size()); // capacity = device's work share
+}
+
+TEST(SegmenterTest, SingleDevicePatternsRunOnSlotZeroOnly) {
+  Vector<int> v(1000);
+  Traversal<int> t(v);
+  const TaskPartition p = part2d(512, 64, 1);
+  EXPECT_TRUE(compute_requirement(t.spec(), p, 0).active);
+}
+
+TEST(SegmenterTest, RowScaleForStridedRoutines) {
+  // A stride-2 pooling input: datum rows = 2x work rows.
+  Matrix<float> in(64, 512);
+  Block2D<float> pattern(in);
+  PatternSpec spec = pattern.spec();
+  spec.row_scale_num = 2;
+  const TaskPartition p = part2d(256, 64, 2); // work is the pooled output
+  const SegmentReq req = compute_requirement(spec, p, 1);
+  EXPECT_EQ(req.core, (RowInterval{256, 512}));
+}
+
+} // namespace

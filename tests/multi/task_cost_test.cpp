@@ -1,0 +1,96 @@
+// Unit tests for the pattern-derived cost model (task_cost.cpp): the access
+// pattern specification is also the kernel's cost descriptor (DESIGN.md §5).
+#include <gtest/gtest.h>
+
+#include "multi/input_patterns.hpp"
+#include "multi/output_patterns.hpp"
+#include "multi/task_cost.hpp"
+
+namespace {
+
+using namespace maps::multi;
+
+TaskPartition part(std::size_t h, std::size_t w, int slots, unsigned ilp_x = 1,
+                   unsigned ilp_y = 1) {
+  return make_partition(h, w, maps::Dim3{32, 8, 1}, ilp_x, ilp_y, slots);
+}
+
+TEST(TaskCostTest, WindowChargesTileReadsAndSharedOps) {
+  Matrix<int> m(1024, 1024);
+  Window2D<int, 1, maps::WRAP> win(m);
+  const std::vector<PatternSpec> specs{win.spec()};
+  const TaskPartition p = part(1024, 1024, 1);
+  const auto st = task_launch_stats(specs, p, 0, CostHints{}, "t");
+  // Tile overlap makes reads exceed one-byte-per-element...
+  EXPECT_GT(st.global_bytes_read, 1024u * 1024u * 4u);
+  // ...but stays below the naive 9-reads-per-element.
+  EXPECT_LT(st.global_bytes_read, 9u * 1024u * 1024u * 4u);
+  EXPECT_GT(st.shared_ops, 9u * 1024u * 1024u / 2);
+}
+
+TEST(TaskCostTest, IlpReducesThreadOverheadAndPipelinesShared) {
+  Matrix<int> m(1024, 1024);
+  Window2D<int, 1, maps::WRAP> w1(m);
+  Window2D<int, 1, maps::WRAP, 4, 2> w8(m);
+  const std::vector<PatternSpec> s1{w1.spec()};
+  const std::vector<PatternSpec> s8{w8.spec()};
+  const auto st1 = task_launch_stats(s1, part(1024, 1024, 1), 0, CostHints{},
+                                     "noilp");
+  const auto st8 = task_launch_stats(s8, part(1024, 1024, 1, 4, 2), 0,
+                                     CostHints{}, "ilp");
+  EXPECT_LT(st8.instr_overhead, st1.instr_overhead / 4);
+  EXPECT_LT(st8.shared_ops, st1.shared_ops / 2);
+  EXPECT_EQ(st8.blocks, st1.blocks / 8);
+}
+
+TEST(TaskCostTest, ReductiveStaticChargesSharedAtomicsNotGlobal) {
+  Matrix<int> img(2048, 2048);
+  Vector<int> bins(256);
+  Window2D<int, 0, maps::NO_CHECKS, 8> in(img);
+  ReductiveStatic<int, 256, 8> out(bins);
+  const std::vector<PatternSpec> specs{in.spec(), out.spec()};
+  const auto st = task_launch_stats(specs, part(2048, 2048, 1, 8, 1), 0,
+                                    CostHints{}, "hist");
+  EXPECT_GT(st.shared_atomics, 0u);
+  // Per-block commits only — far fewer global atomics than elements (the
+  // §4.5.2 aggregator conserves atomic operations).
+  EXPECT_LT(st.global_atomics, 2048u * 2048u / 16);
+}
+
+TEST(TaskCostTest, UnstructuredWritesChargeFullTransactions) {
+  Vector<float> v(100000);
+  UnstructuredInjective<float> out(v);
+  StructuredInjective<float, 1> structured(v);
+  const std::vector<PatternSpec> su{out.spec()};
+  const std::vector<PatternSpec> ss{structured.spec()};
+  const TaskPartition p = make_partition(100000, 1, maps::Dim3{1, 128, 1}, 1,
+                                         1, 1);
+  const auto a = task_launch_stats(su, p, 0, CostHints{}, "scatter");
+  const auto b = task_launch_stats(ss, p, 0, CostHints{}, "coalesced");
+  EXPECT_GT(a.global_bytes_written, 4 * b.global_bytes_written);
+}
+
+TEST(TaskCostTest, InactiveSlotCostsNothing) {
+  Matrix<int> m(64, 8); // one block row; slots beyond 0 idle
+  StructuredInjective<int, 2> out(m);
+  const std::vector<PatternSpec> specs{out.spec()};
+  const TaskPartition p = part(8, 64, 4);
+  const auto st = task_launch_stats(specs, p, 0, CostHints{}, "idle");
+  EXPECT_EQ(st.blocks, 0u);
+  EXPECT_EQ(st.flops, 0u);
+}
+
+TEST(TaskCostTest, HintsOverrideFlopsAndEfficiency) {
+  Matrix<float> m(256, 256);
+  StructuredInjective<float, 2> out(m);
+  const std::vector<PatternSpec> specs{out.spec()};
+  CostHints hints;
+  hints.flops_per_elem = 100.0;
+  hints.flop_efficiency = 0.9;
+  const auto st =
+      task_launch_stats(specs, part(256, 256, 1), 0, hints, "hinted");
+  EXPECT_EQ(st.flops, 100u * 256u * 256u);
+  EXPECT_DOUBLE_EQ(st.flop_efficiency, 0.9);
+}
+
+} // namespace

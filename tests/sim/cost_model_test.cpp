@@ -1,0 +1,132 @@
+// Cost model: roofline behaviour, calibration against the paper's published
+// single-GPU numbers, and transfer-time arithmetic.
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.hpp"
+#include "sim/presets.hpp"
+
+namespace {
+
+// 2 * 8192^3 flop — one of the paper's chained SGEMM multiplications.
+constexpr std::uint64_t kGemm8kFlops = 2ull * 8192 * 8192 * 8192;
+
+sim::LaunchStats gemm8k(double efficiency) {
+  sim::LaunchStats st;
+  st.blocks = 65536;
+  st.threads_per_block = 256;
+  st.flops = kGemm8kFlops;
+  st.flop_efficiency = efficiency;
+  return st;
+}
+
+TEST(CostModelTest, Gemm8kMatchesTable4OnAllDevices) {
+  // Table 4: CUBLAS 365.21 / 338.65 / 245.31 ms.
+  struct Case {
+    sim::DeviceSpec spec;
+    double expect_ms;
+  } cases[] = {
+      {sim::gtx780(), 365.21},
+      {sim::titan_black(), 338.65},
+      {sim::gtx980(), 245.31},
+  };
+  for (const auto& c : cases) {
+    const double ms =
+        1e3 * sim::kernel_seconds(c.spec, gemm8k(c.spec.gemm_efficiency));
+    EXPECT_NEAR(ms, c.expect_ms, 0.02 * c.expect_ms) << c.spec.name;
+  }
+}
+
+TEST(CostModelTest, NaiveHistogramAtomicTimesMatchSection53) {
+  // §5.3: naive global-atomic histogram on an 8K^2 image:
+  // 6.09 / 6.41 / 30.92 ms.
+  struct Case {
+    sim::DeviceSpec spec;
+    double expect_ms;
+  } cases[] = {
+      {sim::gtx780(), 6.09},
+      {sim::titan_black(), 6.41},
+      {sim::gtx980(), 30.92},
+  };
+  for (const auto& c : cases) {
+    sim::LaunchStats st;
+    st.blocks = 262144;
+    st.global_atomics = 8192ull * 8192;
+    st.global_bytes_read = 8192ull * 8192 * 4;
+    const double ms = 1e3 * sim::kernel_seconds(c.spec, st);
+    EXPECT_NEAR(ms, c.expect_ms, 0.03 * c.expect_ms) << c.spec.name;
+  }
+}
+
+TEST(CostModelTest, MaxwellGlobalAtomicsPenalty) {
+  // The §5.3 architectural observation: naive global atomics are several
+  // times slower on Maxwell than on Kepler.
+  sim::LaunchStats st;
+  st.blocks = 4096;
+  st.global_atomics = 10'000'000;
+  const double kepler = sim::kernel_seconds(sim::gtx780(), st);
+  const double maxwell = sim::kernel_seconds(sim::gtx980(), st);
+  EXPECT_GT(maxwell, 3.0 * kepler);
+}
+
+TEST(CostModelTest, RooflineTakesMaximumBottleneck) {
+  sim::DeviceSpec spec = sim::gtx780();
+  sim::LaunchStats st;
+  st.blocks = 1024;
+  st.flops = 1'000'000'000;
+  st.global_bytes_read = 4'000'000'000ull; // clearly memory bound
+  const double t = sim::kernel_seconds(spec, st);
+  const double mem_s = 4e9 / (spec.mem_bandwidth_gbps * 1e9);
+  EXPECT_NEAR(t, spec.kernel_launch_us * 1e-6 + mem_s, 1e-5);
+}
+
+TEST(CostModelTest, LaunchOverheadFloorsEmptyKernels) {
+  sim::DeviceSpec spec = sim::gtx780();
+  sim::LaunchStats st;
+  st.blocks = 1;
+  EXPECT_GE(sim::kernel_seconds(spec, st), spec.kernel_launch_us * 1e-6);
+}
+
+TEST(CostModelTest, WaveQuantizationPenalizesTinyGrids) {
+  sim::DeviceSpec spec = sim::gtx780(); // 12 SMs
+  sim::LaunchStats st;
+  st.flops = 100'000'000'000ull;
+  st.blocks = 12;
+  const double full = sim::kernel_seconds(spec, st);
+  st.blocks = 3; // quarter of the SMs busy
+  const double quarter = sim::kernel_seconds(spec, st);
+  EXPECT_NEAR(quarter, 4.0 * full, 0.1 * quarter);
+}
+
+TEST(CostModelTest, CopySecondsScalesWithBytesPlusLatency) {
+  const sim::Topology topo = sim::Topology::pcie3_pairs(4);
+  const auto d0 = sim::Endpoint::dev(0);
+  const auto d1 = sim::Endpoint::dev(1);
+  const double small = sim::copy_seconds(topo, d0, d1, 4096, false);
+  const double big = sim::copy_seconds(topo, d0, d1, 1 << 26, false);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(big, 10.0 * small);
+  // Latency dominates tiny transfers.
+  EXPECT_NEAR(small, topo.latency_us(d0, d1) * 1e-6, 1e-6);
+}
+
+TEST(CostModelTest, HostStagedPaysBothHopsAndSoftware) {
+  const sim::Topology topo = sim::Topology::pcie3_pairs(2);
+  const auto d0 = sim::Endpoint::dev(0);
+  const auto d1 = sim::Endpoint::dev(1);
+  const std::size_t bytes = 32 << 20;
+  const double direct = sim::copy_seconds(topo, d0, d1, bytes, false);
+  const double staged = sim::copy_seconds(topo, d0, d1, bytes, true);
+  EXPECT_GT(staged, 1.5 * direct);
+}
+
+TEST(CostModelTest, CrossBusPeerSlowerThanSameBus) {
+  const sim::Topology topo = sim::Topology::pcie3_pairs(4);
+  const std::size_t bytes = 64 << 20;
+  const double same = sim::copy_seconds(topo, sim::Endpoint::dev(0),
+                                        sim::Endpoint::dev(1), bytes, false);
+  const double cross = sim::copy_seconds(topo, sim::Endpoint::dev(0),
+                                         sim::Endpoint::dev(2), bytes, false);
+  EXPECT_GT(cross, same);
+}
+
+} // namespace

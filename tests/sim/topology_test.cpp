@@ -1,0 +1,55 @@
+// Topology: bus layout, peer routing and transfer arithmetic (§5: two PCIe-3
+// buses, each connecting a pair of GPUs).
+#include <gtest/gtest.h>
+
+#include "sim/topology.hpp"
+
+namespace {
+
+TEST(TopologyTest, PairsShareBuses) {
+  const sim::Topology topo = sim::Topology::pcie3_pairs(4);
+  EXPECT_EQ(topo.bus_of(0), 0);
+  EXPECT_EQ(topo.bus_of(1), 0);
+  EXPECT_EQ(topo.bus_of(2), 1);
+  EXPECT_EQ(topo.bus_of(3), 1);
+  EXPECT_THROW(topo.bus_of(4), std::out_of_range);
+}
+
+TEST(TopologyTest, PeerEnabledBetweenAllDevices) {
+  const sim::Topology topo = sim::Topology::pcie3_pairs(4);
+  EXPECT_TRUE(topo.peer_enabled(0, 3));
+  EXPECT_FALSE(topo.peer_enabled(0, -1));
+}
+
+TEST(TopologyTest, BandwidthOrdering) {
+  const sim::Topology topo = sim::Topology::pcie3_pairs(4);
+  const double same_bus = topo.bandwidth_gbps(sim::Endpoint::dev(0),
+                                              sim::Endpoint::dev(1));
+  const double cross_bus = topo.bandwidth_gbps(sim::Endpoint::dev(1),
+                                               sim::Endpoint::dev(2));
+  const double intra = topo.bandwidth_gbps(sim::Endpoint::dev(2),
+                                           sim::Endpoint::dev(2));
+  EXPECT_GT(same_bus, cross_bus);
+  EXPECT_GT(intra, same_bus);
+}
+
+TEST(TopologyTest, CrossBusLatencyHigher) {
+  const sim::Topology topo = sim::Topology::pcie3_pairs(4);
+  EXPECT_GT(topo.latency_us(sim::Endpoint::dev(0), sim::Endpoint::dev(2)),
+            topo.latency_us(sim::Endpoint::dev(0), sim::Endpoint::dev(1)));
+}
+
+TEST(TopologyTest, TransferSecondsFormula) {
+  const sim::Topology topo = sim::Topology::pcie3_pairs(2);
+  const auto host = sim::Endpoint::host();
+  const auto dev = sim::Endpoint::dev(0);
+  const std::size_t bytes = 12ull << 30; // 12 GiB at 12 GB/s ~ 1.07 s
+  const double t = topo.transfer_seconds(host, dev, bytes);
+  EXPECT_NEAR(t, static_cast<double>(bytes) / 12e9 + 9e-6, 1e-3);
+}
+
+TEST(TopologyTest, RequiresAtLeastOneDevice) {
+  EXPECT_THROW(sim::Topology(0, 1, 1, 1, 1, 1), std::invalid_argument);
+}
+
+} // namespace
