@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cluster_extension"
+  "../bench/cluster_extension.pdb"
+  "CMakeFiles/cluster_extension.dir/cluster_extension.cpp.o"
+  "CMakeFiles/cluster_extension.dir/cluster_extension.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_framework_scaling"
+  "../bench/fig06_framework_scaling.pdb"
+  "CMakeFiles/fig06_framework_scaling.dir/fig06_framework_scaling.cpp.o"
+  "CMakeFiles/fig06_framework_scaling.dir/fig06_framework_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_framework_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

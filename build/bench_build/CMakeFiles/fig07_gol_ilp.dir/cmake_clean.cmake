@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_gol_ilp"
+  "../bench/fig07_gol_ilp.pdb"
+  "CMakeFiles/fig07_gol_ilp.dir/fig07_gol_ilp.cpp.o"
+  "CMakeFiles/fig07_gol_ilp.dir/fig07_gol_ilp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_gol_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_histogram_aggregators.cpp" "bench_build/CMakeFiles/fig08_histogram_aggregators.dir/fig08_histogram_aggregators.cpp.o" "gcc" "bench_build/CMakeFiles/fig08_histogram_aggregators.dir/fig08_histogram_aggregators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/multi/CMakeFiles/multi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcub/CMakeFiles/simcub.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

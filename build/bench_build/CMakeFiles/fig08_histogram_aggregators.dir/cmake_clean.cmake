@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_histogram_aggregators"
+  "../bench/fig08_histogram_aggregators.pdb"
+  "CMakeFiles/fig08_histogram_aggregators.dir/fig08_histogram_aggregators.cpp.o"
+  "CMakeFiles/fig08_histogram_aggregators.dir/fig08_histogram_aggregators.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_histogram_aggregators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_unmodified_scaling"
+  "../bench/fig09_unmodified_scaling.pdb"
+  "CMakeFiles/fig09_unmodified_scaling.dir/fig09_unmodified_scaling.cpp.o"
+  "CMakeFiles/fig09_unmodified_scaling.dir/fig09_unmodified_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_unmodified_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_deep_learning"
+  "../bench/fig11_deep_learning.pdb"
+  "CMakeFiles/fig11_deep_learning.dir/fig11_deep_learning.cpp.o"
+  "CMakeFiles/fig11_deep_learning.dir/fig11_deep_learning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_deep_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

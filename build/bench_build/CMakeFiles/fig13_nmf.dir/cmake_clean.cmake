@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_nmf"
+  "../bench/fig13_nmf.pdb"
+  "CMakeFiles/fig13_nmf.dir/fig13_nmf.cpp.o"
+  "CMakeFiles/fig13_nmf.dir/fig13_nmf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_nmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lenet_training.dir/lenet_training.cpp.o"
+  "CMakeFiles/lenet_training.dir/lenet_training.cpp.o.d"
+  "lenet_training"
+  "lenet_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lenet_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_unmodified.dir/matmul_unmodified.cpp.o"
+  "CMakeFiles/matmul_unmodified.dir/matmul_unmodified.cpp.o.d"
+  "matmul_unmodified"
+  "matmul_unmodified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_unmodified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmf_factorize.dir/nmf_factorize.cpp.o"
+  "CMakeFiles/nmf_factorize.dir/nmf_factorize.cpp.o.d"
+  "nmf_factorize"
+  "nmf_factorize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmf_factorize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

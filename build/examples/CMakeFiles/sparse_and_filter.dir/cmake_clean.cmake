@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_and_filter.dir/sparse_and_filter.cpp.o"
+  "CMakeFiles/sparse_and_filter.dir/sparse_and_filter.cpp.o.d"
+  "sparse_and_filter"
+  "sparse_and_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_and_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

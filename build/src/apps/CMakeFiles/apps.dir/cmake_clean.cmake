@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps.dir/game_of_life.cpp.o"
+  "CMakeFiles/apps.dir/game_of_life.cpp.o.d"
+  "CMakeFiles/apps.dir/histogram.cpp.o"
+  "CMakeFiles/apps.dir/histogram.cpp.o.d"
+  "libapps.a"
+  "libapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

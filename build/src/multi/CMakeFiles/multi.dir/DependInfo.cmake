@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multi/datum.cpp" "src/multi/CMakeFiles/multi.dir/datum.cpp.o" "gcc" "src/multi/CMakeFiles/multi.dir/datum.cpp.o.d"
+  "/root/repo/src/multi/interval_set.cpp" "src/multi/CMakeFiles/multi.dir/interval_set.cpp.o" "gcc" "src/multi/CMakeFiles/multi.dir/interval_set.cpp.o.d"
+  "/root/repo/src/multi/invoker.cpp" "src/multi/CMakeFiles/multi.dir/invoker.cpp.o" "gcc" "src/multi/CMakeFiles/multi.dir/invoker.cpp.o.d"
+  "/root/repo/src/multi/location_monitor.cpp" "src/multi/CMakeFiles/multi.dir/location_monitor.cpp.o" "gcc" "src/multi/CMakeFiles/multi.dir/location_monitor.cpp.o.d"
+  "/root/repo/src/multi/memory_analyzer.cpp" "src/multi/CMakeFiles/multi.dir/memory_analyzer.cpp.o" "gcc" "src/multi/CMakeFiles/multi.dir/memory_analyzer.cpp.o.d"
+  "/root/repo/src/multi/scheduler.cpp" "src/multi/CMakeFiles/multi.dir/scheduler.cpp.o" "gcc" "src/multi/CMakeFiles/multi.dir/scheduler.cpp.o.d"
+  "/root/repo/src/multi/segmenter.cpp" "src/multi/CMakeFiles/multi.dir/segmenter.cpp.o" "gcc" "src/multi/CMakeFiles/multi.dir/segmenter.cpp.o.d"
+  "/root/repo/src/multi/task_cost.cpp" "src/multi/CMakeFiles/multi.dir/task_cost.cpp.o" "gcc" "src/multi/CMakeFiles/multi.dir/task_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

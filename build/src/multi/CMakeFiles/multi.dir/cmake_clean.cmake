@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi.dir/datum.cpp.o"
+  "CMakeFiles/multi.dir/datum.cpp.o.d"
+  "CMakeFiles/multi.dir/interval_set.cpp.o"
+  "CMakeFiles/multi.dir/interval_set.cpp.o.d"
+  "CMakeFiles/multi.dir/invoker.cpp.o"
+  "CMakeFiles/multi.dir/invoker.cpp.o.d"
+  "CMakeFiles/multi.dir/location_monitor.cpp.o"
+  "CMakeFiles/multi.dir/location_monitor.cpp.o.d"
+  "CMakeFiles/multi.dir/memory_analyzer.cpp.o"
+  "CMakeFiles/multi.dir/memory_analyzer.cpp.o.d"
+  "CMakeFiles/multi.dir/scheduler.cpp.o"
+  "CMakeFiles/multi.dir/scheduler.cpp.o.d"
+  "CMakeFiles/multi.dir/segmenter.cpp.o"
+  "CMakeFiles/multi.dir/segmenter.cpp.o.d"
+  "CMakeFiles/multi.dir/task_cost.cpp.o"
+  "CMakeFiles/multi.dir/task_cost.cpp.o.d"
+  "libmulti.a"
+  "libmulti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

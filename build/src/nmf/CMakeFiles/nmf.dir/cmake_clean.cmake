@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmf.dir/nmf.cpp.o"
+  "CMakeFiles/nmf.dir/nmf.cpp.o.d"
+  "libnmf.a"
+  "libnmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

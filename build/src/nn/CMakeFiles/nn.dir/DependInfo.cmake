@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/dataset.cpp" "src/nn/CMakeFiles/nn.dir/dataset.cpp.o" "gcc" "src/nn/CMakeFiles/nn.dir/dataset.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/lenet.cpp" "src/nn/CMakeFiles/nn.dir/lenet.cpp.o" "gcc" "src/nn/CMakeFiles/nn.dir/lenet.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/multi/CMakeFiles/multi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn.dir/dataset.cpp.o"
+  "CMakeFiles/nn.dir/dataset.cpp.o.d"
+  "CMakeFiles/nn.dir/layers.cpp.o"
+  "CMakeFiles/nn.dir/layers.cpp.o.d"
+  "CMakeFiles/nn.dir/lenet.cpp.o"
+  "CMakeFiles/nn.dir/lenet.cpp.o.d"
+  "CMakeFiles/nn.dir/trainer.cpp.o"
+  "CMakeFiles/nn.dir/trainer.cpp.o.d"
+  "libnn.a"
+  "libnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

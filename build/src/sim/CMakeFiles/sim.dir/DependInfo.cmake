@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/sim/CMakeFiles/sim.dir/memory.cpp.o" "gcc" "src/sim/CMakeFiles/sim.dir/memory.cpp.o.d"
+  "/root/repo/src/sim/node.cpp" "src/sim/CMakeFiles/sim.dir/node.cpp.o" "gcc" "src/sim/CMakeFiles/sim.dir/node.cpp.o.d"
+  "/root/repo/src/sim/presets.cpp" "src/sim/CMakeFiles/sim.dir/presets.cpp.o" "gcc" "src/sim/CMakeFiles/sim.dir/presets.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/sim/CMakeFiles/sim.dir/topology.cpp.o" "gcc" "src/sim/CMakeFiles/sim.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim.dir/cost_model.cpp.o"
+  "CMakeFiles/sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/sim.dir/memory.cpp.o"
+  "CMakeFiles/sim.dir/memory.cpp.o.d"
+  "CMakeFiles/sim.dir/node.cpp.o"
+  "CMakeFiles/sim.dir/node.cpp.o.d"
+  "CMakeFiles/sim.dir/presets.cpp.o"
+  "CMakeFiles/sim.dir/presets.cpp.o.d"
+  "CMakeFiles/sim.dir/topology.cpp.o"
+  "CMakeFiles/sim.dir/topology.cpp.o.d"
+  "libsim.a"
+  "libsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simblas.dir/simblas.cpp.o"
+  "CMakeFiles/simblas.dir/simblas.cpp.o.d"
+  "libsimblas.a"
+  "libsimblas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simblas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

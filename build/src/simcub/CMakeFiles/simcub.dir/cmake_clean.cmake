@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcub.dir/simcub.cpp.o"
+  "CMakeFiles/simcub.dir/simcub.cpp.o.d"
+  "libsimcub.a"
+  "libsimcub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_shape_test.dir/shape_test.cpp.o"
+  "CMakeFiles/apps_shape_test.dir/shape_test.cpp.o.d"
+  "apps_shape_test"
+  "apps_shape_test.pdb"
+  "apps_shape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_cluster_test.dir/cluster_test.cpp.o"
+  "CMakeFiles/multi_cluster_test.dir/cluster_test.cpp.o.d"
+  "multi_cluster_test"
+  "multi_cluster_test.pdb"
+  "multi_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

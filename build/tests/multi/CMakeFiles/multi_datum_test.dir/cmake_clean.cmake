@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_datum_test.dir/datum_test.cpp.o"
+  "CMakeFiles/multi_datum_test.dir/datum_test.cpp.o.d"
+  "multi_datum_test"
+  "multi_datum_test.pdb"
+  "multi_datum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_datum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

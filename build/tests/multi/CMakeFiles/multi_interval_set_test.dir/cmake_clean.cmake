@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_interval_set_test.dir/interval_set_test.cpp.o"
+  "CMakeFiles/multi_interval_set_test.dir/interval_set_test.cpp.o.d"
+  "multi_interval_set_test"
+  "multi_interval_set_test.pdb"
+  "multi_interval_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_interval_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

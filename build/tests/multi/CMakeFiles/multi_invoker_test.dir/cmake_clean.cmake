@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_invoker_test.dir/invoker_test.cpp.o"
+  "CMakeFiles/multi_invoker_test.dir/invoker_test.cpp.o.d"
+  "multi_invoker_test"
+  "multi_invoker_test.pdb"
+  "multi_invoker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_invoker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

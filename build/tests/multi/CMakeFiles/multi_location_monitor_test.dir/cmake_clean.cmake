@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_location_monitor_test.dir/location_monitor_test.cpp.o"
+  "CMakeFiles/multi_location_monitor_test.dir/location_monitor_test.cpp.o.d"
+  "multi_location_monitor_test"
+  "multi_location_monitor_test.pdb"
+  "multi_location_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_location_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

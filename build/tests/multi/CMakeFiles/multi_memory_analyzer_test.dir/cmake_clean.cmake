@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_memory_analyzer_test.dir/memory_analyzer_test.cpp.o"
+  "CMakeFiles/multi_memory_analyzer_test.dir/memory_analyzer_test.cpp.o.d"
+  "multi_memory_analyzer_test"
+  "multi_memory_analyzer_test.pdb"
+  "multi_memory_analyzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_memory_analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

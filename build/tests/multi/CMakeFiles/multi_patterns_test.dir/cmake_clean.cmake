@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_patterns_test.dir/patterns_test.cpp.o"
+  "CMakeFiles/multi_patterns_test.dir/patterns_test.cpp.o.d"
+  "multi_patterns_test"
+  "multi_patterns_test.pdb"
+  "multi_patterns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_patterns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

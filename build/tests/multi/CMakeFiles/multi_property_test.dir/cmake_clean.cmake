@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_property_test.dir/property_test.cpp.o"
+  "CMakeFiles/multi_property_test.dir/property_test.cpp.o.d"
+  "multi_property_test"
+  "multi_property_test.pdb"
+  "multi_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_scheduler_test.dir/scheduler_test.cpp.o"
+  "CMakeFiles/multi_scheduler_test.dir/scheduler_test.cpp.o.d"
+  "multi_scheduler_test"
+  "multi_scheduler_test.pdb"
+  "multi_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_segmenter_test.dir/segmenter_test.cpp.o"
+  "CMakeFiles/multi_segmenter_test.dir/segmenter_test.cpp.o.d"
+  "multi_segmenter_test"
+  "multi_segmenter_test.pdb"
+  "multi_segmenter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_segmenter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_task_cost_test.dir/task_cost_test.cpp.o"
+  "CMakeFiles/multi_task_cost_test.dir/task_cost_test.cpp.o.d"
+  "multi_task_cost_test"
+  "multi_task_cost_test.pdb"
+  "multi_task_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_task_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/multi
+# Build directory: /root/repo/build/tests/multi
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/multi/multi_interval_set_test[1]_include.cmake")
+include("/root/repo/build/tests/multi/multi_segmenter_test[1]_include.cmake")
+include("/root/repo/build/tests/multi/multi_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/multi/multi_patterns_test[1]_include.cmake")
+include("/root/repo/build/tests/multi/multi_location_monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/multi/multi_memory_analyzer_test[1]_include.cmake")
+include("/root/repo/build/tests/multi/multi_scheduler_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/multi/multi_cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/multi/multi_task_cost_test[1]_include.cmake")
+include("/root/repo/build/tests/multi/multi_invoker_test[1]_include.cmake")
+include("/root/repo/build/tests/multi/multi_datum_test[1]_include.cmake")
+include("/root/repo/build/tests/multi/multi_property_test[1]_include.cmake")

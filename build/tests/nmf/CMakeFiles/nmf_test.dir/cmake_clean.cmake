@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmf_test.dir/nmf_test.cpp.o"
+  "CMakeFiles/nmf_test.dir/nmf_test.cpp.o.d"
+  "nmf_test"
+  "nmf_test.pdb"
+  "nmf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_cost_model_test.dir/cost_model_test.cpp.o"
+  "CMakeFiles/sim_cost_model_test.dir/cost_model_test.cpp.o.d"
+  "sim_cost_model_test"
+  "sim_cost_model_test.pdb"
+  "sim_cost_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_cost_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_node_test.dir/node_test.cpp.o"
+  "CMakeFiles/sim_node_test.dir/node_test.cpp.o.d"
+  "sim_node_test"
+  "sim_node_test.pdb"
+  "sim_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simblas_test.dir/simblas_test.cpp.o"
+  "CMakeFiles/simblas_test.dir/simblas_test.cpp.o.d"
+  "simblas_test"
+  "simblas_test.pdb"
+  "simblas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simblas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
