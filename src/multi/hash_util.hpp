@@ -1,0 +1,45 @@
+// Hash helpers for the scheduler's hot-path lookup tables.
+//
+// The Invoke path keys its availability/access maps and the memory analyzer
+// keys its plans by (datum key, location/slot) pairs. std::map kept those
+// lookups O(log n) with heavy pointer chasing; unordered_map needs a pair
+// hash, which the standard library does not provide.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace maps::multi {
+
+/// 64-bit mix (splitmix64 finalizer) — cheap and well distributed for
+/// pointer-derived keys, whose low bits carry little entropy.
+inline std::uint64_t mix_u64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Hash for std::pair<const void*, int> keys ((datum, location) and
+/// (datum, slot) tables).
+struct PtrIntPairHash {
+  std::size_t operator()(const std::pair<const void*, int>& k) const {
+    std::uint64_t h = mix_u64(reinterpret_cast<std::uintptr_t>(k.first));
+    h = mix_u64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.second)));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// FNV-1a over a word sequence; used by PlanFingerprint.
+inline std::uint64_t hash_words(const std::uint64_t* words, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= words[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+} // namespace maps::multi

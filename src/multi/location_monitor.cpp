@@ -124,7 +124,9 @@ SegmentLocationMonitor::plan_copies(const Datum* datum, int target,
 
 void SegmentLocationMonitor::mark_copied(const Datum* datum, int target,
                                          const RowInterval& rows) {
-  state(datum).up_to_date[static_cast<std::size_t>(target)].add(rows);
+  State& s = state(datum);
+  s.up_to_date[static_cast<std::size_t>(target)].add(rows);
+  s.epoch = ++epoch_counter_;
 }
 
 void SegmentLocationMonitor::mark_written(const Datum* datum, int writer,
@@ -138,6 +140,26 @@ void SegmentLocationMonitor::mark_written(const Datum* datum, int writer,
   }
   s.up_to_date[static_cast<std::size_t>(writer)].add(rows);
   s.last_output[static_cast<std::size_t>(writer)].add(rows);
+  s.epoch = ++epoch_counter_;
+}
+
+std::uint64_t SegmentLocationMonitor::epoch(const Datum* datum) const {
+  auto it = states_.find(datum->key());
+  return it == states_.end() ? 0 : it->second.epoch;
+}
+
+void SegmentLocationMonitor::state_snapshot(
+    const Datum* datum, std::vector<std::uint64_t>& out) const {
+  const State& s = state(datum);
+  out.push_back(s.has_pending ? 1 : 0);
+  for (const IntervalSet& set : s.up_to_date) {
+    const auto& ivs = set.intervals();
+    out.push_back(ivs.size());
+    for (const RowInterval& iv : ivs) {
+      out.push_back(iv.begin);
+      out.push_back(iv.end);
+    }
+  }
 }
 
 const IntervalSet& SegmentLocationMonitor::up_to_date(const Datum* datum,
@@ -162,6 +184,7 @@ void SegmentLocationMonitor::set_pending_aggregation(const Datum* datum,
   }
   s.pending = std::move(agg);
   s.has_pending = true;
+  s.epoch = ++epoch_counter_;
 }
 
 const SegmentLocationMonitor::PendingAggregation*
@@ -171,7 +194,36 @@ SegmentLocationMonitor::pending_aggregation(const Datum* datum) const {
 }
 
 void SegmentLocationMonitor::clear_pending_aggregation(const Datum* datum) {
-  state(datum).has_pending = false;
+  State& s = state(datum);
+  s.has_pending = false;
+  s.epoch = ++epoch_counter_;
+}
+
+void SegmentLocationMonitor::capture_state(const Datum* datum,
+                                           StateCopy& out) const {
+  const State& s = state(datum);
+  out.up_to_date = s.up_to_date;
+  if (s.has_pending) { // `pending` is only read behind the flag
+    out.pending = s.pending;
+  }
+  out.has_pending = s.has_pending;
+  out.epoch = s.epoch;
+}
+
+void SegmentLocationMonitor::restore_state(const Datum* datum,
+                                           const StateCopy& sc) {
+  State& s = state(datum);
+  // Element-wise assignment reuses the existing interval storage, so a
+  // steady-state restore allocates nothing.
+  s.up_to_date = sc.up_to_date;
+  if (sc.has_pending) { // `pending` is only read behind the flag
+    s.pending = sc.pending;
+  }
+  s.has_pending = sc.has_pending;
+  // A fresh counter value here would be sound but would defeat the epoch
+  // fast path: steady-state loops would never see a repeated label. The
+  // captured label is exact — it named precisely this state.
+  s.epoch = sc.epoch;
 }
 
 } // namespace maps::multi

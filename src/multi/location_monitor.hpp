@@ -13,11 +13,21 @@
 // Reductive/unstructured outputs leave the datum "pending aggregation":
 // device copies are partial and must not serve as sources; Gather resolves
 // the state by aggregating to the host.
+//
+// For the scheduler's steady-state plan cache the monitor additionally
+// maintains, per datum, a monotonically increasing *location epoch* (bumped
+// by every state mutation) and a canonical *state snapshot* of the
+// up-to-date holdings. A cached task plan is valid exactly when every
+// referenced datum's location state equals the state captured at plan time:
+// equal epochs prove it cheaply; on epoch mismatch the snapshots decide
+// (steady-state loops cycle through a periodic sequence of states, so the
+// snapshot comparison is what makes replay possible there).
 #pragma once
 
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "multi/datum.hpp"
@@ -64,6 +74,24 @@ public:
   const IntervalSet& up_to_date(const Datum* datum, int location) const;
   const IntervalSet& last_output(const Datum* datum, int location) const;
 
+  // --- Plan-cache validity oracle ------------------------------------------
+
+  /// Label for the datum's location state; 0 for unknown datums. Equal
+  /// epochs imply an identical state: every mutation (mark_copied /
+  /// mark_written / set_pending_aggregation / clear_pending_aggregation)
+  /// stamps the datum with a fresh value from a monitor-global counter, and
+  /// restore_state re-applies the exact value captured alongside the state it
+  /// restores. Steady-state loops therefore cycle through the *same* epoch
+  /// values, keeping the scheduler's cache validation on the integer fast
+  /// path instead of the snapshot comparison.
+  std::uint64_t epoch(const Datum* datum) const;
+
+  /// Appends a canonical encoding of the datum's planning-relevant state
+  /// (up-to-date holdings per location + pending-aggregation flag) to `out`.
+  /// lastOutput is deliberately excluded: Algorithm 2 never consults it, so
+  /// two states with equal snapshots plan identical copies.
+  void state_snapshot(const Datum* datum, std::vector<std::uint64_t>& out) const;
+
   // --- Aggregation state (Reductive / Unstructured outputs) ----------------
   struct PendingAggregation {
     AggregationKind kind = AggregationKind::None;
@@ -74,18 +102,40 @@ public:
   const PendingAggregation* pending_aggregation(const Datum* datum) const;
   void clear_pending_aggregation(const Datum* datum);
 
+  // --- Plan-replay state restore -------------------------------------------
+  /// Deep copy of one datum's planning-relevant location state. The scheduler
+  /// captures it right after building a plan; on every cache replay the hit
+  /// has already proved the pre-states equal, so the post-state is the same
+  /// deterministic function of (plan, pre-state) and can be restored
+  /// wholesale instead of re-running mark_copied / mark_written per copy and
+  /// output. lastOutput is excluded, mirroring state_snapshot: Algorithm 2
+  /// never consults it, and the validity oracle proves nothing about it, so
+  /// a replay leaves whatever the live mark path last produced.
+  struct StateCopy {
+    std::vector<IntervalSet> up_to_date;
+    PendingAggregation pending;
+    bool has_pending = false;
+    std::uint64_t epoch = 0; ///< The label this state carried when captured.
+  };
+  void capture_state(const Datum* datum, StateCopy& out) const;
+  /// Overwrites the datum's state with `sc`, restoring the captured epoch —
+  /// epoch values label states, so re-applying a state re-applies its label.
+  void restore_state(const Datum* datum, const StateCopy& sc);
+
 private:
   struct State {
     std::vector<IntervalSet> up_to_date;  // per location
     std::vector<IntervalSet> last_output; // per location
     PendingAggregation pending;
     bool has_pending = false;
+    std::uint64_t epoch = 1;
   };
   State& state(const Datum* datum);
   const State& state(const Datum* datum) const;
 
   int locations_;
-  std::map<const void*, State> states_;
+  std::uint64_t epoch_counter_ = 1; ///< Source of unique state labels.
+  std::unordered_map<const void*, State> states_;
 };
 
 } // namespace maps::multi

@@ -14,13 +14,14 @@
 // allocated").
 #pragma once
 
-#include <map>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "sim/node.hpp"
 
 #include "multi/datum.hpp"
+#include "multi/hash_util.hpp"
 #include "multi/segmenter.hpp"
 
 namespace maps::multi {
@@ -78,9 +79,9 @@ private:
   using Key = std::pair<const void*, int>;
   sim::Node& node_;
   std::vector<int> devices_;
-  std::map<Key, Plan> plans_;
-  std::map<Key, Alloc> allocs_;
-  std::map<Key, const Datum*> datum_of_; // for diagnostics & row_bytes
+  std::unordered_map<Key, Plan, PtrIntPairHash> plans_;
+  std::unordered_map<Key, Alloc, PtrIntPairHash> allocs_;
+  std::unordered_map<Key, const Datum*, PtrIntPairHash> datum_of_;
 };
 
 } // namespace maps::multi

@@ -1,6 +1,9 @@
 #include "multi/scheduler.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
 #include <cstring>
 #include <numeric>
 #include <stdexcept>
@@ -10,6 +13,12 @@ namespace maps::multi {
 namespace {
 constexpr maps::Dim3 kBlock2D{32, 8, 1};
 constexpr maps::Dim3 kBlock1D{1, 128, 1};
+
+double elapsed_us(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
 } // namespace
 
 Scheduler::Scheduler(sim::Node& node, std::vector<int> devices)
@@ -38,6 +47,13 @@ Scheduler::~Scheduler() {
     } catch (...) {
       // Destructor: swallow job errors that were never collected.
     }
+  }
+  // All plan references are gone now; free whatever the deleters stacked.
+  TaskPlan* head = plan_recycle_head_.exchange(nullptr);
+  while (head != nullptr) {
+    TaskPlan* next = head->recycle_next;
+    delete head;
+    head = next;
   }
 }
 
@@ -129,12 +145,237 @@ void Scheduler::analyze_task(std::vector<PatternSpec> specs,
   }
 }
 
-void Scheduler::plan_copies_for(TaskPlan& plan, int slot, int pattern_index,
-                                const SegmentReq& req,
+// --- Plan cache --------------------------------------------------------------
+
+bool Scheduler::cacheable(const std::vector<PatternSpec>& specs) {
+  // CustomAligned row mappings are opaque host functions: two Invokes with
+  // equal fingerprints could still need different rows, so never cache them.
+  for (const auto& s : specs) {
+    if (s.custom_rows) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Scheduler::PlanFingerprint
+Scheduler::fingerprint(const std::vector<PatternSpec>& specs, const Work* work,
+                       const CostHints& hints, const char* label) const {
+  PlanFingerprint fp;
+  auto& w = fp.words;
+  w.reserve(specs.size() * 12 + 8);
+  w.push_back(0x4d415053'46503101ull); // "MAPS" fingerprint, version 1
+  w.push_back(static_cast<std::uint64_t>(slots()));
+  w.push_back(specs.size());
+  for (const auto& s : specs) {
+    w.push_back(reinterpret_cast<std::uintptr_t>(s.datum->key()));
+    // Shape guards the (unlikely) reuse of a datum address by a new datum.
+    w.push_back(s.datum->rows());
+    w.push_back(s.datum->row_elems());
+    w.push_back(s.datum->elem_size());
+    w.push_back((static_cast<std::uint64_t>(s.kind) << 32) |
+                (static_cast<std::uint64_t>(s.seg) << 16) |
+                (static_cast<std::uint64_t>(s.agg) << 8) |
+                (s.is_input ? 1u : 0u));
+    w.push_back(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(s.radius_low)));
+    w.push_back(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(s.radius_high)));
+    w.push_back((static_cast<std::uint64_t>(s.boundary) << 32) |
+                (static_cast<std::uint64_t>(s.ilp_x) << 16) |
+                static_cast<std::uint64_t>(s.ilp_y));
+    w.push_back(s.row_scale_num);
+    w.push_back(s.row_scale_den);
+  }
+  if (work != nullptr) {
+    w.push_back(1);
+    w.push_back(work->rows);
+    w.push_back(work->cols);
+    w.push_back(work->single_device ? 1 : 0);
+  } else {
+    w.push_back(0);
+  }
+  w.push_back(std::bit_cast<std::uint64_t>(hints.flops_per_elem));
+  w.push_back(std::bit_cast<std::uint64_t>(hints.instr_per_thread));
+  w.push_back(std::bit_cast<std::uint64_t>(hints.flop_efficiency));
+  // Cost label (kernel/routine family) feeds the launch-stats label.
+  std::uint64_t lh = 0xcbf29ce484222325ull;
+  for (const char* p = label; *p != '\0'; ++p) {
+    lh = (lh ^ static_cast<unsigned char>(*p)) * 0x100000001b3ull;
+  }
+  w.push_back(lh);
+  fp.hash = hash_words(w.data(), w.size());
+  return fp;
+}
+
+std::vector<Scheduler::DatumCapture>
+Scheduler::capture_datums(const std::vector<PatternSpec>& specs) const {
+  std::vector<DatumCapture> caps;
+  caps.reserve(specs.size());
+  for (const auto& s : specs) {
+    const Datum* d = s.datum;
+    if (std::any_of(caps.begin(), caps.end(), [&](const DatumCapture& c) {
+          return c.datum->key() == d->key();
+        })) {
+      continue;
+    }
+    DatumCapture cap;
+    cap.datum = d;
+    cap.host_ptr = d->bound() ? d->host_raw() : nullptr;
+    cap.epoch = monitor_.epoch(d);
+    monitor_.state_snapshot(d, cap.snapshot);
+    caps.push_back(std::move(cap));
+  }
+  return caps;
+}
+
+std::vector<Scheduler::DatumPostState>
+Scheduler::capture_post_states(const std::vector<PatternSpec>& specs,
+                               const std::vector<DatumCapture>& pre) const {
+  std::vector<DatumPostState> post;
+  post.reserve(specs.size());
+  for (const auto& s : specs) {
+    const Datum* d = s.datum;
+    if (std::any_of(post.begin(), post.end(), [&](const DatumPostState& p) {
+          return p.datum->key() == d->key();
+        })) {
+      continue;
+    }
+    // The build left this datum untouched (typically an input that was
+    // already resident everywhere it is needed): its post-state IS the
+    // pre-state the hit will have re-proved, so replay has nothing to
+    // restore for it.
+    const auto pc = std::find_if(pre.begin(), pre.end(), [&](
+        const DatumCapture& c) { return c.datum->key() == d->key(); });
+    if (pc != pre.end() && pc->epoch == monitor_.epoch(d)) {
+      continue;
+    }
+    DatumPostState ps;
+    ps.datum = d;
+    monitor_.capture_state(d, ps.state);
+    post.push_back(std::move(ps));
+  }
+  return post;
+}
+
+bool Scheduler::captures_valid(
+    const std::vector<DatumCapture>& captures) const {
+  std::vector<std::uint64_t> cur;
+  for (const auto& cap : captures) {
+    const void* host = cap.datum->bound() ? cap.datum->host_raw() : nullptr;
+    if (host != cap.host_ptr) {
+      return false; // re-Bind: cached host source addresses are stale
+    }
+    const std::uint64_t e = monitor_.epoch(cap.datum);
+    if (e == cap.epoch) {
+      continue;
+    }
+    cur.clear();
+    monitor_.state_snapshot(cap.datum, cur);
+    if (cur != cap.snapshot) {
+      return false;
+    }
+    // Periodic steady state (e.g. double buffering) came back around to the
+    // captured state under a different epoch; re-arm the fast path.
+    cap.epoch = e;
+  }
+  return true;
+}
+
+void Scheduler::cache_insert(PlanFingerprint fp,
+                             std::shared_ptr<const PlanShape> shape,
+                             std::vector<DatumCapture> captures,
+                             std::vector<DatumPostState> post_state) {
+  CacheEntry entry;
+  entry.shape = std::move(shape);
+  entry.captures = std::move(captures);
+  entry.post_state = std::move(post_state);
+
+  auto it = cache_.find(fp);
+  if (it != cache_.end()) { // new state variant of an already-cached shape
+    auto& vars = it->second.variants;
+    vars.insert(vars.begin(), std::move(entry));
+    if (vars.size() > kVariantsPerFingerprint) {
+      vars.pop_back();
+    }
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+
+  while (cache_.size() >= plan_cache_capacity_ && !lru_.empty()) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.cache_evictions;
+  }
+  lru_.push_front(fp);
+  CacheSlot slot;
+  slot.variants.push_back(std::move(entry));
+  slot.lru_it = lru_.begin();
+  cache_[std::move(fp)] = std::move(slot);
+}
+
+void Scheduler::set_plan_cache_capacity(std::size_t n) {
+  plan_cache_capacity_ = n;
+  while (cache_.size() > plan_cache_capacity_ && !lru_.empty()) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.cache_evictions;
+  }
+}
+
+std::size_t Scheduler::live_dependency_intervals() const {
+  std::size_t n = 0;
+  for (const auto& [key, map] : avail_) {
+    n += map.entry_count();
+  }
+  for (const auto& [key, map] : access_) {
+    n += map.entry_count();
+  }
+  return n;
+}
+
+// --- Planning ----------------------------------------------------------------
+
+void Scheduler::wire_copy(const PlannedCopy& c, DeviceWiring& dw,
+                          CopyWiring& w, sim::EventId done,
+                          bool update_monitor) {
+  const std::size_t base = dw.wait_pool.size();
+  w.wait_begin = static_cast<std::uint32_t>(base);
+  w.done = done;
+  if (c.zero_fill) {
+    c.dst_access->collect(c.dst_local, dw.wait_pool, base);
+    c.dst_access->write(c.dst_local, w.done);
+    w.wait_end = static_cast<std::uint32_t>(dw.wait_pool.size());
+    return;
+  }
+  // Producer availability of exactly the copied rows at the source (GLOBAL
+  // rows), plus WAR against prior readers/writers of the destination slot
+  // (LOCAL rows).
+  c.src_avail->collect(c.rows, dw.wait_pool, base);
+  c.dst_access->collect(c.dst_local, dw.wait_pool, base);
+  c.dst_access->write(c.dst_local, w.done);
+  // Register the read on the source (LOCAL rows there).
+  c.src_access->add_reader(c.src_local, w.done);
+  // Only rows whose virtual position equals their global position can later
+  // serve as copy sources (wrapped/clamped halo slots cannot), and only then
+  // does the replica register as available data that later tasks may chain
+  // on.
+  if (c.aligned) {
+    if (update_monitor) {
+      monitor_.mark_copied(c.datum, c.dst_location, c.rows);
+    }
+    c.dst_avail->update(c.rows, w.done);
+  }
+  w.wait_end = static_cast<std::uint32_t>(dw.wait_pool.size());
+}
+
+void Scheduler::plan_copies_for(PlanShape& shape, DeviceWiring& dw, int slot,
+                                int pattern_index, const SegmentReq& req,
                                 const MemoryAnalyzer::Alloc& alloc) {
-  const PatternSpec& spec = plan.specs[static_cast<std::size_t>(pattern_index)];
+  const PatternSpec& spec =
+      shape.specs[static_cast<std::size_t>(pattern_index)];
   Datum* datum = spec.datum;
-  DevicePlan& dp = plan.devices[static_cast<std::size_t>(slot)];
+  DevicePlan& dp = shape.devices[static_cast<std::size_t>(slot)];
   const int dst_loc = SegmentLocationMonitor::loc(slot);
 
   for (const CopyRegion& region : req.input_regions) {
@@ -143,29 +384,25 @@ void Scheduler::plan_copies_for(TaskPlan& plan, int slot, int pattern_index,
       c.pattern_index = pattern_index;
       c.zero_fill = true;
       c.whole_buffer = req.whole;
+      c.datum = datum;
+      c.dst_location = dst_loc;
+      c.dst_access = &access_[{datum->key(), dst_loc}];
       c.dst_buffer = alloc.buffer;
       if (c.whole_buffer) {
         c.dst_offset = 0;
         c.bytes = alloc.buffer->size();
+        c.dst_local = RowInterval{0, alloc.rows};
       } else {
-        c.dst_offset = static_cast<std::size_t>(
-                           region.local_row + (req.origin - alloc.origin)) *
-                       alloc.row_bytes;
+        const std::size_t local_row = static_cast<std::size_t>(
+            region.local_row + (req.origin - alloc.origin));
+        c.dst_offset = local_row * alloc.row_bytes;
         c.bytes = alloc.row_bytes;
+        c.dst_local = RowInterval{local_row, local_row + 1};
       }
-      const RowInterval dst_local{
-          c.whole_buffer ? 0
-                         : static_cast<std::size_t>(region.local_row +
-                                                    (req.origin - alloc.origin)),
-          c.whole_buffer ? alloc.rows
-                         : static_cast<std::size_t>(region.local_row +
-                                                    (req.origin - alloc.origin)) +
-                               1};
-      auto& dst_access = access_[{datum->key(), dst_loc}];
-      dst_access.collect(dst_local, c.waits);
-      c.done = node_.create_event();
-      dst_access.write(dst_local, EventRef{c.done, true});
+      CopyWiring w;
+      wire_copy(c, dw, w, node_.create_event(), /*update_monitor=*/true);
       dp.copies.push_back(std::move(c));
+      dw.copies.push_back(w);
       continue;
     }
 
@@ -179,7 +416,14 @@ void Scheduler::plan_copies_for(TaskPlan& plan, int slot, int pattern_index,
          monitor_.plan_copies(datum, dst_loc, region.global, aligned)) {
       PlannedCopy c;
       c.pattern_index = pattern_index;
+      c.aligned = aligned;
       c.src_location = op.src_location;
+      c.dst_location = dst_loc;
+      c.datum = datum;
+      c.src_avail = &avail_[{datum->key(), op.src_location}];
+      c.dst_avail = &avail_[{datum->key(), dst_loc}];
+      c.src_access = &access_[{datum->key(), op.src_location}];
+      c.dst_access = &access_[{datum->key(), dst_loc}];
       c.rows = op.rows;
       c.dst_buffer = alloc.buffer;
       const long local = region.local_row +
@@ -187,6 +431,9 @@ void Scheduler::plan_copies_for(TaskPlan& plan, int slot, int pattern_index,
                          (req.origin - alloc.origin);
       c.dst_offset = static_cast<std::size_t>(local) * alloc.row_bytes;
       c.bytes = op.rows.size() * alloc.row_bytes;
+      c.dst_local = RowInterval{static_cast<std::size_t>(local),
+                                static_cast<std::size_t>(local) +
+                                    op.rows.size()};
       if (op.src_location == SegmentLocationMonitor::kHost) {
         if (!datum->bound()) {
           throw std::runtime_error("datum '" + datum->name() +
@@ -194,6 +441,7 @@ void Scheduler::plan_copies_for(TaskPlan& plan, int slot, int pattern_index,
                                    "it is used as input");
         }
         c.src_host = datum->host_row(op.rows.begin);
+        c.src_local = op.rows; // host: local == global
       } else {
         const int src_slot = op.src_location - 1;
         const auto* src_alloc = analyzer_.find(datum, src_slot);
@@ -204,40 +452,68 @@ void Scheduler::plan_copies_for(TaskPlan& plan, int slot, int pattern_index,
         c.src_buffer = src_alloc->buffer;
         c.src_offset = src_alloc->row_offset(
             static_cast<long>(op.rows.begin));
-      }
-      // Producer availability of exactly the copied rows at the source
-      // (GLOBAL rows), plus WAR against prior readers/writers of the
-      // destination slot (LOCAL rows).
-      avail_[{datum->key(), op.src_location}].collect(op.rows, c.waits);
-      const RowInterval dst_local{
-          static_cast<std::size_t>(local),
-          static_cast<std::size_t>(local) + op.rows.size()};
-      auto& dst_access = access_[{datum->key(), dst_loc}];
-      dst_access.collect(dst_local, c.waits);
-      c.done = node_.create_event();
-      dst_access.write(dst_local, EventRef{c.done, true});
-      // Register the read on the source (LOCAL rows there).
-      RowInterval src_local = op.rows; // host: local == global
-      if (op.src_location != SegmentLocationMonitor::kHost) {
-        const auto* src_alloc =
-            analyzer_.find(datum, op.src_location - 1);
-        src_local = RowInterval{
+        c.src_local = RowInterval{
             static_cast<std::size_t>(static_cast<long>(op.rows.begin) -
                                      src_alloc->origin),
             static_cast<std::size_t>(static_cast<long>(op.rows.end) -
                                      src_alloc->origin)};
       }
-      access_[{datum->key(), op.src_location}].add_reader(
-          src_local, EventRef{c.done, true});
-      // Only rows whose virtual position equals their global position can
-      // later serve as copy sources (wrapped/clamped halo slots cannot),
-      // and only then does the replica register as available data that
-      // later tasks may chain on.
-      if (aligned) {
-        monitor_.mark_copied(datum, dst_loc, op.rows);
-        avail_[{datum->key(), dst_loc}].update(op.rows, EventRef{c.done, true});
-      }
+      CopyWiring w;
+      wire_copy(c, dw, w, node_.create_event(), /*update_monitor=*/true);
       dp.copies.push_back(std::move(c));
+      dw.copies.push_back(w);
+    }
+  }
+}
+
+void Scheduler::commit_post_state(const DevicePlan& dp, const DeviceWiring& dw,
+                                  int slot, bool update_monitor) {
+  const int loc = SegmentLocationMonitor::loc(slot);
+  for (const PatternPost& post : dp.post) {
+    if (!post.active) {
+      continue;
+    }
+    if (post.is_input) {
+      // The kernel read the whole local buffer (core + halos).
+      post.access->add_reader(post.local_span, dw.kernel_done);
+    } else {
+      // Private (duplicated) partials span the whole datum; aligned outputs
+      // produce exactly their core rows.
+      post.avail->update(post.produced, dw.kernel_done);
+      post.access->write(post.core_local, dw.kernel_done);
+      if (update_monitor && !post.private_copy) {
+        monitor_.mark_written(post.datum, loc, post.core);
+      }
+    }
+  }
+}
+
+void Scheduler::commit_aggregations(const PlanShape& shape,
+                                    bool update_monitor) {
+  // Reductive / unstructured outputs: register the pending aggregation and
+  // reset the per-device append counters.
+  for (const auto& s : shape.specs) {
+    if (s.is_input || s.agg == AggregationKind::None) {
+      continue;
+    }
+    if (update_monitor) { // replay restores the captured post-state instead
+      SegmentLocationMonitor::PendingAggregation agg;
+      agg.kind = s.agg;
+      agg.op = s.agg_op;
+      for (std::size_t slot = 0; slot < shape.devices.size(); ++slot) {
+        if (shape.devices[slot].active) {
+          agg.writer_slots.push_back(static_cast<int>(slot));
+        }
+      }
+      monitor_.set_pending_aggregation(s.datum, std::move(agg));
+    }
+    if (s.agg == AggregationKind::Append) {
+      auto& counts = append_counts_[s.datum->key()];
+      if (!counts) {
+        counts =
+            std::make_shared<std::vector<std::uint64_t>>(devices_.size(), 0);
+      }
+      std::fill(counts->begin(), counts->end(), 0);
     }
   }
 }
@@ -245,65 +521,126 @@ void Scheduler::plan_copies_for(TaskPlan& plan, int slot, int pattern_index,
 std::shared_ptr<Scheduler::TaskPlan>
 Scheduler::plan_task(std::vector<PatternSpec> specs, const Work* work,
                      const CostHints& hints, const char* label) {
+  for (const auto& s : specs) {
+    monitor_.register_datum(s.datum);
+  }
+
+  const bool want_cache = plan_cache_enabled_ && plan_cache_capacity_ > 0;
+  const bool use_cache = want_cache && cacheable(specs);
+  if (want_cache && !use_cache) {
+    ++stats_.uncacheable_tasks;
+  }
+  if (!use_cache) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto plan = build_plan(std::move(specs), work, hints, label);
+    stats_.plan_time_us += elapsed_us(t0);
+    ++stats_.plans_built;
+    return plan;
+  }
+
+  PlanFingerprint fp = fingerprint(specs, work, hints, label);
+  auto it = cache_.find(fp);
+  if (it != cache_.end()) {
+    CacheSlot& slot = it->second;
+    for (std::size_t vi = 0; vi < slot.variants.size(); ++vi) {
+      if (!captures_valid(slot.variants[vi].captures)) {
+        continue;
+      }
+      std::rotate(slot.variants.begin(), slot.variants.begin() + vi,
+                  slot.variants.begin() + vi + 1); // MRU within the slot
+      lru_.splice(lru_.begin(), lru_, slot.lru_it);
+      const auto t0 = std::chrono::steady_clock::now();
+      auto plan = replay_plan(slot.variants.front());
+      stats_.replay_time_us += elapsed_us(t0);
+      ++stats_.cache_hits;
+      return plan;
+    }
+    // Known shape, but no variant was built under the current location
+    // state; the build below adds one (possibly displacing the oldest).
+    ++stats_.cache_invalidations;
+  }
+  ++stats_.cache_misses;
+
+  // Capture the validity oracle BEFORE the build mutates the monitor: a
+  // later Invoke hits only if the monitor looks like it does right now.
+  auto captures = capture_datums(specs);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto plan = build_plan(std::move(specs), work, hints, label);
+  stats_.plan_time_us += elapsed_us(t0);
+  ++stats_.plans_built;
+  auto post_states = capture_post_states(plan->shape->specs, captures);
+  cache_insert(std::move(fp), plan->shape, std::move(captures),
+               std::move(post_states));
+  return plan;
+}
+
+std::shared_ptr<Scheduler::TaskPlan>
+Scheduler::build_plan(std::vector<PatternSpec> specs, const Work* work,
+                      const CostHints& hints, const char* label) {
   auto plan = std::make_shared<TaskPlan>();
   plan->handle = next_task_++;
-  plan->specs = std::move(specs);
+  auto shape_owned = std::make_shared<PlanShape>();
+  PlanShape& shape = *shape_owned;
+  plan->shape = shape_owned;
+  shape.specs = std::move(specs);
 
   bool single = work != nullptr && work->single_device;
-  for (const auto& s : plan->specs) {
-    monitor_.register_datum(s.datum);
+  for (const auto& s : shape.specs) {
     single = single || s.seg == Segmentation::SingleDevice;
   }
   const int slots_eff = single ? 1 : slots();
-  plan->partition = derive_partition(plan->specs, work, slots_eff);
-  plan->devices.resize(devices_.size());
+  shape.partition = derive_partition(shape.specs, work, slots_eff);
+  shape.devices.resize(devices_.size());
+  plan->wiring.resize(devices_.size());
 
   // Record requirements first (lazy AnalyzeCall) so allocations cover this
   // task even if the programmer skipped the explicit call.
   std::vector<std::vector<SegmentReq>> reqs(
       static_cast<std::size_t>(slots_eff));
   for (int slot = 0; slot < slots_eff; ++slot) {
-    for (const auto& s : plan->specs) {
+    for (const auto& s : shape.specs) {
       reqs[static_cast<std::size_t>(slot)].push_back(
-          compute_requirement(s, plan->partition, slot));
+          compute_requirement(s, shape.partition, slot));
       analyzer_.record(s, reqs[static_cast<std::size_t>(slot)].back(), slot);
     }
   }
 
   for (int slot = 0; slot < slots_eff; ++slot) {
-    DevicePlan& dp = plan->devices[static_cast<std::size_t>(slot)];
+    DevicePlan& dp = shape.devices[static_cast<std::size_t>(slot)];
+    DeviceWiring& dw = plan->wiring[static_cast<std::size_t>(slot)];
     const auto& slot_reqs = reqs[static_cast<std::size_t>(slot)];
     dp.active = std::any_of(slot_reqs.begin(), slot_reqs.end(),
                             [](const SegmentReq& r) { return r.active; });
     if (!dp.active) {
       continue;
     }
-    ++plan->active_slots;
+    ++shape.active_slots;
 
     // Grid context: the multiple-device abstraction (§4, Fig 1b).
     dp.grid.grid_dim = maps::Dim3{
-        static_cast<unsigned>(plan->partition.blocks_x),
-        static_cast<unsigned>(plan->partition.blocks_y), 1};
-    dp.grid.block_dim = plan->partition.block_dim;
+        static_cast<unsigned>(shape.partition.blocks_x),
+        static_cast<unsigned>(shape.partition.blocks_y), 1};
+    dp.grid.block_dim = shape.partition.block_dim;
     dp.grid.block_row_offset = static_cast<unsigned>(
-        plan->partition.block_rows[static_cast<std::size_t>(slot)].begin);
+        shape.partition.block_rows[static_cast<std::size_t>(slot)].begin);
     dp.grid.block_rows = static_cast<unsigned>(
-        plan->partition.block_rows[static_cast<std::size_t>(slot)].size());
+        shape.partition.block_rows[static_cast<std::size_t>(slot)].size());
     dp.grid.device = slot;
     dp.grid.device_count = slots_eff;
-    dp.grid.work_width = static_cast<unsigned>(plan->partition.work_cols);
-    dp.grid.work_height = static_cast<unsigned>(plan->partition.work_rows);
-    dp.grid.ilp_x = plan->partition.ilp_x;
-    dp.grid.ilp_y = plan->partition.ilp_y;
+    dp.grid.work_width = static_cast<unsigned>(shape.partition.work_cols);
+    dp.grid.work_height = static_cast<unsigned>(shape.partition.work_rows);
+    dp.grid.ilp_x = shape.partition.ilp_x;
+    dp.grid.ilp_y = shape.partition.ilp_y;
 
     // Allocations, views, transfers.
-    for (std::size_t i = 0; i < plan->specs.size(); ++i) {
-      const PatternSpec& s = plan->specs[i];
+    for (std::size_t i = 0; i < shape.specs.size(); ++i) {
+      const PatternSpec& s = shape.specs[i];
       const SegmentReq& req = slot_reqs[i];
       if (!req.active) {
         dp.views.emplace_back();
         dp.params.emplace_back();
         dp.segments.emplace_back();
+        dp.post.emplace_back();
         continue;
       }
       const auto& alloc = analyzer_.ensure(s.datum, slot);
@@ -332,17 +669,31 @@ Scheduler::plan_task(std::vector<PatternSpec> specs, const Work* work,
       seg.m_dimensions[0] = req.core.size();
       dp.segments.push_back(std::move(seg));
 
-      plan_copies_for(*plan, slot, static_cast<int>(i), req, alloc);
+      PatternPost post;
+      post.active = true;
+      post.is_input = s.is_input;
+      post.private_copy = req.private_copy;
+      post.datum = s.datum;
+      post.core = req.core;
+      post.core_local = RowInterval{
+          static_cast<std::size_t>(static_cast<long>(req.core.begin) -
+                                   alloc.origin),
+          static_cast<std::size_t>(static_cast<long>(req.core.end) -
+                                   alloc.origin)};
+      post.produced =
+          req.private_copy ? RowInterval{0, s.datum->rows()} : req.core;
+      post.local_span = RowInterval{0, alloc.rows};
+      post.avail =
+          &avail_[{s.datum->key(), SegmentLocationMonitor::loc(slot)}];
+      post.access =
+          &access_[{s.datum->key(), SegmentLocationMonitor::loc(slot)}];
+      dp.post.push_back(post);
+
+      plan_copies_for(shape, dw, slot, static_cast<int>(i), req, alloc);
 
       if (!s.is_input) {
         // WAR/WAW: the kernel overwrites these local rows.
-        const RowInterval core_local{
-            static_cast<std::size_t>(static_cast<long>(req.core.begin) -
-                                     alloc.origin),
-            static_cast<std::size_t>(static_cast<long>(req.core.end) -
-                                     alloc.origin)};
-        access_[{s.datum->key(), SegmentLocationMonitor::loc(slot)}].collect(
-            core_local, dp.kernel_waits);
+        dp.post[i].access->collect(dp.post[i].core_local, dw.kernel_waits);
       }
     }
 
@@ -352,83 +703,132 @@ Scheduler::plan_task(std::vector<PatternSpec> specs, const Work* work,
     // Input data produced by earlier kernels on this device is ordered by
     // the compute stream itself, and earlier tasks' incoming copies are
     // covered transitively (their kernels waited on them).
-    for (const PlannedCopy& c : dp.copies) {
-      if (std::find(dp.kernel_waits.begin(), dp.kernel_waits.end(), c.done) ==
-          dp.kernel_waits.end()) {
-        dp.kernel_waits.push_back(c.done);
+    for (const CopyWiring& w : dw.copies) {
+      if (std::find(dw.kernel_waits.begin(), dw.kernel_waits.end(), w.done) ==
+          dw.kernel_waits.end()) {
+        dw.kernel_waits.push_back(w.done);
       }
     }
-    dp.kernel_done = node_.create_event();
+    dw.kernel_done = node_.create_event();
 
-    dp.stats = task_launch_stats(plan->specs, plan->partition, slot, hints,
+    dp.stats = task_launch_stats(shape.specs, shape.partition, slot, hints,
                                  label);
+    dp.wait_pool_hint = static_cast<std::uint32_t>(dw.wait_pool.size());
+    dp.kernel_wait_hint = static_cast<std::uint32_t>(dw.kernel_waits.size());
   }
 
   // Post-kernel location state (the actual commands are enqueued by the
   // invoker threads; the monitor reflects the state after the task).
   for (int slot = 0; slot < slots_eff; ++slot) {
-    DevicePlan& dp = plan->devices[static_cast<std::size_t>(slot)];
+    if (shape.devices[static_cast<std::size_t>(slot)].active) {
+      commit_post_state(shape.devices[static_cast<std::size_t>(slot)],
+                        plan->wiring[static_cast<std::size_t>(slot)], slot,
+                        /*update_monitor=*/true);
+    }
+  }
+  commit_aggregations(shape, /*update_monitor=*/true);
+
+  return plan;
+}
+
+std::shared_ptr<Scheduler::TaskPlan> Scheduler::acquire_replay_plan() {
+  if (plan_recycle_local_.empty()) {
+    // Take the whole retired stack in one atomic exchange (single-consumer,
+    // so no ABA concern) and unlink it into the local list.
+    TaskPlan* head =
+        plan_recycle_head_.exchange(nullptr, std::memory_order_acquire);
+    while (head != nullptr) {
+      TaskPlan* next = head->recycle_next;
+      plan_recycle_local_.emplace_back(head);
+      head = next;
+    }
+  }
+  TaskPlan* raw = nullptr;
+  if (!plan_recycle_local_.empty()) {
+    raw = plan_recycle_local_.back().release();
+    plan_recycle_local_.pop_back();
+  } else {
+    raw = new TaskPlan();
+  }
+  // The deleter runs wherever the last reference dies — usually an invoker
+  // thread after it enqueued the task's commands. ~Scheduler drains the
+  // invokers before the recycle members are destroyed, so `this` outlives
+  // every deleter invocation.
+  return std::shared_ptr<TaskPlan>(raw, [this](TaskPlan* p) {
+    p->recycle_next = plan_recycle_head_.load(std::memory_order_relaxed);
+    while (!plan_recycle_head_.compare_exchange_weak(
+        p->recycle_next, p, std::memory_order_release,
+        std::memory_order_relaxed)) {
+    }
+  });
+}
+
+std::shared_ptr<Scheduler::TaskPlan>
+Scheduler::replay_plan(const CacheEntry& entry) {
+  // The cached shape is immutable and shared; only the event wiring is
+  // rebuilt, against the CURRENT avail_/access_ state, in exactly the order
+  // the build would have produced it. The location monitor is not touched
+  // until the end, where the captured post-state is restored wholesale.
+  std::shared_ptr<TaskPlan> plan = acquire_replay_plan();
+  plan->shape = entry.shape;
+  plan->handle = next_task_++;
+  const PlanShape& sh = *plan->shape;
+  plan->wiring.resize(sh.devices.size());
+
+  // One lock, one block of event ids for every copy and kernel.
+  int n_events = 0;
+  for (const DevicePlan& dp : sh.devices) {
+    if (dp.active) {
+      n_events += static_cast<int>(dp.copies.size()) + 1;
+    }
+  }
+  sim::EventId next_event = node_.create_events(n_events);
+
+  for (std::size_t slot = 0; slot < sh.devices.size(); ++slot) {
+    const DevicePlan& dp = sh.devices[slot];
     if (!dp.active) {
       continue;
     }
-    const int loc = SegmentLocationMonitor::loc(slot);
-    for (std::size_t i = 0; i < plan->specs.size(); ++i) {
-      const PatternSpec& s = plan->specs[i];
-      const SegmentReq& req = reqs[static_cast<std::size_t>(slot)][i];
-      if (!req.active) {
-        continue;
+    DeviceWiring& dw = plan->wiring[slot];
+    dw.wait_pool.clear();
+    dw.wait_pool.reserve(dp.wait_pool_hint);
+    dw.kernel_waits.clear();
+    dw.kernel_waits.reserve(dp.kernel_wait_hint);
+    dw.copies.resize(dp.copies.size());
+    // Copies are stored in pattern order; interleave wiring with the
+    // output-WAR collection per pattern, mirroring build_plan.
+    std::size_t ci = 0;
+    for (std::size_t i = 0; i < sh.specs.size(); ++i) {
+      while (ci < dp.copies.size() &&
+             dp.copies[ci].pattern_index == static_cast<int>(i)) {
+        wire_copy(dp.copies[ci], dw, dw.copies[ci], next_event++,
+                  /*update_monitor=*/false);
+        ++ci;
       }
-      const auto* alloc = analyzer_.find(s.datum, slot);
-      auto& acc = access_[{s.datum->key(), loc}];
-      if (s.is_input) {
-        // The kernel read the whole local buffer (core + halos).
-        acc.add_reader(RowInterval{0, alloc->rows},
-                       EventRef{dp.kernel_done, true});
-      } else {
-        // Private (duplicated) partials span the whole datum; aligned
-        // outputs produce exactly their core rows.
-        const RowInterval produced =
-            req.private_copy ? RowInterval{0, s.datum->rows()} : req.core;
-        avail_[{s.datum->key(), loc}].update(produced,
-                                             EventRef{dp.kernel_done, true});
-        const RowInterval core_local{
-            static_cast<std::size_t>(static_cast<long>(req.core.begin) -
-                                     alloc->origin),
-            static_cast<std::size_t>(static_cast<long>(req.core.end) -
-                                     alloc->origin)};
-        acc.write(core_local, EventRef{dp.kernel_done, true});
-        if (!req.private_copy) {
-          monitor_.mark_written(s.datum, loc, req.core);
-        }
+      const PatternPost& post = dp.post[i];
+      if (post.active && !post.is_input) {
+        post.access->collect(post.core_local, dw.kernel_waits);
       }
     }
+    for (const CopyWiring& w : dw.copies) {
+      if (std::find(dw.kernel_waits.begin(), dw.kernel_waits.end(), w.done) ==
+          dw.kernel_waits.end()) {
+        dw.kernel_waits.push_back(w.done);
+      }
+    }
+    dw.kernel_done = next_event++;
   }
 
-  // Reductive / unstructured outputs: register the pending aggregation and
-  // reset the per-device append counters.
-  for (const auto& s : plan->specs) {
-    if (s.is_input || s.agg == AggregationKind::None) {
-      continue;
-    }
-    SegmentLocationMonitor::PendingAggregation agg;
-    agg.kind = s.agg;
-    agg.op = s.agg_op;
-    for (int slot = 0; slot < slots_eff; ++slot) {
-      if (plan->devices[static_cast<std::size_t>(slot)].active) {
-        agg.writer_slots.push_back(slot);
-      }
-    }
-    monitor_.set_pending_aggregation(s.datum, std::move(agg));
-    if (s.agg == AggregationKind::Append) {
-      auto& counts = append_counts_[s.datum->key()];
-      if (!counts) {
-        counts =
-            std::make_shared<std::vector<std::uint64_t>>(devices_.size(), 0);
-      }
-      std::fill(counts->begin(), counts->end(), 0);
+  for (std::size_t slot = 0; slot < sh.devices.size(); ++slot) {
+    if (sh.devices[slot].active) {
+      commit_post_state(sh.devices[slot], plan->wiring[slot],
+                        static_cast<int>(slot), /*update_monitor=*/false);
     }
   }
-
+  for (const DatumPostState& ps : entry.post_state) {
+    monitor_.restore_state(ps.datum, ps.state);
+  }
+  commit_aggregations(sh, /*update_monitor=*/false);
   return plan;
 }
 
@@ -436,7 +836,8 @@ void Scheduler::enqueue_device_commands(
     std::shared_ptr<TaskPlan> plan, int slot, std::function<void()> body,
     UnmodifiedRoutine routine, void* context,
     std::shared_ptr<std::vector<std::vector<std::byte>>> consts) {
-  const DevicePlan& dp = plan->devices[static_cast<std::size_t>(slot)];
+  const DevicePlan& dp = plan->shape->devices[static_cast<std::size_t>(slot)];
+  const DeviceWiring& dw = plan->wiring[static_cast<std::size_t>(slot)];
   const sim::StreamId copy_stream = copy_streams_[static_cast<std::size_t>(slot)];
   const sim::StreamId compute_stream =
       compute_streams_[static_cast<std::size_t>(slot)];
@@ -444,13 +845,14 @@ void Scheduler::enqueue_device_commands(
   // Copies alternate between the device's two copy streams so independent
   // transfers exploit both copy engines (§2: "multiple memory copy engines
   // that allow simultaneous two-way memory transfer").
-  int rr = 0;
-  for (const PlannedCopy& c : dp.copies) {
+  for (std::size_t i = 0; i < dp.copies.size(); ++i) {
+    const PlannedCopy& c = dp.copies[i];
+    const CopyWiring& w = dw.copies[i];
     const sim::StreamId cs =
-        (rr++ % 2 == 0) ? copy_stream
-                        : copy_streams2_[static_cast<std::size_t>(slot)];
-    for (sim::EventId w : c.waits) {
-      node_.wait_event_generation(cs, w, 1);
+        (i % 2 == 0) ? copy_stream
+                     : copy_streams2_[static_cast<std::size_t>(slot)];
+    for (std::uint32_t k = w.wait_begin; k < w.wait_end; ++k) {
+      node_.wait_event_generation(cs, dw.wait_pool[k], 1);
     }
     if (c.zero_fill) {
       node_.memset_device(cs, c.dst_buffer, c.dst_offset, 0, c.bytes);
@@ -464,10 +866,10 @@ void Scheduler::enqueue_device_commands(
       node_.memcpy_p2p(cs, c.dst_buffer, c.dst_offset, c.src_buffer,
                        c.src_offset, c.bytes);
     }
-    node_.record_event(c.done, cs);
+    node_.record_event(w.done, cs);
   }
 
-  for (sim::EventId ev : dp.kernel_waits) {
+  for (sim::EventId ev : dw.kernel_waits) {
     node_.wait_event_generation(compute_stream, ev, 1);
   }
   if (routine) {
@@ -486,16 +888,16 @@ void Scheduler::enqueue_device_commands(
   } else {
     node_.launch(compute_stream, dp.stats, std::move(body));
   }
-  node_.record_event(dp.kernel_done, compute_stream);
+  node_.record_event(dw.kernel_done, compute_stream);
 }
 
 TaskHandle Scheduler::dispatch_kernel(std::shared_ptr<TaskPlan> plan,
                                       const BodyFactory& factory) {
   node_.advance_host_us(task_overhead_us_ +
-                        per_device_overhead_us_ * plan->active_slots);
+                        per_device_overhead_us_ * plan->shape->active_slots);
   const double issue_s = node_.host_now_s();
   for (int slot = 0; slot < slots(); ++slot) {
-    const DevicePlan& dp = plan->devices[static_cast<std::size_t>(slot)];
+    const DevicePlan& dp = plan->shape->devices[static_cast<std::size_t>(slot)];
     if (!dp.active) {
       continue;
     }
@@ -516,12 +918,12 @@ TaskHandle Scheduler::dispatch_routine(std::shared_ptr<TaskPlan> plan,
                                        std::vector<std::vector<std::byte>>
                                            consts) {
   node_.advance_host_us(task_overhead_us_ +
-                        per_device_overhead_us_ * plan->active_slots);
+                        per_device_overhead_us_ * plan->shape->active_slots);
   auto shared_consts = std::make_shared<std::vector<std::vector<std::byte>>>(
       std::move(consts));
   const double issue_s = node_.host_now_s();
   for (int slot = 0; slot < slots(); ++slot) {
-    if (!plan->devices[static_cast<std::size_t>(slot)].active) {
+    if (!plan->shape->devices[static_cast<std::size_t>(slot)].active) {
       continue;
     }
     invokers_[static_cast<std::size_t>(slot)]->submit(
@@ -573,7 +975,7 @@ void Scheduler::GatherAsync(Datum& datum) {
       avail_[{datum.key(), SegmentLocationMonitor::loc(slot)}].collect(
           RowInterval{0, datum.rows()}, producers);
       access_[{datum.key(), SegmentLocationMonitor::loc(slot)}].add_reader(
-          RowInterval{0, alloc->rows}, EventRef{ev, true});
+          RowInterval{0, alloc->rows}, ev);
       sim::Buffer* buffer = alloc->buffer;
       const double issue_s = node_.host_now_s();
       invokers_[static_cast<std::size_t>(slot)]->submit(
@@ -669,16 +1071,10 @@ void Scheduler::GatherAsync(Datum& datum) {
       node_.record_event(host_ready, agg_stream);
     });
     avail_[{datum.key(), SegmentLocationMonitor::kHost}].update(
-        RowInterval{0, datum.rows()}, EventRef{host_ready, true});
+        RowInterval{0, datum.rows()}, host_ready);
     monitor_.clear_pending_aggregation(&datum);
     monitor_.mark_copied(&datum, SegmentLocationMonitor::kHost,
                          RowInterval{0, datum.rows()});
-    // Device partials are stale now.
-    for (int slot = 0; slot < slots(); ++slot) {
-      // (up_to_date for devices was already cleared when the partial write
-      // was registered.)
-      (void)slot;
-    }
     return;
   }
 
@@ -708,11 +1104,10 @@ void Scheduler::GatherAsync(Datum& datum) {
                                  alloc->origin),
         static_cast<std::size_t>(static_cast<long>(op.rows.end) -
                                  alloc->origin)};
-    access_[{datum.key(), op.src_location}].add_reader(src_local,
-                                                       EventRef{ev, true});
+    access_[{datum.key(), op.src_location}].add_reader(src_local, ev);
     auto& host_access = access_[{datum.key(), SegmentLocationMonitor::kHost}];
     host_access.collect(op.rows, producers);
-    host_access.write(op.rows, EventRef{ev, true});
+    host_access.write(op.rows, ev);
     sim::Buffer* buffer = alloc->buffer;
     const std::size_t src_off =
         alloc->row_offset(static_cast<long>(op.rows.begin));
@@ -743,7 +1138,7 @@ void Scheduler::GatherAsync(Datum& datum) {
     node_.record_event(host_ready, agg_stream);
   });
   avail_[{datum.key(), SegmentLocationMonitor::kHost}].update(
-      RowInterval{0, datum.rows()}, EventRef{host_ready, true});
+      RowInterval{0, datum.rows()}, host_ready);
 }
 
 void Scheduler::MarkHostModified(Datum& datum) {
@@ -759,7 +1154,7 @@ void Scheduler::MarkHostModified(Datum& datum) {
                         RowInterval{0, datum.rows()});
   // Host-code writes happen at the current host clock; nothing to chain on.
   avail_[{datum.key(), SegmentLocationMonitor::kHost}] = IntervalEventMap{};
-  access_[{datum.key(), SegmentLocationMonitor::kHost}] = AccessMap{};
+  access_[{datum.key(), SegmentLocationMonitor::kHost}] = AccessIntervalMap{};
 }
 
 void Scheduler::ReduceScatter(Datum& datum, Work work) {
@@ -832,7 +1227,7 @@ void Scheduler::ReduceScatter(Datum& datum, Work work) {
                                                src_alloc->origin),
                       static_cast<std::size_t>(static_cast<long>(rows.end) -
                                                src_alloc->origin)},
-          EventRef{piece.done, true});
+          piece.done);
       pieces.push_back(piece);
     }
 
@@ -905,8 +1300,8 @@ void Scheduler::ReduceScatter(Datum& datum, Work work) {
       node_.record_event(sum_done, compute_stream);
     });
 
-    avail_[{datum.key(), t_loc}].update(rows, EventRef{sum_done, true});
-    access_[{datum.key(), t_loc}].write(dst_local, EventRef{sum_done, true});
+    avail_[{datum.key(), t_loc}].update(rows, sum_done);
+    access_[{datum.key(), t_loc}].write(dst_local, sum_done);
     monitor_.mark_written(&datum, t_loc, rows);
   }
   monitor_.clear_pending_aggregation(&datum);

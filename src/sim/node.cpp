@@ -161,6 +161,13 @@ EventId Node::create_event() {
   return static_cast<EventId>(events_.size() - 1);
 }
 
+EventId Node::create_events(int n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const EventId first = static_cast<EventId>(events_.size());
+  events_.resize(events_.size() + static_cast<std::size_t>(n));
+  return first;
+}
+
 void Node::enqueue(StreamId stream, Command cmd) {
   std::lock_guard<std::mutex> lock(mutex_);
   cmd.issue_floor_s = floor_or(host_time_s_);

@@ -72,6 +72,9 @@ public:
   StreamId default_stream(int device) const;
   int stream_device(StreamId stream) const;
   EventId create_event();
+  /// Creates `n` events under one lock; returns the first of `n` consecutive
+  /// ids. Used by dispatch paths that know their event count up front.
+  EventId create_events(int n);
 
   // --- Commands ---------------------------------------------------------------
   void memcpy_h2d(StreamId stream, Buffer* dst, std::size_t dst_off,

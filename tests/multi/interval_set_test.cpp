@@ -1,6 +1,9 @@
 // Interval algebra underpinning the Segment Location Monitor (Algorithm 2).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "multi/interval_set.hpp"
 
 namespace {
@@ -81,6 +84,119 @@ TEST(IntervalSetTest, MissingFromEmptySetIsWholeRange) {
   const auto gaps = s.missing_from({3, 9});
   ASSERT_EQ(gaps.size(), 1u);
   EXPECT_EQ(gaps[0], (RowInterval{3, 9}));
+}
+
+// --- IntervalEventMap --------------------------------------------------------
+
+using maps::multi::AccessIntervalMap;
+using maps::multi::IntervalEventMap;
+
+std::vector<int> collected(const IntervalEventMap& m, RowInterval rows) {
+  std::vector<int> out;
+  m.collect(rows, out);
+  return out;
+}
+
+TEST(IntervalEventMapTest, UpdateSupersedesOverlappedRanges) {
+  IntervalEventMap m;
+  m.update({0, 100}, 1);
+  m.update({40, 60}, 2);
+  EXPECT_EQ(m.entry_count(), 3u); // [0,40)=1 [40,60)=2 [60,100)=1
+  EXPECT_EQ(collected(m, {0, 10}), (std::vector<int>{1}));
+  EXPECT_EQ(collected(m, {45, 50}), (std::vector<int>{2}));
+  EXPECT_EQ(collected(m, {0, 100}), (std::vector<int>{1, 2}));
+}
+
+TEST(IntervalEventMapTest, CoalescesAdjacentEqualEvents) {
+  IntervalEventMap m;
+  m.update({0, 10}, 7);
+  m.update({10, 20}, 7);
+  m.update({20, 30}, 7);
+  EXPECT_EQ(m.entry_count(), 1u);
+  // Re-updating the same band with the same event stays at one entry: the
+  // steady-state loop invariant that keeps these maps bounded.
+  for (int i = 0; i < 100; ++i) {
+    m.update({0, 30}, 7);
+  }
+  EXPECT_EQ(m.entry_count(), 1u);
+}
+
+TEST(IntervalEventMapTest, PartialOverwriteKeepsFragments) {
+  IntervalEventMap m;
+  m.update({10, 20}, 1);
+  m.update({30, 40}, 2);
+  m.update({15, 35}, 3);
+  EXPECT_EQ(collected(m, {10, 15}), (std::vector<int>{1}));
+  EXPECT_EQ(collected(m, {15, 35}), (std::vector<int>{3}));
+  EXPECT_EQ(collected(m, {35, 40}), (std::vector<int>{2}));
+  EXPECT_TRUE(collected(m, {0, 10}).empty());
+  EXPECT_TRUE(collected(m, {40, 99}).empty());
+}
+
+// --- AccessIntervalMap -------------------------------------------------------
+
+std::vector<int> collected(const AccessIntervalMap& m, RowInterval rows) {
+  std::vector<int> out;
+  m.collect(rows, out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(AccessIntervalMapTest, DuplicateReadersAreDeduped) {
+  AccessIntervalMap m;
+  // The add_reader bugfix: registering the same (range, event) repeatedly —
+  // every Gather re-reads the same rows — must not grow the map.
+  for (int i = 0; i < 1000; ++i) {
+    m.add_reader({0, 50}, 5);
+  }
+  EXPECT_EQ(m.reader_entry_count(), 1u);
+  EXPECT_EQ(collected(m, {10, 20}), (std::vector<int>{5}));
+}
+
+TEST(AccessIntervalMapTest, WriteCollectsReadersAndWriters) {
+  AccessIntervalMap m;
+  m.add_reader({0, 30}, 1);
+  m.add_reader({20, 60}, 2);
+  m.write({50, 80}, 3);
+  EXPECT_EQ(collected(m, {0, 100}), (std::vector<int>{1, 2, 3}));
+  // Rows [50,60) were superseded by writer 3; reader 2 survives on [20,50).
+  EXPECT_EQ(collected(m, {55, 58}), (std::vector<int>{3}));
+  EXPECT_EQ(collected(m, {25, 26}), (std::vector<int>{1, 2}));
+}
+
+TEST(AccessIntervalMapTest, WriteCompactsCoveredReaders) {
+  AccessIntervalMap m;
+  for (int ev = 1; ev <= 64; ++ev) {
+    m.add_reader({0, 100}, ev);
+  }
+  ASSERT_EQ(m.reader_entry_count(), 1u);
+  m.write({0, 100}, 200);
+  // All readers were fully covered: later writers order through event 200.
+  EXPECT_EQ(m.reader_entry_count(), 0u);
+  EXPECT_EQ(collected(m, {0, 100}), (std::vector<int>{200}));
+}
+
+TEST(AccessIntervalMapTest, SteadyStateLoopStaysBounded) {
+  AccessIntervalMap m;
+  // A training epoch: every "task" reads the band then writes it.
+  for (int i = 0; i < 10'000; ++i) {
+    m.add_reader({0, 128}, 2 * i);
+    m.write({0, 128}, 2 * i + 1);
+  }
+  EXPECT_LE(m.entry_count(), 2u);
+}
+
+TEST(AccessIntervalMapTest, ReaderSplitKeepsEventSets) {
+  AccessIntervalMap m;
+  m.add_reader({0, 40}, 1);
+  m.add_reader({10, 30}, 2);
+  EXPECT_EQ(collected(m, {0, 10}), (std::vector<int>{1}));
+  EXPECT_EQ(collected(m, {10, 30}), (std::vector<int>{1, 2}));
+  EXPECT_EQ(collected(m, {30, 40}), (std::vector<int>{1}));
+  m.write({5, 35}, 9);
+  EXPECT_EQ(collected(m, {0, 5}), (std::vector<int>{1}));
+  EXPECT_EQ(collected(m, {5, 35}), (std::vector<int>{9}));
+  EXPECT_EQ(collected(m, {35, 40}), (std::vector<int>{1}));
 }
 
 } // namespace
