@@ -19,6 +19,7 @@ void InvokerThread::submit(std::function<void()> job) {
     std::lock_guard<std::mutex> lock(mutex_);
     jobs_.push_back(std::move(job));
   }
+  jobs_submitted_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_all();
 }
 
@@ -46,6 +47,7 @@ void InvokerThread::run() {
     try {
       job();
     } catch (...) {
+      jobs_executed_.fetch_add(1, std::memory_order_relaxed);
       lock.lock();
       if (!error_) {
         error_ = std::current_exception();
@@ -54,6 +56,7 @@ void InvokerThread::run() {
       cv_.notify_all();
       continue;
     }
+    jobs_executed_.fetch_add(1, std::memory_order_relaxed);
     lock.lock();
     busy_ = false;
     cv_.notify_all();

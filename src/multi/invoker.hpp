@@ -5,7 +5,9 @@
 // the next flush.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -30,6 +32,16 @@ public:
 
   int slot() const { return slot_; }
 
+  /// Pipeline-health introspection: after a flush() both counters are equal;
+  /// a lasting gap means a job died without reporting (validation harnesses
+  /// assert the drained invariant).
+  std::uint64_t jobs_submitted() const {
+    return jobs_submitted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t jobs_executed() const {
+    return jobs_executed_.load(std::memory_order_relaxed);
+  }
+
 private:
   void run();
 
@@ -38,6 +50,8 @@ private:
   std::condition_variable cv_;
   std::deque<std::function<void()>> jobs_;
   std::exception_ptr error_;
+  std::atomic<std::uint64_t> jobs_submitted_{0};
+  std::atomic<std::uint64_t> jobs_executed_{0};
   bool stop_ = false;
   bool busy_ = false;
   std::thread thread_;

@@ -86,6 +86,11 @@ public:
   /// path instead of the snapshot comparison.
   std::uint64_t epoch(const Datum* datum) const;
 
+  /// Current value of the monitor-global label counter (test introspection:
+  /// lets tests assert exactly which operations mint fresh labels and that
+  /// restore_state does NOT).
+  std::uint64_t epoch_counter() const { return epoch_counter_; }
+
   /// Appends a canonical encoding of the datum's planning-relevant state
   /// (up-to-date holdings per location + pending-aggregation flag) to `out`.
   /// lastOutput is deliberately excluded: Algorithm 2 never consults it, so

@@ -1,0 +1,302 @@
+#include "multi/sanitizer.hpp"
+
+#include <algorithm>
+
+namespace maps::multi {
+
+// --- VersionMap --------------------------------------------------------------
+
+void VersionMap::assign(const RowInterval& rows, std::uint64_t version) {
+  if (rows.empty()) {
+    return;
+  }
+  std::vector<VersionedRange> out;
+  out.reserve(entries_.size() + 2);
+  for (const VersionedRange& e : entries_) {
+    if (e.rows.end <= rows.begin || e.rows.begin >= rows.end) {
+      out.push_back(e);
+      continue;
+    }
+    if (e.rows.begin < rows.begin) {
+      out.push_back({RowInterval{e.rows.begin, rows.begin}, e.version});
+    }
+    if (e.rows.end > rows.end) {
+      out.push_back({RowInterval{rows.end, e.rows.end}, e.version});
+    }
+  }
+  if (version != 0) {
+    out.push_back({rows, version});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const VersionedRange& a, const VersionedRange& b) {
+              return a.rows.begin < b.rows.begin;
+            });
+  // Coalesce adjacent ranges at the same version.
+  entries_.clear();
+  for (const VersionedRange& e : out) {
+    if (!entries_.empty() && entries_.back().version == e.version &&
+        entries_.back().rows.end == e.rows.begin) {
+      entries_.back().rows.end = e.rows.end;
+    } else {
+      entries_.push_back(e);
+    }
+  }
+}
+
+void VersionMap::assign_from(const VersionMap& src, const RowInterval& rows) {
+  if (rows.empty()) {
+    return;
+  }
+  std::vector<VersionedRange> pieces;
+  src.query(rows, pieces);
+  for (const VersionedRange& p : pieces) {
+    assign(p.rows, p.version);
+  }
+}
+
+void VersionMap::query(const RowInterval& rows,
+                       std::vector<VersionedRange>& out) const {
+  if (rows.empty()) {
+    return;
+  }
+  std::size_t cursor = rows.begin;
+  for (const VersionedRange& e : entries_) {
+    if (e.rows.end <= cursor) {
+      continue;
+    }
+    if (e.rows.begin >= rows.end) {
+      break;
+    }
+    const std::size_t lo = std::max(e.rows.begin, cursor);
+    if (lo > cursor) {
+      out.push_back({RowInterval{cursor, lo}, 0});
+    }
+    const std::size_t hi = std::min(e.rows.end, rows.end);
+    out.push_back({RowInterval{lo, hi}, e.version});
+    cursor = hi;
+    if (cursor >= rows.end) {
+      break;
+    }
+  }
+  if (cursor < rows.end) {
+    out.push_back({RowInterval{cursor, rows.end}, 0});
+  }
+}
+
+std::uint64_t VersionMap::at(std::size_t row) const {
+  for (const VersionedRange& e : entries_) {
+    if (row >= e.rows.begin && row < e.rows.end) {
+      return e.version;
+    }
+  }
+  return 0;
+}
+
+// --- AccessSanitizer ---------------------------------------------------------
+
+namespace {
+std::string rows_str(const RowInterval& iv) {
+  return "[" + std::to_string(iv.begin) + ", " + std::to_string(iv.end) + ")";
+}
+} // namespace
+
+AccessSanitizer::AccessSanitizer(int slots) : locations_(slots + 1) {}
+
+void AccessSanitizer::begin_context(std::uint64_t task,
+                                    const std::string& label) {
+  task_ = task;
+  label_ = label;
+  ++stats_.tasks_checked;
+}
+
+AccessSanitizer::ShadowState& AccessSanitizer::ensure(const Datum* datum) {
+  auto it = states_.find(datum->key());
+  if (it != states_.end()) {
+    return it->second;
+  }
+  ShadowState s;
+  s.held.resize(static_cast<std::size_t>(locations_));
+  if (datum->bound()) {
+    // The bound host buffer is the initial authoritative copy (mirrors
+    // SegmentLocationMonitor::register_datum).
+    const RowInterval whole{0, datum->rows()};
+    s.latest.assign(whole, 1);
+    s.held[kHost].assign(whole, 1);
+    s.next_version = 2;
+  }
+  return states_.emplace(datum->key(), std::move(s)).first->second;
+}
+
+std::string AccessSanitizer::location_name(int location) const {
+  return location == kHost ? std::string("host")
+                           : "device " + std::to_string(location - 1);
+}
+
+std::string AccessSanitizer::context() const {
+  return "task #" + std::to_string(task_) + " (" + label_ + ")";
+}
+
+int AccessSanitizer::find_holder(const ShadowState& s, const RowInterval& rows,
+                                 std::uint64_t version) const {
+  for (int l = 0; l < locations_; ++l) {
+    std::vector<VersionedRange> pieces;
+    s.held[static_cast<std::size_t>(l)].query(rows, pieces);
+    if (!pieces.empty() &&
+        std::all_of(pieces.begin(), pieces.end(),
+                    [&](const VersionedRange& p) {
+                      return p.version == version;
+                    })) {
+      return l;
+    }
+  }
+  return -1;
+}
+
+void AccessSanitizer::fail_stale(const Datum* datum, int location,
+                                 const VersionedRange& held_piece,
+                                 std::uint64_t latest_version,
+                                 const char* role) {
+  ShadowState& s = ensure(datum);
+  const int holder = find_holder(s, held_piece.rows, latest_version);
+  std::string msg = "access sanitizer: " + context() + ": " +
+                    location_name(location) + " " + role + " datum '" +
+                    datum->name() + "' rows " + rows_str(held_piece.rows);
+  if (held_piece.version == 0) {
+    msg += " which it does not hold at all";
+  } else {
+    msg += " at stale version " + std::to_string(held_piece.version);
+  }
+  msg += "; the latest is version " + std::to_string(latest_version);
+  if (holder >= 0) {
+    msg += " (held at " + location_name(holder) + ")";
+    msg += ". The location monitor should have scheduled a copy " +
+           location_name(holder) + " -> " + location_name(location) +
+           " of rows " + rows_str(held_piece.rows) + " before this task";
+  } else {
+    msg += ", which no location currently holds (lost update or unresolved "
+           "aggregation)";
+  }
+  throw SanitizerError(msg);
+}
+
+void AccessSanitizer::check_fresh(const Datum* datum, int location,
+                                  const RowInterval& rows, const char* role) {
+  ShadowState& s = ensure(datum);
+  if (s.pending_aggregation) {
+    throw SanitizerError(
+        "access sanitizer: " + context() + ": datum '" + datum->name() +
+        "' rows " + rows_str(rows) + " are unaggregated partial copies (" +
+        location_name(location) + " " + role +
+        " them); Gather or ReduceScatter must resolve the datum first");
+  }
+  scratch_held_.clear();
+  scratch_latest_.clear();
+  s.held[static_cast<std::size_t>(location)].query(rows, scratch_held_);
+  s.latest.query(rows, scratch_latest_);
+  // Both piece lists partition `rows`; merge-walk their boundaries.
+  std::size_t hi = 0, li = 0;
+  std::size_t cursor = rows.begin;
+  while (cursor < rows.end) {
+    while (scratch_held_[hi].rows.end <= cursor) {
+      ++hi;
+    }
+    while (scratch_latest_[li].rows.end <= cursor) {
+      ++li;
+    }
+    const std::size_t piece_end =
+        std::min(scratch_held_[hi].rows.end, scratch_latest_[li].rows.end);
+    if (scratch_held_[hi].version != scratch_latest_[li].version) {
+      fail_stale(datum, location,
+                 VersionedRange{RowInterval{cursor, piece_end},
+                                scratch_held_[hi].version},
+                 scratch_latest_[li].version, role);
+    }
+    cursor = piece_end;
+  }
+}
+
+void AccessSanitizer::on_copy(const Datum* datum, int src_location,
+                              int dst_location, const RowInterval& rows) {
+  ++stats_.copies_checked;
+  check_fresh(datum, src_location, rows, "sources a copy from");
+  ShadowState& s = ensure(datum);
+  s.held[static_cast<std::size_t>(dst_location)].assign_from(s.latest, rows);
+}
+
+void AccessSanitizer::on_halo_source(const Datum* datum, int src_location,
+                                     const RowInterval& rows) {
+  ++stats_.copies_checked;
+  check_fresh(datum, src_location, rows, "sources a halo copy from");
+}
+
+void AccessSanitizer::on_read(const Datum* datum, int location,
+                              const RowInterval& rows) {
+  ++stats_.rects_checked;
+  check_fresh(datum, location, rows, "reads");
+}
+
+void AccessSanitizer::report_missing_halo(const Datum* datum, int location,
+                                          const RowInterval& rows) {
+  throw SanitizerError(
+      "access sanitizer: " + context() + ": " + location_name(location) +
+      " reads datum '" + datum->name() + "' rows " + rows_str(rows) +
+      " through a boundary halo slot that was not refilled by this task (the "
+      "planned Wrap/Clamp boundary copy is missing or was dropped)");
+}
+
+void AccessSanitizer::on_write(const Datum* datum, int writer,
+                               const RowInterval& rows) {
+  ++stats_.writes_recorded;
+  ShadowState& s = ensure(datum);
+  const std::uint64_t v = s.next_version++;
+  s.latest.assign(rows, v);
+  // Peers' replicas of `rows` now differ from `latest` and are implicitly
+  // stale; only the writer advances.
+  s.held[static_cast<std::size_t>(writer)].assign(rows, v);
+}
+
+void AccessSanitizer::on_pending_aggregation(const Datum* datum) {
+  ShadowState& s = ensure(datum);
+  const std::uint64_t v = s.next_version++;
+  s.latest.assign(RowInterval{0, datum->rows()}, v);
+  for (VersionMap& h : s.held) {
+    h.clear(); // every replica is a partial copy, valid nowhere
+  }
+  s.pending_aggregation = true;
+}
+
+void AccessSanitizer::on_aggregation_resolved_host(const Datum* datum) {
+  ShadowState& s = ensure(datum);
+  s.pending_aggregation = false;
+  const std::uint64_t v = s.next_version++;
+  const RowInterval whole{0, datum->rows()};
+  s.latest.assign(whole, v);
+  s.held[kHost].assign(whole, v);
+}
+
+void AccessSanitizer::on_aggregation_scattered(const Datum* datum) {
+  ensure(datum).pending_aggregation = false;
+}
+
+void AccessSanitizer::on_host_write(const Datum* datum) {
+  // Deliberately leaves pending_aggregation untouched: the monitor keeps its
+  // pending flag through MarkHostModified too, and the next read reports it.
+  ShadowState& s = ensure(datum);
+  const std::uint64_t v = s.next_version++;
+  const RowInterval whole{0, datum->rows()};
+  s.latest.assign(whole, v);
+  for (VersionMap& h : s.held) {
+    h.assign(whole, 0); // erase every device replica
+  }
+  s.held[kHost].assign(whole, v);
+}
+
+const VersionMap& AccessSanitizer::latest(const Datum* datum) {
+  return ensure(datum).latest;
+}
+
+const VersionMap& AccessSanitizer::held(const Datum* datum, int location) {
+  return ensure(datum).held[static_cast<std::size_t>(location)];
+}
+
+} // namespace maps::multi

@@ -342,6 +342,7 @@ void Scheduler::wire_copy(const PlannedCopy& c, DeviceWiring& dw,
   const std::size_t base = dw.wait_pool.size();
   w.wait_begin = static_cast<std::uint32_t>(base);
   w.done = done;
+  w.dropped = false; // recycled replay wiring may carry a stale fault flag
   if (c.zero_fill) {
     c.dst_access->collect(c.dst_local, dw.wait_pool, base);
     c.dst_access->write(c.dst_local, w.done);
@@ -687,6 +688,9 @@ Scheduler::build_plan(std::vector<PatternSpec> specs, const Work* work,
           &avail_[{s.datum->key(), SegmentLocationMonitor::loc(slot)}];
       post.access =
           &access_[{s.datum->key(), SegmentLocationMonitor::loc(slot)}];
+      if (s.is_input) {
+        split_read_rows(req, post.reads, post.halo_reads);
+      }
       dp.post.push_back(post);
 
       plan_copies_for(shape, dw, slot, static_cast<int>(i), req, alloc);
@@ -854,6 +858,13 @@ void Scheduler::enqueue_device_commands(
     for (std::uint32_t k = w.wait_begin; k < w.wait_end; ++k) {
       node_.wait_event_generation(cs, dw.wait_pool[k], 1);
     }
+    if (w.dropped) {
+      // Fault injection: the transfer silently never happens, but its done
+      // event still fires so downstream commands are not deadlocked — the
+      // data is simply stale, exactly like a missed inferred copy.
+      node_.record_event(w.done, cs);
+      continue;
+    }
     if (c.zero_fill) {
       node_.memset_device(cs, c.dst_buffer, c.dst_offset, 0, c.bytes);
     } else if (c.src_host != nullptr) {
@@ -891,8 +902,144 @@ void Scheduler::enqueue_device_commands(
   node_.record_event(dw.kernel_done, compute_stream);
 }
 
+void Scheduler::set_sanitizer_enabled(bool on) {
+  if (!on) {
+    sanitizer_.reset();
+    return;
+  }
+  if (sanitizer_ != nullptr) {
+    return;
+  }
+  if (tasks_scheduled() != 0) {
+    throw std::logic_error(
+        "Scheduler: enable the access sanitizer before scheduling tasks (the "
+        "shadow version map must observe every task from the first)");
+  }
+  sanitizer_ = std::make_unique<AccessSanitizer>(slots());
+}
+
+void Scheduler::apply_copy_faults(TaskPlan& plan) {
+  if (!copy_fault_hook_) {
+    return;
+  }
+  const PlanShape& sh = *plan.shape;
+  for (std::size_t slot = 0; slot < sh.devices.size(); ++slot) {
+    const DevicePlan& dp = sh.devices[slot];
+    if (!dp.active) {
+      continue;
+    }
+    DeviceWiring& dw = plan.wiring[slot];
+    for (std::size_t i = 0; i < dp.copies.size(); ++i) {
+      const PlannedCopy& c = dp.copies[i];
+      CopyFaultInfo info;
+      info.datum = c.datum;
+      info.src_location = c.src_location;
+      info.dst_location = c.dst_location;
+      info.rows = c.rows;
+      info.zero_fill = c.zero_fill;
+      info.aligned = c.aligned;
+      info.task = plan.handle;
+      if (copy_fault_hook_(info)) {
+        dw.copies[i].dropped = true;
+      }
+    }
+  }
+}
+
+void Scheduler::sanitize_dispatch(const TaskPlan& plan) {
+  const PlanShape& sh = *plan.shape;
+  const char* label = "task";
+  for (const DevicePlan& dp : sh.devices) {
+    if (dp.active && !dp.stats.label.empty()) {
+      label = dp.stats.label.c_str();
+      break;
+    }
+  }
+  sanitizer_->begin_context(plan.handle, label);
+
+  // 1. Copies, in plan order (slot-major, pattern order within a slot) —
+  // the same program order Algorithm 2 planned them in, so intra-task copy
+  // chains (a later slot sourcing from an earlier slot's fresh replica)
+  // validate correctly. While walking, record which global rows each
+  // pattern's Wrap/Clamp halo slots were refilled with this dispatch.
+  std::vector<std::vector<IntervalSet>> halo_cover(sh.devices.size());
+  for (std::size_t slot = 0; slot < sh.devices.size(); ++slot) {
+    const DevicePlan& dp = sh.devices[slot];
+    if (!dp.active) {
+      continue;
+    }
+    halo_cover[slot].resize(sh.specs.size());
+    const DeviceWiring& dw = plan.wiring[slot];
+    for (std::size_t i = 0; i < dp.copies.size(); ++i) {
+      const PlannedCopy& c = dp.copies[i];
+      if (c.zero_fill || dw.copies[i].dropped) {
+        continue;
+      }
+      if (c.aligned) {
+        sanitizer_->on_copy(c.datum, c.src_location, c.dst_location, c.rows);
+      } else {
+        sanitizer_->on_halo_source(c.datum, c.src_location, c.rows);
+        halo_cover[slot][static_cast<std::size_t>(c.pattern_index)].add(
+            c.rows);
+      }
+    }
+  }
+
+  // 2. "Before each kernel executes": every input rectangle must be at the
+  // latest version — aligned rectangles against the shadow map, halo-slot
+  // rectangles against this dispatch's boundary refills.
+  for (std::size_t slot = 0; slot < sh.devices.size(); ++slot) {
+    const DevicePlan& dp = sh.devices[slot];
+    if (!dp.active) {
+      continue;
+    }
+    const int loc = SegmentLocationMonitor::loc(static_cast<int>(slot));
+    for (std::size_t i = 0; i < dp.post.size(); ++i) {
+      const PatternPost& post = dp.post[i];
+      if (!post.active || !post.is_input) {
+        continue;
+      }
+      for (const RowInterval& iv : post.reads) {
+        sanitizer_->on_read(post.datum, loc, iv);
+      }
+      for (const RowInterval& iv : post.halo_reads) {
+        if (!halo_cover[slot][i].covers(iv)) {
+          sanitizer_->report_missing_halo(post.datum, loc, iv);
+        }
+      }
+    }
+  }
+
+  // 3. Kernel outputs: aligned outputs advance their core rows to a fresh
+  // version; private (duplicated) partials are handled by the aggregation
+  // state below.
+  for (std::size_t slot = 0; slot < sh.devices.size(); ++slot) {
+    const DevicePlan& dp = sh.devices[slot];
+    if (!dp.active) {
+      continue;
+    }
+    const int loc = SegmentLocationMonitor::loc(static_cast<int>(slot));
+    for (const PatternPost& post : dp.post) {
+      if (post.active && !post.is_input && !post.private_copy) {
+        sanitizer_->on_write(post.datum, loc, post.core);
+      }
+    }
+  }
+
+  // 4. Reductive/unstructured outputs leave partial copies everywhere.
+  for (const PatternSpec& s : sh.specs) {
+    if (!s.is_input && s.agg != AggregationKind::None) {
+      sanitizer_->on_pending_aggregation(s.datum);
+    }
+  }
+}
+
 TaskHandle Scheduler::dispatch_kernel(std::shared_ptr<TaskPlan> plan,
                                       const BodyFactory& factory) {
+  apply_copy_faults(*plan);
+  if (sanitizer_ != nullptr) {
+    sanitize_dispatch(*plan);
+  }
   node_.advance_host_us(task_overhead_us_ +
                         per_device_overhead_us_ * plan->shape->active_slots);
   const double issue_s = node_.host_now_s();
@@ -917,6 +1064,10 @@ TaskHandle Scheduler::dispatch_routine(std::shared_ptr<TaskPlan> plan,
                                        void* context,
                                        std::vector<std::vector<std::byte>>
                                            consts) {
+  apply_copy_faults(*plan);
+  if (sanitizer_ != nullptr) {
+    sanitize_dispatch(*plan);
+  }
   node_.advance_host_us(task_overhead_us_ +
                         per_device_overhead_us_ * plan->shape->active_slots);
   auto shared_consts = std::make_shared<std::vector<std::vector<std::byte>>>(
@@ -946,6 +1097,9 @@ void Scheduler::GatherAsync(Datum& datum) {
     return; // never touched by a task: host copy is authoritative
   }
   node_.advance_host_us(task_overhead_us_);
+  if (sanitizer_ != nullptr) {
+    sanitizer_->begin_context(0, "Gather");
+  }
 
   const auto* pending = monitor_.pending_aggregation(&datum);
   std::vector<sim::EventId> ready_events;
@@ -1075,6 +1229,9 @@ void Scheduler::GatherAsync(Datum& datum) {
     monitor_.clear_pending_aggregation(&datum);
     monitor_.mark_copied(&datum, SegmentLocationMonitor::kHost,
                          RowInterval{0, datum.rows()});
+    if (sanitizer_ != nullptr) {
+      sanitizer_->on_aggregation_resolved_host(&datum);
+    }
     return;
   }
 
@@ -1124,6 +1281,10 @@ void Scheduler::GatherAsync(Datum& datum) {
           node_.record_event(ev, stream);
         });
     monitor_.mark_copied(&datum, SegmentLocationMonitor::kHost, op.rows);
+    if (sanitizer_ != nullptr) {
+      sanitizer_->on_copy(&datum, op.src_location,
+                          SegmentLocationMonitor::kHost, op.rows);
+    }
   }
   // Single event covering all gather pieces, so later reads of the host
   // buffer have one dependency.
@@ -1152,6 +1313,9 @@ void Scheduler::MarkHostModified(Datum& datum) {
   }
   monitor_.mark_written(&datum, SegmentLocationMonitor::kHost,
                         RowInterval{0, datum.rows()});
+  if (sanitizer_ != nullptr) {
+    sanitizer_->on_host_write(&datum);
+  }
   // Host-code writes happen at the current host clock; nothing to chain on.
   avail_[{datum.key(), SegmentLocationMonitor::kHost}] = IntervalEventMap{};
   access_[{datum.key(), SegmentLocationMonitor::kHost}] = AccessIntervalMap{};
@@ -1168,6 +1332,10 @@ void Scheduler::ReduceScatter(Datum& datum, Work work) {
         "ReduceScatter: only Sum-aggregated outputs are supported");
   }
   node_.advance_host_us(task_overhead_us_);
+  if (sanitizer_ != nullptr) {
+    sanitizer_->begin_context(0, "ReduceScatter");
+    sanitizer_->on_aggregation_scattered(&datum);
+  }
 
   const TaskPartition partition =
       make_partition(work.rows == 0 ? datum.rows() : work.rows, 1,
@@ -1303,6 +1471,9 @@ void Scheduler::ReduceScatter(Datum& datum, Work work) {
     avail_[{datum.key(), t_loc}].update(rows, sum_done);
     access_[{datum.key(), t_loc}].write(dst_local, sum_done);
     monitor_.mark_written(&datum, t_loc, rows);
+    if (sanitizer_ != nullptr) {
+      sanitizer_->on_write(&datum, t_loc, rows);
+    }
   }
   monitor_.clear_pending_aggregation(&datum);
 }

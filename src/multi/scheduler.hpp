@@ -47,6 +47,7 @@
 #include "multi/memory_analyzer.hpp"
 #include "multi/pattern_spec.hpp"
 #include "multi/routine.hpp"
+#include "multi/sanitizer.hpp"
 #include "multi/segmenter.hpp"
 #include "multi/task_cost.hpp"
 
@@ -213,6 +214,40 @@ public:
 
   const SchedulerStats& stats() const { return stats_; }
   void reset_stats() { stats_ = SchedulerStats{}; }
+
+  // --- Access sanitizer & fault injection -----------------------------------
+
+  /// Enables the runtime access sanitizer (sanitizer.hpp): a shadow
+  /// write-version map advanced at dispatch time, asserting before each
+  /// kernel that every input rectangle is read at its latest version. Must
+  /// be enabled before any task is scheduled (the shadow map tracks state
+  /// from the first task on). Off by default; when off the only cost is one
+  /// pointer test per dispatch.
+  void set_sanitizer_enabled(bool on);
+  bool sanitizer_enabled() const { return sanitizer_ != nullptr; }
+  /// Null when the sanitizer is disabled.
+  AccessSanitizer* sanitizer() { return sanitizer_.get(); }
+
+  /// One planned copy offered to the fault hook before dispatch.
+  struct CopyFaultInfo {
+    const Datum* datum = nullptr;
+    int src_location = 0; ///< 0 = host, 1 + slot = device
+    int dst_location = 0;
+    RowInterval rows;     ///< GLOBAL rows (empty for zero fills)
+    bool zero_fill = false;
+    bool aligned = false; ///< rows land at their global position
+    TaskHandle task = 0;
+  };
+  /// Test-only fault injection: the hook sees every planned copy of every
+  /// dispatch (build or replay) and returns true to silently DROP it — the
+  /// simulator never executes the transfer, while the location monitor and
+  /// plan cache still believe it happened. This simulates a transfer-
+  /// inference bug; with the sanitizer enabled the resulting stale read is
+  /// reported with the exact rectangle.
+  using CopyFaultHook = std::function<bool(const CopyFaultInfo&)>;
+  void set_copy_fault_hook(CopyFaultHook hook) {
+    copy_fault_hook_ = std::move(hook);
+  }
   /// Live entries across all availability/access interval maps. Bounded in
   /// steady state (coalesced storage); unbounded growth here means a
   /// dependency-tracking leak.
@@ -258,6 +293,7 @@ private:
     std::uint32_t wait_begin = 0;
     std::uint32_t wait_end = 0;
     sim::EventId done = 0;
+    bool dropped = false; ///< Fault injection: copy suppressed this dispatch.
   };
 
   /// Post-task location/ordering effects of one pattern on one device,
@@ -274,6 +310,12 @@ private:
     RowInterval local_span; ///< whole local buffer (what an input reads)
     IntervalEventMap* avail = nullptr;  ///< this device's availability map
     AccessIntervalMap* access = nullptr; ///< this device's ordering map
+    // The kernel's input read rectangles in GLOBAL datum rows, split by
+    // whether they land at their global position (see split_read_rows).
+    // Structural (a function of the task shape), so cached plans carry them
+    // through replays — which is exactly where the sanitizer needs them.
+    std::vector<RowInterval> reads;
+    std::vector<RowInterval> halo_reads;
   };
 
   struct DevicePlan {
@@ -461,6 +503,13 @@ private:
   /// Registers pending aggregations for Reductive/Unstructured outputs
   /// (build only) and resets append counters.
   void commit_aggregations(const PlanShape& shape, bool update_monitor);
+  /// Offers every planned copy to the fault hook (sets CopyWiring::dropped).
+  void apply_copy_faults(TaskPlan& plan);
+  /// Advances the sanitizer's shadow version map by this dispatch's copies,
+  /// reads, writes and aggregations, in program order. Runs on the main
+  /// thread before the plan is handed to the invokers, for builds and
+  /// replays alike.
+  void sanitize_dispatch(const TaskPlan& plan);
   TaskHandle dispatch_kernel(std::shared_ptr<TaskPlan> plan,
                              const BodyFactory& factory);
   TaskHandle dispatch_routine(std::shared_ptr<TaskPlan> plan,
@@ -524,6 +573,9 @@ private:
   /// members die, so no deleter outlives them.
   std::atomic<TaskPlan*> plan_recycle_head_{nullptr};
   std::vector<std::unique_ptr<TaskPlan>> plan_recycle_local_;
+
+  std::unique_ptr<AccessSanitizer> sanitizer_; ///< null = disabled
+  CopyFaultHook copy_fault_hook_;
 
   bool force_host_staged_ = false;
   double task_overhead_us_ = 60.0;

@@ -251,4 +251,18 @@ SegmentReq compute_requirement(const PatternSpec& spec,
   throw std::logic_error("unknown segmentation kind");
 }
 
+void split_read_rows(const SegmentReq& req, std::vector<RowInterval>& aligned,
+                     std::vector<RowInterval>& halo) {
+  for (const CopyRegion& region : req.input_regions) {
+    if (region.zero_fill || region.global.empty()) {
+      continue;
+    }
+    // Same alignment test the scheduler uses to decide whether a region's
+    // rows land at their global position (plan_copies_for).
+    const bool is_aligned = region.local_row + req.origin ==
+                            static_cast<long>(region.global.begin);
+    (is_aligned ? aligned : halo).push_back(region.global);
+  }
+}
+
 } // namespace maps::multi

@@ -68,4 +68,14 @@ struct SegmentReq {
 SegmentReq compute_requirement(const PatternSpec& spec,
                                const TaskPartition& partition, int slot);
 
+/// Splits a requirement's input regions into the GLOBAL datum rows the
+/// kernel reads at their global position (`aligned`: core band + interior
+/// halos, whose local row equals global row - origin) and the rows it reads
+/// through Wrap/Clamp halo slots at non-global positions (`halo`, refilled
+/// by a boundary copy every task). Zero-fill regions carry no datum rows and
+/// are skipped. Used by the access sanitizer to check each read rectangle
+/// against the shadow version map.
+void split_read_rows(const SegmentReq& req, std::vector<RowInterval>& aligned,
+                     std::vector<RowInterval>& halo);
+
 } // namespace maps::multi

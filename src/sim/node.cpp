@@ -546,7 +546,7 @@ void Node::drain_locked() {
     st.last_completion_s = completion;
     host_time_s_ = std::max(host_time_s_, completion);
 
-    if (trace_enabled_) {
+    if (trace_enabled_ || exec_observer_) {
       TraceEvent te;
       te.stream = best_stream;
       te.device = st.device;
@@ -564,7 +564,12 @@ void Node::drain_locked() {
       }
       te.start = best_start;
       te.end = completion;
-      trace_.push_back(std::move(te));
+      if (exec_observer_) {
+        exec_observer_(te);
+      }
+      if (trace_enabled_) {
+        trace_.push_back(std::move(te));
+      }
     }
 
     account(cmd, st.device, duration);
@@ -607,6 +612,11 @@ void Node::enable_trace(bool on) {
 void Node::clear_trace() {
   std::lock_guard<std::mutex> lock(mutex_);
   trace_.clear();
+}
+
+void Node::set_exec_observer(std::function<void(const TraceEvent&)> observer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  exec_observer_ = std::move(observer);
 }
 
 void Node::reset_stats() {

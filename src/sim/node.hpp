@@ -174,6 +174,14 @@ public:
   const std::vector<TraceEvent>& trace() const { return trace_; }
   void clear_trace();
 
+  /// Streaming per-command observer: invoked, under the node lock, for every
+  /// command the event loop processes, with the same payload a trace entry
+  /// would carry — but nothing is stored, so it is usable on unbounded runs.
+  /// Validation harnesses use it to assert executed-command invariants (e.g.
+  /// that a deliberately dropped transfer really never ran). The callback
+  /// must not call back into the Node. Pass nullptr to remove.
+  void set_exec_observer(std::function<void(const TraceEvent&)> observer);
+
 private:
   struct Command;
   struct StreamState;
@@ -200,6 +208,7 @@ private:
   SimStats stats_;
   bool trace_enabled_ = false;
   std::vector<TraceEvent> trace_;
+  std::function<void(const TraceEvent&)> exec_observer_;
 };
 
 } // namespace sim

@@ -1,0 +1,311 @@
+// Differential fuzz harness for the multi-GPU pipeline (label: fuzz_smoke).
+//
+// Each seed derives a random task chain — stencil / elementwise kernels,
+// out-of-band host writes, mid-chain gathers — plus a random configuration:
+// grid size, device count (1–4), architecture preset, plan cache on/off,
+// final gather ordering. The chain is generated once as data and executed
+// twice: on the seeded multi-GPU configuration and on a single-device
+// reference scheduler, both with the access sanitizer enabled. The results
+// must be bit-identical; a mismatch (or a sanitizer report on a clean run)
+// prints the seed and a full reproducer description.
+//
+// A second pass fuzzes the sanitizer itself: for each seed it counts the
+// aligned inferred copies of the run, drops one at random, and asserts the
+// stale read is reported instead of silently corrupting the output.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "multi/maps_multi.hpp"
+#include "multi/sanitizer.hpp"
+#include "sim/presets.hpp"
+
+namespace {
+
+using namespace maps::multi;
+
+// --- Chain description (generated as data so every run replays it) -----------
+
+struct FuzzOp {
+  enum Kind { Stencil, Mix, HostModify, MidGather } kind = Stencil;
+  int center = 2, cross = 1; ///< Stencil weights
+  int target = 0;            ///< HostModify / MidGather: 0 = A, 1 = B
+  int delta = 0;             ///< HostModify increment
+};
+
+struct FuzzCase {
+  unsigned seed = 0;
+  std::size_t W = 0, H = 0;
+  int devices = 1;
+  int arch = 0; ///< index into the preset list
+  bool cache = true;
+  bool gather_a_first = true;
+  std::vector<FuzzOp> ops;
+
+  std::string describe() const {
+    static const char* arch_names[] = {"gtx780", "titan_black", "gtx980"};
+    std::ostringstream os;
+    os << "seed=" << seed << " W=" << W << " H=" << H
+       << " devices=" << devices << " arch=" << arch_names[arch]
+       << " cache=" << (cache ? "on" : "off")
+       << " gather=" << (gather_a_first ? "A,B" : "B,A") << " ops=[";
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const FuzzOp& op = ops[i];
+      if (i != 0) {
+        os << " ";
+      }
+      switch (op.kind) {
+      case FuzzOp::Stencil:
+        os << "stencil(" << op.center << "," << op.cross << ")";
+        break;
+      case FuzzOp::Mix:
+        os << "mix";
+        break;
+      case FuzzOp::HostModify:
+        os << "hostmod(" << (op.target == 0 ? 'A' : 'B') << ",+" << op.delta
+           << ")";
+        break;
+      case FuzzOp::MidGather:
+        os << "gather(" << (op.target == 0 ? 'A' : 'B') << ")";
+        break;
+      }
+    }
+    os << "]";
+    return os.str();
+  }
+};
+
+FuzzCase make_case(unsigned seed) {
+  std::mt19937 rng(seed);
+  FuzzCase fc;
+  fc.seed = seed;
+  fc.W = 24 + rng() % 48;
+  fc.H = 24 + rng() % 56;
+  fc.devices = 1 + static_cast<int>(rng() % 4);
+  fc.arch = static_cast<int>(rng() % 3);
+  fc.cache = rng() % 2 == 0;
+  fc.gather_a_first = rng() % 2 == 0;
+  const int chain = 4 + static_cast<int>(rng() % 7);
+  for (int i = 0; i < chain; ++i) {
+    FuzzOp op;
+    const unsigned roll = rng() % 10;
+    if (roll < 5) {
+      op.kind = FuzzOp::Stencil;
+      op.center = static_cast<int>(rng() % 4);
+      op.cross = 1 + static_cast<int>(rng() % 3);
+    } else if (roll < 8) {
+      op.kind = FuzzOp::Mix;
+    } else if (roll < 9) {
+      op.kind = FuzzOp::HostModify;
+      op.target = static_cast<int>(rng() % 2);
+      op.delta = 1 + static_cast<int>(rng() % 99);
+    } else {
+      op.kind = FuzzOp::MidGather;
+      op.target = static_cast<int>(rng() % 2);
+    }
+    fc.ops.push_back(op);
+  }
+  return fc;
+}
+
+// --- Kernels -----------------------------------------------------------------
+
+struct FuzzStencil {
+  int center = 2, cross = 1;
+  template <typename In, typename OutP>
+  void operator()(const maps::ThreadContext&, In& x, OutP& y) const {
+    MAPS_FOREACH(it, y) {
+      *it = (center * x.at(it, 0, 0) + cross * (x.at(it, -1, 0) +
+                                                x.at(it, 1, 0) +
+                                                x.at(it, 0, -1) +
+                                                x.at(it, 0, 1))) %
+            1000;
+    }
+  }
+};
+
+struct FuzzMix {
+  template <typename A, typename B, typename OutP>
+  void operator()(const maps::ThreadContext&, A& a, B& b, OutP& y) const {
+    MAPS_FOREACH(it, y) {
+      *it = (a.at(it, 0, 0) + 3 * b.at(it, 0, 0)) % 1000;
+    }
+  }
+};
+
+// --- Executing one configuration of a chain ----------------------------------
+
+struct RunResult {
+  std::vector<int> a, b;
+};
+
+sim::DeviceSpec arch_spec(int arch) {
+  switch (arch) {
+  case 0:
+    return sim::gtx780();
+  case 1:
+    return sim::titan_black();
+  default:
+    return sim::gtx980();
+  }
+}
+
+/// Runs the chain on `devices` devices. `fault` (optional) is installed as
+/// the scheduler's copy fault hook for the kernel tasks.
+RunResult run_chain(const FuzzCase& fc, int devices,
+                    Scheduler::CopyFaultHook fault = nullptr) {
+  using Win = Window2D<int, 1, maps::WRAP>;
+  using Pt = Window2D<int, 0, maps::WRAP>;
+  using Out = StructuredInjective<int, 2>;
+
+  RunResult r;
+  r.a.resize(fc.W * fc.H);
+  r.b.assign(fc.W * fc.H, 0);
+  std::mt19937 init_rng(fc.seed ^ 0x9e3779b9u);
+  for (auto& v : r.a) {
+    v = static_cast<int>(init_rng() % 1000);
+  }
+
+  sim::Node node(sim::homogeneous_node(arch_spec(fc.arch), devices));
+  Scheduler sched(node);
+  sched.set_plan_cache_enabled(fc.cache);
+  sched.set_sanitizer_enabled(true);
+  if (fault) {
+    sched.set_copy_fault_hook(std::move(fault));
+  }
+  Matrix<int> A(fc.W, fc.H, "A"), B(fc.W, fc.H, "B");
+  A.Bind(r.a.data());
+  B.Bind(r.b.data());
+  sched.AnalyzeCall(Win(A), Out(B));
+  sched.AnalyzeCall(Win(B), Out(A));
+
+  int step = 0; // parity selects the ping-pong direction
+  for (const FuzzOp& op : fc.ops) {
+    Matrix<int>& in = (step % 2 == 0) ? A : B;
+    Matrix<int>& out = (step % 2 == 0) ? B : A;
+    switch (op.kind) {
+    case FuzzOp::Stencil: {
+      FuzzStencil k;
+      k.center = op.center;
+      k.cross = op.cross;
+      sched.Invoke(k, Win(in), Out(out));
+      ++step;
+      break;
+    }
+    case FuzzOp::Mix:
+      sched.Invoke(FuzzMix{}, Pt(in), Pt(out), Out(out));
+      ++step;
+      break;
+    case FuzzOp::HostModify: {
+      Matrix<int>& t = (op.target == 0) ? A : B;
+      std::vector<int>& host = (op.target == 0) ? r.a : r.b;
+      sched.Gather(t); // host copy is current before the out-of-band write
+      for (auto& v : host) {
+        v = (v + op.delta) % 1000;
+      }
+      sched.MarkHostModified(t);
+      break;
+    }
+    case FuzzOp::MidGather:
+      sched.Gather((op.target == 0) ? A : B);
+      break;
+    }
+  }
+  if (fc.gather_a_first) {
+    sched.Gather(A);
+    sched.Gather(B);
+  } else {
+    sched.Gather(B);
+    sched.Gather(A);
+  }
+  return r;
+}
+
+// --- Differential fuzz: multi-GPU == single-device reference -----------------
+
+constexpr unsigned kSeedsPerChunk = 25;
+
+class DifferentialFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DifferentialFuzz, MultiGpuMatchesSingleDeviceReference) {
+  const unsigned base = GetParam() * kSeedsPerChunk;
+  for (unsigned seed = base; seed < base + kSeedsPerChunk; ++seed) {
+    const FuzzCase fc = make_case(seed);
+    RunResult multi, ref;
+    try {
+      multi = run_chain(fc, fc.devices);
+      ref = run_chain(fc, 1);
+    } catch (const SanitizerError& e) {
+      FAIL() << "sanitizer report on a clean chain\n  " << fc.describe()
+             << "\n  " << e.what();
+    }
+    ASSERT_EQ(multi.a, ref.a) << "reproducer: " << fc.describe();
+    ASSERT_EQ(multi.b, ref.b) << "reproducer: " << fc.describe();
+  }
+}
+
+// 8 chunks x 25 seeds = 200 random chains.
+INSTANTIATE_TEST_SUITE_P(Chunks, DifferentialFuzz,
+                         ::testing::Range(0u, 8u));
+
+// --- Determinism: same case, same config, identical output -------------------
+
+TEST(DifferentialFuzzExtra, RepeatedRunsAreBitIdentical) {
+  for (unsigned seed = 300; seed < 310; ++seed) {
+    const FuzzCase fc = make_case(seed);
+    const RunResult r1 = run_chain(fc, fc.devices);
+    const RunResult r2 = run_chain(fc, fc.devices);
+    ASSERT_EQ(r1.a, r2.a) << "reproducer: " << fc.describe();
+    ASSERT_EQ(r1.b, r2.b) << "reproducer: " << fc.describe();
+  }
+}
+
+// --- Fault fuzz: a dropped inferred copy must be reported --------------------
+
+TEST(FaultFuzz, DroppedAlignedCopyIsAlwaysReported) {
+  // For each seed: count the aligned non-zero-fill copies the chain plans,
+  // then rerun dropping one of them at random. The sanitizer must throw —
+  // the alternative is the silent corruption this harness exists to rule
+  // out. (Non-aligned Wrap/Clamp halo refills can be duplicated at Clamp
+  // boundaries, so only aligned drops guarantee a detectable stale read.)
+  int exercised = 0;
+  for (unsigned seed = 500; seed < 520; ++seed) {
+    const FuzzCase fc = make_case(seed);
+    std::uint64_t aligned_copies = 0;
+    run_chain(fc, fc.devices, [&](const Scheduler::CopyFaultInfo& c) {
+      if (c.aligned && !c.zero_fill) {
+        ++aligned_copies;
+      }
+      return false;
+    });
+    if (aligned_copies == 0) {
+      continue; // nothing to drop (tiny single-device chains)
+    }
+    ++exercised;
+    std::mt19937 rng(seed ^ 0x7f4a7c15u);
+    const std::uint64_t victim = rng() % aligned_copies;
+    std::uint64_t n = 0;
+    bool dropped = false;
+    EXPECT_THROW(
+        {
+          run_chain(fc, fc.devices, [&](const Scheduler::CopyFaultInfo& c) {
+            if (c.aligned && !c.zero_fill && n++ == victim) {
+              dropped = true;
+              return true;
+            }
+            return false;
+          });
+        },
+        SanitizerError)
+        << "silent stale read! dropped copy " << victim << " of "
+        << aligned_copies << "; reproducer: " << fc.describe();
+    EXPECT_TRUE(dropped) << fc.describe();
+  }
+  // The seed range must actually exercise the fault path.
+  EXPECT_GE(exercised, 10);
+}
+
+} // namespace

@@ -111,4 +111,121 @@ TEST_F(LocationMonitorTest, UnknownDatumThrows) {
   EXPECT_THROW((void)monitor.up_to_date(&other, 0), std::logic_error);
 }
 
+// --- Epoch / label semantics (the plan-cache validity oracle) ---------------
+
+TEST_F(LocationMonitorTest, EveryMutationMintsAFreshEpoch) {
+  const std::uint64_t e0 = monitor.epoch(&datum);
+  ASSERT_NE(e0, 0u);
+
+  monitor.mark_copied(&datum, 1, {0, 50});
+  const std::uint64_t e1 = monitor.epoch(&datum);
+  EXPECT_GT(e1, e0);
+
+  monitor.mark_written(&datum, 2, {10, 20});
+  const std::uint64_t e2 = monitor.epoch(&datum);
+  EXPECT_GT(e2, e1);
+
+  SegmentLocationMonitor::PendingAggregation agg;
+  agg.kind = AggregationKind::Sum;
+  agg.writer_slots = {0, 1};
+  monitor.set_pending_aggregation(&datum, std::move(agg));
+  const std::uint64_t e3 = monitor.epoch(&datum);
+  EXPECT_GT(e3, e2);
+
+  monitor.clear_pending_aggregation(&datum);
+  EXPECT_GT(monitor.epoch(&datum), e3);
+
+  // All labels came from the monitor-global counter.
+  EXPECT_GE(monitor.epoch_counter(), monitor.epoch(&datum));
+}
+
+TEST_F(LocationMonitorTest, ReadOnlyQueriesDoNotAdvanceTheEpoch) {
+  monitor.mark_written(&datum, 1, {0, 100});
+  const std::uint64_t counter = monitor.epoch_counter();
+  const std::uint64_t e = monitor.epoch(&datum);
+  (void)monitor.plan_copies(&datum, 2, {10, 90});
+  (void)monitor.up_to_date(&datum, 1);
+  (void)monitor.last_output(&datum, 1);
+  std::vector<std::uint64_t> snap;
+  monitor.state_snapshot(&datum, snap);
+  SegmentLocationMonitor::StateCopy sc;
+  monitor.capture_state(&datum, sc);
+  EXPECT_EQ(monitor.epoch(&datum), e);
+  EXPECT_EQ(monitor.epoch_counter(), counter);
+}
+
+TEST_F(LocationMonitorTest, RestoreStateReappliesTheCapturedLabel) {
+  // The replay path depends on this exactly: restoring a captured state
+  // must restore its label (NOT mint a fresh one), so steady-state loops
+  // cycle through the same epoch values and keep hitting the integer fast
+  // path of the cache validity check.
+  monitor.mark_written(&datum, 1, {0, 60});
+  SegmentLocationMonitor::StateCopy sc;
+  monitor.capture_state(&datum, sc);
+  const std::uint64_t captured = monitor.epoch(&datum);
+  std::vector<std::uint64_t> snap_before;
+  monitor.state_snapshot(&datum, snap_before);
+
+  // Out-of-band mutations move the datum away from the captured state...
+  monitor.mark_written(&datum, 2, {0, 100});
+  monitor.mark_copied(&datum, 3, {20, 40});
+  EXPECT_NE(monitor.epoch(&datum), captured);
+  const std::uint64_t counter = monitor.epoch_counter();
+
+  // ...and restore brings back both the holdings and the label, without
+  // consuming a fresh one from the global counter.
+  monitor.restore_state(&datum, sc);
+  EXPECT_EQ(monitor.epoch(&datum), captured);
+  EXPECT_EQ(monitor.epoch_counter(), counter);
+  std::vector<std::uint64_t> snap_after;
+  monitor.state_snapshot(&datum, snap_after);
+  EXPECT_EQ(snap_after, snap_before);
+  EXPECT_TRUE(monitor.up_to_date(&datum, 1).covers({0, 60}));
+  EXPECT_FALSE(monitor.up_to_date(&datum, 2).covers({0, 100}));
+}
+
+TEST_F(LocationMonitorTest, EqualSnapshotsAcrossDistinctEpochs) {
+  // Steady-state loops revisit the same location state with different
+  // epoch labels; the snapshot comparison is what proves them equal.
+  monitor.mark_written(&datum, 1, {0, 50});
+  monitor.mark_written(&datum, 2, {50, 100});
+  std::vector<std::uint64_t> snap1;
+  monitor.state_snapshot(&datum, snap1);
+  const std::uint64_t e1 = monitor.epoch(&datum);
+
+  // A redundant round trip: device 3 gains and loses freshness.
+  monitor.mark_copied(&datum, 3, {0, 50});
+  monitor.mark_written(&datum, 1, {0, 50});
+  std::vector<std::uint64_t> snap2;
+  monitor.state_snapshot(&datum, snap2);
+  EXPECT_NE(monitor.epoch(&datum), e1); // labels differ...
+  EXPECT_EQ(snap2, snap1);              // ...but the state is the same
+
+  // And a genuinely different state produces a different snapshot.
+  monitor.set_pending_aggregation(&datum, {});
+  std::vector<std::uint64_t> snap3;
+  monitor.state_snapshot(&datum, snap3);
+  EXPECT_NE(snap3, snap1);
+}
+
+TEST_F(LocationMonitorTest, HostWriteInterleavedWithGatherEpochs) {
+  // The MarkHostModified / Gather interleaving as the monitor sees it:
+  // device 1 produces rows, a gather replicates them to the host
+  // (mark_copied), then an out-of-band host write invalidates the device.
+  monitor.mark_written(&datum, 1, {0, 100});
+  const std::uint64_t after_kernel = monitor.epoch(&datum);
+  monitor.mark_copied(&datum, kHost, {0, 100}); // Gather
+  EXPECT_GT(monitor.epoch(&datum), after_kernel);
+  EXPECT_TRUE(monitor.up_to_date(&datum, kHost).covers({0, 100}));
+  EXPECT_TRUE(monitor.up_to_date(&datum, 1).covers({0, 100}));
+
+  monitor.mark_written(&datum, kHost, {0, 100}); // MarkHostModified
+  EXPECT_TRUE(monitor.up_to_date(&datum, kHost).covers({0, 100}));
+  EXPECT_TRUE(monitor.up_to_date(&datum, 1).empty());
+  // The next device read must plan a host upload.
+  const auto ops = monitor.plan_copies(&datum, 1, {0, 100});
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].src_location, kHost);
+}
+
 } // namespace

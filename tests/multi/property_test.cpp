@@ -62,6 +62,12 @@ void reference_stencil(std::vector<int>& grid, std::size_t w, std::size_t h,
 
 class RandomChainTest : public ::testing::TestWithParam<unsigned> {};
 
+/// One random kernel invocation: a weighted stencil or the elementwise mix.
+struct ChainStep {
+  bool stencil = true;
+  int center = 2, cross = 1;
+};
+
 TEST_P(RandomChainTest, RandomTaskChainsMatchSequentialReference) {
   const unsigned seed = GetParam();
   std::mt19937 rng(seed);
@@ -70,49 +76,89 @@ TEST_P(RandomChainTest, RandomTaskChainsMatchSequentialReference) {
   const int devices = 1 + static_cast<int>(rng() % 4);
   const int chain = 6 + static_cast<int>(rng() % 6);
 
-  std::vector<int> a(W * H), b(W * H, 0);
-  for (auto& v : a) {
+  std::vector<int> init(W * H);
+  for (auto& v : init) {
     v = static_cast<int>(rng() % 1000);
   }
-  std::vector<int> ref_a = a, ref_b = b;
+  // Generate the chain as data so the run can be repeated exactly.
+  std::vector<ChainStep> steps(chain);
+  for (ChainStep& s : steps) {
+    s.stencil = rng() % 3 != 0;
+    if (s.stencil) {
+      s.center = static_cast<int>(rng() % 4);
+      s.cross = 1 + static_cast<int>(rng() % 3);
+    }
+  }
 
-  sim::Node node(sim::homogeneous_node(sim::titan_black(), devices));
-  Scheduler sched(node);
-  Matrix<int> A(W, H, "A"), B(W, H, "B");
-  A.Bind(a.data());
-  B.Bind(b.data());
-  using Win = Window2D<int, 1, maps::WRAP>;
-  using Out = StructuredInjective<int, 2>;
-  sched.AnalyzeCall(Win(A), Out(B));
-  sched.AnalyzeCall(Win(B), Out(A));
+  // Every chain runs twice — plan cache on and off — with the access
+  // sanitizer active. The cache must change neither the results nor the
+  // simulated timeline (it only removes host-side planning work).
+  struct RunOut {
+    std::vector<int> a, b;
+    double now_ms = 0;
+  };
+  auto run = [&](bool cache) {
+    RunOut r;
+    r.a = init;
+    r.b.assign(W * H, 0);
+    sim::Node node(sim::homogeneous_node(sim::titan_black(), devices));
+    Scheduler sched(node);
+    sched.set_plan_cache_enabled(cache);
+    sched.set_sanitizer_enabled(true);
+    Matrix<int> A(W, H, "A"), B(W, H, "B");
+    A.Bind(r.a.data());
+    B.Bind(r.b.data());
+    using Win = Window2D<int, 1, maps::WRAP>;
+    using Out = StructuredInjective<int, 2>;
+    sched.AnalyzeCall(Win(A), Out(B));
+    sched.AnalyzeCall(Win(B), Out(A));
+    for (int step = 0; step < chain; ++step) {
+      Matrix<int>& in = (step % 2 == 0) ? A : B;
+      Matrix<int>& out = (step % 2 == 0) ? B : A;
+      const ChainStep& s = steps[static_cast<std::size_t>(step)];
+      if (s.stencil) {
+        WeightedStencil k;
+        k.center = s.center;
+        k.cross = s.cross;
+        sched.Invoke(k, Win(in), Out(out));
+      } else {
+        sched.Invoke(ElementwiseMix{}, Window2D<int, 0, maps::WRAP>(in),
+                     Window2D<int, 0, maps::WRAP>(out), Out(out));
+      }
+    }
+    sched.Gather(A);
+    sched.Gather(B);
+    r.now_ms = node.now_ms();
+    return r;
+  };
+  const RunOut cached = run(true);
+  const RunOut uncached = run(false);
 
+  // CPU reference.
+  std::vector<int> ref_a = init, ref_b(W * H, 0);
   for (int step = 0; step < chain; ++step) {
-    Matrix<int>& in = (step % 2 == 0) ? A : B;
-    Matrix<int>& out = (step % 2 == 0) ? B : A;
     std::vector<int>& rin = (step % 2 == 0) ? ref_a : ref_b;
     std::vector<int>& rout = (step % 2 == 0) ? ref_b : ref_a;
-    if (rng() % 3 != 0) {
-      WeightedStencil k;
-      k.center = static_cast<int>(rng() % 4);
-      k.cross = 1 + static_cast<int>(rng() % 3);
-      sched.Invoke(k, Win(in), Out(out));
+    const ChainStep& s = steps[static_cast<std::size_t>(step)];
+    if (s.stencil) {
       rout = rin;
-      reference_stencil(rout, W, H, k.center, k.cross);
+      reference_stencil(rout, W, H, s.center, s.cross);
     } else {
-      sched.Invoke(ElementwiseMix{}, Window2D<int, 0, maps::WRAP>(in),
-                   Window2D<int, 0, maps::WRAP>(out), Out(out));
-      // Reference: out = (in + 3*out) % 1000 elementwise. (Reading `out`
-      // while writing it is safe here: r=0 windows read only the element
-      // the thread itself overwrites.)
+      // out = (in + 3*out) % 1000 elementwise. (Reading `out` while writing
+      // it is safe on the device too: r=0 windows read only the element the
+      // thread itself overwrites.)
       for (std::size_t i = 0; i < rout.size(); ++i) {
         rout[i] = (rin[i] + 3 * rout[i]) % 1000;
       }
     }
   }
-  sched.Gather(A);
-  sched.Gather(B);
-  EXPECT_EQ(a, ref_a) << "seed " << seed;
-  EXPECT_EQ(b, ref_b) << "seed " << seed;
+
+  EXPECT_EQ(cached.a, ref_a) << "seed " << seed;
+  EXPECT_EQ(cached.b, ref_b) << "seed " << seed;
+  EXPECT_EQ(uncached.a, cached.a) << "seed " << seed;
+  EXPECT_EQ(uncached.b, cached.b) << "seed " << seed;
+  EXPECT_DOUBLE_EQ(uncached.now_ms, cached.now_ms)
+      << "plan cache changed the simulated timeline, seed " << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomChainTest,

@@ -275,6 +275,21 @@ TEST(SchedulerEdgeTest, NDArrayWindowNDBlursAcrossSlices) {
   }
 }
 
+/// SumNeighborhood with bounded values: iterating the unbounded sum from
+/// all-ones grows 9x per step and overflows int within the loop below.
+struct BoundedSumNeighborhood {
+  template <typename In, typename Out>
+  void operator()(const maps::ThreadContext&, In& x, Out& y) const {
+    MAPS_FOREACH(it, y) {
+      int acc = 0;
+      MAPS_FOREACH_ALIGNED(n, x, it) {
+        acc += *n % 1000;
+      }
+      *it = acc % 1000;
+    }
+  }
+};
+
 TEST(SchedulerEdgeTest, AllocationsHappenOnceAcrossIterations) {
   // §4.2: the memory analyzer "allocates the necessary memory once,
   // creating contiguous buffers" — iterating a task chain must not allocate
@@ -290,14 +305,14 @@ TEST(SchedulerEdgeTest, AllocationsHappenOnceAcrossIterations) {
   using Out = StructuredInjective<int, 2>;
   sched.AnalyzeCall(Win(A), Out(B));
   sched.AnalyzeCall(Win(B), Out(A));
-  sched.Invoke(SumNeighborhood{}, Win(A), Out(B));
-  sched.Invoke(SumNeighborhood{}, Win(B), Out(A));
+  sched.Invoke(BoundedSumNeighborhood{}, Win(A), Out(B));
+  sched.Invoke(BoundedSumNeighborhood{}, Win(B), Out(A));
   sched.WaitAll();
   const std::size_t used_after_two = node.device_mem_used(0);
   const std::size_t analyzer_bytes = sched.analyzer().allocated_bytes(0);
   for (int i = 0; i < 10; ++i) {
-    sched.Invoke(SumNeighborhood{}, Win(A), Out(B));
-    sched.Invoke(SumNeighborhood{}, Win(B), Out(A));
+    sched.Invoke(BoundedSumNeighborhood{}, Win(A), Out(B));
+    sched.Invoke(BoundedSumNeighborhood{}, Win(B), Out(A));
   }
   sched.WaitAll();
   EXPECT_EQ(node.device_mem_used(0), used_after_two);
