@@ -1,0 +1,205 @@
+// Transfer planner: simulated end-to-end effect of topology-aware routing
+// (DESIGN.md §5 "Transfer routing", EXPERIMENTS.md §"Transfer planning").
+//
+// Runs the two transfer-bound evaluation workloads at 4 GPUs with the
+// planner enabled vs disabled and reports *simulated* milliseconds plus the
+// byte-category breakdown from SchedulerStats::transfers:
+//   - the Fig 9 unmodified-GEMM chain, whose Block2DTransposed inputs
+//     all-gather every previous output to every device, and
+//   - the Fig 13 NMF multiplicative-update loop (gathers, aggregations and
+//     replicated factors).
+// Planner-off keeps the Segment Location Monitor's sources verbatim, which
+// is exactly the pre-planner scheduler; planner-on routes the same ops over
+// the cheapest links with in-pair fan-out. Writes BENCH_transfer_plan.json
+// (override with --out <path>).
+//
+// --smoke trims the iteration counts and asserts the planner wins on both
+// workloads; wired as a `perf_smoke` ctest label next to sched_overhead.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "multi/maps_multi.hpp"
+#include "nmf/nmf.hpp"
+#include "simblas/simblas.hpp"
+
+namespace {
+
+using namespace maps::multi;
+
+struct Run {
+  double sim_ms = 0; // simulated time for the measured region
+  TransferStats t;
+};
+
+Run run_gemm_chain(bool planner_on, int chain, int gpus) {
+  sim::Node node(sim::homogeneous_node(sim::gtx780(), gpus),
+                 sim::ExecMode::TimingOnly);
+  Scheduler sched(node);
+  sched.set_transfer_planner_enabled(planner_on);
+
+  std::vector<float> dummy(1);
+  Matrix<float> b(8192, 8192, "B"), c1(8192, 8192, "C1"), c2(8192, 8192, "C2");
+  b.Bind(dummy.data());
+  c1.Bind(dummy.data());
+  c2.Bind(dummy.data());
+  // Transfer-bound variant of the Fig 9 chain: the transposed (all-gathered)
+  // operand is the *previous output*, so every link broadcasts the freshly
+  // written device stripes to all GPUs — the one-to-many pattern the
+  // planner's fan-out trees target. Warmup outside the measured region
+  // distributes B and runs the first link.
+  sched.AnalyzeCall(Work{c2.height(), 1}, Block2D<float>(b),
+                    Block2DTransposed<float>(c1),
+                    StructuredInjective<float, 2>(c2));
+  sched.AnalyzeCall(Work{c1.height(), 1}, Block2D<float>(b),
+                    Block2DTransposed<float>(c2),
+                    StructuredInjective<float, 2>(c1));
+  simblas::Gemm(sched, b, c1, c2);
+  sched.WaitAll();
+  sched.reset_stats();
+
+  const double t0 = node.now_ms();
+  for (int i = 0; i < chain / 2; ++i) {
+    simblas::Gemm(sched, b, c2, c1);
+    simblas::Gemm(sched, b, c1, c2);
+  }
+  sched.WaitAll();
+
+  Run r;
+  r.sim_ms = node.now_ms() - t0;
+  r.t = sched.stats().transfers;
+  return r;
+}
+
+Run run_nmf(bool planner_on, int iterations, int gpus) {
+  sim::Node node(sim::homogeneous_node(sim::gtx780(), gpus),
+                 sim::ExecMode::TimingOnly);
+  Scheduler sched(node);
+  sched.set_transfer_planner_enabled(planner_on);
+
+  std::vector<float> v(1), w, h; // TimingOnly: backing never touched
+  const nmf::Shape shape{};      // the paper's 16Kx4K, k=128
+  const nmf::Result res = nmf::run_maps(sched, v, w, h, shape, iterations);
+
+  Run r;
+  r.sim_ms = res.sim_ms;
+  r.t = sched.stats().transfers;
+  return r;
+}
+
+void print_pair(const char* workload, const Run& off, const Run& on) {
+  std::printf("\n%s\n", workload);
+  std::printf("  %-10s %12s %10s %10s %10s %10s %10s %8s %8s\n", "planner",
+              "sim ms", "h2d MB", "d2h MB", "p2p= MB", "p2px MB", "staged MB",
+              "issued", "fanout");
+  const auto row = [](const char* name, const Run& r) {
+    const auto mb = [](std::uint64_t b) { return b / 1048576.0; };
+    std::printf("  %-10s %12.3f %10.1f %10.1f %10.1f %10.1f %10.1f %8llu "
+                "%8u\n",
+                name, r.sim_ms, mb(r.t.bytes_h2d), mb(r.t.bytes_d2h),
+                mb(r.t.bytes_p2p_same_bus), mb(r.t.bytes_p2p_cross_bus),
+                mb(r.t.bytes_host_staged),
+                static_cast<unsigned long long>(r.t.copies_issued),
+                r.t.max_fanout_depth);
+  };
+  row("off", off);
+  row("on", on);
+  std::printf("  simulated speedup: %.3fx\n", off.sim_ms / on.sim_ms);
+}
+
+void json_run(std::FILE* f, const char* key, const Run& r) {
+  std::fprintf(
+      f,
+      "      \"%s\": {\"sim_ms\": %.6f, \"bytes_h2d\": %llu, "
+      "\"bytes_d2h\": %llu, \"bytes_p2p_same_bus\": %llu, "
+      "\"bytes_p2p_cross_bus\": %llu, \"bytes_host_staged\": %llu, "
+      "\"copies_planned\": %u, \"copies_issued\": %u, "
+      "\"copies_rerouted\": %u, \"copies_coalesced\": %u, "
+      "\"max_fanout_depth\": %u}",
+      key, r.sim_ms, static_cast<unsigned long long>(r.t.bytes_h2d),
+      static_cast<unsigned long long>(r.t.bytes_d2h),
+      static_cast<unsigned long long>(r.t.bytes_p2p_same_bus),
+      static_cast<unsigned long long>(r.t.bytes_p2p_cross_bus),
+      static_cast<unsigned long long>(r.t.bytes_host_staged),
+      r.t.copies_planned, r.t.copies_issued, r.t.copies_rerouted,
+      r.t.copies_coalesced, r.t.max_fanout_depth);
+}
+
+bool check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "SMOKE FAIL: %s\n", what);
+  }
+  return ok;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_transfer_plan.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  const int chain = smoke ? 4 : 20;
+  const int nmf_iters = smoke ? 10 : 40;
+  const int gpus = 4;
+
+  bench::print_setup_header(
+      "Transfer planning: topology-aware routing on vs off (simulated time)");
+
+  struct Workload {
+    const char* name;
+    Run off, on;
+  } workloads[] = {
+      // The simulator is deterministic: one run per configuration is exact.
+      {"gemm_chain", run_gemm_chain(false, chain, gpus),
+       run_gemm_chain(true, chain, gpus)},
+      {"nmf", run_nmf(false, nmf_iters, gpus), run_nmf(true, nmf_iters, gpus)},
+  };
+  for (const Workload& w : workloads) {
+    print_pair(w.name, w.off, w.on);
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"transfer_plan\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"device\": \"%s\",\n", sim::gtx780().name.c_str());
+  std::fprintf(f, "  \"gpus\": %d,\n  \"workloads\": {\n", gpus);
+  for (std::size_t i = 0; i < std::size(workloads); ++i) {
+    const Workload& w = workloads[i];
+    std::fprintf(f, "    \"%s\": {\n", w.name);
+    json_run(f, "planner_off", w.off);
+    std::fprintf(f, ",\n");
+    json_run(f, "planner_on", w.on);
+    std::fprintf(f, ",\n      \"simulated_speedup\": %.4f\n    }%s\n",
+                 w.off.sim_ms / w.on.sim_ms,
+                 i + 1 < std::size(workloads) ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (smoke) {
+    bool ok = true;
+    for (const Workload& w : workloads) {
+      ok &= check(w.on.sim_ms < w.off.sim_ms,
+                  "planner-on simulated time should beat planner-off");
+      ok &= check(w.on.t.copies_rerouted > 0,
+                  "planner should reroute at least one copy");
+      ok &= check(w.on.t.max_fanout_depth >= 2,
+                  "expected replica forwarding (fan-out depth >= 2)");
+    }
+    return ok ? 0 : 1;
+  }
+  return 0;
+}

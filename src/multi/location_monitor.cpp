@@ -1,5 +1,7 @@
 #include "multi/location_monitor.hpp"
 
+#include <algorithm>
+
 namespace maps::multi {
 
 SegmentLocationMonitor::SegmentLocationMonitor(int slots)
@@ -70,12 +72,17 @@ SegmentLocationMonitor::plan_copies(const Datum* datum, int target,
   }
 
   for (const RowInterval& miss : missing) {
-    // Lines 5-8: a single location holding the whole piece.
+    // Lines 5-8: a single location holding the whole piece. Devices are
+    // scanned before the host: after a Gather both the host and the writing
+    // device hold the rows, and starting the scan at location 0 made the
+    // host shadow every device replica — turning free P2P (or intra-device)
+    // reuse into host transfers that also contend on the shared host links.
     int single = -1;
-    for (int l = 0; l < locations_; ++l) {
-      if ((l != target || !target_holds_slot) &&
-          s.up_to_date[static_cast<std::size_t>(l)].covers(miss)) {
-        single = l;
+    for (int l = 1; l <= locations_; ++l) {
+      const int cand = l % locations_; // 1..slots, then kHost
+      if ((cand != target || !target_holds_slot) &&
+          s.up_to_date[static_cast<std::size_t>(cand)].covers(miss)) {
+        single = cand;
         break;
       }
     }
@@ -119,7 +126,26 @@ SegmentLocationMonitor::plan_copies(const Datum* datum, int target,
                                "data that was never written?)");
     }
   }
-  return ops;
+  // Canonicalize the plan: a deterministic (source, row) order independent of
+  // the holdings' internal interval layout, with adjacent rows from the same
+  // source merged into one op — each op becomes one simulated transfer, so
+  // fragmented holdings would otherwise pay the per-transfer latency per
+  // fragment.
+  std::sort(ops.begin(), ops.end(), [](const CopyOp& a, const CopyOp& b) {
+    return a.src_location != b.src_location ? a.src_location < b.src_location
+                                            : a.rows.begin < b.rows.begin;
+  });
+  std::vector<CopyOp> merged;
+  merged.reserve(ops.size());
+  for (const CopyOp& op : ops) {
+    if (!merged.empty() && merged.back().src_location == op.src_location &&
+        merged.back().rows.end == op.rows.begin) {
+      merged.back().rows.end = op.rows.end;
+    } else {
+      merged.push_back(op);
+    }
+  }
+  return merged;
 }
 
 void SegmentLocationMonitor::mark_copied(const Datum* datum, int target,

@@ -56,6 +56,13 @@ public:
   /// Algorithm 2: plans the copies making `required` up to date at `target`.
   /// Throws if some rows exist nowhere (reading uninitialized output data).
   ///
+  /// Source preference: device replicas are scanned before the host, so a
+  /// host copy left behind by a Gather never shadows a device-resident one.
+  /// The returned ops are canonical — sorted by (source, row) and with
+  /// adjacent same-source rows coalesced into one op — so a given location
+  /// state always yields the same plan (the scheduler's plan cache and the
+  /// transfer planner both rely on this determinism).
+  ///
   /// `target_holds_slot`: when false, the rows are destined for a buffer
   /// slot that does not correspond to their global position (a Wrap/Clamp
   /// halo slot), so the target's own up-to-date holdings do not satisfy the

@@ -29,11 +29,13 @@ Scheduler::Scheduler(sim::Node& node, std::vector<int> devices)
         return all;
       }() : std::move(devices)),
       analyzer_(node_, devices_),
-      monitor_(static_cast<int>(devices_.size())) {
+      monitor_(static_cast<int>(devices_.size())),
+      planner_(monitor_, node_.topology(), devices_) {
   for (std::size_t s = 0; s < devices_.size(); ++s) {
     compute_streams_.push_back(node_.create_stream(devices_[s]));
     copy_streams_.push_back(node_.create_stream(devices_[s]));
     copy_streams2_.push_back(node_.create_stream(devices_[s]));
+    reduce_streams_.push_back(node_.create_stream(devices_[s]));
     invokers_.push_back(std::make_unique<InvokerThread>(static_cast<int>(s)));
   }
 }
@@ -164,8 +166,12 @@ Scheduler::fingerprint(const std::vector<PatternSpec>& specs, const Work* work,
   PlanFingerprint fp;
   auto& w = fp.words;
   w.reserve(specs.size() * 12 + 8);
-  w.push_back(0x4d415053'46503101ull); // "MAPS" fingerprint, version 1
+  w.push_back(0x4d415053'46503102ull); // "MAPS" fingerprint, version 2
   w.push_back(static_cast<std::uint64_t>(slots()));
+  // Routing is baked into cached plans, so the planner setting is part of
+  // the shape identity: a plan routed with the planner on must never be
+  // replayed after it is switched off (or vice versa).
+  w.push_back(planner_active() ? 1 : 0);
   w.push_back(specs.size());
   for (const auto& s : specs) {
     w.push_back(reinterpret_cast<std::uintptr_t>(s.datum->key()));
@@ -412,9 +418,17 @@ void Scheduler::plan_copies_for(PlanShape& shape, DeviceWiring& dw, int slot,
     const bool aligned = region.local_row + req.origin ==
                          static_cast<long>(region.global.begin);
 
-    // The region's rows are served per Algorithm 2.
-    for (const auto& op :
-         monitor_.plan_copies(datum, dst_loc, region.global, aligned)) {
+    // The region's rows are served per Algorithm 2, then routed over the
+    // topology by the transfer planner (when active; forced host staging
+    // prescribes every route).
+    auto ops = monitor_.plan_copies(datum, dst_loc, region.global, aligned);
+    if (planner_active()) {
+      ops = planner_.route(datum, dst_loc, alloc.row_bytes, std::move(ops),
+                           shape.transfers);
+    } else {
+      shape.transfers.copies_planned += static_cast<std::uint32_t>(ops.size());
+    }
+    for (const auto& op : ops) {
       PlannedCopy c;
       c.pattern_index = pattern_index;
       c.aligned = aligned;
@@ -459,6 +473,23 @@ void Scheduler::plan_copies_for(PlanShape& shape, DeviceWiring& dw, int slot,
             static_cast<std::size_t>(static_cast<long>(op.rows.end) -
                                      src_alloc->origin)};
       }
+      // Byte attribution by physical path, matching how the copy will be
+      // dispatched (forced staging and cross-node peers bounce through the
+      // host).
+      ++shape.transfers.copies_issued;
+      const sim::Endpoint src_ep =
+          op.src_location == SegmentLocationMonitor::kHost
+              ? sim::Endpoint::host()
+              : sim::Endpoint::dev(
+                    devices_[static_cast<std::size_t>(op.src_location - 1)]);
+      const sim::Endpoint dst_ep =
+          sim::Endpoint::dev(devices_[static_cast<std::size_t>(slot)]);
+      const bool staged =
+          !src_ep.is_host() &&
+          (force_host_staged_ ||
+           !node_.topology().peer_enabled(src_ep.device, dst_ep.device));
+      TransferPlanner::account(shape.transfers, node_.topology(), src_ep,
+                               dst_ep, staged, c.bytes);
       CopyWiring w;
       wire_copy(c, dw, w, node_.create_event(), /*update_monitor=*/true);
       dp.copies.push_back(std::move(c));
@@ -536,6 +567,7 @@ Scheduler::plan_task(std::vector<PatternSpec> specs, const Work* work,
     auto plan = build_plan(std::move(specs), work, hints, label);
     stats_.plan_time_us += elapsed_us(t0);
     ++stats_.plans_built;
+    stats_.transfers.add(plan->shape->transfers);
     return plan;
   }
 
@@ -554,6 +586,7 @@ Scheduler::plan_task(std::vector<PatternSpec> specs, const Work* work,
       auto plan = replay_plan(slot.variants.front());
       stats_.replay_time_us += elapsed_us(t0);
       ++stats_.cache_hits;
+      stats_.transfers.add(plan->shape->transfers);
       return plan;
     }
     // Known shape, but no variant was built under the current location
@@ -572,6 +605,7 @@ Scheduler::plan_task(std::vector<PatternSpec> specs, const Work* work,
   auto post_states = capture_post_states(plan->shape->specs, captures);
   cache_insert(std::move(fp), plan->shape, std::move(captures),
                std::move(post_states));
+  stats_.transfers.add(plan->shape->transfers);
   return plan;
 }
 
@@ -584,6 +618,7 @@ Scheduler::build_plan(std::vector<PatternSpec> specs, const Work* work,
   PlanShape& shape = *shape_owned;
   plan->shape = shape_owned;
   shape.specs = std::move(specs);
+  planner_.begin_task();
 
   bool single = work != nullptr && work->single_device;
   for (const auto& s : shape.specs) {
@@ -846,15 +881,19 @@ void Scheduler::enqueue_device_commands(
   const sim::StreamId compute_stream =
       compute_streams_[static_cast<std::size_t>(slot)];
 
-  // Copies alternate between the device's two copy streams so independent
+  // Copies spread over the device's two copy streams so independent
   // transfers exploit both copy engines (§2: "multiple memory copy engines
-  // that allow simultaneous two-way memory transfer").
+  // that allow simultaneous two-way memory transfer"). Balancing by bytes
+  // rather than alternating by index keeps the engines evenly loaded when
+  // coalescing leaves transfers of very different sizes.
+  std::uint64_t stream_bytes[2] = {0, 0};
   for (std::size_t i = 0; i < dp.copies.size(); ++i) {
     const PlannedCopy& c = dp.copies[i];
     const CopyWiring& w = dw.copies[i];
+    const int si = stream_bytes[0] <= stream_bytes[1] ? 0 : 1;
+    stream_bytes[si] += c.bytes;
     const sim::StreamId cs =
-        (i % 2 == 0) ? copy_stream
-                     : copy_streams2_[static_cast<std::size_t>(slot)];
+        si == 0 ? copy_stream : copy_streams2_[static_cast<std::size_t>(slot)];
     for (std::uint32_t k = w.wait_begin; k < w.wait_end; ++k) {
       node_.wait_event_generation(cs, dw.wait_pool[k], 1);
     }
@@ -1121,6 +1160,13 @@ void Scheduler::GatherAsync(Datum& datum) {
       auto host_bytes =
           std::make_shared<std::vector<std::byte>>(alloc->buffer->size());
       staged->push_back(Staged{slot, host_bytes, alloc->rows});
+      // Gathers bypass the plan cache, so their traffic is attributed to the
+      // run totals directly.
+      ++stats_.transfers.copies_issued;
+      TransferPlanner::account(
+          stats_.transfers, node_.topology(),
+          sim::Endpoint::dev(devices_[static_cast<std::size_t>(slot)]),
+          sim::Endpoint::host(), false, alloc->buffer->size());
       const sim::EventId ev = node_.create_event();
       ready_events.push_back(ev);
       const sim::StreamId stream =
@@ -1270,6 +1316,11 @@ void Scheduler::GatherAsync(Datum& datum) {
         alloc->row_offset(static_cast<long>(op.rows.begin));
     std::byte* dst = datum.host_row(op.rows.begin);
     const std::size_t bytes = op.rows.size() * alloc->row_bytes;
+    ++stats_.transfers.copies_issued;
+    TransferPlanner::account(
+        stats_.transfers, node_.topology(),
+        sim::Endpoint::dev(devices_[static_cast<std::size_t>(slot)]),
+        sim::Endpoint::host(), false, bytes);
     const double issue_s = node_.host_now_s();
     invokers_[static_cast<std::size_t>(slot)]->submit(
         [this, stream, producers, buffer, src_off, dst, bytes, ev, issue_s] {
@@ -1357,6 +1408,158 @@ void Scheduler::ReduceScatter(Datum& datum, Work work) {
     const int t_loc = SegmentLocationMonitor::loc(t);
     const std::size_t seg_bytes = rows.size() * row_bytes;
 
+    // Hierarchical pre-combine (the reduce dual of the transfer planner's
+    // fan-out trees): when a whole PCIe pair of partials sits on the far
+    // side of the inter-socket link, sum them in-pair first so the target's
+    // segment crosses the socket once instead of once per holder.
+    const sim::Topology& topo = node_.topology();
+    const int t_bus = topo.bus_of(devices_[static_cast<std::size_t>(t)]);
+    std::vector<int> sources;
+    std::vector<std::vector<int>> combine_groups;
+    {
+      std::vector<std::vector<int>> by_bus(
+          static_cast<std::size_t>(topo.bus_count()));
+      for (int s : writers) {
+        if (s == t || analyzer_.find(&datum, s) == nullptr) {
+          continue;
+        }
+        const int bus = topo.bus_of(devices_[static_cast<std::size_t>(s)]);
+        by_bus[static_cast<std::size_t>(bus)].push_back(s);
+      }
+      for (int bus = 0; bus < topo.bus_count(); ++bus) {
+        auto& members = by_bus[static_cast<std::size_t>(bus)];
+        if (!planner_active() || bus == t_bus || members.size() < 2) {
+          sources.insert(sources.end(), members.begin(), members.end());
+          continue;
+        }
+        const int combiner = members.front();
+        std::vector<int> group{combiner};
+        for (int m : members) {
+          if (m == combiner) {
+            continue;
+          }
+          if (topo.peer_enabled(devices_[static_cast<std::size_t>(combiner)],
+                                devices_[static_cast<std::size_t>(m)])) {
+            group.push_back(m);
+          } else {
+            sources.push_back(m);
+          }
+        }
+        sources.push_back(combiner);
+        if (group.size() >= 2) {
+          combine_groups.push_back(std::move(group));
+        }
+      }
+    }
+
+    for (const auto& group : combine_groups) {
+      const int c = group.front();
+      const auto* c_alloc = analyzer_.find(&datum, c);
+      const int c_loc = SegmentLocationMonitor::loc(c);
+      auto& scratch = combine_staging_[{datum.key(), t * slots() + c}];
+      const std::size_t need = seg_bytes * (group.size() - 1);
+      if (scratch == nullptr || scratch->size() < need) {
+        scratch =
+            node_.malloc_device(devices_[static_cast<std::size_t>(c)], need);
+      }
+      struct Pull {
+        sim::Buffer* src = nullptr;
+        std::size_t src_off = 0;
+        std::vector<sim::EventId> waits;
+        sim::EventId done = 0;
+      };
+      std::vector<Pull> pulls;
+      for (std::size_t i = 1; i < group.size(); ++i) {
+        const int m = group[i];
+        const auto* m_alloc = analyzer_.find(&datum, m);
+        Pull pull;
+        pull.src = m_alloc->buffer;
+        pull.src_off = m_alloc->row_offset(static_cast<long>(rows.begin));
+        avail_[{datum.key(), SegmentLocationMonitor::loc(m)}].collect(
+            rows, pull.waits);
+        pull.done = node_.create_event();
+        access_[{datum.key(), SegmentLocationMonitor::loc(m)}].add_reader(
+            RowInterval{
+                static_cast<std::size_t>(static_cast<long>(rows.begin) -
+                                         m_alloc->origin),
+                static_cast<std::size_t>(static_cast<long>(rows.end) -
+                                         m_alloc->origin)},
+            pull.done);
+        ++stats_.transfers.copies_issued;
+        TransferPlanner::account(
+            stats_.transfers, topo,
+            sim::Endpoint::dev(devices_[static_cast<std::size_t>(m)]),
+            sim::Endpoint::dev(devices_[static_cast<std::size_t>(c)]), false,
+            seg_bytes);
+        pulls.push_back(pull);
+      }
+      const sim::EventId comb_done = node_.create_event();
+      std::vector<sim::EventId> comb_waits;
+      avail_[{datum.key(), c_loc}].collect(rows, comb_waits);
+      const RowInterval c_local{
+          static_cast<std::size_t>(static_cast<long>(rows.begin) -
+                                   c_alloc->origin),
+          static_cast<std::size_t>(static_cast<long>(rows.end) -
+                                   c_alloc->origin)};
+      access_[{datum.key(), c_loc}].collect(c_local, comb_waits);
+      sim::Buffer* c_buffer = c_alloc->buffer;
+      const std::size_t c_off =
+          c_alloc->row_offset(static_cast<long>(rows.begin));
+      const std::size_t c_elems = rows.size() * datum.row_elems();
+      const std::size_t n_pulls = pulls.size();
+      const double c_issue_s = node_.host_now_s();
+      const sim::StreamId c_copy = copy_streams_[static_cast<std::size_t>(c)];
+      const sim::StreamId c_copy2 =
+          copy_streams2_[static_cast<std::size_t>(c)];
+      const sim::StreamId c_compute =
+          reduce_streams_[static_cast<std::size_t>(c)];
+      sim::Buffer* scratch_buf = scratch;
+      invokers_[static_cast<std::size_t>(c)]->submit(
+          [this, pulls, scratch_buf, seg_bytes, c_copy, c_copy2, c_compute,
+           comb_waits, comb_done, c_buffer, c_off, c_elems, n_pulls, op,
+           c_issue_s] {
+            sim::Node::ScopedIssueFloor floor(node_, c_issue_s);
+            std::size_t off = 0;
+            int rr = 0;
+            for (const Pull& pull : pulls) {
+              const sim::StreamId cs = (rr++ % 2 == 0) ? c_copy : c_copy2;
+              for (sim::EventId w : pull.waits) {
+                node_.wait_event_generation(cs, w, 1);
+              }
+              node_.memcpy_p2p(cs, scratch_buf, off, pull.src, pull.src_off,
+                               seg_bytes);
+              node_.record_event(pull.done, cs);
+              off += seg_bytes;
+            }
+            for (const Pull& pull : pulls) {
+              node_.wait_event_generation(c_compute, pull.done, 1);
+            }
+            for (sim::EventId w : comb_waits) {
+              node_.wait_event_generation(c_compute, w, 1);
+            }
+            sim::LaunchStats st;
+            st.label = "reduce_scatter_combine";
+            st.blocks = std::max<std::uint64_t>(1, c_elems / 256);
+            st.threads_per_block = 256;
+            st.flops = c_elems * n_pulls;
+            st.global_bytes_read = seg_bytes * n_pulls + c_elems * 4;
+            st.global_bytes_written = c_elems * 4;
+            node_.launch(c_compute, st, [scratch_buf, seg_bytes, c_buffer,
+                                         c_off, c_elems, n_pulls, op] {
+              if (scratch_buf == nullptr || !scratch_buf->has_backing()) {
+                return;
+              }
+              for (std::size_t k = 0; k < n_pulls; ++k) {
+                op(c_buffer->data() + c_off,
+                   scratch_buf->data() + k * seg_bytes, c_elems);
+              }
+            });
+            node_.record_event(comb_done, c_compute);
+          });
+      avail_[{datum.key(), c_loc}].update(rows, comb_done);
+      access_[{datum.key(), c_loc}].write(c_local, comb_done);
+    }
+
     // Staging area on the target for the peers' partial segments.
     struct Piece {
       sim::Buffer* src = nullptr;
@@ -1366,14 +1569,8 @@ void Scheduler::ReduceScatter(Datum& datum, Work work) {
     };
     std::vector<Piece> pieces;
     sim::Buffer* staging = nullptr;
-    for (int s : writers) {
-      if (s == t) {
-        continue;
-      }
+    for (int s : sources) {
       const auto* src_alloc = analyzer_.find(&datum, s);
-      if (src_alloc == nullptr) {
-        continue;
-      }
       if (staging == nullptr) {
         // Reuse the staging area across iterations.
         auto& cached = reduce_staging_[{datum.key(), t}];
@@ -1396,6 +1593,12 @@ void Scheduler::ReduceScatter(Datum& datum, Work work) {
                       static_cast<std::size_t>(static_cast<long>(rows.end) -
                                                src_alloc->origin)},
           piece.done);
+      ++stats_.transfers.copies_issued;
+      TransferPlanner::account(
+          stats_.transfers, node_.topology(),
+          sim::Endpoint::dev(devices_[static_cast<std::size_t>(s)]),
+          sim::Endpoint::dev(devices_[static_cast<std::size_t>(t)]), false,
+          seg_bytes);
       pieces.push_back(piece);
     }
 
@@ -1421,7 +1624,7 @@ void Scheduler::ReduceScatter(Datum& datum, Work work) {
     const sim::StreamId copy_stream2 =
         copy_streams2_[static_cast<std::size_t>(t)];
     const sim::StreamId compute_stream =
-        compute_streams_[static_cast<std::size_t>(t)];
+        reduce_streams_[static_cast<std::size_t>(t)];
     invokers_[static_cast<std::size_t>(t)]->submit([this, pieces, staging,
                                                     seg_bytes, copy_stream,
                                                     copy_stream2,

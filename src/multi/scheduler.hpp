@@ -50,6 +50,7 @@
 #include "multi/sanitizer.hpp"
 #include "multi/segmenter.hpp"
 #include "multi/task_cost.hpp"
+#include "multi/transfer_planner.hpp"
 
 namespace maps::multi {
 
@@ -87,6 +88,11 @@ struct SchedulerStats {
   std::uint64_t uncacheable_tasks = 0;   ///< e.g. CustomAligned row mappings.
   double plan_time_us = 0.0;   ///< Host time spent building plans.
   double replay_time_us = 0.0; ///< Host time spent replaying cached plans.
+  /// Transfer accounting summed over every dispatched task (builds and
+  /// replays alike — a replayed plan re-contributes the stats baked into its
+  /// shape). Byte counters classify each task's planned input transfers by
+  /// physical path; see TransferStats.
+  TransferStats transfers;
 };
 
 class Scheduler {
@@ -198,7 +204,20 @@ public:
   /// host RAM (the behaviour of the paper's MPI/host-based baselines)
   /// instead of direct peer-to-peer transfers. Functionally identical,
   /// used by bench/ablation_design_choices to quantify §6.2's argument.
+  /// Forcing host staging also disables the transfer planner: every route is
+  /// prescribed, so there is nothing left to plan.
   void set_force_host_staged(bool on) { force_host_staged_ = on; }
+
+  /// Cost-based transfer routing (transfer_planner.hpp; on by default).
+  /// When disabled, copies use Algorithm 2's positional source choice
+  /// unrouted — simulated *results* are identical either way, only the
+  /// simulated timeline changes. The setting is part of the plan-cache
+  /// fingerprint, so toggling it mid-run never replays a plan routed under
+  /// the other setting.
+  void set_transfer_planner_enabled(bool on) {
+    transfer_planner_enabled_ = on;
+  }
+  bool transfer_planner_enabled() const { return transfer_planner_enabled_; }
 
   std::uint64_t tasks_scheduled() const { return next_task_ - 1; }
 
@@ -350,6 +369,10 @@ private:
     TaskPartition partition;
     int active_slots = 0;
     std::vector<DevicePlan> devices;
+    /// Transfer accounting of this task's planned copies (routing + byte
+    /// attribution). Structural like everything else here: a replayed plan
+    /// dispatches the same transfers, so it re-contributes the same stats.
+    TransferStats transfers;
   };
 
   struct TaskPlan {
@@ -527,11 +550,22 @@ private:
                        int pattern_index, const SegmentReq& req,
                        const MemoryAnalyzer::Alloc& alloc);
 
+  /// True when plan builds should route copies through the transfer planner
+  /// (forced host staging prescribes every route, leaving nothing to plan).
+  bool planner_active() const {
+    return transfer_planner_enabled_ && !force_host_staged_;
+  }
+
   sim::Node& node_;
   std::vector<int> devices_;
   std::vector<sim::StreamId> compute_streams_, copy_streams_, copy_streams2_;
+  /// Dedicated per-device stream for reduce-scatter sum/combine kernels, so
+  /// they wait only on their event dependencies (and the compute engine),
+  /// not on stream order behind the device's whole kernel backlog.
+  std::vector<sim::StreamId> reduce_streams_;
   MemoryAnalyzer analyzer_;
   SegmentLocationMonitor monitor_;
+  TransferPlanner planner_;
   std::vector<std::unique_ptr<InvokerThread>> invokers_;
 
   /// Which event made each row range of a datum available at a location
@@ -554,6 +588,10 @@ private:
   /// Staging buffers owned by ReduceScatter, cached per (datum, slot).
   std::unordered_map<std::pair<const void*, int>, sim::Buffer*, PtrIntPairHash>
       reduce_staging_;
+  /// Staging for the in-pair pre-combine of the hierarchical reduce-scatter,
+  /// cached per (datum, target * slots + combiner).
+  std::unordered_map<std::pair<const void*, int>, sim::Buffer*, PtrIntPairHash>
+      combine_staging_;
 
   /// Steady-state plan cache: fingerprint → state variants of (immutable
   /// plan, captured location state), LRU-bounded by fingerprint.
@@ -578,6 +616,7 @@ private:
   CopyFaultHook copy_fault_hook_;
 
   bool force_host_staged_ = false;
+  bool transfer_planner_enabled_ = true;
   double task_overhead_us_ = 60.0;
   double per_device_overhead_us_ = 20.0;
   TaskHandle next_task_ = 1;

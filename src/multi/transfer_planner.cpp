@@ -1,0 +1,286 @@
+#include "multi/transfer_planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace maps::multi {
+
+TransferPlanner::TransferPlanner(const SegmentLocationMonitor& monitor,
+                                 const sim::Topology& topo,
+                                 std::vector<int> devices)
+    : monitor_(monitor), topo_(topo), devices_(std::move(devices)) {
+  uplink_busy_.resize(static_cast<std::size_t>(topo_.bus_count()), 0.0);
+  downlink_busy_.resize(static_cast<std::size_t>(topo_.bus_count()), 0.0);
+  socket_busy_.resize(static_cast<std::size_t>(topo_.cluster_nodes()),
+                      {0.0, 0.0});
+  engine_busy_.resize(devices_.size(), {0.0, 0.0});
+}
+
+void TransferPlanner::begin_task() {
+  std::fill(uplink_busy_.begin(), uplink_busy_.end(), 0.0);
+  std::fill(downlink_busy_.begin(), downlink_busy_.end(), 0.0);
+  std::fill(socket_busy_.begin(), socket_busy_.end(),
+            std::array<double, 2>{0.0, 0.0});
+  std::fill(engine_busy_.begin(), engine_busy_.end(),
+            std::array<double, 2>{0.0, 0.0});
+  fresh_.clear();
+}
+
+sim::Endpoint TransferPlanner::endpoint(int location) const {
+  if (location == SegmentLocationMonitor::kHost) {
+    return sim::Endpoint::host();
+  }
+  return sim::Endpoint::dev(devices_[static_cast<std::size_t>(location - 1)]);
+}
+
+double TransferPlanner::link_free(const sim::Topology::LinkUse& use) const {
+  double free_s = 0.0;
+  if (use.uplink_bus >= 0) {
+    free_s = std::max(free_s,
+                      uplink_busy_[static_cast<std::size_t>(use.uplink_bus)]);
+  }
+  if (use.downlink_bus >= 0) {
+    free_s = std::max(
+        free_s, downlink_busy_[static_cast<std::size_t>(use.downlink_bus)]);
+  }
+  if (use.socket_node >= 0) {
+    free_s = std::max(
+        free_s, socket_busy_[static_cast<std::size_t>(use.socket_node)]
+                            [static_cast<std::size_t>(use.socket_dir)]);
+  }
+  return free_s;
+}
+
+void TransferPlanner::reserve_links(const sim::Topology::LinkUse& use,
+                                    double until) {
+  if (use.uplink_bus >= 0) {
+    uplink_busy_[static_cast<std::size_t>(use.uplink_bus)] = until;
+  }
+  if (use.downlink_bus >= 0) {
+    downlink_busy_[static_cast<std::size_t>(use.downlink_bus)] = until;
+  }
+  if (use.socket_node >= 0) {
+    socket_busy_[static_cast<std::size_t>(use.socket_node)]
+                [static_cast<std::size_t>(use.socket_dir)] = until;
+  }
+}
+
+std::pair<double, std::uint32_t>
+TransferPlanner::source_state(const Datum* datum, int loc,
+                              const RowInterval& rows) const {
+  const auto it = fresh_.find(datum->key());
+  if (it == fresh_.end()) {
+    return {0.0, 0};
+  }
+  double ready = 0.0;
+  std::uint32_t depth = 0;
+  for (const Fresh& f : it->second[static_cast<std::size_t>(loc)]) {
+    if (f.rows.begin < rows.end && rows.begin < f.rows.end) {
+      ready = std::max(ready, f.ready_s);
+      depth = std::max(depth, f.depth);
+    }
+  }
+  return {ready, depth};
+}
+
+void TransferPlanner::account(TransferStats& stats, const sim::Topology& topo,
+                              sim::Endpoint src, sim::Endpoint dst,
+                              bool host_staged, std::uint64_t bytes) {
+  switch (topo.link_class(src, dst, host_staged)) {
+  case sim::LinkClass::IntraDevice:
+    break; // never leaves the device: no interconnect traffic
+  case sim::LinkClass::PeerSameBus:
+    stats.bytes_p2p_same_bus += bytes;
+    break;
+  case sim::LinkClass::PeerCrossBus:
+    stats.bytes_p2p_cross_bus += bytes;
+    break;
+  case sim::LinkClass::HostToDevice:
+    stats.bytes_h2d += bytes;
+    break;
+  case sim::LinkClass::DeviceToHost:
+    stats.bytes_d2h += bytes;
+    break;
+  case sim::LinkClass::HostStaged:
+    stats.bytes_host_staged += bytes;
+    break;
+  }
+}
+
+std::vector<SegmentLocationMonitor::CopyOp>
+TransferPlanner::route(const Datum* datum, int target_location,
+                       std::size_t row_bytes,
+                       std::vector<SegmentLocationMonitor::CopyOp> ops,
+                       TransferStats& stats) {
+  stats.copies_planned += static_cast<std::uint32_t>(ops.size());
+  const int locations = static_cast<int>(devices_.size()) + 1;
+  const int target_slot = target_location - 1;
+  const sim::Endpoint dst = endpoint(target_location);
+
+  // Split ops at the boundaries of this task's freshly-routed replicas: the
+  // monitor may hand us one wide op whose source rows become ready at
+  // different times (some original, some still in flight). Each span routes
+  // independently so it stalls only on its own source; the coalescing pass
+  // below re-merges spans that end up equal.
+  const auto fresh_it = fresh_.find(datum->key());
+  if (fresh_it != fresh_.end()) {
+    std::vector<std::size_t> cuts;
+    for (const auto& per_loc : fresh_it->second) {
+      for (const Fresh& f : per_loc) {
+        cuts.push_back(f.rows.begin);
+        cuts.push_back(f.rows.end);
+      }
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    if (!cuts.empty()) {
+      std::vector<SegmentLocationMonitor::CopyOp> split;
+      split.reserve(ops.size());
+      for (const auto& op : ops) {
+        SegmentLocationMonitor::CopyOp piece = op;
+        for (std::size_t cut : cuts) {
+          if (cut > piece.rows.begin && cut < piece.rows.end) {
+            SegmentLocationMonitor::CopyOp head = piece;
+            head.rows.end = cut;
+            split.push_back(head);
+            piece.rows.begin = cut;
+          }
+        }
+        split.push_back(piece);
+      }
+      ops = std::move(split);
+    }
+  }
+
+  // Source-readiness of each op's chosen source (0 for data already in
+  // place): the coalescing pass below only merges ops that become available
+  // together, so a merged transfer never stalls an early piece on a late one.
+  std::vector<double> src_ready(ops.size(), 0.0);
+
+  for (std::size_t oi = 0; oi < ops.size(); ++oi) {
+    auto& op = ops[oi];
+    if (op.src_location == target_location) {
+      // Wrap/Clamp halo refilled from the target's own holdings: an
+      // intra-device copy is already the cheapest possible path.
+      continue;
+    }
+    const std::uint64_t bytes = op.rows.size() * row_bytes;
+
+    double best_finish = std::numeric_limits<double>::infinity();
+    int best_loc = -1;
+    int best_rank = 0;
+    std::uint32_t best_depth = 0;
+    double best_ready = 0.0;
+    sim::Topology::LinkUse best_use;
+
+    for (int l = 0; l < locations; ++l) {
+      if (l == target_location) {
+        continue;
+      }
+      // The monitor's own pick is always a valid candidate; any other
+      // location qualifies iff its up-to-date holdings cover the rows
+      // (including replicas this task routed to it moments ago — the build
+      // marks those copied in the monitor as it plans).
+      if (l != op.src_location &&
+          !monitor_.up_to_date(datum, l).covers(op.rows)) {
+        continue;
+      }
+      const sim::Endpoint src = endpoint(l);
+      const bool staged = !src.is_host() && !dst.is_host() &&
+                          !topo_.peer_enabled(src.device, dst.device);
+      const sim::Topology::LinkUse use = topo_.link_use(src, dst, staged);
+      const auto [ready, depth] = source_state(datum, l, op.rows);
+      // Mirror the simulator: setup latency pipelines with whatever is still
+      // draining the shared link, so only the data phase queues behind it.
+      const double setup =
+          (staged ? topo_.latency_us(src, sim::Endpoint::host())
+                  : topo_.latency_us(src, dst)) *
+          1e-6;
+      double start =
+          std::max({ready, link_free(use) - setup, 0.0});
+      if (target_slot >= 0) {
+        const auto& eng = engine_busy_[static_cast<std::size_t>(target_slot)];
+        start = std::max(start, std::min(eng[0], eng[1]));
+      }
+      double duration;
+      if (staged) {
+        duration = topo_.transfer_seconds(src, sim::Endpoint::host(), bytes) +
+                   topo_.transfer_seconds(sim::Endpoint::host(), dst, bytes) +
+                   topo_.host_staging_software_us * 1e-6;
+      } else {
+        duration = topo_.transfer_seconds(src, dst, bytes);
+      }
+      const double finish = start + duration;
+      const int rank =
+          sim::Topology::link_rank(topo_.link_class(src, dst, staged));
+      if (finish < best_finish ||
+          (finish == best_finish &&
+           (rank < best_rank || (rank == best_rank && l < best_loc)))) {
+        best_finish = finish;
+        best_loc = l;
+        best_rank = rank;
+        best_depth = depth;
+        best_ready = ready;
+        best_use = use;
+      }
+    }
+
+    if (best_loc < 0) {
+      continue; // defensive: keep the monitor's op untouched
+    }
+    src_ready[oi] = best_ready;
+    if (best_loc != op.src_location) {
+      ++stats.copies_rerouted;
+      op.src_location = best_loc;
+    }
+    // Commit the choice to the load tracker so later ops (of this and every
+    // following slot in the task) see this transfer occupying its links and
+    // one of the destination's copy engines.
+    reserve_links(best_use, best_finish);
+    if (target_slot >= 0) {
+      auto& eng = engine_busy_[static_cast<std::size_t>(target_slot)];
+      (eng[0] <= eng[1] ? eng[0] : eng[1]) = best_finish;
+    }
+    auto& per_loc = fresh_[datum->key()];
+    if (per_loc.empty()) {
+      per_loc.resize(static_cast<std::size_t>(locations));
+    }
+    per_loc[static_cast<std::size_t>(target_location)].push_back(
+        Fresh{op.rows, best_finish, best_depth + 1});
+    stats.max_fanout_depth = std::max(stats.max_fanout_depth, best_depth + 1);
+  }
+
+  // Re-canonicalize: routing may have moved ops between sources, so re-sort
+  // and merge rows that are now adjacent with the same source (the monitor
+  // guarantees the rows themselves are disjoint). Ops whose sources become
+  // ready at different times stay separate: a merged transfer starts only
+  // when its latest piece exists, which would stall the early pieces.
+  std::vector<std::size_t> order(ops.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return ops[a].src_location != ops[b].src_location
+               ? ops[a].src_location < ops[b].src_location
+               : ops[a].rows.begin < ops[b].rows.begin;
+  });
+  std::vector<SegmentLocationMonitor::CopyOp> merged;
+  merged.reserve(ops.size());
+  double merged_ready = 0.0;
+  for (std::size_t i : order) {
+    const auto& op = ops[i];
+    if (!merged.empty() && merged.back().src_location == op.src_location &&
+        merged.back().rows.end == op.rows.begin &&
+        std::abs(src_ready[i] - merged_ready) < 1e-9) {
+      merged.back().rows.end = op.rows.end;
+      ++stats.copies_coalesced;
+    } else {
+      merged.push_back(op);
+      merged_ready = src_ready[i];
+    }
+  }
+  return merged;
+}
+
+} // namespace maps::multi

@@ -1,0 +1,144 @@
+// Transfer routing layer between the Segment Location Monitor and the
+// Scheduler.
+//
+// Algorithm 2 answers *what* must move (which rows are missing at the target
+// and who holds them); this layer decides *how* the movement is routed over
+// the node's interconnect. The monitor's own source choice is purely
+// positional — first covering location wins — which is oblivious to the
+// topology's link classes (in-pair P2P vs cross-bus P2P vs host PCIe) and to
+// the load the current task has already placed on each shared link. Under
+// the simulator's contention model (per-bus host links, a full-duplex
+// inter-socket link; see sim/topology.hpp) that obliviousness costs real
+// simulated time: a one-to-many replication naively crosses the shared link
+// once per *target*, when crossing once per *bus* and forwarding in-pair is
+// strictly cheaper.
+//
+// The planner re-sources every CopyOp with a greedy earliest-finish rule
+// over all locations whose up-to-date holdings cover the op's rows:
+//
+//   finish(src) = max(replica_ready(src), shared_links_free(src->dst),
+//                     dst_copy_engines_free) + transfer_time(src->dst)
+//
+// with deterministic tie-breaking on (link class rank, location index).
+// Because the scheduler plans device slots sequentially and marks routed
+// replicas copied in the monitor as it goes, a replica the planner just
+// routed to one device immediately becomes a candidate source for the next
+// device — multicast fan-out trees (cross the shared bus once, forward
+// within the pair) *emerge* from the cost rule rather than being prescribed.
+// The per-task load tracker is what makes this work: the second h2d of a
+// broadcast sees the uplink busy and the pair-mate's fresh replica cheap.
+//
+// Finally, ops that end up adjacent with the same source are coalesced into
+// one transfer (each op pays the per-transfer latency in the simulator).
+//
+// Everything here is deterministic and runs at plan-build time only: routed
+// plans are baked into the immutable PlanShape, flow through the scheduler's
+// plan cache unchanged, and replay without consulting the planner again.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "multi/datum.hpp"
+#include "multi/location_monitor.hpp"
+#include "sim/topology.hpp"
+
+namespace maps::multi {
+
+/// Transfer accounting of one task (or, summed, of a run). Byte counters
+/// classify planned input transfers by the physical path they take; the copy
+/// counters expose what routing and coalescing did to Algorithm 2's raw op
+/// list.
+struct TransferStats {
+  std::uint64_t bytes_h2d = 0;
+  std::uint64_t bytes_d2h = 0;
+  std::uint64_t bytes_p2p_same_bus = 0;
+  std::uint64_t bytes_p2p_cross_bus = 0;
+  std::uint64_t bytes_host_staged = 0;
+
+  std::uint32_t copies_planned = 0;   ///< raw Algorithm-2 ops before routing
+  std::uint32_t copies_issued = 0;    ///< transfers actually dispatched
+  std::uint32_t copies_rerouted = 0;  ///< ops whose source the planner changed
+  std::uint32_t copies_coalesced = 0; ///< ops merged into an adjacent one
+  std::uint32_t max_fanout_depth = 0; ///< longest replica-forwarding chain
+
+  void add(const TransferStats& o) {
+    bytes_h2d += o.bytes_h2d;
+    bytes_d2h += o.bytes_d2h;
+    bytes_p2p_same_bus += o.bytes_p2p_same_bus;
+    bytes_p2p_cross_bus += o.bytes_p2p_cross_bus;
+    bytes_host_staged += o.bytes_host_staged;
+    copies_planned += o.copies_planned;
+    copies_issued += o.copies_issued;
+    copies_rerouted += o.copies_rerouted;
+    copies_coalesced += o.copies_coalesced;
+    max_fanout_depth = std::max(max_fanout_depth, o.max_fanout_depth);
+  }
+};
+
+class TransferPlanner {
+public:
+  /// `devices` maps scheduler slots to sim device indices (location 1 + slot
+  /// corresponds to devices[slot]).
+  TransferPlanner(const SegmentLocationMonitor& monitor,
+                  const sim::Topology& topo, std::vector<int> devices);
+
+  /// Resets the per-task load tracker and fresh-replica table. Called once
+  /// per plan build; route() calls within one task share the load state so
+  /// the cost estimates see the task's own earlier transfers.
+  void begin_task();
+
+  /// Re-sources, load-balances and coalesces one target's copy ops. `ops`
+  /// must come from SegmentLocationMonitor::plan_copies for the same datum
+  /// and target; the returned list moves exactly the same rows (possibly
+  /// from different sources, possibly merged). Routing statistics are
+  /// accumulated into `stats`; byte accounting is the caller's job (it knows
+  /// the final staging mode).
+  std::vector<SegmentLocationMonitor::CopyOp>
+  route(const Datum* datum, int target_location, std::size_t row_bytes,
+        std::vector<SegmentLocationMonitor::CopyOp> ops, TransferStats& stats);
+
+  /// Classifies one planned transfer and adds its bytes to the matching
+  /// counter of `stats`. Shared by the planner-on and planner-off paths so
+  /// the byte attribution is identical in both.
+  static void account(TransferStats& stats, const sim::Topology& topo,
+                      sim::Endpoint src, sim::Endpoint dst, bool host_staged,
+                      std::uint64_t bytes);
+
+private:
+  /// A replica created by a copy routed earlier in the *current* task:
+  /// usable as a source, but only ready once its transfer finishes.
+  struct Fresh {
+    RowInterval rows;
+    double ready_s = 0.0;
+    std::uint32_t depth = 0; ///< forwarding-chain length that produced it
+  };
+
+  sim::Endpoint endpoint(int location) const;
+  double link_free(const sim::Topology::LinkUse& use) const;
+  void reserve_links(const sim::Topology::LinkUse& use, double until);
+  /// Estimated ready time and chain depth of `rows` at `loc` (0/0 for
+  /// replicas that existed before this task).
+  std::pair<double, std::uint32_t> source_state(const Datum* datum, int loc,
+                                                const RowInterval& rows) const;
+
+  const SegmentLocationMonitor& monitor_;
+  const sim::Topology& topo_;
+  std::vector<int> devices_;
+
+  // Per-task shared-link and destination-engine load estimates, in seconds
+  // of estimated busy-until time relative to the task's start. These mirror
+  // the simulator's LinkState/DeviceEngines bookkeeping in miniature; they
+  // only need to be accurate *relative to each other* for the greedy rule to
+  // pick the right source.
+  std::vector<double> uplink_busy_;   ///< per bus
+  std::vector<double> downlink_busy_; ///< per bus
+  std::vector<std::array<double, 2>> socket_busy_; ///< per node, per direction
+  std::vector<std::array<double, 2>> engine_busy_; ///< per slot, two engines
+  /// Fresh replicas routed this task: datum key -> per-location list.
+  std::unordered_map<const void*, std::vector<std::vector<Fresh>>> fresh_;
+};
+
+} // namespace maps::multi

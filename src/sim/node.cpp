@@ -83,6 +83,15 @@ struct Node::DeviceEngines {
   double copy_free_s[2] = {0.0, 0.0};
 };
 
+struct Node::LinkState {
+  // Host links, one pair per PCIe bus (indexed by bus).
+  double uplink_free_s = 0.0;
+  double downlink_free_s = 0.0;
+  // Full-duplex inter-socket link, one pair per cluster node (indexed by
+  // cluster node; [0] ascending bus direction, [1] descending).
+  double socket_free_s[2] = {0.0, 0.0};
+};
+
 Node::Node(std::vector<DeviceSpec> specs, Topology topo, ExecMode mode)
     : specs_(std::move(specs)), topo_(std::move(topo)), mode_(mode) {
   if (specs_.empty()) {
@@ -93,6 +102,8 @@ Node::Node(std::vector<DeviceSpec> specs, Topology topo, ExecMode mode)
   }
   const bool functional = mode_ == ExecMode::Functional;
   engines_.resize(specs_.size());
+  links_.resize(static_cast<std::size_t>(
+      std::max(topo_.bus_count(), topo_.cluster_nodes())));
   for (int d = 0; d < device_count(); ++d) {
     allocators_.push_back(std::make_unique<DeviceAllocator>(
         d, specs_[static_cast<std::size_t>(d)].global_mem_bytes, functional));
@@ -421,6 +432,62 @@ double Node::command_duration(const Command& cmd, int device) const {
   return 0.0;
 }
 
+double Node::copy_setup_seconds(const Command& cmd) const {
+  if (cmd.src.is_host() && cmd.dst.is_host()) {
+    return 0.0;
+  }
+  if (!cmd.src.is_host() && !cmd.dst.is_host() &&
+      cmd.src.device == cmd.dst.device && !cmd.host_staged) {
+    return 3e-6;
+  }
+  // A staged transfer's first hop (device -> host) sets the pipelining
+  // window; the rest of its duration genuinely occupies both host links.
+  if (cmd.host_staged) {
+    return topo_.latency_us(cmd.src, Endpoint::host()) * 1e-6;
+  }
+  return topo_.latency_us(cmd.src, cmd.dst) * 1e-6;
+}
+
+double Node::link_free_time(const Command& cmd) const {
+  const Topology::LinkUse use =
+      topo_.link_use(cmd.src, cmd.dst, cmd.host_staged);
+  double free_s = 0.0;
+  if (use.uplink_bus >= 0) {
+    free_s = std::max(
+        free_s, links_[static_cast<std::size_t>(use.uplink_bus)].uplink_free_s);
+  }
+  if (use.downlink_bus >= 0) {
+    free_s = std::max(free_s, links_[static_cast<std::size_t>(
+                                         use.downlink_bus)].downlink_free_s);
+  }
+  if (use.socket_node >= 0) {
+    free_s = std::max(free_s,
+                      links_[static_cast<std::size_t>(use.socket_node)]
+                          .socket_free_s[use.socket_dir]);
+  }
+  return free_s;
+}
+
+void Node::reserve_links(const Command& cmd, double completion,
+                         double duration) {
+  const Topology::LinkUse use =
+      topo_.link_use(cmd.src, cmd.dst, cmd.host_staged);
+  if (use.uplink_bus >= 0) {
+    links_[static_cast<std::size_t>(use.uplink_bus)].uplink_free_s = completion;
+    stats_.host_uplink_busy_seconds += duration;
+  }
+  if (use.downlink_bus >= 0) {
+    links_[static_cast<std::size_t>(use.downlink_bus)].downlink_free_s =
+        completion;
+    stats_.host_downlink_busy_seconds += duration;
+  }
+  if (use.socket_node >= 0) {
+    links_[static_cast<std::size_t>(use.socket_node)]
+        .socket_free_s[use.socket_dir] = completion;
+    stats_.socket_link_busy_seconds += duration;
+  }
+}
+
 void Node::account(const Command& cmd, int device, double duration) {
   switch (cmd.kind) {
   case Command::Kind::Kernel:
@@ -444,6 +511,11 @@ void Node::account(const Command& cmd, int device, double duration) {
       stats_.bytes_d2h += cmd.bytes;
     } else if (cmd.src.device != cmd.dst.device) {
       stats_.bytes_p2p += cmd.bytes;
+      if (topo_.bus_of(cmd.src.device) == topo_.bus_of(cmd.dst.device)) {
+        stats_.bytes_p2p_same_bus += cmd.bytes;
+      } else {
+        stats_.bytes_p2p_cross_bus += cmd.bytes;
+      }
     }
     break;
   }
@@ -489,6 +561,12 @@ void Node::drain_locked() {
         const auto& eng = engines_[static_cast<std::size_t>(st.device)];
         engine = eng.copy_free_s[0] <= eng.copy_free_s[1] ? 0 : 1;
         ready = std::max(ready, eng.copy_free_s[engine]);
+        // Transfers sharing a physical link (host uplink/downlink, the
+        // inter-socket hop) serialize on it; in-pair P2P stays engine-bound.
+        // DMA setup latency pipelines with the predecessor's data phase (the
+        // bus is throughput-bound, not command-bound), so a queued copy may
+        // begin its setup while the link drains.
+        ready = std::max(ready, link_free_time(cmd) - copy_setup_seconds(cmd));
       }
 
       // Strict '<' with ascending iteration keeps the lowest stream id on
@@ -532,6 +610,7 @@ void Node::drain_locked() {
     } else if (cmd.kind == Command::Kind::Copy) {
       engines_[static_cast<std::size_t>(st.device)]
           .copy_free_s[best_engine] = completion;
+      reserve_links(cmd, completion, duration);
     } else if (cmd.kind == Command::Kind::RecordEvent) {
       auto& ev = events_[static_cast<std::size_t>(cmd.event)];
       ev.completion_s.resize(

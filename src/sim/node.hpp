@@ -187,11 +187,19 @@ private:
   struct StreamState;
   struct EventState;
   struct DeviceEngines;
+  struct LinkState;
 
   void enqueue(StreamId stream, Command cmd);
   void drain_locked();
   double command_duration(const Command& cmd, int device) const;
   void account(const Command& cmd, int device, double duration);
+  /// Earliest time every shared link a copy needs is free (0 for none).
+  double link_free_time(const Command& cmd) const;
+  /// Setup-latency share of a copy's duration; this much may overlap the
+  /// predecessor still draining the shared link.
+  double copy_setup_seconds(const Command& cmd) const;
+  /// Marks the copy's shared links busy until `completion`.
+  void reserve_links(const Command& cmd, double completion, double duration);
 
   std::vector<DeviceSpec> specs_;
   Topology topo_;
@@ -202,6 +210,13 @@ private:
   std::vector<StreamState> streams_;
   std::vector<EventState> events_;
   std::vector<DeviceEngines> engines_;
+  /// Shared interconnect resources: per-bus host uplink/downlink and a
+  /// per-cluster-node full-duplex inter-socket link. Copies wait for and
+  /// reserve these in addition to a destination copy engine, so concurrent
+  /// transfers that share a physical link serialize instead of overlapping
+  /// for free. Indexed by bus for host links, by cluster node for the
+  /// socket link (sized to the max of both).
+  std::vector<LinkState> links_;
   std::vector<StreamId> default_streams_;
 
   double host_time_s_ = 0.0;

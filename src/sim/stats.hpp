@@ -31,8 +31,20 @@ struct SimStats {
   std::uint64_t bytes_p2p = 0; ///< device-to-device, direct peer path
   std::uint64_t bytes_host_staged = 0; ///< device-to-device through the host
 
+  // Split of bytes_p2p by physical path (transfer-routing tests use these to
+  // check traffic lands on the link class the planner chose).
+  std::uint64_t bytes_p2p_same_bus = 0;  ///< through the pair's PCIe switch
+  std::uint64_t bytes_p2p_cross_bus = 0; ///< over the inter-socket link
+
   double kernel_seconds = 0; ///< Sum of kernel busy time across devices.
   double copy_seconds = 0;   ///< Sum of transfer time across engines.
+
+  // Busy time of the shared interconnect resources (summed across cluster
+  // nodes). Concurrent transfers serialize on these in the event loop, so
+  // high values here mean the workload is link-bound, not engine-bound.
+  double host_uplink_busy_seconds = 0;
+  double host_downlink_busy_seconds = 0;
+  double socket_link_busy_seconds = 0;
 
   /// bytes_between[i][j]: bytes moved from endpoint i to endpoint j, where
   /// index 0 is the host and index d+1 is device d.

@@ -63,6 +63,52 @@ double Topology::network_seconds(int src_device, int dst_device,
          static_cast<double>(bytes) / (network_gbps_ * 1e9);
 }
 
+LinkClass Topology::link_class(Endpoint src, Endpoint dst,
+                               bool host_staged) const {
+  if (!src.is_host() && !dst.is_host() && src.device == dst.device) {
+    return LinkClass::IntraDevice;
+  }
+  if (host_staged) {
+    return LinkClass::HostStaged;
+  }
+  if (src.is_host()) {
+    return LinkClass::HostToDevice;
+  }
+  if (dst.is_host()) {
+    return LinkClass::DeviceToHost;
+  }
+  return bus_of(src.device) == bus_of(dst.device) ? LinkClass::PeerSameBus
+                                                  : LinkClass::PeerCrossBus;
+}
+
+Topology::LinkUse Topology::link_use(Endpoint src, Endpoint dst,
+                                     bool host_staged) const {
+  LinkUse use;
+  switch (link_class(src, dst, host_staged)) {
+  case LinkClass::IntraDevice:
+  case LinkClass::PeerSameBus:
+    break; // endpoint copy engines only; nothing shared
+  case LinkClass::PeerCrossBus:
+    use.socket_node = cluster_node_of(src.device);
+    use.socket_dir = bus_of(src.device) < bus_of(dst.device) ? 0 : 1;
+    break;
+  case LinkClass::HostToDevice:
+    use.uplink_bus = bus_of(dst.device);
+    break;
+  case LinkClass::DeviceToHost:
+    use.downlink_bus = bus_of(src.device);
+    break;
+  case LinkClass::HostStaged:
+    // Both hops are paid for the whole transfer: out of the source bus's
+    // downlink, into the destination bus's uplink (the same bus when the
+    // staging is forced rather than cross-node).
+    use.downlink_bus = bus_of(src.device);
+    use.uplink_bus = bus_of(dst.device);
+    break;
+  }
+  return use;
+}
+
 double Topology::bandwidth_gbps(Endpoint src, Endpoint dst) const {
   if (src.is_host() && dst.is_host()) {
     return 25.0; // host memcpy; never on the critical path in practice

@@ -20,6 +20,19 @@ struct Endpoint {
   static Endpoint dev(int d) { return Endpoint{d}; }
 };
 
+/// Classification of the physical path a transfer takes. Ordered by routing
+/// preference (see Topology::link_rank): a transfer planner should prefer
+/// sources reachable over cheaper, less-shared links.
+enum class LinkClass {
+  IntraDevice,  ///< same device (memsets, halo self-copies): no interconnect
+  PeerSameBus,  ///< P2P through the pair's shared PCIe switch
+  PeerCrossBus, ///< P2P across the inter-socket link
+  HostToDevice, ///< over the host's PCIe uplink
+  DeviceToHost, ///< over the host's PCIe downlink
+  HostStaged,   ///< D2H + H2D bounce through host RAM (and the network,
+                ///< when the endpoints live on different cluster nodes)
+};
+
 /// Per-node interconnect description with a simple per-hop bandwidth/latency
 /// model. All bandwidths are in GB/s, latencies in microseconds.
 class Topology {
@@ -55,6 +68,38 @@ public:
   /// Network hop cost between two cluster nodes (0 within a node).
   double network_seconds(int src_device, int dst_device,
                          std::size_t bytes) const;
+
+  // --- Link-cost query API (transfer planning) -------------------------------
+
+  /// Physical path class of a transfer between two endpoints.
+  LinkClass link_class(Endpoint src, Endpoint dst,
+                       bool host_staged = false) const;
+
+  /// Routing preference of a link class: lower ranks are cheaper / less
+  /// shared (in-pair P2P < cross-bus P2P < H2D < D2H < host-staged).
+  /// IntraDevice ranks cheapest of all — it never leaves the device.
+  static int link_rank(LinkClass c) { return static_cast<int>(c); }
+
+  /// Shared interconnect resources one transfer occupies (-1 = unused). The
+  /// simulator serializes concurrent transfers on each shared resource;
+  /// in-pair P2P uses none (point-to-point through the pair's own switch),
+  /// which is exactly why replica forwarding within a pair relieves the
+  /// host links during one-to-many distribution.
+  ///
+  /// The model follows the paper's dual-socket node: each PCIe bus hangs off
+  /// its own CPU socket, so host traffic contends per *bus* (uplink and
+  /// downlink are independent directions of the same x16 connection), and
+  /// cross-bus peer traffic shares one full-duplex inter-socket link per
+  /// cluster node (one resource per direction).
+  struct LinkUse {
+    int uplink_bus = -1;    ///< host->device: dst's bus uplink
+    int downlink_bus = -1;  ///< device->host: src's bus downlink
+    int socket_node = -1;   ///< cross-bus P2P: cluster node of the hop
+    int socket_dir = 0;     ///< 0 = ascending bus index, 1 = descending
+  };
+  LinkUse link_use(Endpoint src, Endpoint dst, bool host_staged = false) const;
+  /// Number of PCIe buses (consecutive device pairs).
+  int bus_count() const { return (device_count_ + 1) / 2; }
 
   /// Effective bandwidth (GB/s) for a transfer between two endpoints.
   double bandwidth_gbps(Endpoint src, Endpoint dst) const;

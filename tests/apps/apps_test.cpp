@@ -180,10 +180,16 @@ TEST(Fig8CalibrationTest, MapsVsCubRelationshipsPerArchitecture) {
   EXPECT_LT(maps980 / cub980, 3.0);
 }
 
+// The paper's Fig 6 scaling numbers measure long steady-state runs, so the
+// one-time input distribution is amortized away. 400 iterations keep its
+// share below ~2% now that uploads to the two devices of a pair serialize
+// on their shared per-bus host link (they no longer overlap for free).
 TEST(Fig6CalibrationTest, GolScalesToRoughly3point7xOn4Gpus) {
   for (const auto& spec : sim::paper_device_models()) {
-    const double one = gol_time_ms(spec, 1, apps::gol::Scheme::MapsIlp);
-    const double four = gol_time_ms(spec, 4, apps::gol::Scheme::MapsIlp);
+    const double one =
+        gol_time_ms(spec, 1, apps::gol::Scheme::MapsIlp, 8192, 400);
+    const double four =
+        gol_time_ms(spec, 4, apps::gol::Scheme::MapsIlp, 8192, 400);
     const double speedup = one / four;
     EXPECT_GE(speedup, 3.3) << spec.name;
     EXPECT_LE(speedup, 3.95) << spec.name;
@@ -192,8 +198,10 @@ TEST(Fig6CalibrationTest, GolScalesToRoughly3point7xOn4Gpus) {
 
 TEST(Fig6CalibrationTest, HistogramScalesNearLinearly) {
   for (const auto& spec : sim::paper_device_models()) {
-    const double one = hist_time_ms(spec, 1, apps::histogram::Scheme::Maps);
-    const double four = hist_time_ms(spec, 4, apps::histogram::Scheme::Maps);
+    const double one =
+        hist_time_ms(spec, 1, apps::histogram::Scheme::Maps, 8192, 400);
+    const double four =
+        hist_time_ms(spec, 4, apps::histogram::Scheme::Maps, 8192, 400);
     const double speedup = one / four;
     EXPECT_GE(speedup, 3.5) << spec.name;
     EXPECT_LE(speedup, 4.05) << spec.name;

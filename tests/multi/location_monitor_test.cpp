@@ -50,6 +50,36 @@ TEST_F(LocationMonitorTest, PrefersDeviceOverHost) {
   EXPECT_EQ(ops[0].src_location, 2);
 }
 
+TEST_F(LocationMonitorTest, PlanCopiesOutputIsCanonical) {
+  // plan_copies output is sorted by (source, first row) with adjacent
+  // same-source runs merged, so the scheduler's plan cache can compare and
+  // replay task plans byte-for-byte.
+  monitor.mark_written(&datum, 3, {40, 60});
+  monitor.mark_written(&datum, 2, {60, 80});
+  monitor.mark_written(&datum, 2, {0, 40});
+  const auto ops = monitor.plan_copies(&datum, 1, {0, 100});
+  ASSERT_EQ(ops.size(), 4u);
+  EXPECT_EQ(ops[0].src_location, kHost); // [80,100) only exists at the host
+  EXPECT_EQ(ops[0].rows, (RowInterval{80, 100}));
+  EXPECT_EQ(ops[1].src_location, 2);
+  EXPECT_EQ(ops[1].rows, (RowInterval{0, 40}));
+  EXPECT_EQ(ops[2].src_location, 2); // not merged with [0,40): not adjacent
+  EXPECT_EQ(ops[2].rows, (RowInterval{60, 80}));
+  EXPECT_EQ(ops[3].src_location, 3);
+  EXPECT_EQ(ops[3].rows, (RowInterval{40, 60}));
+}
+
+TEST_F(LocationMonitorTest, AdjacentSameSourceRowsCoalesceIntoOneOp) {
+  // Two separate writes on the same device leave adjacent up-to-date runs;
+  // the plan must hand the scheduler ONE copy op covering both.
+  monitor.mark_written(&datum, 2, {10, 30});
+  monitor.mark_written(&datum, 2, {30, 55});
+  const auto ops = monitor.plan_copies(&datum, 1, {10, 55});
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].src_location, 2);
+  EXPECT_EQ(ops[0].rows, (RowInterval{10, 55}));
+}
+
 TEST_F(LocationMonitorTest, SegmentedDatumIntersectsAcrossDevices) {
   // Algorithm 2 lines 9-14: the datum is segmented among devices; the
   // required segment is assembled from N-dimensional intersections.

@@ -52,4 +52,79 @@ TEST(TopologyTest, RequiresAtLeastOneDevice) {
   EXPECT_THROW(sim::Topology(0, 1, 1, 1, 1, 1), std::invalid_argument);
 }
 
+TEST(TopologyTest, LinkClassFollowsEndpointPlacement) {
+  const sim::Topology topo = sim::Topology::pcie3_pairs(4);
+  const auto host = sim::Endpoint::host();
+  using LC = sim::LinkClass;
+  EXPECT_EQ(topo.link_class(sim::Endpoint::dev(2), sim::Endpoint::dev(2)),
+            LC::IntraDevice);
+  EXPECT_EQ(topo.link_class(sim::Endpoint::dev(0), sim::Endpoint::dev(1)),
+            LC::PeerSameBus);
+  EXPECT_EQ(topo.link_class(sim::Endpoint::dev(1), sim::Endpoint::dev(2)),
+            LC::PeerCrossBus);
+  EXPECT_EQ(topo.link_class(host, sim::Endpoint::dev(3)), LC::HostToDevice);
+  EXPECT_EQ(topo.link_class(sim::Endpoint::dev(3), host), LC::DeviceToHost);
+  EXPECT_EQ(topo.link_class(sim::Endpoint::dev(0), sim::Endpoint::dev(3),
+                            /*host_staged=*/true),
+            LC::HostStaged);
+}
+
+TEST(TopologyTest, LinkRankOrdersClassesByRoutingPreference) {
+  using LC = sim::LinkClass;
+  EXPECT_LT(sim::Topology::link_rank(LC::IntraDevice),
+            sim::Topology::link_rank(LC::PeerSameBus));
+  EXPECT_LT(sim::Topology::link_rank(LC::PeerSameBus),
+            sim::Topology::link_rank(LC::PeerCrossBus));
+  EXPECT_LT(sim::Topology::link_rank(LC::PeerCrossBus),
+            sim::Topology::link_rank(LC::HostToDevice));
+  EXPECT_LT(sim::Topology::link_rank(LC::HostToDevice),
+            sim::Topology::link_rank(LC::DeviceToHost));
+  EXPECT_LT(sim::Topology::link_rank(LC::DeviceToHost),
+            sim::Topology::link_rank(LC::HostStaged));
+}
+
+TEST(TopologyTest, LinkUseMapsTransfersToSharedResources) {
+  const sim::Topology topo = sim::Topology::pcie3_pairs(4);
+  const auto host = sim::Endpoint::host();
+
+  // In-pair P2P goes point-to-point through the pair's switch: it holds no
+  // shared interconnect resource at all.
+  const auto in_pair = topo.link_use(sim::Endpoint::dev(0),
+                                     sim::Endpoint::dev(1));
+  EXPECT_EQ(in_pair.uplink_bus, -1);
+  EXPECT_EQ(in_pair.downlink_bus, -1);
+  EXPECT_EQ(in_pair.socket_node, -1);
+
+  // Cross-bus P2P occupies one direction of the inter-socket link.
+  const auto ascending = topo.link_use(sim::Endpoint::dev(1),
+                                       sim::Endpoint::dev(2));
+  EXPECT_GE(ascending.socket_node, 0);
+  EXPECT_EQ(ascending.socket_dir, 0);
+  const auto descending = topo.link_use(sim::Endpoint::dev(3),
+                                        sim::Endpoint::dev(0));
+  EXPECT_EQ(descending.socket_dir, 1);
+
+  // Host transfers occupy the corresponding bus's uplink or downlink.
+  const auto up = topo.link_use(host, sim::Endpoint::dev(3));
+  EXPECT_EQ(up.uplink_bus, topo.bus_of(3));
+  EXPECT_EQ(up.downlink_bus, -1);
+  const auto down = topo.link_use(sim::Endpoint::dev(2), host);
+  EXPECT_EQ(down.downlink_bus, topo.bus_of(2));
+  EXPECT_EQ(down.uplink_bus, -1);
+
+  // A host-staged bounce holds the source's downlink AND the target's uplink.
+  const auto staged = topo.link_use(sim::Endpoint::dev(0),
+                                    sim::Endpoint::dev(2),
+                                    /*host_staged=*/true);
+  EXPECT_EQ(staged.downlink_bus, topo.bus_of(0));
+  EXPECT_EQ(staged.uplink_bus, topo.bus_of(2));
+}
+
+TEST(TopologyTest, BusCountCoversOddDeviceCounts) {
+  EXPECT_EQ(sim::Topology::pcie3_pairs(1).bus_count(), 1);
+  EXPECT_EQ(sim::Topology::pcie3_pairs(2).bus_count(), 1);
+  EXPECT_EQ(sim::Topology::pcie3_pairs(3).bus_count(), 2);
+  EXPECT_EQ(sim::Topology::pcie3_pairs(4).bus_count(), 2);
+}
+
 } // namespace
