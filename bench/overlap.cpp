@@ -1,0 +1,235 @@
+// Compute-transfer overlap: simulated end-to-end effect of interior/boundary
+// kernel splitting plus chunked copies (DESIGN.md §5.10, EXPERIMENTS.md
+// §"Compute-transfer overlap").
+//
+// Runs three evaluation workloads at 4 GPUs with overlap enabled vs disabled
+// and reports *simulated* milliseconds plus transfer stats and sub-kernel
+// counts:
+//   - Game of Life on a wide world (32768x2048): each 128 KB halo row makes
+//     the inter-device exchange chain expensive enough that hiding it behind
+//     the interior sub-kernel pays for the two extra boundary launches,
+//   - the Fig 13 NMF multiplicative-update loop, whose large gathers are
+//     chunked so downstream consumers and fan-out forwards pipeline, and
+//   - the Fig 9 unmodified-GEMM chain (all-gathered previous outputs), where
+//     chunking lets the planner's fan-out trees forward the first rows of a
+//     stripe while the rest is still in flight.
+// Overlap-off is the pre-splitting scheduler: one kernel per device gated on
+// every inbound copy, copies coalesced without a size cap. Both modes move
+// exactly the same bytes (asserted in --smoke). Writes BENCH_overlap.json
+// (override with --out <path>).
+//
+// --smoke trims the iteration counts and asserts overlap wins on GoL and on
+// at least one of NMF / GEMM; wired as a `perf_smoke` ctest label next to
+// sched_overhead and transfer_plan.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/game_of_life.hpp"
+#include "bench/bench_common.hpp"
+#include "multi/maps_multi.hpp"
+#include "nmf/nmf.hpp"
+#include "simblas/simblas.hpp"
+
+namespace {
+
+using namespace maps::multi;
+
+struct Run {
+  double sim_ms = 0; // simulated time for the measured region
+  TransferStats t;
+  std::uint64_t interior = 0; // interior sub-kernel launches
+  std::uint64_t boundary = 0; // boundary-strip sub-kernel launches
+};
+
+Run capture(Scheduler& sched, double sim_ms) {
+  Run r;
+  r.sim_ms = sim_ms;
+  r.t = sched.stats().transfers;
+  r.interior = sched.stats().interior_subkernels;
+  r.boundary = sched.stats().boundary_subkernels;
+  return r;
+}
+
+Run run_gol(bool overlap_on, int iterations, int gpus) {
+  sim::Node node(sim::homogeneous_node(sim::gtx780(), gpus),
+                 sim::ExecMode::TimingOnly);
+  Scheduler sched(node);
+  sched.set_overlap_enabled(overlap_on);
+
+  std::vector<int> dummy(1);
+  // Wide world: 128 KB halo rows, 2048 / 4 = 512 rows per device. The halo
+  // exchange chain (~45 us cross-bus) dwarfs the two extra kernel launches,
+  // so the default profitability gate accepts the split.
+  Matrix<int> a(32768, 2048, "A"), b(32768, 2048, "B");
+  a.Bind(dummy.data());
+  b.Bind(dummy.data());
+  const double ms =
+      apps::gol::run(sched, a, b, iterations, apps::gol::Scheme::MapsIlp);
+  return capture(sched, ms);
+}
+
+Run run_nmf(bool overlap_on, int iterations, int gpus) {
+  sim::Node node(sim::homogeneous_node(sim::gtx780(), gpus),
+                 sim::ExecMode::TimingOnly);
+  Scheduler sched(node);
+  sched.set_overlap_enabled(overlap_on);
+
+  std::vector<float> v(1), w, h; // TimingOnly: backing never touched
+  const nmf::Shape shape{};      // the paper's 16Kx4K, k=128
+  const nmf::Result res = nmf::run_maps(sched, v, w, h, shape, iterations);
+  return capture(sched, res.sim_ms);
+}
+
+Run run_gemm_chain(bool overlap_on, int chain, int gpus) {
+  sim::Node node(sim::homogeneous_node(sim::gtx780(), gpus),
+                 sim::ExecMode::TimingOnly);
+  Scheduler sched(node);
+  sched.set_overlap_enabled(overlap_on);
+
+  std::vector<float> dummy(1);
+  Matrix<float> b(8192, 8192, "B"), c1(8192, 8192, "C1"), c2(8192, 8192, "C2");
+  b.Bind(dummy.data());
+  c1.Bind(dummy.data());
+  c2.Bind(dummy.data());
+  // Same transfer-bound Fig 9 variant as the transfer_plan bench: the
+  // all-gathered operand is the previous output, so every link re-broadcasts
+  // fresh stripes. Warmup outside the measured region distributes B.
+  sched.AnalyzeCall(Work{c2.height(), 1}, Block2D<float>(b),
+                    Block2DTransposed<float>(c1),
+                    StructuredInjective<float, 2>(c2));
+  sched.AnalyzeCall(Work{c1.height(), 1}, Block2D<float>(b),
+                    Block2DTransposed<float>(c2),
+                    StructuredInjective<float, 2>(c1));
+  simblas::Gemm(sched, b, c1, c2);
+  sched.WaitAll();
+  sched.reset_stats();
+
+  const double t0 = node.now_ms();
+  for (int i = 0; i < chain / 2; ++i) {
+    simblas::Gemm(sched, b, c2, c1);
+    simblas::Gemm(sched, b, c1, c2);
+  }
+  sched.WaitAll();
+  return capture(sched, node.now_ms() - t0);
+}
+
+void print_pair(const char* workload, const Run& off, const Run& on) {
+  std::printf("\n%s\n", workload);
+  std::printf("  %-10s %12s %12s %10s %10s %10s %10s\n", "overlap", "sim ms",
+              "total MB", "chunked", "issued", "interior", "boundary");
+  const auto row = [](const char* name, const Run& r) {
+    std::printf("  %-10s %12.3f %12.1f %10u %10u %10llu %10llu\n", name,
+                r.sim_ms, r.t.bytes_total() / 1048576.0, r.t.copies_chunked,
+                r.t.copies_issued, static_cast<unsigned long long>(r.interior),
+                static_cast<unsigned long long>(r.boundary));
+  };
+  row("off", off);
+  row("on", on);
+  std::printf("  simulated speedup: %.3fx\n", off.sim_ms / on.sim_ms);
+}
+
+void json_run(std::FILE* f, const char* key, const Run& r) {
+  std::fprintf(
+      f,
+      "      \"%s\": {\"sim_ms\": %.6f, \"bytes_total\": %llu, "
+      "\"bytes_h2d\": %llu, \"bytes_d2h\": %llu, "
+      "\"bytes_p2p_same_bus\": %llu, \"bytes_p2p_cross_bus\": %llu, "
+      "\"copies_issued\": %u, \"copies_chunked\": %u, "
+      "\"interior_subkernels\": %llu, \"boundary_subkernels\": %llu}",
+      key, r.sim_ms, static_cast<unsigned long long>(r.t.bytes_total()),
+      static_cast<unsigned long long>(r.t.bytes_h2d),
+      static_cast<unsigned long long>(r.t.bytes_d2h),
+      static_cast<unsigned long long>(r.t.bytes_p2p_same_bus),
+      static_cast<unsigned long long>(r.t.bytes_p2p_cross_bus),
+      r.t.copies_issued, r.t.copies_chunked,
+      static_cast<unsigned long long>(r.interior),
+      static_cast<unsigned long long>(r.boundary));
+}
+
+bool check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "SMOKE FAIL: %s\n", what);
+  }
+  return ok;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_overlap.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  const int gol_iters = smoke ? 10 : 100;
+  const int nmf_iters = smoke ? 10 : 40;
+  const int chain = smoke ? 4 : 20;
+  const int gpus = 4;
+
+  bench::print_setup_header(
+      "Compute-transfer overlap: kernel splitting + chunked copies on vs off");
+
+  struct Workload {
+    const char* name;
+    Run off, on;
+  } workloads[] = {
+      // The simulator is deterministic: one run per configuration is exact.
+      {"gol_wide", run_gol(false, gol_iters, gpus),
+       run_gol(true, gol_iters, gpus)},
+      {"nmf", run_nmf(false, nmf_iters, gpus), run_nmf(true, nmf_iters, gpus)},
+      {"gemm_chain", run_gemm_chain(false, chain, gpus),
+       run_gemm_chain(true, chain, gpus)},
+  };
+  for (const Workload& w : workloads) {
+    print_pair(w.name, w.off, w.on);
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"overlap\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"device\": \"%s\",\n", sim::gtx780().name.c_str());
+  std::fprintf(f, "  \"gpus\": %d,\n  \"workloads\": {\n", gpus);
+  for (std::size_t i = 0; i < std::size(workloads); ++i) {
+    const Workload& w = workloads[i];
+    std::fprintf(f, "    \"%s\": {\n", w.name);
+    json_run(f, "overlap_off", w.off);
+    std::fprintf(f, ",\n");
+    json_run(f, "overlap_on", w.on);
+    std::fprintf(f, ",\n      \"simulated_speedup\": %.4f\n    }%s\n",
+                 w.off.sim_ms / w.on.sim_ms,
+                 i + 1 < std::size(workloads) ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (smoke) {
+    bool ok = true;
+    const Workload& gol = workloads[0];
+    ok &= check(gol.on.sim_ms < gol.off.sim_ms,
+                "overlap-on should beat overlap-off on wide GoL");
+    ok &= check(gol.on.interior > 0 && gol.on.boundary > 0,
+                "GoL should split into interior and boundary sub-kernels");
+    ok &= check(workloads[1].on.sim_ms < workloads[1].off.sim_ms ||
+                    workloads[2].on.sim_ms < workloads[2].off.sim_ms,
+                "overlap-on should beat overlap-off on NMF or the GEMM chain");
+    for (const Workload& w : workloads) {
+      ok &= check(w.on.t.bytes_total() == w.off.t.bytes_total(),
+                  "overlap must not change the total bytes moved");
+      ok &= check(w.off.interior == 0 && w.off.boundary == 0,
+                  "overlap-off must not split kernels");
+    }
+    return ok ? 0 : 1;
+  }
+  return 0;
+}

@@ -244,6 +244,18 @@ void AccessSanitizer::report_missing_halo(const Datum* datum, int location,
       "planned Wrap/Clamp boundary copy is missing or was dropped)");
 }
 
+void AccessSanitizer::report_ungated_strip(const Datum* datum, int location,
+                                           const RowInterval& strip_rows,
+                                           const RowInterval& copy_rows) {
+  throw SanitizerError(
+      "access sanitizer: " + context() + ": " + location_name(location) +
+      " sub-kernel strip reads datum '" + datum->name() + "' local rows " +
+      rows_str(strip_rows) + " overlapping an inferred copy into local rows " +
+      rows_str(copy_rows) +
+      " that does not gate the strip (compute-transfer overlap would race "
+      "the halo/chunk transfer)");
+}
+
 void AccessSanitizer::on_write(const Datum* datum, int writer,
                                const RowInterval& rows) {
   ++stats_.writes_recorded;

@@ -109,6 +109,13 @@ public:
   /// Reports a halo-slot read whose refill copy never ran this task.
   [[noreturn]] void report_missing_halo(const Datum* datum, int location,
                                         const RowInterval& rows);
+  /// Reports an interior/boundary sub-kernel whose read span overlaps an
+  /// inferred copy that does not gate it — the strip could launch before its
+  /// halo (or chunk) lands. Caught structurally at dispatch time, for builds
+  /// and plan-cache replays alike.
+  [[noreturn]] void report_ungated_strip(const Datum* datum, int location,
+                                         const RowInterval& strip_rows,
+                                         const RowInterval& copy_rows);
   /// Kernel output: `rows` advance to a fresh version held only by `writer`.
   void on_write(const Datum* datum, int writer, const RowInterval& rows);
   /// Reductive/unstructured output: every replica becomes a partial copy; the

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <numeric>
 #include <stdexcept>
@@ -36,6 +37,7 @@ Scheduler::Scheduler(sim::Node& node, std::vector<int> devices)
     copy_streams_.push_back(node_.create_stream(devices_[s]));
     copy_streams2_.push_back(node_.create_stream(devices_[s]));
     reduce_streams_.push_back(node_.create_stream(devices_[s]));
+    boundary_streams_.push_back(node_.create_stream(devices_[s]));
     invokers_.push_back(std::make_unique<InvokerThread>(static_cast<int>(s)));
   }
 }
@@ -162,16 +164,22 @@ bool Scheduler::cacheable(const std::vector<PatternSpec>& specs) {
 
 Scheduler::PlanFingerprint
 Scheduler::fingerprint(const std::vector<PatternSpec>& specs, const Work* work,
-                       const CostHints& hints, const char* label) const {
+                       const CostHints& hints, const char* label,
+                       bool splittable) const {
   PlanFingerprint fp;
   auto& w = fp.words;
-  w.reserve(specs.size() * 12 + 8);
-  w.push_back(0x4d415053'46503102ull); // "MAPS" fingerprint, version 2
+  w.reserve(specs.size() * 12 + 10);
+  w.push_back(0x4d415053'46503103ull); // "MAPS" fingerprint, version 3
   w.push_back(static_cast<std::uint64_t>(slots()));
   // Routing is baked into cached plans, so the planner setting is part of
   // the shape identity: a plan routed with the planner on must never be
   // replayed after it is switched off (or vice versa).
   w.push_back(planner_active() ? 1 : 0);
+  // Likewise for overlap: strip decomposition, copy chunking and the split
+  // cost gate are all baked into the shape.
+  w.push_back((overlap_enabled_ ? 2u : 0u) | (splittable ? 1u : 0u));
+  w.push_back(static_cast<std::uint64_t>(copy_chunk_bytes_));
+  w.push_back(std::bit_cast<std::uint64_t>(overlap_min_benefit_));
   w.push_back(specs.size());
   for (const auto& s : specs) {
     w.push_back(reinterpret_cast<std::uintptr_t>(s.datum->key()));
@@ -428,6 +436,37 @@ void Scheduler::plan_copies_for(PlanShape& shape, DeviceWiring& dw, int slot,
     } else {
       shape.transfers.copies_planned += static_cast<std::uint32_t>(ops.size());
     }
+    // Row-range chunking: split transfers above the threshold so consumers
+    // with row-granular reads (interior/boundary strips, forwarding copies
+    // in a fan-out tree) start as soon as their chunk lands instead of when
+    // the whole transfer finishes. Purely structural — every chunk moves the
+    // same rows over the same link, so byte totals are unchanged.
+    if (overlap_enabled_ && copy_chunk_bytes_ > 0) {
+      const std::size_t chunk_rows =
+          std::max<std::size_t>(1, copy_chunk_bytes_ / alloc.row_bytes);
+      const bool oversize =
+          std::any_of(ops.begin(), ops.end(), [&](const auto& op) {
+            return op.rows.size() > chunk_rows;
+          });
+      if (oversize) {
+        std::vector<SegmentLocationMonitor::CopyOp> pieces;
+        pieces.reserve(ops.size());
+        for (const auto& op : ops) {
+          std::size_t b = op.rows.begin;
+          while (op.rows.end - b > chunk_rows) {
+            auto piece = op;
+            piece.rows = RowInterval{b, b + chunk_rows};
+            pieces.push_back(piece);
+            b += chunk_rows;
+            ++shape.transfers.copies_chunked;
+          }
+          auto tail = op;
+          tail.rows = RowInterval{b, op.rows.end};
+          pieces.push_back(tail);
+        }
+        ops = std::move(pieces);
+      }
+    }
     for (const auto& op : ops) {
       PlannedCopy c;
       c.pattern_index = pattern_index;
@@ -501,6 +540,33 @@ void Scheduler::plan_copies_for(PlanShape& shape, DeviceWiring& dw, int slot,
 void Scheduler::commit_post_state(const DevicePlan& dp, const DeviceWiring& dw,
                                   int slot, bool update_monitor) {
   const int loc = SegmentLocationMonitor::loc(slot);
+  if (!dp.sub.empty()) {
+    // Split device: reads and writes register per strip, so a consumer (a
+    // neighbour's next halo pull, the next task's interior) waits only on
+    // the strip that actually produced or read its rows.
+    for (std::size_t i = 0; i < dp.post.size(); ++i) {
+      const PatternPost& post = dp.post[i];
+      if (!post.active) {
+        continue;
+      }
+      for (std::size_t k = 0; k < dp.sub.size(); ++k) {
+        const StripSpan& sp = dp.sub[k].spans[i];
+        const sim::EventId done = dw.strips[k].done;
+        if (post.is_input) {
+          if (!sp.read_local.empty()) {
+            post.access->add_reader(sp.read_local, done);
+          }
+        } else if (!sp.out_global.empty()) {
+          post.avail->update(sp.out_global, done);
+          post.access->write(sp.out_local, done);
+        }
+      }
+      if (!post.is_input && update_monitor && !post.private_copy) {
+        monitor_.mark_written(post.datum, loc, post.core);
+      }
+    }
+    return;
+  }
   for (const PatternPost& post : dp.post) {
     if (!post.active) {
       continue;
@@ -550,9 +616,16 @@ void Scheduler::commit_aggregations(const PlanShape& shape,
   }
 }
 
+void Scheduler::account_dispatch(const PlanShape& shape) {
+  stats_.transfers.add(shape.transfers);
+  stats_.interior_subkernels += shape.interior_launches;
+  stats_.boundary_subkernels += shape.boundary_launches;
+}
+
 std::shared_ptr<Scheduler::TaskPlan>
 Scheduler::plan_task(std::vector<PatternSpec> specs, const Work* work,
-                     const CostHints& hints, const char* label) {
+                     const CostHints& hints, const char* label,
+                     bool splittable) {
   for (const auto& s : specs) {
     monitor_.register_datum(s.datum);
   }
@@ -564,14 +637,14 @@ Scheduler::plan_task(std::vector<PatternSpec> specs, const Work* work,
   }
   if (!use_cache) {
     const auto t0 = std::chrono::steady_clock::now();
-    auto plan = build_plan(std::move(specs), work, hints, label);
+    auto plan = build_plan(std::move(specs), work, hints, label, splittable);
     stats_.plan_time_us += elapsed_us(t0);
     ++stats_.plans_built;
-    stats_.transfers.add(plan->shape->transfers);
+    account_dispatch(*plan->shape);
     return plan;
   }
 
-  PlanFingerprint fp = fingerprint(specs, work, hints, label);
+  PlanFingerprint fp = fingerprint(specs, work, hints, label, splittable);
   auto it = cache_.find(fp);
   if (it != cache_.end()) {
     CacheSlot& slot = it->second;
@@ -586,7 +659,7 @@ Scheduler::plan_task(std::vector<PatternSpec> specs, const Work* work,
       auto plan = replay_plan(slot.variants.front());
       stats_.replay_time_us += elapsed_us(t0);
       ++stats_.cache_hits;
-      stats_.transfers.add(plan->shape->transfers);
+      account_dispatch(*plan->shape);
       return plan;
     }
     // Known shape, but no variant was built under the current location
@@ -599,26 +672,233 @@ Scheduler::plan_task(std::vector<PatternSpec> specs, const Work* work,
   // later Invoke hits only if the monitor looks like it does right now.
   auto captures = capture_datums(specs);
   const auto t0 = std::chrono::steady_clock::now();
-  auto plan = build_plan(std::move(specs), work, hints, label);
+  auto plan = build_plan(std::move(specs), work, hints, label, splittable);
   stats_.plan_time_us += elapsed_us(t0);
   ++stats_.plans_built;
   auto post_states = capture_post_states(plan->shape->specs, captures);
   cache_insert(std::move(fp), plan->shape, std::move(captures),
                std::move(post_states));
-  stats_.transfers.add(plan->shape->transfers);
+  account_dispatch(*plan->shape);
   return plan;
+}
+
+bool Scheduler::overlap_eligible(const std::vector<PatternSpec>& specs) {
+  bool halo_input = false;
+  for (const auto& s : specs) {
+    if (s.seg == Segmentation::PartitionAligned) {
+      // Non-unit row scales can map adjacent work strips onto a shared datum
+      // row (ceil/floor rounding), so strips would no longer write disjoint
+      // rows.
+      if (s.row_scale_num != 1 || s.row_scale_den != 1) {
+        return false;
+      }
+    } else if (!(s.is_input && s.seg == Segmentation::Replicate)) {
+      return false; // duplicated/custom/single-device segmentation
+    }
+    if (!s.is_input && s.agg != AggregationKind::None) {
+      return false; // aggregating outputs are combined as whole buffers
+    }
+    if (s.is_input && s.seg == Segmentation::PartitionAligned &&
+        (s.radius_low > 0 || s.radius_high > 0)) {
+      halo_input = true;
+    }
+  }
+  // Without a windowed input there is no halo traffic to overlap against.
+  return halo_input;
+}
+
+bool Scheduler::overlap_profitable(
+    const std::vector<PatternSpec>& specs) const {
+  if (overlap_min_benefit_ <= 0.0) {
+    return true;
+  }
+  // Estimate the halo chain a boundary strip would hide: link latency plus
+  // the widest halo over the cheapest inter-device link (conservative — the
+  // contended cross-bus path only makes the chain longer). Splitting adds up
+  // to two extra kernel launches per device, each paying the launch cost on
+  // the compute engine.
+  const sim::Topology& topo = node_.topology();
+  const sim::Endpoint a = sim::Endpoint::dev(devices_[0]);
+  const sim::Endpoint b = devices_.size() > 1 ? sim::Endpoint::dev(devices_[1])
+                                              : sim::Endpoint::host();
+  double chain_us = 0.0;
+  for (const auto& s : specs) {
+    if (!s.is_input || s.seg != Segmentation::PartitionAligned ||
+        (s.radius_low == 0 && s.radius_high == 0)) {
+      continue;
+    }
+    const std::size_t halo_rows = static_cast<std::size_t>(
+        std::max(s.radius_low, s.radius_high));
+    const std::size_t bytes =
+        halo_rows * s.datum->row_elems() * s.datum->elem_size();
+    chain_us = std::max(chain_us, topo.transfer_seconds(a, b, bytes) * 1e6);
+  }
+  const double extra_launch_us =
+      2.0 * node_.spec(devices_[0]).kernel_launch_us;
+  return chain_us > overlap_min_benefit_ * extra_launch_us;
+}
+
+namespace {
+/// Launch stats of a strip covering `frac` of the device's block rows: the
+/// work totals scale proportionally, per-launch fixed costs stay.
+sim::LaunchStats scale_launch_stats(const sim::LaunchStats& st, double frac) {
+  const auto part = [frac](std::uint64_t v) {
+    return static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(v) * frac));
+  };
+  sim::LaunchStats out = st;
+  out.blocks = std::max<std::uint64_t>(1, part(st.blocks));
+  out.flops = part(st.flops);
+  out.global_bytes_read = part(st.global_bytes_read);
+  out.global_bytes_written = part(st.global_bytes_written);
+  out.shared_ops = part(st.shared_ops);
+  out.global_atomics = part(st.global_atomics);
+  out.shared_atomics = part(st.shared_atomics);
+  out.instr_overhead = part(st.instr_overhead);
+  return out;
+}
+} // namespace
+
+void Scheduler::build_strips(
+    PlanShape& shape, DevicePlan& dp, int slot,
+    const std::vector<SegmentReq>& reqs,
+    const std::vector<const MemoryAnalyzer::Alloc*>& allocs,
+    const std::vector<StripRange>& ranges) {
+  const std::size_t span = shape.partition.rows_per_block_row();
+  const std::size_t total =
+      shape.partition.block_rows[static_cast<std::size_t>(slot)].size();
+  dp.sub.reserve(ranges.size());
+  for (const StripRange& r : ranges) {
+    SubKernel sub;
+    sub.boundary = r.boundary;
+    sub.grid = dp.grid;
+    sub.grid.block_row_offset = static_cast<unsigned>(r.block_rows.begin);
+    sub.grid.block_rows = static_cast<unsigned>(r.block_rows.size());
+    const std::size_t w0 = r.block_rows.begin * span;
+    const std::size_t w1 =
+        std::min(r.block_rows.end * span, shape.partition.work_rows);
+    sub.spans.resize(shape.specs.size());
+    for (std::size_t i = 0; i < shape.specs.size(); ++i) {
+      const PatternSpec& s = shape.specs[i];
+      const SegmentReq& req = reqs[i];
+      if (!req.active || allocs[i] == nullptr) {
+        continue;
+      }
+      const MemoryAnalyzer::Alloc& alloc = *allocs[i];
+      StripSpan& sp = sub.spans[i];
+      const long rows = static_cast<long>(s.datum->rows());
+      if (s.is_input) {
+        if (req.whole || s.seg != Segmentation::PartitionAligned) {
+          // Replicated input: every strip reads the whole datum.
+          sp.read_local = RowInterval{0, alloc.rows};
+          sp.read_global = RowInterval{0, static_cast<std::size_t>(rows)};
+          continue;
+        }
+        // Virtual rows the strip reads (1/1 row scale — enforced by
+        // overlap_eligible): its work rows widened by the window radius.
+        const long lo = static_cast<long>(w0) - s.radius_low;
+        const long hi = static_cast<long>(w1) + s.radius_high;
+        const long l0 = std::max(lo - alloc.origin, 0L);
+        const long l1 =
+            std::min(hi - alloc.origin, static_cast<long>(alloc.rows));
+        sp.read_local = RowInterval{static_cast<std::size_t>(l0),
+                                    static_cast<std::size_t>(
+                                        std::max(l1, l0))};
+        // Rows read at their global position gate on availability; rows read
+        // through Wrap/Clamp/Zero halo slots gate on their refill copies
+        // (below), which is why clipping to the datum is enough here.
+        const long g0 = std::clamp(lo, 0L, rows);
+        const long g1 = std::clamp(hi, g0, rows);
+        sp.read_global = RowInterval{static_cast<std::size_t>(g0),
+                                     static_cast<std::size_t>(g1)};
+      } else {
+        const RowInterval out = intersect(
+            RowInterval{w0, std::min(w1, static_cast<std::size_t>(rows))},
+            req.core);
+        if (out.empty()) {
+          continue;
+        }
+        sp.out_global = out;
+        sp.out_local = RowInterval{
+            static_cast<std::size_t>(static_cast<long>(out.begin) -
+                                     alloc.origin),
+            static_cast<std::size_t>(static_cast<long>(out.end) -
+                                     alloc.origin)};
+      }
+    }
+    // Copy gating: the strip waits exactly for the inferred copies (and zero
+    // fills) whose destination rows it reads. Chunked copies gate at chunk
+    // granularity, so the interior's first rows never wait for a whole
+    // segment upload.
+    for (std::size_t ci = 0; ci < dp.copies.size(); ++ci) {
+      const PlannedCopy& c = dp.copies[ci];
+      const StripSpan& sp =
+          sub.spans[static_cast<std::size_t>(c.pattern_index)];
+      if (!intersect(c.dst_local, sp.read_local).empty()) {
+        sub.copy_waits.push_back(static_cast<std::uint32_t>(ci));
+      }
+    }
+    const double frac =
+        total == 0 ? 1.0
+                   : static_cast<double>(r.block_rows.size()) /
+                         static_cast<double>(total);
+    sub.stats = scale_launch_stats(dp.stats, frac);
+    ++(r.boundary ? shape.boundary_launches : shape.interior_launches);
+    dp.sub.push_back(std::move(sub));
+  }
+}
+
+void Scheduler::wire_strips(const DevicePlan& dp, DeviceWiring& dw,
+                            sim::EventId first) {
+  dw.strips.resize(dp.sub.size());
+  for (std::size_t k = 0; k < dp.sub.size(); ++k) {
+    const SubKernel& sub = dp.sub[k];
+    StripWiring& sw = dw.strips[k];
+    sw.waits.clear();
+    sw.waits.reserve(sub.wait_hint);
+    // 1. This task's own copies into the strip's read rows.
+    for (std::uint32_t ci : sub.copy_waits) {
+      const sim::EventId ev = dw.copies[ci].done;
+      if (std::find(sw.waits.begin(), sw.waits.end(), ev) == sw.waits.end()) {
+        sw.waits.push_back(ev);
+      }
+    }
+    // 2. Availability of the aligned rows the strip reads (earlier kernels/
+    //    strips on this device — which may have run on another stream — and
+    //    earlier tasks' copies) plus WAR/WAW on the rows it writes.
+    for (std::size_t i = 0; i < dp.post.size(); ++i) {
+      const PatternPost& post = dp.post[i];
+      if (!post.active) {
+        continue;
+      }
+      const StripSpan& sp = sub.spans[i];
+      if (post.is_input) {
+        if (!sp.read_global.empty()) {
+          post.avail->collect(sp.read_global, sw.waits);
+        }
+      } else if (!sp.out_local.empty()) {
+        post.access->collect(sp.out_local, sw.waits);
+      }
+    }
+    sw.done = first + static_cast<sim::EventId>(k);
+  }
 }
 
 std::shared_ptr<Scheduler::TaskPlan>
 Scheduler::build_plan(std::vector<PatternSpec> specs, const Work* work,
-                      const CostHints& hints, const char* label) {
+                      const CostHints& hints, const char* label,
+                      bool splittable) {
   auto plan = std::make_shared<TaskPlan>();
   plan->handle = next_task_++;
   auto shape_owned = std::make_shared<PlanShape>();
   PlanShape& shape = *shape_owned;
   plan->shape = shape_owned;
   shape.specs = std::move(specs);
+  shape.overlap = overlap_enabled_;
   planner_.begin_task();
+  // Chunks that gate different strips must survive the planner's
+  // re-coalescing pass.
+  planner_.set_max_coalesce_bytes(overlap_enabled_ ? copy_chunk_bytes_ : 0);
 
   bool single = work != nullptr && work->single_device;
   for (const auto& s : shape.specs) {
@@ -641,6 +921,13 @@ Scheduler::build_plan(std::vector<PatternSpec> specs, const Work* work,
     }
   }
 
+  // Interior/boundary splitting: structurally eligible shapes pass the cost
+  // gate once per task; the per-device strip geometry still depends on each
+  // slot's block rows (a thin segment may have no interior at all).
+  const bool try_split = splittable && overlap_enabled_ && slots_eff > 1 &&
+                         overlap_eligible(shape.specs) &&
+                         overlap_profitable(shape.specs);
+
   for (int slot = 0; slot < slots_eff; ++slot) {
     DevicePlan& dp = shape.devices[static_cast<std::size_t>(slot)];
     DeviceWiring& dw = plan->wiring[static_cast<std::size_t>(slot)];
@@ -651,6 +938,14 @@ Scheduler::build_plan(std::vector<PatternSpec> specs, const Work* work,
       continue;
     }
     ++shape.active_slots;
+
+    const std::vector<StripRange> strip_ranges =
+        try_split ? compute_strips(shape.specs, shape.partition, slot,
+                                   slot_reqs)
+                  : std::vector<StripRange>{};
+    const bool split = strip_ranges.size() >= 2;
+    std::vector<const MemoryAnalyzer::Alloc*> allocs(shape.specs.size(),
+                                                     nullptr);
 
     // Grid context: the multiple-device abstraction (§4, Fig 1b).
     dp.grid.grid_dim = maps::Dim3{
@@ -680,6 +975,7 @@ Scheduler::build_plan(std::vector<PatternSpec> specs, const Work* work,
         continue;
       }
       const auto& alloc = analyzer_.ensure(s.datum, slot);
+      allocs[i] = &alloc;
 
       DeviceView view;
       view.base = alloc.buffer->data();
@@ -731,27 +1027,49 @@ Scheduler::build_plan(std::vector<PatternSpec> specs, const Work* work,
       plan_copies_for(shape, dw, slot, static_cast<int>(i), req, alloc);
 
       if (!s.is_input) {
-        // WAR/WAW: the kernel overwrites these local rows.
-        dp.post[i].access->collect(dp.post[i].core_local, dw.kernel_waits);
+        if (!split) {
+          // WAR/WAW: the kernel overwrites these local rows. (Split devices
+          // collect this per strip in wire_strips.)
+          dp.post[i].access->collect(dp.post[i].core_local, dw.kernel_waits);
+        }
+      } else if (shape.overlap && !split) {
+        // With overlap on, earlier tasks' boundary strips may have produced
+        // input rows on a different stream of this device, so compute-stream
+        // order alone no longer covers same-device RAW — wait on the rows'
+        // availability events explicitly (a no-op cost when the producer was
+        // this stream: collect() dedups against the copies already listed).
+        for (const RowInterval& iv : dp.post[i].reads) {
+          dp.post[i].avail->collect(iv, dw.kernel_waits);
+        }
       }
     }
-
-    // Kernel dependencies: every one of this task's incoming copies/fills
-    // on this device, plus — for outputs — every previous reader/writer of
-    // the written rows (WAR/WAW; collected in the pattern loop above).
-    // Input data produced by earlier kernels on this device is ordered by
-    // the compute stream itself, and earlier tasks' incoming copies are
-    // covered transitively (their kernels waited on them).
-    for (const CopyWiring& w : dw.copies) {
-      if (std::find(dw.kernel_waits.begin(), dw.kernel_waits.end(), w.done) ==
-          dw.kernel_waits.end()) {
-        dw.kernel_waits.push_back(w.done);
-      }
-    }
-    dw.kernel_done = node_.create_event();
 
     dp.stats = task_launch_stats(shape.specs, shape.partition, slot, hints,
                                  label);
+    if (split) {
+      build_strips(shape, dp, slot, slot_reqs, allocs, strip_ranges);
+      wire_strips(dp, dw, node_.create_events(static_cast<int>(dp.sub.size())));
+      for (std::size_t k = 0; k < dp.sub.size(); ++k) {
+        dp.sub[k].wait_hint =
+            static_cast<std::uint32_t>(dw.strips[k].waits.size());
+      }
+    } else {
+      // Kernel dependencies: every one of this task's incoming copies/fills
+      // on this device, plus — for outputs — every previous reader/writer of
+      // the written rows (WAR/WAW; collected in the pattern loop above).
+      // Input data produced by earlier kernels on this device is ordered by
+      // the compute stream itself (explicit availability waits cover strip
+      // producers when overlap is on), and earlier tasks' incoming copies
+      // are covered transitively (their kernels waited on them).
+      for (const CopyWiring& w : dw.copies) {
+        if (std::find(dw.kernel_waits.begin(), dw.kernel_waits.end(),
+                      w.done) == dw.kernel_waits.end()) {
+          dw.kernel_waits.push_back(w.done);
+        }
+      }
+      dw.kernel_done = node_.create_event();
+    }
+
     dp.wait_pool_hint = static_cast<std::uint32_t>(dw.wait_pool.size());
     dp.kernel_wait_hint = static_cast<std::uint32_t>(dw.kernel_waits.size());
   }
@@ -814,11 +1132,12 @@ Scheduler::replay_plan(const CacheEntry& entry) {
   const PlanShape& sh = *plan->shape;
   plan->wiring.resize(sh.devices.size());
 
-  // One lock, one block of event ids for every copy and kernel.
+  // One lock, one block of event ids for every copy and kernel/strip.
   int n_events = 0;
   for (const DevicePlan& dp : sh.devices) {
     if (dp.active) {
-      n_events += static_cast<int>(dp.copies.size()) + 1;
+      n_events += static_cast<int>(dp.copies.size()) +
+                  (dp.sub.empty() ? 1 : static_cast<int>(dp.sub.size()));
     }
   }
   sim::EventId next_event = node_.create_events(n_events);
@@ -834,8 +1153,9 @@ Scheduler::replay_plan(const CacheEntry& entry) {
     dw.kernel_waits.clear();
     dw.kernel_waits.reserve(dp.kernel_wait_hint);
     dw.copies.resize(dp.copies.size());
+    dw.strips.clear(); // recycled wiring may carry another plan's strips
     // Copies are stored in pattern order; interleave wiring with the
-    // output-WAR collection per pattern, mirroring build_plan.
+    // per-pattern wait collection, mirroring build_plan.
     std::size_t ci = 0;
     for (std::size_t i = 0; i < sh.specs.size(); ++i) {
       while (ci < dp.copies.size() &&
@@ -845,17 +1165,29 @@ Scheduler::replay_plan(const CacheEntry& entry) {
         ++ci;
       }
       const PatternPost& post = dp.post[i];
-      if (post.active && !post.is_input) {
+      if (!post.active || !dp.sub.empty()) {
+        continue; // split devices collect per strip in wire_strips
+      }
+      if (!post.is_input) {
         post.access->collect(post.core_local, dw.kernel_waits);
+      } else if (sh.overlap) {
+        for (const RowInterval& iv : post.reads) {
+          post.avail->collect(iv, dw.kernel_waits);
+        }
       }
     }
-    for (const CopyWiring& w : dw.copies) {
-      if (std::find(dw.kernel_waits.begin(), dw.kernel_waits.end(), w.done) ==
-          dw.kernel_waits.end()) {
-        dw.kernel_waits.push_back(w.done);
+    if (!dp.sub.empty()) {
+      wire_strips(dp, dw, next_event);
+      next_event += static_cast<sim::EventId>(dp.sub.size());
+    } else {
+      for (const CopyWiring& w : dw.copies) {
+        if (std::find(dw.kernel_waits.begin(), dw.kernel_waits.end(),
+                      w.done) == dw.kernel_waits.end()) {
+          dw.kernel_waits.push_back(w.done);
+        }
       }
+      dw.kernel_done = next_event++;
     }
-    dw.kernel_done = next_event++;
   }
 
   for (std::size_t slot = 0; slot < sh.devices.size(); ++slot) {
@@ -872,8 +1204,9 @@ Scheduler::replay_plan(const CacheEntry& entry) {
 }
 
 void Scheduler::enqueue_device_commands(
-    std::shared_ptr<TaskPlan> plan, int slot, std::function<void()> body,
-    UnmodifiedRoutine routine, void* context,
+    std::shared_ptr<TaskPlan> plan, int slot,
+    std::vector<std::function<void()>> bodies, UnmodifiedRoutine routine,
+    void* context,
     std::shared_ptr<std::vector<std::vector<std::byte>>> consts) {
   const DevicePlan& dp = plan->shape->devices[static_cast<std::size_t>(slot)];
   const DeviceWiring& dw = plan->wiring[static_cast<std::size_t>(slot)];
@@ -919,6 +1252,27 @@ void Scheduler::enqueue_device_commands(
     node_.record_event(w.done, cs);
   }
 
+  if (!dp.sub.empty()) {
+    // Split device: the interior strip launches on the compute stream the
+    // moment its (non-halo) dependencies clear; boundary strips go to the
+    // dedicated boundary stream so their halo-copy waits never block the
+    // interior's launch. All strips share the device's compute engine, so
+    // the simulator serializes the actual execution.
+    for (std::size_t k = 0; k < dp.sub.size(); ++k) {
+      const SubKernel& sub = dp.sub[k];
+      const StripWiring& sw = dw.strips[k];
+      const sim::StreamId stream =
+          sub.boundary ? boundary_streams_[static_cast<std::size_t>(slot)]
+                       : compute_stream;
+      for (sim::EventId ev : sw.waits) {
+        node_.wait_event_generation(stream, ev, 1);
+      }
+      node_.launch(stream, sub.stats, std::move(bodies[k]));
+      node_.record_event(sw.done, stream);
+    }
+    return;
+  }
+
   for (sim::EventId ev : dw.kernel_waits) {
     node_.wait_event_generation(compute_stream, ev, 1);
   }
@@ -936,7 +1290,7 @@ void Scheduler::enqueue_device_commands(
       throw std::runtime_error("unmodified routine reported failure");
     }
   } else {
-    node_.launch(compute_stream, dp.stats, std::move(body));
+    node_.launch(compute_stream, dp.stats, std::move(bodies.front()));
   }
   node_.record_event(dw.kernel_done, compute_stream);
 }
@@ -1024,6 +1378,36 @@ void Scheduler::sanitize_dispatch(const TaskPlan& plan) {
     }
   }
 
+  // 1b. Split devices: every inferred copy landing inside a strip's read
+  // span must be listed in that strip's copy gates — otherwise the strip
+  // could launch before its halo/chunk arrives. Purely structural, so it
+  // catches a broken build and a broken replay identically.
+  for (std::size_t slot = 0; slot < sh.devices.size(); ++slot) {
+    const DevicePlan& dp = sh.devices[slot];
+    if (!dp.active || dp.sub.empty()) {
+      continue;
+    }
+    const int loc = SegmentLocationMonitor::loc(static_cast<int>(slot));
+    for (const SubKernel& sub : dp.sub) {
+      for (std::size_t ci = 0; ci < dp.copies.size(); ++ci) {
+        const PlannedCopy& c = dp.copies[ci];
+        if (c.zero_fill) {
+          continue; // ordered through the access map, not the copy gates
+        }
+        const StripSpan& sp =
+            sub.spans[static_cast<std::size_t>(c.pattern_index)];
+        if (intersect(c.dst_local, sp.read_local).empty()) {
+          continue;
+        }
+        if (!std::binary_search(sub.copy_waits.begin(), sub.copy_waits.end(),
+                                static_cast<std::uint32_t>(ci))) {
+          sanitizer_->report_ungated_strip(c.datum, loc, sp.read_local,
+                                           c.dst_local);
+        }
+      }
+    }
+  }
+
   // 2. "Before each kernel executes": every input rectangle must be at the
   // latest version — aligned rectangles against the shadow map, halo-slot
   // rectangles against this dispatch's boundary refills.
@@ -1087,11 +1471,21 @@ TaskHandle Scheduler::dispatch_kernel(std::shared_ptr<TaskPlan> plan,
     if (!dp.active) {
       continue;
     }
-    auto body = factory(slot, dp.grid, dp.views);
+    // One body per sub-kernel strip (the factory narrows the grid to the
+    // strip's block rows), or a single body for an unsplit device.
+    std::vector<std::function<void()>> bodies;
+    if (dp.sub.empty()) {
+      bodies.push_back(factory(slot, dp.grid, dp.views));
+    } else {
+      bodies.reserve(dp.sub.size());
+      for (const SubKernel& sub : dp.sub) {
+        bodies.push_back(factory(slot, sub.grid, dp.views));
+      }
+    }
     invokers_[static_cast<std::size_t>(slot)]->submit(
-        [this, plan, slot, issue_s, body = std::move(body)]() mutable {
+        [this, plan, slot, issue_s, bodies = std::move(bodies)]() mutable {
           sim::Node::ScopedIssueFloor floor(node_, issue_s);
-          enqueue_device_commands(plan, slot, std::move(body), nullptr,
+          enqueue_device_commands(plan, slot, std::move(bodies), nullptr,
                                   nullptr, nullptr);
         });
   }
@@ -1119,7 +1513,7 @@ TaskHandle Scheduler::dispatch_routine(std::shared_ptr<TaskPlan> plan,
     invokers_[static_cast<std::size_t>(slot)]->submit(
         [this, plan, slot, issue_s, routine, context, shared_consts] {
           sim::Node::ScopedIssueFloor floor(node_, issue_s);
-          enqueue_device_commands(plan, slot, nullptr, routine, context,
+          enqueue_device_commands(plan, slot, {}, routine, context,
                                   shared_consts);
         });
   }

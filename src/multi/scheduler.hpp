@@ -88,6 +88,11 @@ struct SchedulerStats {
   std::uint64_t uncacheable_tasks = 0;   ///< e.g. CustomAligned row mappings.
   double plan_time_us = 0.0;   ///< Host time spent building plans.
   double replay_time_us = 0.0; ///< Host time spent replaying cached plans.
+  /// Compute–transfer overlap: sub-kernel launches emitted by interior/
+  /// boundary splitting, summed over every dispatched task (builds and
+  /// replays alike). Zero when overlap is off or no task was splittable.
+  std::uint64_t interior_subkernels = 0;
+  std::uint64_t boundary_subkernels = 0;
   /// Transfer accounting summed over every dispatched task (builds and
   /// replays alike — a replayed plan re-contributes the stats baked into its
   /// shape). Byte counters classify each task's planned input transfers by
@@ -128,7 +133,7 @@ public:
                     Patterns... pats) {
     std::vector<PatternSpec> specs{pats.spec()...};
     auto plan = plan_task(std::move(specs), nullptr, hints,
-                          kernel_label<Kernel>());
+                          kernel_label<Kernel>(), /*splittable=*/true);
     auto factory = [this, kernel, pats...](int slot,
                                            const maps::GridContext& grid,
                                            const std::vector<DeviceView>&
@@ -153,7 +158,10 @@ public:
     std::optional<Work> w = work;
     std::vector<std::vector<std::byte>> consts;
     collect(specs, w, consts, args...);
-    auto plan = plan_task(std::move(specs), &*w, CostHints{}, "routine");
+    // Routines run as one opaque launch per device, so they are never split
+    // into strips; their copies still benefit from row-range chunking.
+    auto plan = plan_task(std::move(specs), &*w, CostHints{}, "routine",
+                          /*splittable=*/false);
     return dispatch_routine(plan, std::move(routine), context,
                             std::move(consts));
   }
@@ -218,6 +226,27 @@ public:
     transfer_planner_enabled_ = on;
   }
   bool transfer_planner_enabled() const { return transfer_planner_enabled_; }
+
+  /// Compute–transfer overlap (on by default): splits each per-device MAPS
+  /// kernel into an interior sub-kernel that never waits on halo traffic
+  /// plus boundary strips gated only on their own halo copies, and chunks
+  /// large inferred copies into row ranges so row-granular consumers start
+  /// as soon as their chunk lands. Simulated *results* are bit-identical on
+  /// or off — strips partition the block rows and write disjoint rows — only
+  /// the simulated timeline changes. Part of the plan-cache fingerprint.
+  void set_overlap_enabled(bool on) { overlap_enabled_ = on; }
+  bool overlap_enabled() const { return overlap_enabled_; }
+  /// Row-range chunking threshold for large inferred copies, in bytes
+  /// (0 disables chunking; only applies while overlap is enabled).
+  void set_copy_chunk_bytes(std::size_t bytes) { copy_chunk_bytes_ = bytes; }
+  std::size_t copy_chunk_bytes() const { return copy_chunk_bytes_; }
+  /// Cost gate on splitting: a task is split only when the estimated halo
+  /// transfer chain (latency + bytes over the slowest inter-device link)
+  /// exceeds `factor` times the added sub-kernel launch overhead. 0 forces
+  /// splitting whenever it is structurally possible (used by tests); the
+  /// default of 1 declines splits that would trade a cheap exchange for two
+  /// extra kernel launches.
+  void set_overlap_min_benefit(double factor) { overlap_min_benefit_ = factor; }
 
   std::uint64_t tasks_scheduled() const { return next_task_ - 1; }
 
@@ -337,6 +366,31 @@ private:
     std::vector<RowInterval> halo_reads;
   };
 
+  /// Rows one interior/boundary strip touches for one pattern, precomputed
+  /// at build time (structural, shared through replays). Empty intervals
+  /// mean the pattern is inactive on the device or untouched by the strip.
+  struct StripSpan {
+    RowInterval read_local;  ///< input rows read, LOCAL (alloc) coordinates
+    RowInterval read_global; ///< aligned input rows read, GLOBAL datum rows
+    RowInterval out_local;   ///< output rows written, LOCAL coordinates
+    RowInterval out_global;  ///< output rows written, GLOBAL datum rows
+  };
+
+  /// One interior or boundary sub-kernel of a split device task. The grid is
+  /// the device grid narrowed to the strip's block rows, so the same body
+  /// factory produces a bit-identical partial sweep; stats are the device
+  /// launch stats scaled by the strip's block-row share.
+  struct SubKernel {
+    maps::GridContext grid;
+    bool boundary = false;
+    sim::LaunchStats stats;
+    std::vector<StripSpan> spans;          ///< parallel to PlanShape::specs
+    /// Indices into DevicePlan::copies whose destination rows overlap this
+    /// strip's reads — the only transfers the strip waits for (ascending).
+    std::vector<std::uint32_t> copy_waits;
+    std::uint32_t wait_hint = 0; ///< build-time wait count, replay reserve()
+  };
+
   struct DevicePlan {
     bool active = false;
     maps::GridContext grid;
@@ -344,12 +398,21 @@ private:
     std::vector<PlannedCopy> copies;
     std::vector<PatternPost> post;
     sim::LaunchStats stats;
+    /// Interior/boundary sub-kernels (empty = single launch, the legacy
+    /// path). Ascending block-row order, at most one interior strip.
+    std::vector<SubKernel> sub;
     // Routine plumbing:
     std::vector<RoutineParam> params;
     std::vector<Segment> segments;
     // Build-time wiring sizes, used as reserve() hints on replay:
     std::uint32_t wait_pool_hint = 0;
     std::uint32_t kernel_wait_hint = 0;
+  };
+
+  /// Per-dispatch event wiring of one sub-kernel strip.
+  struct StripWiring {
+    std::vector<sim::EventId> waits;
+    sim::EventId done = 0;
   };
 
   /// Per-dispatch event wiring of one device: copy dependencies and the
@@ -359,6 +422,7 @@ private:
     std::vector<CopyWiring> copies;      ///< parallel to DevicePlan::copies
     std::vector<sim::EventId> kernel_waits;
     sim::EventId kernel_done = 0;
+    std::vector<StripWiring> strips; ///< parallel to DevicePlan::sub
   };
 
   /// The immutable product of one full Algorithm-1 planning pass. Shared
@@ -373,6 +437,12 @@ private:
     /// attribution). Structural like everything else here: a replayed plan
     /// dispatches the same transfers, so it re-contributes the same stats.
     TransferStats transfers;
+    /// Overlap setting the plan was built under: replays must mirror the
+    /// build's dependency wiring exactly (see wire_strips / the legacy-path
+    /// availability waits), so the flag travels with the shape.
+    bool overlap = false;
+    std::uint32_t interior_launches = 0;
+    std::uint32_t boundary_launches = 0;
   };
 
   struct TaskPlan {
@@ -486,11 +556,11 @@ private:
   void analyze_task(std::vector<PatternSpec> specs, const Work* work);
   std::shared_ptr<TaskPlan> plan_task(std::vector<PatternSpec> specs,
                                       const Work* work, const CostHints& hints,
-                                      const char* label);
+                                      const char* label, bool splittable);
   std::shared_ptr<TaskPlan> build_plan(std::vector<PatternSpec> specs,
                                        const Work* work,
                                        const CostHints& hints,
-                                       const char* label);
+                                       const char* label, bool splittable);
   std::shared_ptr<TaskPlan> replay_plan(const CacheEntry& entry);
   /// Hands out a TaskPlan for replay, recycling retired ones: the custom
   /// deleter returns the object to `plan_recycle_` when the last reference
@@ -501,7 +571,7 @@ private:
   static bool cacheable(const std::vector<PatternSpec>& specs);
   PlanFingerprint fingerprint(const std::vector<PatternSpec>& specs,
                               const Work* work, const CostHints& hints,
-                              const char* label) const;
+                              const char* label, bool splittable) const;
   std::vector<DatumCapture>
   capture_datums(const std::vector<PatternSpec>& specs) const;
   std::vector<DatumPostState>
@@ -523,6 +593,28 @@ private:
   /// monitor marks.
   void commit_post_state(const DevicePlan& dp, const DeviceWiring& dw,
                          int slot, bool update_monitor);
+  /// Structural eligibility for interior/boundary splitting: every pattern
+  /// PartitionAligned (1/1 row scale) or a replicated input, no aggregating
+  /// outputs, and at least one windowed (radius > 0) partitioned input to
+  /// overlap against.
+  static bool overlap_eligible(const std::vector<PatternSpec>& specs);
+  /// Cost gate: estimated halo-exchange chain vs. the added launch overhead
+  /// of two extra strips (see set_overlap_min_benefit).
+  bool overlap_profitable(const std::vector<PatternSpec>& specs) const;
+  /// Build-side strip construction for one split device: sub-kernel grids,
+  /// per-pattern read/write spans, copy gating and scaled launch stats.
+  void build_strips(PlanShape& shape, DevicePlan& dp, int slot,
+                    const std::vector<SegmentReq>& reqs,
+                    const std::vector<const MemoryAnalyzer::Alloc*>& allocs,
+                    const std::vector<StripRange>& ranges);
+  /// (Re)wires a split device's strips against the CURRENT dependency state:
+  /// copy-done gates, availability of aligned reads, WAR on written rows.
+  /// Shared verbatim by build and replay; strips consume consecutive event
+  /// ids starting at `first`.
+  void wire_strips(const DevicePlan& dp, DeviceWiring& dw, sim::EventId first);
+  /// Accumulates a dispatched plan's per-shape counters into stats_ (shared
+  /// by the build, cache-hit and cache-miss paths of plan_task).
+  void account_dispatch(const PlanShape& shape);
   /// Registers pending aggregations for Reductive/Unstructured outputs
   /// (build only) and resets append counters.
   void commit_aggregations(const PlanShape& shape, bool update_monitor);
@@ -539,7 +631,7 @@ private:
                               UnmodifiedRoutine routine, void* context,
                               std::vector<std::vector<std::byte>> consts);
   void enqueue_device_commands(std::shared_ptr<TaskPlan> plan, int slot,
-                               std::function<void()> body,
+                               std::vector<std::function<void()>> bodies,
                                UnmodifiedRoutine routine, void* context,
                                std::shared_ptr<std::vector<std::vector<std::byte>>>
                                    consts);
@@ -563,6 +655,10 @@ private:
   /// they wait only on their event dependencies (and the compute engine),
   /// not on stream order behind the device's whole kernel backlog.
   std::vector<sim::StreamId> reduce_streams_;
+  /// Per-device stream for boundary strip sub-kernels: boundary strips wait
+  /// on their halo copies without blocking the interior strip's launch on
+  /// the main compute stream (they still share the compute engine).
+  std::vector<sim::StreamId> boundary_streams_;
   MemoryAnalyzer analyzer_;
   SegmentLocationMonitor monitor_;
   TransferPlanner planner_;
@@ -617,6 +713,11 @@ private:
 
   bool force_host_staged_ = false;
   bool transfer_planner_enabled_ = true;
+  bool overlap_enabled_ = true;
+  /// 4 MiB: small enough that a GEMM stripe pipelines through a fan-out tree
+  /// in ~16 pieces, large enough that per-copy latency stays negligible.
+  std::size_t copy_chunk_bytes_ = 4u << 20;
+  double overlap_min_benefit_ = 1.0;
   double task_overhead_us_ = 60.0;
   double per_device_overhead_us_ = 20.0;
   TaskHandle next_task_ = 1;

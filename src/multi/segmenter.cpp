@@ -265,4 +265,64 @@ void split_read_rows(const SegmentReq& req, std::vector<RowInterval>& aligned,
   }
 }
 
+std::vector<StripRange> compute_strips(const std::vector<PatternSpec>& specs,
+                                       const TaskPartition& partition, int slot,
+                                       const std::vector<SegmentReq>& reqs) {
+  const RowInterval br = partition.block_rows[static_cast<std::size_t>(slot)];
+  if (br.size() < 2) {
+    return {};
+  }
+  const std::size_t span = partition.rows_per_block_row();
+
+  // A block row is boundary when any windowed input's read range leaves the
+  // slot's core band — reads served through halo rows (interior halos copied
+  // from peers, or Wrap/Clamp/Zero slots refilled each task).
+  const auto is_boundary = [&](std::size_t y) {
+    const std::size_t w0 = y * span;
+    const std::size_t w1 = std::min((y + 1) * span, partition.work_rows);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const PatternSpec& s = specs[i];
+      const SegmentReq& req = reqs[i];
+      if (!s.is_input || !req.active ||
+          s.seg != Segmentation::PartitionAligned ||
+          (s.radius_low == 0 && s.radius_high == 0)) {
+        continue;
+      }
+      const long lo = static_cast<long>(s.scale_rows_begin(w0)) - s.radius_low;
+      const long hi = static_cast<long>(s.scale_rows_end(w1)) + s.radius_high;
+      if (lo < static_cast<long>(req.core.begin) ||
+          hi > static_cast<long>(req.core.end)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::size_t top = 0;
+  while (top < br.size() && is_boundary(br.begin + top)) {
+    ++top;
+  }
+  if (top == br.size()) {
+    return {}; // no interior: the segment is thinner than its halo reach
+  }
+  std::size_t bottom = 0;
+  while (bottom < br.size() - top && is_boundary(br.end - 1 - bottom)) {
+    ++bottom;
+  }
+  if (top == 0 && bottom == 0) {
+    return {}; // nothing waits on halo traffic; a single launch is optimal
+  }
+
+  std::vector<StripRange> strips;
+  if (top > 0) {
+    strips.push_back(StripRange{RowInterval{br.begin, br.begin + top}, true});
+  }
+  strips.push_back(
+      StripRange{RowInterval{br.begin + top, br.end - bottom}, false});
+  if (bottom > 0) {
+    strips.push_back(StripRange{RowInterval{br.end - bottom, br.end}, true});
+  }
+  return strips;
+}
+
 } // namespace maps::multi

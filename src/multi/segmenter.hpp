@@ -78,4 +78,28 @@ SegmentReq compute_requirement(const PatternSpec& spec,
 void split_read_rows(const SegmentReq& req, std::vector<RowInterval>& aligned,
                      std::vector<RowInterval>& halo);
 
+/// One contiguous run of a slot's virtual block rows, classified by whether
+/// its reads stay inside the slot's aligned bands (interior) or reach into
+/// halo rows (boundary). Used by the scheduler's compute–transfer overlap:
+/// interior strips launch without waiting for halo traffic, boundary strips
+/// are gated only on their own halo copies.
+struct StripRange {
+  RowInterval block_rows; ///< GLOBAL virtual block rows (like TaskPartition).
+  bool boundary = false;
+};
+
+/// Interior/boundary decomposition of one slot's block-row span. A block row
+/// is *interior* when, for every active PartitionAligned input, the rows it
+/// reads (aligned band rows +/- the window radius) lie entirely inside the
+/// slot's own core band — i.e. it never touches a halo row another device or
+/// the host must supply. Returns at most three strips (leading boundary run,
+/// interior, trailing boundary run) in ascending block-row order, or an
+/// empty vector when splitting is pointless: fewer than two block rows, no
+/// interior left (segment thinner than its halo), or no boundary at all.
+/// Callers must only pass tasks whose PartitionAligned patterns use a 1/1
+/// row scale (otherwise adjacent strips could share datum rows).
+std::vector<StripRange> compute_strips(const std::vector<PatternSpec>& specs,
+                                       const TaskPartition& partition, int slot,
+                                       const std::vector<SegmentReq>& reqs);
+
 } // namespace maps::multi

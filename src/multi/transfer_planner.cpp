@@ -272,7 +272,10 @@ TransferPlanner::route(const Datum* datum, int target_location,
     const auto& op = ops[i];
     if (!merged.empty() && merged.back().src_location == op.src_location &&
         merged.back().rows.end == op.rows.begin &&
-        std::abs(src_ready[i] - merged_ready) < 1e-9) {
+        std::abs(src_ready[i] - merged_ready) < 1e-9 &&
+        (max_coalesce_bytes_ == 0 ||
+         (merged.back().rows.size() + op.rows.size()) * row_bytes <=
+             max_coalesce_bytes_)) {
       merged.back().rows.end = op.rows.end;
       ++stats.copies_coalesced;
     } else {

@@ -62,7 +62,16 @@ struct TransferStats {
   std::uint32_t copies_issued = 0;    ///< transfers actually dispatched
   std::uint32_t copies_rerouted = 0;  ///< ops whose source the planner changed
   std::uint32_t copies_coalesced = 0; ///< ops merged into an adjacent one
+  std::uint32_t copies_chunked = 0;   ///< extra pieces from row-range chunking
   std::uint32_t max_fanout_depth = 0; ///< longest replica-forwarding chain
+
+  /// Sum of every byte category — the total data the task actually moves.
+  /// Routing, coalescing and chunking may reclassify bytes between
+  /// categories but must never change this total.
+  std::uint64_t bytes_total() const {
+    return bytes_h2d + bytes_d2h + bytes_p2p_same_bus + bytes_p2p_cross_bus +
+           bytes_host_staged;
+  }
 
   void add(const TransferStats& o) {
     bytes_h2d += o.bytes_h2d;
@@ -74,6 +83,7 @@ struct TransferStats {
     copies_issued += o.copies_issued;
     copies_rerouted += o.copies_rerouted;
     copies_coalesced += o.copies_coalesced;
+    copies_chunked += o.copies_chunked;
     max_fanout_depth = std::max(max_fanout_depth, o.max_fanout_depth);
   }
 };
@@ -107,6 +117,14 @@ public:
                       sim::Endpoint src, sim::Endpoint dst, bool host_staged,
                       std::uint64_t bytes);
 
+  /// Upper bound on the size of a coalesced op (0 = unlimited). The
+  /// scheduler sets this to its copy-chunk threshold when compute–transfer
+  /// overlap is on, so the coalescing pass never re-merges row ranges that
+  /// must gate different interior/boundary strips independently.
+  void set_max_coalesce_bytes(std::size_t bytes) {
+    max_coalesce_bytes_ = bytes;
+  }
+
 private:
   /// A replica created by a copy routed earlier in the *current* task:
   /// usable as a source, but only ready once its transfer finishes.
@@ -139,6 +157,7 @@ private:
   std::vector<std::array<double, 2>> engine_busy_; ///< per slot, two engines
   /// Fresh replicas routed this task: datum key -> per-location list.
   std::unordered_map<const void*, std::vector<std::vector<Fresh>>> fresh_;
+  std::size_t max_coalesce_bytes_ = 0; ///< 0 = no cap (see setter)
 };
 
 } // namespace maps::multi

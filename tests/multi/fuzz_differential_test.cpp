@@ -153,10 +153,20 @@ sim::DeviceSpec arch_spec(int arch) {
   }
 }
 
+/// Compute-transfer overlap configuration of one run. `force` drops the cost
+/// gate and shrinks the chunk threshold so the tiny fuzz grids still split
+/// and chunk; `stats_out` (optional) receives the run's scheduler stats.
+struct OverlapCfg {
+  bool enabled = true;
+  bool force = false;
+  SchedulerStats* stats_out = nullptr;
+};
+
 /// Runs the chain on `devices` devices. `fault` (optional) is installed as
 /// the scheduler's copy fault hook for the kernel tasks.
 RunResult run_chain(const FuzzCase& fc, int devices,
-                    Scheduler::CopyFaultHook fault = nullptr) {
+                    Scheduler::CopyFaultHook fault = nullptr,
+                    const OverlapCfg& overlap = OverlapCfg{}) {
   using Win = Window2D<int, 1, maps::WRAP>;
   using Pt = Window2D<int, 0, maps::WRAP>;
   using Out = StructuredInjective<int, 2>;
@@ -173,6 +183,11 @@ RunResult run_chain(const FuzzCase& fc, int devices,
   Scheduler sched(node);
   sched.set_plan_cache_enabled(fc.cache);
   sched.set_sanitizer_enabled(true);
+  sched.set_overlap_enabled(overlap.enabled);
+  if (overlap.force) {
+    sched.set_overlap_min_benefit(0.0);
+    sched.set_copy_chunk_bytes(256); // chunk even the fuzz grids' tiny copies
+  }
   if (fault) {
     sched.set_copy_fault_hook(std::move(fault));
   }
@@ -221,6 +236,9 @@ RunResult run_chain(const FuzzCase& fc, int devices,
     sched.Gather(B);
     sched.Gather(A);
   }
+  if (overlap.stats_out != nullptr) {
+    *overlap.stats_out = sched.stats();
+  }
   return r;
 }
 
@@ -261,6 +279,42 @@ TEST(DifferentialFuzzExtra, RepeatedRunsAreBitIdentical) {
     ASSERT_EQ(r1.a, r2.a) << "reproducer: " << fc.describe();
     ASSERT_EQ(r1.b, r2.b) << "reproducer: " << fc.describe();
   }
+}
+
+// --- Overlap fuzz: splitting/chunking change timing only ---------------------
+
+TEST(DifferentialFuzzExtra, OverlapOnOffBitIdenticalWithEqualByteTotals) {
+  // Forced interior/boundary splitting and aggressive copy chunking must not
+  // change a single output value or a single byte of planned traffic — only
+  // the simulated timeline. The sanitizer is live in both runs, so every
+  // strip's copy gating is also structurally checked per dispatch.
+  std::uint64_t split_runs = 0, chunked_runs = 0;
+  for (unsigned seed = 700; seed < 740; ++seed) {
+    const FuzzCase fc = make_case(seed);
+    SchedulerStats stats_on, stats_off;
+    RunResult on, off;
+    try {
+      on = run_chain(fc, fc.devices, nullptr,
+                     OverlapCfg{true, /*force=*/true, &stats_on});
+      off = run_chain(fc, fc.devices, nullptr,
+                      OverlapCfg{false, false, &stats_off});
+    } catch (const SanitizerError& e) {
+      FAIL() << "sanitizer report on a clean chain\n  " << fc.describe()
+             << "\n  " << e.what();
+    }
+    ASSERT_EQ(on.a, off.a) << "reproducer: " << fc.describe();
+    ASSERT_EQ(on.b, off.b) << "reproducer: " << fc.describe();
+    ASSERT_EQ(stats_on.transfers.bytes_total(),
+              stats_off.transfers.bytes_total())
+        << "overlap changed planned traffic; reproducer: " << fc.describe();
+    split_runs += stats_on.interior_subkernels > 0 ? 1 : 0;
+    chunked_runs += stats_on.transfers.copies_chunked > 0 ? 1 : 0;
+    EXPECT_EQ(stats_off.interior_subkernels, 0u) << fc.describe();
+    EXPECT_EQ(stats_off.transfers.copies_chunked, 0u) << fc.describe();
+  }
+  // The seed range must actually exercise both mechanisms.
+  EXPECT_GE(split_runs, 10u);
+  EXPECT_GE(chunked_runs, 10u);
 }
 
 // --- Fault fuzz: a dropped inferred copy must be reported --------------------

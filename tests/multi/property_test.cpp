@@ -164,6 +164,86 @@ TEST_P(RandomChainTest, RandomTaskChainsMatchSequentialReference) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomChainTest,
                          ::testing::Range(100u, 112u));
 
+// --- Overlap splitting: results and traffic invariant, timing free --------------
+
+class OverlapChainTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(OverlapChainTest, OverlapChangesTimingOnly) {
+  const unsigned seed = GetParam();
+  std::mt19937 rng(seed);
+  const std::size_t W = 48 + rng() % 40;
+  const std::size_t H = 192 + rng() % 128; // deep enough to split at span 8
+  const int devices = 2 + static_cast<int>(rng() % 3);
+  const int chain = 6 + static_cast<int>(rng() % 6);
+
+  std::vector<int> init(W * H);
+  for (auto& v : init) {
+    v = static_cast<int>(rng() % 1000);
+  }
+  std::vector<ChainStep> steps(chain);
+  for (ChainStep& s : steps) {
+    s.stencil = rng() % 3 != 0;
+    if (s.stencil) {
+      s.center = static_cast<int>(rng() % 4);
+      s.cross = 1 + static_cast<int>(rng() % 3);
+    }
+  }
+
+  struct RunOut {
+    std::vector<int> a, b;
+    std::uint64_t bytes = 0;
+    std::uint64_t interior = 0;
+  };
+  auto run = [&](bool overlap) {
+    RunOut r;
+    r.a = init;
+    r.b.assign(W * H, 0);
+    sim::Node node(sim::homogeneous_node(sim::titan_black(), devices));
+    Scheduler sched(node);
+    sched.set_sanitizer_enabled(true);
+    sched.set_overlap_enabled(overlap);
+    sched.set_overlap_min_benefit(0.0); // split wherever structurally possible
+    Matrix<int> A(W, H, "A"), B(W, H, "B");
+    A.Bind(r.a.data());
+    B.Bind(r.b.data());
+    using Win = Window2D<int, 1, maps::WRAP>;
+    using Out = StructuredInjective<int, 2>;
+    sched.AnalyzeCall(Win(A), Out(B));
+    sched.AnalyzeCall(Win(B), Out(A));
+    for (int step = 0; step < chain; ++step) {
+      Matrix<int>& in = (step % 2 == 0) ? A : B;
+      Matrix<int>& out = (step % 2 == 0) ? B : A;
+      const ChainStep& s = steps[static_cast<std::size_t>(step)];
+      if (s.stencil) {
+        WeightedStencil k;
+        k.center = s.center;
+        k.cross = s.cross;
+        sched.Invoke(k, Win(in), Out(out));
+      } else {
+        sched.Invoke(ElementwiseMix{}, Window2D<int, 0, maps::WRAP>(in),
+                     Window2D<int, 0, maps::WRAP>(out), Out(out));
+      }
+    }
+    sched.Gather(A);
+    sched.Gather(B);
+    r.bytes = sched.stats().transfers.bytes_total();
+    r.interior = sched.stats().interior_subkernels;
+    return r;
+  };
+  const RunOut on = run(true);
+  const RunOut off = run(false);
+
+  EXPECT_EQ(on.a, off.a) << "seed " << seed;
+  EXPECT_EQ(on.b, off.b) << "seed " << seed;
+  // Splitting/chunking re-times transfers, never adds or removes traffic.
+  EXPECT_EQ(on.bytes, off.bytes) << "seed " << seed;
+  EXPECT_GT(on.interior, 0u) << "seed " << seed; // the chains must split
+  EXPECT_EQ(off.interior, 0u) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverlapChainTest,
+                         ::testing::Range(200u, 208u));
+
 // --- Heterogeneous nodes ---------------------------------------------------------
 
 TEST(PropertyTest, HeterogeneousNodeStillComputesCorrectly) {

@@ -290,6 +290,174 @@ struct BoundedSumNeighborhood {
   }
 };
 
+// --- Interior/boundary splitting (compute-transfer overlap) ---------------------
+
+/// Reference sum-neighborhood run: overlap disabled, same seed/shape.
+std::vector<int> overlap_reference(int devices, std::size_t W, std::size_t H,
+                                   const std::vector<int>& x) {
+  sim::Node node(sim::homogeneous_node(sim::gtx980(), devices));
+  Scheduler sched(node);
+  sched.set_overlap_enabled(false);
+  std::vector<int> y(W * H, -1);
+  std::vector<int> xm = x;
+  Matrix<int> X(W, H), Y(W, H);
+  X.Bind(xm.data());
+  Y.Bind(y.data());
+  sched.Invoke(SumNeighborhood{}, Window2D<int, 1, maps::WRAP>(X),
+               StructuredInjective<int, 2>(Y));
+  sched.Gather(Y);
+  return y;
+}
+
+TEST(SchedulerEdgeTest, OverlapSplitsIntoInteriorAndBoundaryStrips) {
+  const std::size_t W = 37, H = 256; // 8 block rows per device at span 8
+  std::mt19937 rng(123);
+  std::vector<int> x(W * H);
+  for (auto& v : x) {
+    v = static_cast<int>(rng() % 9);
+  }
+  const std::vector<int> ref = overlap_reference(4, W, H, x);
+
+  sim::Node node(sim::homogeneous_node(sim::gtx980(), 4));
+  Scheduler sched(node);
+  sched.set_overlap_min_benefit(0.0); // force the split past the cost gate
+  std::vector<int> y(W * H, -1);
+  std::vector<int> xm = x;
+  Matrix<int> X(W, H), Y(W, H);
+  X.Bind(xm.data());
+  Y.Bind(y.data());
+  sched.Invoke(SumNeighborhood{}, Window2D<int, 1, maps::WRAP>(X),
+               StructuredInjective<int, 2>(Y));
+  sched.Gather(Y);
+
+  // Every device splits into top boundary + interior + bottom boundary (the
+  // global edges also read Wrap halo slots, so they are boundary too).
+  EXPECT_EQ(sched.stats().interior_subkernels, 4u);
+  EXPECT_EQ(sched.stats().boundary_subkernels, 8u);
+  EXPECT_EQ(y, ref); // bit-identical to the unsplit run
+}
+
+TEST(SchedulerEdgeTest, OverlapDeclinesSegmentThinnerThanHalo) {
+  // 64 rows over 4 devices = 2 block rows each (span 8): both are boundary,
+  // so there is no interior strip and the device stays unsplit.
+  const std::size_t W = 37, H = 64;
+  std::mt19937 rng(321);
+  std::vector<int> x(W * H);
+  for (auto& v : x) {
+    v = static_cast<int>(rng() % 9);
+  }
+  const std::vector<int> ref = overlap_reference(4, W, H, x);
+
+  sim::Node node(sim::homogeneous_node(sim::gtx980(), 4));
+  Scheduler sched(node);
+  sched.set_overlap_min_benefit(0.0);
+  std::vector<int> y(W * H, -1);
+  std::vector<int> xm = x;
+  Matrix<int> X(W, H), Y(W, H);
+  X.Bind(xm.data());
+  Y.Bind(y.data());
+  sched.Invoke(SumNeighborhood{}, Window2D<int, 1, maps::WRAP>(X),
+               StructuredInjective<int, 2>(Y));
+  sched.Gather(Y);
+
+  EXPECT_EQ(sched.stats().interior_subkernels, 0u);
+  EXPECT_EQ(sched.stats().boundary_subkernels, 0u);
+  EXPECT_EQ(y, ref);
+}
+
+TEST(SchedulerEdgeTest, OverlapIsANoOpOnOneDevice) {
+  const std::size_t W = 37, H = 256;
+  std::mt19937 rng(55);
+  std::vector<int> x(W * H);
+  for (auto& v : x) {
+    v = static_cast<int>(rng() % 9);
+  }
+  const std::vector<int> ref = overlap_reference(1, W, H, x);
+
+  sim::Node node(sim::homogeneous_node(sim::gtx980(), 1));
+  Scheduler sched(node);
+  sched.set_overlap_min_benefit(0.0);
+  std::vector<int> y(W * H, -1);
+  std::vector<int> xm = x;
+  Matrix<int> X(W, H), Y(W, H);
+  X.Bind(xm.data());
+  Y.Bind(y.data());
+  sched.Invoke(SumNeighborhood{}, Window2D<int, 1, maps::WRAP>(X),
+               StructuredInjective<int, 2>(Y));
+  sched.Gather(Y);
+
+  EXPECT_EQ(sched.stats().interior_subkernels, 0u);
+  EXPECT_EQ(sched.stats().boundary_subkernels, 0u);
+  EXPECT_EQ(y, ref);
+}
+
+TEST(SchedulerEdgeTest, OverlapSplitsZeroBoundaryWithoutCopyDependency) {
+  // Boundary::Zero global edges: the edge strips' halo slots are zero-filled
+  // locally (no peer copy to wait on), and the results still match.
+  const std::size_t W = 37, H = 192;
+  std::mt19937 rng(99);
+  std::vector<int> x(W * H);
+  for (auto& v : x) {
+    v = static_cast<int>(rng() % 9);
+  }
+  auto run = [&](bool overlap) {
+    sim::Node node(sim::homogeneous_node(sim::gtx980(), 3));
+    Scheduler sched(node);
+    sched.set_overlap_enabled(overlap);
+    sched.set_overlap_min_benefit(0.0);
+    std::vector<int> y(W * H, -1);
+    std::vector<int> xm = x;
+    Matrix<int> X(W, H), Y(W, H);
+    X.Bind(xm.data());
+    Y.Bind(y.data());
+    sched.Invoke(SumNeighborhood{}, Window2D<int, 1, maps::ZERO>(X),
+                 StructuredInjective<int, 2>(Y));
+    sched.Gather(Y);
+    if (overlap) {
+      EXPECT_GT(sched.stats().boundary_subkernels, 0u);
+    }
+    return y;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(SchedulerEdgeTest, ChunkedCopiesPreserveResultsAndBytes) {
+  // A replicated input forces whole-segment uploads; a 1 KiB chunk threshold
+  // splits them into many row-range pieces. Byte totals and results must not
+  // change, only the piece count.
+  const std::size_t W = 64, H = 128;
+  std::mt19937 rng(7);
+  std::vector<int> x(W * H);
+  for (auto& v : x) {
+    v = static_cast<int>(rng() % 100);
+  }
+  auto run = [&](std::size_t chunk_bytes, std::uint64_t* bytes_total,
+                 std::uint32_t* chunked) {
+    sim::Node node(sim::homogeneous_node(sim::gtx980(), 4));
+    Scheduler sched(node);
+    sched.set_copy_chunk_bytes(chunk_bytes);
+    std::vector<int> y(W * H, -1);
+    std::vector<int> xm = x;
+    Matrix<int> X(W, H), Y(W, H);
+    X.Bind(xm.data());
+    Y.Bind(y.data());
+    sched.Invoke(SumNeighborhood{}, Window2D<int, 1, maps::CLAMP>(X),
+                 StructuredInjective<int, 2>(Y));
+    sched.Gather(Y);
+    *bytes_total = sched.stats().transfers.bytes_total();
+    *chunked = sched.stats().transfers.copies_chunked;
+    return y;
+  };
+  std::uint64_t bytes_plain = 0, bytes_chunked = 0;
+  std::uint32_t n_plain = 0, n_chunked = 0;
+  const auto plain = run(0, &bytes_plain, &n_plain);
+  const auto chunked = run(1 << 10, &bytes_chunked, &n_chunked);
+  EXPECT_EQ(plain, chunked);
+  EXPECT_EQ(bytes_plain, bytes_chunked);
+  EXPECT_EQ(n_plain, 0u);
+  EXPECT_GT(n_chunked, 0u);
+}
+
 TEST(SchedulerEdgeTest, AllocationsHappenOnceAcrossIterations) {
   // §4.2: the memory analyzer "allocates the necessary memory once,
   // creating contiguous buffers" — iterating a task chain must not allocate
