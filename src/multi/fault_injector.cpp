@@ -1,0 +1,25 @@
+#include "multi/fault_injector.hpp"
+
+#include <memory>
+
+namespace maps::multi {
+
+FaultInjector kill_at_nth(int slot, KillStage stage, int n) {
+  struct Counter {
+    int remaining;
+    bool fired = false;
+  };
+  auto state = std::make_shared<Counter>(Counter{n});
+  return [slot, stage, state](const FaultPoint& p) {
+    if (state->fired || p.slot != slot || p.stage != stage) {
+      return false;
+    }
+    if (state->remaining-- > 0) {
+      return false;
+    }
+    state->fired = true;
+    return true;
+  };
+}
+
+} // namespace maps::multi

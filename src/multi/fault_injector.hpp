@@ -1,0 +1,49 @@
+// Device-loss fault injection (§5.11 of DESIGN.md).
+//
+// A FaultInjector is a user-supplied predicate the scheduler consults at
+// well-defined dispatch boundaries. Returning true kills the named device:
+// the scheduler drains in-flight work (the simulated loss model is
+// "drain-completes" — enqueued commands finish, then the device is gone),
+// marks the slot dead, and runs recovery (segment re-execution from the host
+// mirrors plus aggregation-partial repair). Fault injection only makes sense
+// with fault tolerance enabled (Scheduler::set_fault_tolerance_enabled);
+// without host mirroring a loss is unrecoverable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace maps::multi {
+
+/// Where in a task's dispatch the device is lost.
+enum class KillStage {
+  /// The victim's inferred input copies were issued, but its kernel was not:
+  /// the device dies holding fresh inputs and no outputs.
+  CopiesIssued,
+  /// The victim's kernel was issued and completes (drain model) but its
+  /// outputs were never mirrored or exchanged: they die with the device.
+  KernelIssued,
+  /// The device is lost at the entry of a Gather, before aggregation
+  /// planning: pending partials on the victim are re-executed on survivors.
+  PreGather,
+};
+
+/// One consultation point. `task` is the scheduler's task handle for the
+/// dispatch being executed (0 at PreGather points, which are not tasks).
+struct FaultPoint {
+  int slot = 0;
+  KillStage stage = KillStage::CopiesIssued;
+  std::uint64_t task = 0;
+  const char* label = nullptr; ///< task label, or "gather" at PreGather
+};
+
+/// Returns true to kill `point.slot` at `point.stage`. Consulted once per
+/// (live slot, stage) per dispatch; at most one kill fires per dispatch.
+using FaultInjector = std::function<bool(const FaultPoint&)>;
+
+/// An injector that fires exactly once: at the n-th consultation (0-based)
+/// matching (slot, stage). Counting is shared across copies of the returned
+/// functor, so the scheduler may copy it freely.
+FaultInjector kill_at_nth(int slot, KillStage stage, int n);
+
+} // namespace maps::multi

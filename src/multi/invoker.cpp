@@ -1,5 +1,8 @@
 #include "multi/invoker.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace maps::multi {
 
 InvokerThread::InvokerThread(int slot)
@@ -17,10 +20,33 @@ InvokerThread::~InvokerThread() {
 void InvokerThread::submit(std::function<void()> job) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (abandoned_) {
+      throw std::logic_error("invoker " + std::to_string(slot_) +
+                             ": submit to an abandoned (lost-device) invoker");
+    }
     jobs_.push_back(std::move(job));
   }
   jobs_submitted_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_all();
+}
+
+void InvokerThread::abandon() {
+  std::size_t discarded = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    abandoned_ = true;
+    discarded = jobs_.size();
+    jobs_.clear();
+  }
+  // Discarded jobs count as executed so the submitted/executed drain
+  // invariant (see jobs_submitted) survives a device loss.
+  jobs_executed_.fetch_add(discarded, std::memory_order_relaxed);
+  cv_.notify_all();
+}
+
+bool InvokerThread::abandoned() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return abandoned_;
 }
 
 void InvokerThread::flush() {

@@ -30,6 +30,13 @@ public:
   /// job exception, if any.
   void flush();
 
+  /// Device-loss recovery: discards every queued job and marks the invoker
+  /// abandoned — further submit() calls throw std::logic_error. The running
+  /// job (if any) completes; flush() still works and still reports captured
+  /// errors. Abandoning is irreversible for the invoker's lifetime.
+  void abandon();
+  bool abandoned() const;
+
   int slot() const { return slot_; }
 
   /// Pipeline-health introspection: after a flush() both counters are equal;
@@ -46,7 +53,7 @@ private:
   void run();
 
   int slot_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> jobs_;
   std::exception_ptr error_;
@@ -54,6 +61,7 @@ private:
   std::atomic<std::uint64_t> jobs_executed_{0};
   bool stop_ = false;
   bool busy_ = false;
+  bool abandoned_ = false;
   std::thread thread_;
 };
 

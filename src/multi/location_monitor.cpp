@@ -198,6 +198,32 @@ const IntervalSet& SegmentLocationMonitor::last_output(const Datum* datum,
   return state(datum).last_output[static_cast<std::size_t>(location)];
 }
 
+void SegmentLocationMonitor::drop_location(int location) {
+  for (auto& [key, s] : states_) {
+    s.up_to_date[static_cast<std::size_t>(location)].clear();
+    s.last_output[static_cast<std::size_t>(location)].clear();
+    s.epoch = ++epoch_counter_;
+  }
+}
+
+void SegmentLocationMonitor::drop_holdings(const Datum* datum, int location) {
+  State& s = state(datum);
+  s.up_to_date[static_cast<std::size_t>(location)].clear();
+  s.last_output[static_cast<std::size_t>(location)].clear();
+  s.epoch = ++epoch_counter_;
+}
+
+void SegmentLocationMonitor::remove_pending_writer(const Datum* datum,
+                                                   int slot) {
+  State& s = state(datum);
+  if (!s.has_pending) {
+    return;
+  }
+  auto& ws = s.pending.writer_slots;
+  ws.erase(std::remove(ws.begin(), ws.end(), slot), ws.end());
+  s.epoch = ++epoch_counter_;
+}
+
 void SegmentLocationMonitor::set_pending_aggregation(const Datum* datum,
                                                      PendingAggregation agg) {
   State& s = state(datum);

@@ -81,6 +81,21 @@ public:
   const IntervalSet& up_to_date(const Datum* datum, int location) const;
   const IntervalSet& last_output(const Datum* datum, int location) const;
 
+  // --- Device-loss recovery -------------------------------------------------
+
+  /// A location died: every datum's up-to-date and last-output intervals at
+  /// that location are invalidated (the replicas are gone with the device).
+  /// Pending-aggregation writer lists are NOT touched — the scheduler's
+  /// recovery repairs lost partials explicitly (remove_pending_writer).
+  void drop_location(int location);
+  /// Invalidates one datum's holdings at one location (used when a device
+  /// buffer is reallocated without content migration after a repartition).
+  void drop_holdings(const Datum* datum, int location);
+  /// Removes a lost device from a pending aggregation's writer list after
+  /// its partial contribution has been re-executed and folded into a
+  /// survivor's partial.
+  void remove_pending_writer(const Datum* datum, int slot);
+
   // --- Plan-cache validity oracle ------------------------------------------
 
   /// Label for the datum's location state; 0 for unknown datums. Equal

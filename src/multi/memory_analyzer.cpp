@@ -1,6 +1,7 @@
 #include "multi/memory_analyzer.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <stdexcept>
 
 namespace maps::multi {
@@ -88,6 +89,44 @@ std::size_t MemoryAnalyzer::allocated_bytes(int slot) const {
     }
   }
   return total;
+}
+
+void MemoryAnalyzer::drop_slot(int slot) {
+  for (auto it = allocs_.begin(); it != allocs_.end();) {
+    if (it->first.second == slot) {
+      node_.free_device(it->second.buffer);
+      it = allocs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = plans_.begin(); it != plans_.end();) {
+    it = it->first.second == slot ? plans_.erase(it) : std::next(it);
+  }
+  for (auto it = datum_of_.begin(); it != datum_of_.end();) {
+    it = it->first.second == slot ? datum_of_.erase(it) : std::next(it);
+  }
+}
+
+bool MemoryAnalyzer::needs_grow(const Datum* datum, int slot) const {
+  const Key key{datum->key(), slot};
+  auto plan_it = plans_.find(key);
+  auto alloc_it = allocs_.find(key);
+  if (plan_it == plans_.end() || alloc_it == allocs_.end()) {
+    return false;
+  }
+  const Plan& p = plan_it->second;
+  const Alloc& a = alloc_it->second;
+  return p.origin < a.origin || p.end > a.origin + static_cast<long>(a.rows);
+}
+
+void MemoryAnalyzer::grow(const Datum* datum, int slot) {
+  auto it = allocs_.find(Key{datum->key(), slot});
+  if (it == allocs_.end()) {
+    return;
+  }
+  node_.free_device(it->second.buffer);
+  allocs_.erase(it);
 }
 
 void MemoryAnalyzer::release_all() {

@@ -72,6 +72,20 @@ public:
   /// Total bytes currently allocated on a slot by the analyzer.
   std::size_t allocated_bytes(int slot) const;
 
+  // --- Device-loss recovery -------------------------------------------------
+
+  /// Frees and forgets every plan/allocation on a lost slot. The slot can be
+  /// analyzed again later, but the scheduler never does — it is dead.
+  void drop_slot(int slot);
+  /// True when the recorded plan outgrew an existing allocation — the
+  /// condition under which ensure() would throw. The fault-tolerant scheduler
+  /// probes this after a post-loss repartition to reallocate instead.
+  bool needs_grow(const Datum* datum, int slot) const;
+  /// Discards the (datum, slot) allocation so the next ensure() materializes
+  /// a buffer sized to the grown plan. Contents are NOT migrated; the caller
+  /// must invalidate the location's holdings.
+  void grow(const Datum* datum, int slot);
+
   /// Releases all device buffers (also done by the destructor).
   void release_all();
 

@@ -303,6 +303,42 @@ void AccessSanitizer::on_host_write(const Datum* datum) {
   s.held[kHost].assign(whole, v);
 }
 
+void AccessSanitizer::on_device_lost(int location) {
+  for (auto& [key, s] : states_) {
+    s.held[static_cast<std::size_t>(location)].clear();
+    if (s.pending_aggregation) {
+      // The whole-datum bump stays: partials are valid nowhere by definition,
+      // and the recovery's fold repair resolves the datum like a Gather would.
+      continue;
+    }
+    // Rewind `latest` to the pointwise maximum any survivor still holds.
+    // Invariant for non-pending datums: latest == pointwise-max over held —
+    // every mint (on_write / on_host_write / resolved_host) stamps its holder,
+    // and with host mirroring the host tracks every committed write. Applying
+    // all surviving pieces in ascending version order rebuilds that maximum.
+    std::vector<VersionedRange> pieces;
+    for (const VersionMap& h : s.held) {
+      const auto& es = h.entries();
+      pieces.insert(pieces.end(), es.begin(), es.end());
+    }
+    std::sort(pieces.begin(), pieces.end(),
+              [](const VersionedRange& a, const VersionedRange& b) {
+                return a.version < b.version;
+              });
+    VersionMap rebuilt;
+    for (const VersionedRange& p : pieces) {
+      rebuilt.assign(p.rows, p.version);
+    }
+    s.latest = std::move(rebuilt);
+    // next_version is NOT rewound: re-executed repair writes mint versions
+    // strictly above anything any replica carries.
+  }
+}
+
+void AccessSanitizer::on_holdings_dropped(const Datum* datum, int location) {
+  ensure(datum).held[static_cast<std::size_t>(location)].clear();
+}
+
 const VersionMap& AccessSanitizer::latest(const Datum* datum) {
   return ensure(datum).latest;
 }

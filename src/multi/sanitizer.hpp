@@ -129,6 +129,19 @@ public:
   /// Out-of-band host write (MarkHostModified / re-Bind): the host buffer
   /// becomes the sole holder of a fresh version of every row.
   void on_host_write(const Datum* datum);
+  /// Device-loss recovery: the location's replicas are gone. Clears its held
+  /// maps and rewinds `latest` to the pointwise maximum version any surviving
+  /// location still holds — minted writes the dead device never exchanged are
+  /// rolled back so the re-executed repair writes can mint fresh versions
+  /// that the survivors can actually reach. Pending-aggregation datums keep
+  /// their whole-datum bump (partials are valid nowhere by definition).
+  void on_device_lost(int location);
+  /// One datum's replicas at one location were discarded without the device
+  /// dying (buffer reallocated after a post-loss repartition): clear the held
+  /// map only — `latest` stays reachable through the host mirror.
+  void on_holdings_dropped(const Datum* datum, int location);
+  /// Zeroes the check/write counters (shadow state is untouched).
+  void reset_stats() { stats_ = Stats{}; }
 
   // --- Introspection ---------------------------------------------------------
   struct Stats {

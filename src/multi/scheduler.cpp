@@ -40,6 +40,9 @@ Scheduler::Scheduler(sim::Node& node, std::vector<int> devices)
     boundary_streams_.push_back(node_.create_stream(devices_[s]));
     invokers_.push_back(std::make_unique<InvokerThread>(static_cast<int>(s)));
   }
+  live_.resize(devices_.size());
+  std::iota(live_.begin(), live_.end(), 0);
+  dead_.assign(devices_.size(), false);
 }
 
 Scheduler::~Scheduler() {
@@ -140,11 +143,12 @@ void Scheduler::analyze_task(std::vector<PatternSpec> specs,
     monitor_.register_datum(s.datum);
     single = single || s.seg == Segmentation::SingleDevice;
   }
-  const int slots_eff = single ? 1 : slots();
+  const int slots_eff = single ? 1 : live_count();
   TaskPartition partition = derive_partition(specs, work, slots_eff);
-  for (int slot = 0; slot < slots_eff; ++slot) {
+  for (int seg = 0; seg < slots_eff; ++seg) {
+    const int slot = live_[static_cast<std::size_t>(seg)];
     for (const auto& s : specs) {
-      analyzer_.record(s, compute_requirement(s, partition, slot), slot);
+      analyzer_.record(s, compute_requirement(s, partition, seg), slot);
     }
   }
 }
@@ -171,6 +175,14 @@ Scheduler::fingerprint(const std::vector<PatternSpec>& specs, const Work* work,
   w.reserve(specs.size() * 12 + 10);
   w.push_back(0x4d415053'46503103ull); // "MAPS" fingerprint, version 3
   w.push_back(static_cast<std::uint64_t>(slots()));
+  // Device losses change the segment → slot map, so the live set is part of
+  // the shape identity (the cache is also cleared wholesale on recovery;
+  // this guards any plan that survives in flight).
+  std::uint64_t live_mask = 0;
+  for (int s : live_) {
+    live_mask |= 1ull << s;
+  }
+  w.push_back(live_mask);
   // Routing is baked into cached plans, so the planner setting is part of
   // the shape identity: a plan routed with the planner on must never be
   // replayed after it is switched off (or vice versa).
@@ -760,13 +772,13 @@ sim::LaunchStats scale_launch_stats(const sim::LaunchStats& st, double frac) {
 } // namespace
 
 void Scheduler::build_strips(
-    PlanShape& shape, DevicePlan& dp, int slot,
+    PlanShape& shape, DevicePlan& dp, int seg,
     const std::vector<SegmentReq>& reqs,
     const std::vector<const MemoryAnalyzer::Alloc*>& allocs,
     const std::vector<StripRange>& ranges) {
   const std::size_t span = shape.partition.rows_per_block_row();
   const std::size_t total =
-      shape.partition.block_rows[static_cast<std::size_t>(slot)].size();
+      shape.partition.block_rows[static_cast<std::size_t>(seg)].size();
   dp.sub.reserve(ranges.size());
   for (const StripRange& r : ranges) {
     SubKernel sub;
@@ -904,7 +916,9 @@ Scheduler::build_plan(std::vector<PatternSpec> specs, const Work* work,
   for (const auto& s : shape.specs) {
     single = single || s.seg == Segmentation::SingleDevice;
   }
-  const int slots_eff = single ? 1 : slots();
+  // Segments [0, slots_eff) map to physical slots through live_; with no
+  // device losses the map is the identity and slots_eff == slots().
+  const int slots_eff = single ? 1 : live_count();
   shape.partition = derive_partition(shape.specs, work, slots_eff);
   shape.devices.resize(devices_.size());
   plan->wiring.resize(devices_.size());
@@ -913,11 +927,55 @@ Scheduler::build_plan(std::vector<PatternSpec> specs, const Work* work,
   // task even if the programmer skipped the explicit call.
   std::vector<std::vector<SegmentReq>> reqs(
       static_cast<std::size_t>(slots_eff));
-  for (int slot = 0; slot < slots_eff; ++slot) {
+  for (int seg = 0; seg < slots_eff; ++seg) {
+    const int slot = live_[static_cast<std::size_t>(seg)];
     for (const auto& s : shape.specs) {
-      reqs[static_cast<std::size_t>(slot)].push_back(
-          compute_requirement(s, shape.partition, slot));
-      analyzer_.record(s, reqs[static_cast<std::size_t>(slot)].back(), slot);
+      reqs[static_cast<std::size_t>(seg)].push_back(
+          compute_requirement(s, shape.partition, seg));
+      analyzer_.record(s, reqs[static_cast<std::size_t>(seg)].back(), slot);
+    }
+  }
+
+  // A post-loss repartition widens survivor segments, so requirements can
+  // legitimately outgrow allocations made under the old live set. With fault
+  // tolerance the host mirrors hold every datum, so the stale buffer can be
+  // dropped and re-materialized at the new size; without it the analyzer's
+  // AnalyzeCall-first contract stands (ensure() throws below).
+  if (fault_tolerance_) {
+    bool flushed = false;
+    for (int seg = 0; seg < slots_eff; ++seg) {
+      const int slot = live_[static_cast<std::size_t>(seg)];
+      for (const auto& s : shape.specs) {
+        if (!analyzer_.needs_grow(s.datum, slot)) {
+          continue;
+        }
+        if (!flushed) {
+          // In-flight jobs may still read the buffer being replaced, and
+          // cached plans bake its base pointer into their views.
+          for (auto& inv : invokers_) {
+            inv->flush();
+          }
+          node_.synchronize();
+          stats_.cache_evictions += cache_.size();
+          cache_.clear();
+          lru_.clear();
+          flushed = true;
+        }
+        analyzer_.grow(s.datum, slot);
+        const int loc = SegmentLocationMonitor::loc(slot);
+        auto av = avail_.find({s.datum->key(), loc});
+        if (av != avail_.end()) {
+          av->second = IntervalEventMap{};
+        }
+        auto ac = access_.find({s.datum->key(), loc});
+        if (ac != access_.end()) {
+          ac->second = AccessIntervalMap{};
+        }
+        monitor_.drop_holdings(s.datum, loc);
+        if (sanitizer_) {
+          sanitizer_->on_holdings_dropped(s.datum, loc);
+        }
+      }
     }
   }
 
@@ -928,10 +986,11 @@ Scheduler::build_plan(std::vector<PatternSpec> specs, const Work* work,
                          overlap_eligible(shape.specs) &&
                          overlap_profitable(shape.specs);
 
-  for (int slot = 0; slot < slots_eff; ++slot) {
+  for (int seg = 0; seg < slots_eff; ++seg) {
+    const int slot = live_[static_cast<std::size_t>(seg)];
     DevicePlan& dp = shape.devices[static_cast<std::size_t>(slot)];
     DeviceWiring& dw = plan->wiring[static_cast<std::size_t>(slot)];
-    const auto& slot_reqs = reqs[static_cast<std::size_t>(slot)];
+    const auto& slot_reqs = reqs[static_cast<std::size_t>(seg)];
     dp.active = std::any_of(slot_reqs.begin(), slot_reqs.end(),
                             [](const SegmentReq& r) { return r.active; });
     if (!dp.active) {
@@ -940,23 +999,27 @@ Scheduler::build_plan(std::vector<PatternSpec> specs, const Work* work,
     ++shape.active_slots;
 
     const std::vector<StripRange> strip_ranges =
-        try_split ? compute_strips(shape.specs, shape.partition, slot,
+        try_split ? compute_strips(shape.specs, shape.partition, seg,
                                    slot_reqs)
                   : std::vector<StripRange>{};
     const bool split = strip_ranges.size() >= 2;
     std::vector<const MemoryAnalyzer::Alloc*> allocs(shape.specs.size(),
                                                      nullptr);
 
-    // Grid context: the multiple-device abstraction (§4, Fig 1b).
+    // Grid context: the multiple-device abstraction (§4, Fig 1b). The grid
+    // sees SEGMENT coordinates (device = seg, device_count = slots_eff), so
+    // a kernel's per-device sweep is a pure function of the partition — the
+    // physical slot it lands on is invisible, which keeps post-loss
+    // re-execution bit-identical.
     dp.grid.grid_dim = maps::Dim3{
         static_cast<unsigned>(shape.partition.blocks_x),
         static_cast<unsigned>(shape.partition.blocks_y), 1};
     dp.grid.block_dim = shape.partition.block_dim;
     dp.grid.block_row_offset = static_cast<unsigned>(
-        shape.partition.block_rows[static_cast<std::size_t>(slot)].begin);
+        shape.partition.block_rows[static_cast<std::size_t>(seg)].begin);
     dp.grid.block_rows = static_cast<unsigned>(
-        shape.partition.block_rows[static_cast<std::size_t>(slot)].size());
-    dp.grid.device = slot;
+        shape.partition.block_rows[static_cast<std::size_t>(seg)].size());
+    dp.grid.device = seg;
     dp.grid.device_count = slots_eff;
     dp.grid.work_width = static_cast<unsigned>(shape.partition.work_cols);
     dp.grid.work_height = static_cast<unsigned>(shape.partition.work_rows);
@@ -1044,10 +1107,10 @@ Scheduler::build_plan(std::vector<PatternSpec> specs, const Work* work,
       }
     }
 
-    dp.stats = task_launch_stats(shape.specs, shape.partition, slot, hints,
+    dp.stats = task_launch_stats(shape.specs, shape.partition, seg, hints,
                                  label);
     if (split) {
-      build_strips(shape, dp, slot, slot_reqs, allocs, strip_ranges);
+      build_strips(shape, dp, seg, slot_reqs, allocs, strip_ranges);
       wire_strips(dp, dw, node_.create_events(static_cast<int>(dp.sub.size())));
       for (std::size_t k = 0; k < dp.sub.size(); ++k) {
         dp.sub[k].wait_hint =
@@ -1076,7 +1139,8 @@ Scheduler::build_plan(std::vector<PatternSpec> specs, const Work* work,
 
   // Post-kernel location state (the actual commands are enqueued by the
   // invoker threads; the monitor reflects the state after the task).
-  for (int slot = 0; slot < slots_eff; ++slot) {
+  for (int seg = 0; seg < slots_eff; ++seg) {
+    const int slot = live_[static_cast<std::size_t>(seg)];
     if (shape.devices[static_cast<std::size_t>(slot)].active) {
       commit_post_state(shape.devices[static_cast<std::size_t>(slot)],
                         plan->wiring[static_cast<std::size_t>(slot)], slot,
@@ -1207,7 +1271,8 @@ void Scheduler::enqueue_device_commands(
     std::shared_ptr<TaskPlan> plan, int slot,
     std::vector<std::function<void()>> bodies, UnmodifiedRoutine routine,
     void* context,
-    std::shared_ptr<std::vector<std::vector<std::byte>>> consts) {
+    std::shared_ptr<std::vector<std::vector<std::byte>>> consts,
+    bool copies_only) {
   const DevicePlan& dp = plan->shape->devices[static_cast<std::size_t>(slot)];
   const DeviceWiring& dw = plan->wiring[static_cast<std::size_t>(slot)];
   const sim::StreamId copy_stream = copy_streams_[static_cast<std::size_t>(slot)];
@@ -1250,6 +1315,14 @@ void Scheduler::enqueue_device_commands(
                        c.src_offset, c.bytes);
     }
     node_.record_event(w.done, cs);
+  }
+
+  if (copies_only) {
+    // CopiesIssued device loss: the victim received its inferred inputs but
+    // never launched. Its kernel_done / strip events are left unrecorded —
+    // recovery resets the victim's ordering maps before any survivor could
+    // collect them, so nothing ever waits on the missing events.
+    return;
   }
 
   if (!dp.sub.empty()) {
@@ -1309,6 +1382,535 @@ void Scheduler::set_sanitizer_enabled(bool on) {
         "shadow version map must observe every task from the first)");
   }
   sanitizer_ = std::make_unique<AccessSanitizer>(slots());
+}
+
+void Scheduler::reset_stats() {
+  stats_ = SchedulerStats{};
+  if (sanitizer_ != nullptr) {
+    sanitizer_->reset_stats();
+  }
+}
+
+// --- Fault tolerance & device-loss recovery (DESIGN.md §5.11) ----------------
+
+void Scheduler::set_fault_tolerance_enabled(bool on) {
+  if (on == fault_tolerance_) {
+    return;
+  }
+  if (tasks_scheduled() != 0) {
+    throw std::logic_error(
+        "Scheduler: toggle fault tolerance before scheduling tasks (the host "
+        "mirrors must cover every output from the first task on)");
+  }
+  fault_tolerance_ = on;
+}
+
+void Scheduler::kill_device(int slot) {
+  if (slot < 0 || slot >= slots()) {
+    throw std::invalid_argument("kill_device: slot " + std::to_string(slot) +
+                                " out of range");
+  }
+  if (!fault_tolerance_) {
+    throw std::logic_error(
+        "kill_device: fault tolerance is disabled — without host mirrors a "
+        "device loss is unrecoverable (set_fault_tolerance_enabled)");
+  }
+  if (dead_[static_cast<std::size_t>(slot)]) {
+    throw std::logic_error("kill_device: slot " + std::to_string(slot) +
+                           " is already dead");
+  }
+  // Outside a dispatch every completed task is mirrored, so only pending
+  // aggregation partials can be lost — the PreGather stage repairs exactly
+  // those.
+  recover_device(slot, KillStage::PreGather);
+}
+
+void Scheduler::enqueue_host_mirrors(const TaskPlan& plan, int skip_slot) {
+  const PlanShape& sh = *plan.shape;
+  for (int s : live_) {
+    if (s == skip_slot) {
+      continue;
+    }
+    const DevicePlan& dp = sh.devices[static_cast<std::size_t>(s)];
+    if (!dp.active) {
+      continue;
+    }
+    const int sloc = SegmentLocationMonitor::loc(s);
+    for (const PatternPost& post : dp.post) {
+      // Private (duplicated) partials are not valid global rows — they are
+      // covered by the aggregation log, not the mirrors.
+      if (!post.active || post.is_input || post.private_copy ||
+          post.core.empty()) {
+        continue;
+      }
+      const Datum* d = post.datum;
+      if (!d->bound()) {
+        throw std::runtime_error("fault tolerance: datum '" + d->name() +
+                                 "' needs a bound host buffer to mirror to");
+      }
+      const auto* alloc = analyzer_.find(d, s);
+      if (alloc == nullptr) {
+        continue;
+      }
+      const sim::EventId ev = node_.create_event();
+      std::vector<sim::EventId> waits;
+      avail_[{d->key(), sloc}].collect(post.core, waits);
+      access_[{d->key(), sloc}].add_reader(post.core_local, ev);
+      auto& host_access = access_[{d->key(), SegmentLocationMonitor::kHost}];
+      host_access.collect(post.core, waits);
+      host_access.write(post.core, ev);
+      avail_[{d->key(), SegmentLocationMonitor::kHost}].update(post.core, ev);
+      monitor_.mark_copied(d, SegmentLocationMonitor::kHost, post.core);
+      if (sanitizer_ != nullptr) {
+        sanitizer_->on_copy(d, sloc, SegmentLocationMonitor::kHost,
+                            post.core);
+      }
+      ++host_content_stamp_[d->key()];
+      const std::size_t bytes = post.core.size() * alloc->row_bytes;
+      ++stats_.transfers.copies_issued;
+      TransferPlanner::account(
+          stats_.transfers, node_.topology(),
+          sim::Endpoint::dev(devices_[static_cast<std::size_t>(s)]),
+          sim::Endpoint::host(), false, bytes);
+      sim::Buffer* buffer = alloc->buffer;
+      const std::size_t src_off =
+          alloc->row_offset(static_cast<long>(post.core.begin));
+      std::byte* dst = d->host_row(post.core.begin);
+      const sim::StreamId stream = copy_streams2_[static_cast<std::size_t>(s)];
+      const double issue_s = node_.host_now_s();
+      invokers_[static_cast<std::size_t>(s)]->submit(
+          [this, stream, waits, dst, buffer, src_off, bytes, ev, issue_s] {
+            sim::Node::ScopedIssueFloor floor(node_, issue_s);
+            for (sim::EventId w : waits) {
+              node_.wait_event_generation(stream, w, 1);
+            }
+            node_.memcpy_d2h(stream, dst, buffer, src_off, bytes);
+            node_.record_event(ev, stream);
+          });
+    }
+  }
+}
+
+void Scheduler::recover_device(int victim, KillStage stage) {
+  if (dead_[static_cast<std::size_t>(victim)]) {
+    return;
+  }
+  // Drain-completes loss model: the kill takes effect at the next sync
+  // point, so everything already enqueued — including this dispatch's jobs
+  // and the survivors' mirrors — finishes first.
+  for (auto& inv : invokers_) {
+    inv->flush();
+  }
+  node_.synchronize();
+  const double t0_ms = node_.now_ms();
+
+  dead_[static_cast<std::size_t>(victim)] = true;
+  live_.clear();
+  for (int s = 0; s < slots(); ++s) {
+    if (!dead_[static_cast<std::size_t>(s)]) {
+      live_.push_back(s);
+    }
+  }
+  if (live_.empty()) {
+    throw std::runtime_error("device-loss recovery: all devices lost");
+  }
+  invokers_[static_cast<std::size_t>(victim)]->abandon();
+
+  // Invalidate everything that references the dead device: its holdings in
+  // the location monitor and sanitizer shadow map, its ordering maps (reset
+  // in place — plans hold stable pointers into these maps), its allocations,
+  // the reduce-scatter staging pools, and the whole plan cache (every cached
+  // shape was partitioned over the old live set).
+  const int vloc = SegmentLocationMonitor::loc(victim);
+  monitor_.drop_location(vloc);
+  if (sanitizer_ != nullptr) {
+    sanitizer_->on_device_lost(vloc);
+  }
+  stats_.cache_evictions += cache_.size();
+  cache_.clear();
+  lru_.clear();
+  for (auto& [key, map] : avail_) {
+    if (key.second == vloc) {
+      map = IntervalEventMap{};
+    }
+  }
+  for (auto& [key, map] : access_) {
+    if (key.second == vloc) {
+      map = AccessIntervalMap{};
+    }
+  }
+  analyzer_.drop_slot(victim);
+  for (auto& [key, buf] : reduce_staging_) {
+    node_.free_device(buf);
+  }
+  reduce_staging_.clear();
+  for (auto& [key, buf] : combine_staging_) {
+    node_.free_device(buf);
+  }
+  combine_staging_.clear();
+  ++stats_.recovery.devices_lost;
+
+  // Repairs run synchronously on the main thread, directly on the node's
+  // streams: recovery ends with a synchronize, so no event wiring against
+  // later tasks is needed.
+  std::vector<sim::Buffer*> temps;
+  if (stage != KillStage::PreGather && last_task_.valid) {
+    repair_structured(victim, stage, temps);
+  }
+  repair_aggregations(victim, temps);
+  node_.synchronize();
+  for (sim::Buffer* b : temps) {
+    node_.free_device(b);
+  }
+  stats_.recovery.recovery_sim_us += (node_.now_ms() - t0_ms) * 1000.0;
+  last_task_.valid = false;
+}
+
+void Scheduler::repair_structured(int victim, KillStage stage,
+                                  std::vector<sim::Buffer*>& temps) {
+  (void)stage; // both mid-task stages lose the victim's outputs entirely
+  const PlanShape& sh = *last_task_.shape;
+  int victim_seg = -1;
+  for (std::size_t i = 0; i < last_task_.live.size(); ++i) {
+    if (last_task_.live[i] == victim) {
+      victim_seg = static_cast<int>(i);
+      break;
+    }
+  }
+  if (victim_seg < 0) {
+    return; // the victim held no segment of the last task
+  }
+  const DevicePlan& vdp = sh.devices[static_cast<std::size_t>(victim)];
+  if (!vdp.active) {
+    return;
+  }
+  bool any_agg = false, any_plain = false;
+  for (const PatternSpec& s : sh.specs) {
+    if (s.is_input) {
+      continue;
+    }
+    (s.agg == AggregationKind::None ? any_plain : any_agg) = true;
+  }
+  if (any_agg && any_plain) {
+    throw std::runtime_error(
+        "device-loss recovery: the interrupted task mixes aggregated and "
+        "plain outputs — unrecoverable");
+  }
+  if (any_agg) {
+    return; // nothing mirrored was lost; repair_aggregations covers it
+  }
+  if (!last_task_.factory) {
+    throw std::runtime_error(
+        "device-loss recovery: an unmodified routine was mid-task — routines "
+        "cannot be re-executed per segment");
+  }
+
+  // Which datums the task writes in place (input == output): their host
+  // rows still hold pre-task values at the victim's core — exactly what the
+  // lost kernel read, provided it only read its own core (radius 0).
+  std::vector<const void*> inplace;
+  for (const PatternSpec& s : sh.specs) {
+    if (!s.is_input) {
+      inplace.push_back(s.datum->key());
+    }
+  }
+
+  const RowInterval vblocks =
+      sh.partition.block_rows[static_cast<std::size_t>(victim_seg)];
+  const std::size_t nblocks = vblocks.size();
+  if (nblocks == 0) {
+    return;
+  }
+  const std::size_t nchunks = std::min(live_.size(), nblocks);
+  const std::size_t span = sh.partition.rows_per_block_row();
+  const std::size_t work_rows = sh.partition.work_rows;
+
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    const std::size_t b0 = vblocks.begin + c * nblocks / nchunks;
+    const std::size_t b1 = vblocks.begin + (c + 1) * nblocks / nchunks;
+    const int s = live_[c % live_.size()];
+    const sim::StreamId stream = compute_streams_[static_cast<std::size_t>(s)];
+
+    // Re-derive the chunk's requirements as a single-segment partition so
+    // the segmenters emit exactly the rows (core + halos) the chunk needs.
+    TaskPartition cp = sh.partition;
+    cp.block_rows = {RowInterval{b0, b1}};
+    cp.work_row_ranges = {RowInterval{std::min(b0 * span, work_rows),
+                                      std::min(b1 * span, work_rows)}};
+
+    std::vector<DeviceView> views;
+    std::vector<SegmentReq> reqs;
+    std::vector<sim::Buffer*> chunk_bufs; ///< parallel to sh.specs
+    views.reserve(sh.specs.size());
+    reqs.reserve(sh.specs.size());
+    chunk_bufs.reserve(sh.specs.size());
+    for (const PatternSpec& spec : sh.specs) {
+      SegmentReq req = compute_requirement(spec, cp, 0);
+      reqs.push_back(req);
+      if (!req.active) {
+        views.emplace_back();
+        chunk_bufs.push_back(nullptr);
+        continue;
+      }
+      const Datum* d = spec.datum;
+      const std::size_t row_bytes = d->row_bytes();
+      sim::Buffer* buf = node_.malloc_device(
+          devices_[static_cast<std::size_t>(s)], req.local_rows * row_bytes);
+      temps.push_back(buf);
+      chunk_bufs.push_back(buf);
+
+      DeviceView view;
+      view.base = buf->data();
+      view.pitch = row_bytes;
+      view.origin = req.origin;
+      view.rows = req.local_rows;
+      view.row_elems = d->row_elems();
+      view.datum_rows = d->rows();
+      view.core_begin = req.core.begin;
+      view.core_end = req.core.end;
+      views.push_back(view);
+
+      for (const CopyRegion& region : req.input_regions) {
+        if (region.zero_fill) {
+          if (req.whole) {
+            node_.memset_device(stream, buf, 0, 0, buf->size());
+          } else {
+            node_.memset_device(
+                stream, buf,
+                static_cast<std::size_t>(region.local_row) * row_bytes, 0,
+                row_bytes);
+          }
+          continue;
+        }
+        const bool in_place =
+            spec.is_input &&
+            std::find(inplace.begin(), inplace.end(), d->key()) !=
+                inplace.end();
+        if (in_place) {
+          // Host rows at the victim's core are PRE-task values — the right
+          // input only when the lost kernel read nothing but its own core.
+          if (!(region.global.begin >= req.core.begin &&
+                region.global.end <= req.core.end)) {
+            throw std::runtime_error(
+                "device-loss recovery: in-place task reads beyond its own "
+                "segment (radius > 0) — unrecoverable");
+          }
+        } else if (!monitor_
+                        .up_to_date(d, SegmentLocationMonitor::kHost)
+                        .covers(region.global)) {
+          throw std::runtime_error(
+              "device-loss recovery: host mirror of datum '" + d->name() +
+              "' does not cover the lost segment's inputs");
+        }
+        node_.memcpy_h2d(stream, buf,
+                         static_cast<std::size_t>(region.local_row) *
+                             row_bytes,
+                         d->host_row(region.global.begin),
+                         region.global.size() * row_bytes);
+        ++stats_.recovery.copies_rerouted;
+      }
+    }
+
+    // The grid narrows to the chunk's block rows; device/device_count stay
+    // the victim's, so the kernel's index sweep is bit-identical to the lost
+    // launch's.
+    maps::GridContext gc = vdp.grid;
+    gc.block_row_offset = static_cast<unsigned>(b0);
+    gc.block_rows = static_cast<unsigned>(b1 - b0);
+    auto body = last_task_.factory(s, gc, views);
+    const double frac =
+        static_cast<double>(b1 - b0) / static_cast<double>(nblocks);
+    node_.launch(stream, scale_launch_stats(vdp.stats, frac),
+                 std::move(body));
+
+    // Results land on the host (the recovery target): core rows of every
+    // output, d2h'd from the temp buffer.
+    for (std::size_t i = 0; i < sh.specs.size(); ++i) {
+      const PatternSpec& spec = sh.specs[i];
+      const SegmentReq& req = reqs[i];
+      if (spec.is_input || !req.active || req.core.empty()) {
+        continue;
+      }
+      const Datum* d = spec.datum;
+      const std::size_t row_bytes = d->row_bytes();
+      sim::Buffer* buf = chunk_bufs[i];
+      node_.memcpy_d2h(
+          stream, d->host_row(req.core.begin), buf,
+          static_cast<std::size_t>(static_cast<long>(req.core.begin) -
+                                   req.origin) *
+              row_bytes,
+          req.core.size() * row_bytes);
+      monitor_.mark_written(d, SegmentLocationMonitor::kHost, req.core);
+      if (sanitizer_ != nullptr) {
+        sanitizer_->on_write(d, SegmentLocationMonitor::kHost, req.core);
+      }
+      ++host_content_stamp_[d->key()];
+    }
+    ++stats_.recovery.segments_reexecuted;
+  }
+}
+
+void Scheduler::repair_aggregations(int victim,
+                                    std::vector<sim::Buffer*>& temps) {
+  for (auto& [key, log] : agg_log_) {
+    const Datum* d = log.datum;
+    const auto* pending = monitor_.pending_aggregation(d);
+    if (pending == nullptr) {
+      continue; // already resolved (gathered / scattered); nothing pending
+    }
+    if (std::find(pending->writer_slots.begin(), pending->writer_slots.end(),
+                  victim) == pending->writer_slots.end()) {
+      continue; // the victim held no partial of this datum
+    }
+    if (pending->kind != AggregationKind::Sum || !pending->op) {
+      throw std::runtime_error(
+          "device-loss recovery: only Sum-aggregated pending outputs are "
+          "recoverable (datum '" +
+          d->name() + "')");
+    }
+    if (!log.factory) {
+      throw std::runtime_error(
+          "device-loss recovery: the pending partial of datum '" + d->name() +
+          "' was produced by an unmodified routine — unrecoverable");
+    }
+    for (const auto& [ikey, stamp] : log.input_stamps) {
+      auto it = host_content_stamp_.find(ikey);
+      const std::uint64_t cur =
+          it == host_content_stamp_.end() ? 0 : it->second;
+      if (cur != stamp) {
+        throw std::runtime_error(
+            "device-loss recovery: host inputs of the pending aggregation on "
+            "datum '" +
+            d->name() + "' were overwritten since dispatch — unrecoverable");
+      }
+    }
+    const PlanShape& sh = *log.shape;
+    int victim_seg = -1;
+    for (std::size_t i = 0; i < log.live.size(); ++i) {
+      if (log.live[i] == victim) {
+        victim_seg = static_cast<int>(i);
+        break;
+      }
+    }
+    if (victim_seg < 0) {
+      continue;
+    }
+    const DevicePlan& vdp = sh.devices[static_cast<std::size_t>(victim)];
+    if (!vdp.active) {
+      continue;
+    }
+    // Survivor: a live writer still holding its own partial of this datum.
+    int s = -1;
+    for (int cand : live_) {
+      if (std::find(pending->writer_slots.begin(),
+                    pending->writer_slots.end(),
+                    cand) != pending->writer_slots.end() &&
+          analyzer_.find(d, cand) != nullptr) {
+        s = cand;
+        break;
+      }
+    }
+    if (s < 0) {
+      throw std::runtime_error(
+          "device-loss recovery: no surviving holder of the pending partial "
+          "of datum '" +
+          d->name() + "'");
+    }
+    const sim::StreamId stream = compute_streams_[static_cast<std::size_t>(s)];
+
+    // Re-execute the victim's whole segment of the logged task into temps.
+    std::vector<DeviceView> views;
+    views.reserve(sh.specs.size());
+    sim::Buffer* out_temp = nullptr;
+    const PatternSpec* out_spec = nullptr;
+    for (const PatternSpec& spec : sh.specs) {
+      SegmentReq req = compute_requirement(spec, sh.partition, victim_seg);
+      if (!req.active) {
+        views.emplace_back();
+        continue;
+      }
+      const std::size_t row_bytes = spec.datum->row_bytes();
+      sim::Buffer* buf = node_.malloc_device(
+          devices_[static_cast<std::size_t>(s)], req.local_rows * row_bytes);
+      temps.push_back(buf);
+      if (!spec.is_input && spec.datum == d) {
+        if (!req.whole) {
+          throw std::runtime_error(
+              "device-loss recovery: pending partial of datum '" + d->name() +
+              "' is not a whole-datum duplicate — unrecoverable");
+        }
+        out_temp = buf;
+        out_spec = &spec;
+      }
+      DeviceView view;
+      view.base = buf->data();
+      view.pitch = row_bytes;
+      view.origin = req.origin;
+      view.rows = req.local_rows;
+      view.row_elems = spec.datum->row_elems();
+      view.datum_rows = spec.datum->rows();
+      view.core_begin = req.core.begin;
+      view.core_end = req.core.end;
+      views.push_back(view);
+
+      for (const CopyRegion& region : req.input_regions) {
+        if (region.zero_fill) {
+          if (req.whole) {
+            node_.memset_device(stream, buf, 0, 0, buf->size());
+          } else {
+            node_.memset_device(
+                stream, buf,
+                static_cast<std::size_t>(region.local_row) * row_bytes, 0,
+                row_bytes);
+          }
+          continue;
+        }
+        if (!monitor_.up_to_date(spec.datum, SegmentLocationMonitor::kHost)
+                 .covers(region.global)) {
+          throw std::runtime_error(
+              "device-loss recovery: host mirror of datum '" +
+              spec.datum->name() +
+              "' does not cover the lost partial's inputs");
+        }
+        node_.memcpy_h2d(stream, buf,
+                         static_cast<std::size_t>(region.local_row) *
+                             row_bytes,
+                         spec.datum->host_row(region.global.begin),
+                         region.global.size() * row_bytes);
+        ++stats_.recovery.copies_rerouted;
+      }
+    }
+    if (out_temp == nullptr || out_spec == nullptr) {
+      continue; // the logged task no longer writes this datum
+    }
+
+    auto body = log.factory(s, vdp.grid, views);
+    node_.launch(stream, vdp.stats, std::move(body));
+
+    // Fold the re-executed partial into the survivor's: int Sum is
+    // commutative and associative, so the later Gather/ReduceScatter sums
+    // the same multiset of partials and stays bit-identical.
+    const auto* s_alloc = analyzer_.find(d, s);
+    sim::Buffer* s_buf = s_alloc->buffer;
+    const std::size_t s_off = s_alloc->row_offset(0);
+    const std::size_t elems = d->rows() * d->row_elems();
+    auto op = pending->op;
+    sim::LaunchStats st;
+    st.label = "fault_recovery_combine";
+    st.blocks = std::max<std::uint64_t>(1, elems / 256);
+    st.threads_per_block = 256;
+    st.flops = elems;
+    st.global_bytes_read = elems * 8;
+    st.global_bytes_written = elems * 4;
+    node_.launch(stream, st, [s_buf, s_off, out_temp, elems, op] {
+      if (!s_buf->has_backing() || !out_temp->has_backing()) {
+        return;
+      }
+      op(s_buf->data() + s_off, out_temp->data(), elems);
+    });
+    monitor_.remove_pending_writer(d, victim);
+    ++stats_.recovery.segments_reexecuted;
+  }
 }
 
 void Scheduler::apply_copy_faults(TaskPlan& plan) {
@@ -1457,12 +2059,78 @@ void Scheduler::sanitize_dispatch(const TaskPlan& plan) {
   }
 }
 
+void Scheduler::record_task_logs(const std::shared_ptr<TaskPlan>& plan,
+                                 const BodyFactory& factory) {
+  last_task_.valid = static_cast<bool>(factory);
+  last_task_.shape = plan->shape;
+  last_task_.factory = factory;
+  last_task_.handle = plan->handle;
+  last_task_.live = live_;
+  for (const PatternSpec& s : plan->shape->specs) {
+    if (s.is_input || s.agg == AggregationKind::None) {
+      continue;
+    }
+    AggLog log;
+    log.datum = s.datum;
+    log.shape = plan->shape;
+    log.factory = factory;
+    log.live = live_;
+    for (const PatternSpec& in : plan->shape->specs) {
+      if (!in.is_input) {
+        continue;
+      }
+      auto it = host_content_stamp_.find(in.datum->key());
+      log.input_stamps.emplace_back(
+          in.datum->key(), it == host_content_stamp_.end() ? 0 : it->second);
+    }
+    agg_log_[s.datum->key()] = std::move(log);
+  }
+}
+
 TaskHandle Scheduler::dispatch_kernel(std::shared_ptr<TaskPlan> plan,
                                       const BodyFactory& factory) {
   apply_copy_faults(*plan);
   if (sanitizer_ != nullptr) {
     sanitize_dispatch(*plan);
   }
+
+  // Fault tolerance: log the dispatch for recovery, then let the injector
+  // choose a victim. At most one device dies per dispatch; the kill takes
+  // effect at the next sync point (drain-completes loss model), so the jobs
+  // are still submitted — truncated after the copies for a CopiesIssued
+  // loss — and recovery runs once they drain.
+  int victim = -1;
+  KillStage stage = KillStage::CopiesIssued;
+  if (fault_tolerance_) {
+    record_task_logs(plan, factory);
+    if (injector_) {
+      const char* label = "task";
+      for (const DevicePlan& dp : plan->shape->devices) {
+        if (dp.active && !dp.stats.label.empty()) {
+          label = dp.stats.label.c_str();
+          break;
+        }
+      }
+      for (int s : live_) {
+        if (!plan->shape->devices[static_cast<std::size_t>(s)].active) {
+          continue;
+        }
+        if (injector_(
+                FaultPoint{s, KillStage::CopiesIssued, plan->handle, label})) {
+          victim = s;
+          stage = KillStage::CopiesIssued;
+          break;
+        }
+        if (injector_(
+                FaultPoint{s, KillStage::KernelIssued, plan->handle, label})) {
+          victim = s;
+          stage = KillStage::KernelIssued;
+          break;
+        }
+      }
+    }
+  }
+
   node_.advance_host_us(task_overhead_us_ +
                         per_device_overhead_us_ * plan->shape->active_slots);
   const double issue_s = node_.host_now_s();
@@ -1482,12 +2150,24 @@ TaskHandle Scheduler::dispatch_kernel(std::shared_ptr<TaskPlan> plan,
         bodies.push_back(factory(slot, sub.grid, dp.views));
       }
     }
+    const bool copies_only =
+        slot == victim && stage == KillStage::CopiesIssued;
     invokers_[static_cast<std::size_t>(slot)]->submit(
-        [this, plan, slot, issue_s, bodies = std::move(bodies)]() mutable {
+        [this, plan, slot, issue_s, copies_only,
+         bodies = std::move(bodies)]() mutable {
           sim::Node::ScopedIssueFloor floor(node_, issue_s);
           enqueue_device_commands(plan, slot, std::move(bodies), nullptr,
-                                  nullptr, nullptr);
+                                  nullptr, nullptr, copies_only);
         });
+  }
+  if (fault_tolerance_) {
+    // The victim's outputs die with it: for CopiesIssued they were never
+    // computed, for KernelIssued they were computed but the loss precedes
+    // the mirror — either way recovery re-derives them from the mirrors.
+    enqueue_host_mirrors(*plan, victim);
+  }
+  if (victim >= 0) {
+    recover_device(victim, stage);
   }
   return plan->handle;
 }
@@ -1500,6 +2180,11 @@ TaskHandle Scheduler::dispatch_routine(std::shared_ptr<TaskPlan> plan,
   apply_copy_faults(*plan);
   if (sanitizer_ != nullptr) {
     sanitize_dispatch(*plan);
+  }
+  if (fault_tolerance_) {
+    // Routines have no re-executable body factory: the logs record the
+    // shape (for the unrecoverable-loss diagnostics) with a null factory.
+    record_task_logs(plan, BodyFactory{});
   }
   node_.advance_host_us(task_overhead_us_ +
                         per_device_overhead_us_ * plan->shape->active_slots);
@@ -1517,6 +2202,9 @@ TaskHandle Scheduler::dispatch_routine(std::shared_ptr<TaskPlan> plan,
                                   shared_consts);
         });
   }
+  if (fault_tolerance_) {
+    enqueue_host_mirrors(*plan, -1);
+  }
   return plan->handle;
 }
 
@@ -1532,6 +2220,19 @@ void Scheduler::GatherAsync(Datum& datum) {
   node_.advance_host_us(task_overhead_us_);
   if (sanitizer_ != nullptr) {
     sanitizer_->begin_context(0, "Gather");
+  }
+
+  // PreGather device loss: consulted before any gather planning, so the
+  // plan below only ever sees the post-recovery location state (the
+  // victim's pending partials have already been folded into a survivor).
+  if (fault_tolerance_ && injector_) {
+    const std::vector<int> alive = live_;
+    for (int s : alive) {
+      if (injector_(FaultPoint{s, KillStage::PreGather, 0, "gather"})) {
+        recover_device(s, KillStage::PreGather);
+        break;
+      }
+    }
   }
 
   const auto* pending = monitor_.pending_aggregation(&datum);
@@ -1604,9 +2305,10 @@ void Scheduler::GatherAsync(Datum& datum) {
     }
     auto gathered_out = gathered;
     Datum* dptr = &datum;
-    const sim::StreamId agg_stream = copy_streams_[0];
+    const std::size_t lead = static_cast<std::size_t>(live_.front());
+    const sim::StreamId agg_stream = copy_streams_[lead];
     const double agg_issue_s = node_.host_now_s();
-    invokers_[0]->submit([this, agg_stream, ready_events, staged, kind, op,
+    invokers_[lead]->submit([this, agg_stream, ready_events, staged, kind, op,
                           counts, gathered_out, dptr, host_ready, agg_cost_us,
                           agg_issue_s] {
       sim::Node::ScopedIssueFloor floor(node_, agg_issue_s);
@@ -1669,6 +2371,7 @@ void Scheduler::GatherAsync(Datum& datum) {
     monitor_.clear_pending_aggregation(&datum);
     monitor_.mark_copied(&datum, SegmentLocationMonitor::kHost,
                          RowInterval{0, datum.rows()});
+    ++host_content_stamp_[datum.key()];
     if (sanitizer_ != nullptr) {
       sanitizer_->on_aggregation_resolved_host(&datum);
     }
@@ -1681,6 +2384,7 @@ void Scheduler::GatherAsync(Datum& datum) {
   if (ops.empty()) {
     return;
   }
+  ++host_content_stamp_[datum.key()];
   for (const auto& op : ops) {
     if (op.src_location == SegmentLocationMonitor::kHost) {
       continue;
@@ -1734,9 +2438,11 @@ void Scheduler::GatherAsync(Datum& datum) {
   // Single event covering all gather pieces, so later reads of the host
   // buffer have one dependency.
   const sim::EventId host_ready = node_.create_event();
-  const sim::StreamId agg_stream = copy_streams_[0];
+  const std::size_t lead = static_cast<std::size_t>(live_.front());
+  const sim::StreamId agg_stream = copy_streams_[lead];
   const double issue_s = node_.host_now_s();
-  invokers_[0]->submit([this, agg_stream, ready_events, host_ready, issue_s] {
+  invokers_[lead]->submit([this, agg_stream, ready_events, host_ready,
+                           issue_s] {
     sim::Node::ScopedIssueFloor floor(node_, issue_s);
     for (sim::EventId ev : ready_events) {
       node_.wait_event_generation(agg_stream, ev, 1);
@@ -1758,6 +2464,7 @@ void Scheduler::MarkHostModified(Datum& datum) {
   }
   monitor_.mark_written(&datum, SegmentLocationMonitor::kHost,
                         RowInterval{0, datum.rows()});
+  ++host_content_stamp_[datum.key()];
   if (sanitizer_ != nullptr) {
     sanitizer_->on_host_write(&datum);
   }
@@ -1784,14 +2491,15 @@ void Scheduler::ReduceScatter(Datum& datum, Work work) {
 
   const TaskPartition partition =
       make_partition(work.rows == 0 ? datum.rows() : work.rows, 1,
-                     maps::Dim3{1, 1, 1}, 1, 1, slots());
+                     maps::Dim3{1, 1, 1}, 1, 1, live_count());
   const std::size_t row_bytes = datum.row_bytes();
   auto op = pending->op;
   const auto writers = pending->writer_slots;
 
-  for (int t = 0; t < slots(); ++t) {
+  for (int seg = 0; seg < live_count(); ++seg) {
+    const int t = live_[static_cast<std::size_t>(seg)];
     const RowInterval rows =
-        partition.work_row_ranges[static_cast<std::size_t>(t)];
+        partition.work_row_ranges[static_cast<std::size_t>(seg)];
     if (rows.empty()) {
       continue;
     }
@@ -2070,6 +2778,51 @@ void Scheduler::ReduceScatter(Datum& datum, Work work) {
     monitor_.mark_written(&datum, t_loc, rows);
     if (sanitizer_ != nullptr) {
       sanitizer_->on_write(&datum, t_loc, rows);
+    }
+
+    // Fault tolerance: the reduced segment is a brand-new value that exists
+    // only on its target device; mirror it so the host invariant (fresh copy
+    // of every non-pending datum) holds for the scattered result too.
+    if (fault_tolerance_) {
+      if (!datum.bound()) {
+        throw std::runtime_error("fault tolerance: datum '" + datum.name() +
+                                 "' needs a bound host buffer to mirror to");
+      }
+      const sim::EventId mirror_done = node_.create_event();
+      std::vector<sim::EventId> mirror_waits{sum_done};
+      access_[{datum.key(), t_loc}].add_reader(dst_local, mirror_done);
+      auto& host_access =
+          access_[{datum.key(), SegmentLocationMonitor::kHost}];
+      host_access.collect(rows, mirror_waits);
+      host_access.write(rows, mirror_done);
+      avail_[{datum.key(), SegmentLocationMonitor::kHost}].update(rows,
+                                                                  mirror_done);
+      monitor_.mark_copied(&datum, SegmentLocationMonitor::kHost, rows);
+      if (sanitizer_ != nullptr) {
+        sanitizer_->on_copy(&datum, t_loc, SegmentLocationMonitor::kHost,
+                            rows);
+      }
+      ++host_content_stamp_[datum.key()];
+      ++stats_.transfers.copies_issued;
+      TransferPlanner::account(
+          stats_.transfers, node_.topology(),
+          sim::Endpoint::dev(devices_[static_cast<std::size_t>(t)]),
+          sim::Endpoint::host(), false, seg_bytes);
+      std::byte* mirror_dst = datum.host_row(rows.begin);
+      const sim::StreamId mirror_stream =
+          copy_streams2_[static_cast<std::size_t>(t)];
+      const double mirror_issue_s = node_.host_now_s();
+      invokers_[static_cast<std::size_t>(t)]->submit(
+          [this, mirror_stream, mirror_waits, mirror_dst, dst_buffer, dst_off,
+           seg_bytes, mirror_done, mirror_issue_s] {
+            sim::Node::ScopedIssueFloor floor(node_, mirror_issue_s);
+            for (sim::EventId w : mirror_waits) {
+              node_.wait_event_generation(mirror_stream, w, 1);
+            }
+            node_.memcpy_d2h(mirror_stream, mirror_dst, dst_buffer, dst_off,
+                             seg_bytes);
+            node_.record_event(mirror_done, mirror_stream);
+          });
     }
   }
   monitor_.clear_pending_aggregation(&datum);

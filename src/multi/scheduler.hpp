@@ -40,6 +40,7 @@
 #include "sim/node.hpp"
 
 #include "multi/datum.hpp"
+#include "multi/fault_injector.hpp"
 #include "multi/hash_util.hpp"
 #include "multi/invoker.hpp"
 #include "multi/kernel_exec.hpp"
@@ -98,6 +99,19 @@ struct SchedulerStats {
   /// shape). Byte counters classify each task's planned input transfers by
   /// physical path; see TransferStats.
   TransferStats transfers;
+  /// Device-loss recovery accounting (fault-tolerance mode only).
+  struct RecoveryStats {
+    std::uint64_t devices_lost = 0;
+    /// Victim segments (or segment chunks) re-executed on survivors:
+    /// structured repairs count one per chunk, aggregation repairs one per
+    /// re-executed partial.
+    std::uint64_t segments_reexecuted = 0;
+    /// Input fills of re-executed segments served from the host mirrors
+    /// instead of the (dead) device the original plan used.
+    std::uint64_t copies_rerouted = 0;
+    /// Simulated time spent draining + repairing, in simulated microseconds.
+    double recovery_sim_us = 0.0;
+  } recovery;
 };
 
 class Scheduler {
@@ -261,7 +275,10 @@ public:
   std::size_t plan_cache_size() const { return cache_.size(); }
 
   const SchedulerStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = SchedulerStats{}; }
+  /// Resets ALL counters to a freshly-constructed state — scheduler stats
+  /// (cache, transfers, overlap, recovery) and, when the sanitizer is
+  /// enabled, its violation/check counters too.
+  void reset_stats();
 
   // --- Access sanitizer & fault injection -----------------------------------
 
@@ -275,6 +292,34 @@ public:
   bool sanitizer_enabled() const { return sanitizer_ != nullptr; }
   /// Null when the sanitizer is disabled.
   AccessSanitizer* sanitizer() { return sanitizer_.get(); }
+
+  /// Fault tolerance (host mirroring + device-loss recovery; §5.11 of
+  /// DESIGN.md). When enabled, every task output's core rows are mirrored
+  /// asynchronously to the bound host buffer after dispatch, so the host
+  /// always holds a fresh copy of every non-pending datum. A device loss is
+  /// then recoverable at depth 1: the victim's unfinished segments are
+  /// re-partitioned across survivors and re-executed from the mirrors, and
+  /// its pending aggregation partials are re-computed and folded in.
+  /// Results after recovery are bit-identical to a fault-free run.
+  /// Must be set before any task is scheduled; off by default.
+  void set_fault_tolerance_enabled(bool on);
+  bool fault_tolerance_enabled() const { return fault_tolerance_; }
+  /// Installs a device-loss injector (fault_injector.hpp), consulted per
+  /// live slot at CopiesIssued/KernelIssued boundaries of every MAPS-kernel
+  /// dispatch and at PreGather on Gather entry. At most one kill fires per
+  /// dispatch. Requires fault tolerance to recover; pass nullptr to clear.
+  void set_fault_injector(FaultInjector injector) {
+    injector_ = std::move(injector);
+  }
+  /// Kills a device immediately (drain-completes model: enqueued work
+  /// finishes first) and runs recovery. Requires fault tolerance enabled;
+  /// throws std::logic_error otherwise or if the slot is already dead.
+  void kill_device(int slot);
+  /// Slots still alive, in ascending order (all slots before any loss).
+  const std::vector<int>& live_devices() const { return live_; }
+  bool device_lost(int slot) const {
+    return dead_.at(static_cast<std::size_t>(slot));
+  }
 
   /// One planned copy offered to the fault hook before dispatch.
   struct CopyFaultInfo {
@@ -603,7 +648,7 @@ private:
   bool overlap_profitable(const std::vector<PatternSpec>& specs) const;
   /// Build-side strip construction for one split device: sub-kernel grids,
   /// per-pattern read/write spans, copy gating and scaled launch stats.
-  void build_strips(PlanShape& shape, DevicePlan& dp, int slot,
+  void build_strips(PlanShape& shape, DevicePlan& dp, int seg,
                     const std::vector<SegmentReq>& reqs,
                     const std::vector<const MemoryAnalyzer::Alloc*>& allocs,
                     const std::vector<StripRange>& ranges);
@@ -630,11 +675,39 @@ private:
   TaskHandle dispatch_routine(std::shared_ptr<TaskPlan> plan,
                               UnmodifiedRoutine routine, void* context,
                               std::vector<std::vector<std::byte>> consts);
+  /// `copies_only` truncates the device's job after its inferred input
+  /// copies: no strips, no kernel, no kernel_done record. Used to model a
+  /// CopiesIssued device loss (the victim received its inputs but never
+  /// computed); safe because recovery resets the victim's ordering maps
+  /// before any survivor could wait on the unrecorded events.
   void enqueue_device_commands(std::shared_ptr<TaskPlan> plan, int slot,
                                std::vector<std::function<void()>> bodies,
                                UnmodifiedRoutine routine, void* context,
                                std::shared_ptr<std::vector<std::vector<std::byte>>>
-                                   consts);
+                                   consts,
+                               bool copies_only = false);
+  // --- Fault tolerance (scheduler_recovery in scheduler.cpp) ---------------
+  /// Records last_task_ and the per-datum aggregation logs for one dispatch
+  /// (factory is null for unmodified routines — they cannot be re-executed
+  /// per segment, so a mid-routine loss is unrecoverable).
+  void record_task_logs(const std::shared_ptr<TaskPlan>& plan,
+                        const BodyFactory& factory);
+  /// Enqueues async d2h mirrors of every active non-private output's core
+  /// rows to the bound host buffers (fault-tolerance mode). `skip_slot`
+  /// suppresses the mirror of a just-killed victim (-1 = none).
+  void enqueue_host_mirrors(const TaskPlan& plan, int skip_slot);
+  /// Drain-completes device loss: flushes + synchronizes, marks the slot
+  /// dead, invalidates its holdings/plans/ordering state, clears the plan
+  /// cache, then re-executes the victim's unfinished work on survivors.
+  void recover_device(int victim, KillStage stage);
+  /// Re-runs the victim's lost segment of the last dispatched task, chunked
+  /// across survivors, from the host mirrors; writes results to the host.
+  void repair_structured(int victim, KillStage stage,
+                         std::vector<sim::Buffer*>& temps);
+  /// Re-computes the victim's pending aggregation partials (Reductive Sum)
+  /// on a surviving writer and folds them into that survivor's partial.
+  void repair_aggregations(int victim, std::vector<sim::Buffer*>& temps);
+  int live_count() const { return static_cast<int>(live_.size()); }
   std::uint64_t* append_counter(const Datum* datum, int slot);
   TaskPartition derive_partition(const std::vector<PatternSpec>& specs,
                                  const Work* work, int slots_eff) const;
@@ -710,6 +783,44 @@ private:
 
   std::unique_ptr<AccessSanitizer> sanitizer_; ///< null = disabled
   CopyFaultHook copy_fault_hook_;
+
+  // --- Fault tolerance state ------------------------------------------------
+  bool fault_tolerance_ = false;
+  FaultInjector injector_;
+  /// Slots still alive, ascending. All partitioning/segmentation indexes
+  /// SEGMENTS [0, live_count()) which map to physical slots through this
+  /// vector; per-device resources (streams, invokers, ordering maps, the
+  /// location monitor) stay physically indexed.
+  std::vector<int> live_;
+  std::vector<bool> dead_;
+  /// The last dispatched MAPS-kernel task, kept so a mid-task loss can
+  /// re-execute the victim's segment. Depth 1 suffices: host mirrors make
+  /// every older result host-resident already.
+  struct TaskLog {
+    bool valid = false;
+    std::shared_ptr<const PlanShape> shape;
+    BodyFactory factory;
+    TaskHandle handle = 0;
+    std::vector<int> live; ///< live_ at dispatch (seg → slot map)
+  };
+  TaskLog last_task_;
+  /// Per-datum log of the task that produced a still-pending aggregation,
+  /// so a loss can re-run the victim's partial. Entries persist after the
+  /// aggregation resolves (guarded by the monitor's pending record) and are
+  /// overwritten by the next aggregating task on the datum.
+  struct AggLog {
+    const Datum* datum = nullptr;
+    std::shared_ptr<const PlanShape> shape;
+    BodyFactory factory; ///< null for routines (unrecoverable)
+    std::vector<int> live;
+    /// Host-content stamps of every input at dispatch: a repair is only
+    /// sound while the mirrors still hold the values the task consumed.
+    std::vector<std::pair<const void*, std::uint64_t>> input_stamps;
+  };
+  std::unordered_map<const void*, AggLog> agg_log_;
+  /// Monotonic per-datum stamp of host-buffer content changes (mirrors,
+  /// gathers, MarkHostModified, repairs). Cheap staleness guard for AggLog.
+  std::unordered_map<const void*, std::uint64_t> host_content_stamp_;
 
   bool force_host_staged_ = false;
   bool transfer_planner_enabled_ = true;

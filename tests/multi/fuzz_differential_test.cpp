@@ -163,10 +163,14 @@ struct OverlapCfg {
 };
 
 /// Runs the chain on `devices` devices. `fault` (optional) is installed as
-/// the scheduler's copy fault hook for the kernel tasks.
+/// the scheduler's copy fault hook for the kernel tasks. `fault_tolerance`
+/// switches on host mirroring, and `injector` (optional, requires fault
+/// tolerance) kills a device at a seeded dispatch boundary mid-chain.
 RunResult run_chain(const FuzzCase& fc, int devices,
                     Scheduler::CopyFaultHook fault = nullptr,
-                    const OverlapCfg& overlap = OverlapCfg{}) {
+                    const OverlapCfg& overlap = OverlapCfg{},
+                    bool fault_tolerance = false,
+                    FaultInjector injector = nullptr) {
   using Win = Window2D<int, 1, maps::WRAP>;
   using Pt = Window2D<int, 0, maps::WRAP>;
   using Out = StructuredInjective<int, 2>;
@@ -181,6 +185,12 @@ RunResult run_chain(const FuzzCase& fc, int devices,
 
   sim::Node node(sim::homogeneous_node(arch_spec(fc.arch), devices));
   Scheduler sched(node);
+  if (fault_tolerance) {
+    sched.set_fault_tolerance_enabled(true);
+  }
+  if (injector) {
+    sched.set_fault_injector(std::move(injector));
+  }
   sched.set_plan_cache_enabled(fc.cache);
   sched.set_sanitizer_enabled(true);
   sched.set_overlap_enabled(overlap.enabled);
@@ -360,6 +370,56 @@ TEST(FaultFuzz, DroppedAlignedCopyIsAlwaysReported) {
   }
   // The seed range must actually exercise the fault path.
   EXPECT_GE(exercised, 10);
+}
+
+// --- Fault fuzz: random device loss keeps chains bit-identical ---------------
+
+TEST(FaultFuzz, RandomDeviceLossKeepsChainsBitIdentical) {
+  // For each multi-device seed: run the chain fault-free with fault
+  // tolerance on, then rerun it killing a seeded random device at a seeded
+  // random boundary (CopiesIssued / KernelIssued / PreGather), sanitizer
+  // live in both. Recovery must reproduce the fault-free results bit for
+  // bit — across stencils, in-place mixes, out-of-band host writes and
+  // mid-chain gathers.
+  int exercised = 0;
+  for (unsigned seed = 900; seed < 940; ++seed) {
+    const FuzzCase fc = make_case(seed);
+    if (fc.devices < 2) {
+      continue; // losing the only device is (correctly) unrecoverable
+    }
+    ++exercised;
+    std::mt19937 rng(seed ^ 0x51f15eedu);
+    const int victim =
+        static_cast<int>(rng() % static_cast<unsigned>(fc.devices));
+    constexpr KillStage kStages[] = {KillStage::CopiesIssued,
+                                     KillStage::KernelIssued,
+                                     KillStage::PreGather};
+    const KillStage stage = kStages[rng() % 3];
+    const int nth = static_cast<int>(rng() % 3);
+    RunResult clean, faulty;
+    try {
+      clean = run_chain(fc, fc.devices, nullptr, OverlapCfg{},
+                        /*fault_tolerance=*/true);
+      faulty = run_chain(fc, fc.devices, nullptr, OverlapCfg{},
+                         /*fault_tolerance=*/true,
+                         kill_at_nth(victim, stage, nth));
+    } catch (const SanitizerError& e) {
+      FAIL() << "sanitizer report under fault tolerance\n  " << fc.describe()
+             << "\n  kill slot " << victim << " stage "
+             << static_cast<int>(stage) << " nth " << nth << "\n  "
+             << e.what();
+    }
+    ASSERT_EQ(faulty.a, clean.a)
+        << "device loss changed results; reproducer: " << fc.describe()
+        << " kill slot " << victim << " stage " << static_cast<int>(stage)
+        << " nth " << nth;
+    ASSERT_EQ(faulty.b, clean.b)
+        << "device loss changed results; reproducer: " << fc.describe()
+        << " kill slot " << victim << " stage " << static_cast<int>(stage)
+        << " nth " << nth;
+  }
+  // The seed range must actually exercise recovery.
+  EXPECT_GE(exercised, 20);
 }
 
 } // namespace

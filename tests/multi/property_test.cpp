@@ -271,6 +271,58 @@ TEST(PropertyTest, HeterogeneousNodeStillComputesCorrectly) {
   EXPECT_EQ(b, ref);
 }
 
+// --- Device loss invalidates the plan cache ---------------------------------------
+
+TEST(PropertyTest, DeviceLossEmptiesPlanCacheAndReplansCorrectly) {
+  // Warm the steady-state plan cache, kill a device, and assert every cached
+  // shape is evicted (it was partitioned over the old live set). Subsequent
+  // Invokes must miss, replan over the survivors, and still match the
+  // sequential reference.
+  const std::size_t W = 48, H = 64;
+  std::vector<int> a(W * H), b(W * H, 0);
+  std::mt19937 rng(77);
+  for (auto& v : a) {
+    v = static_cast<int>(rng() % 1000);
+  }
+  std::vector<int> ref = a;
+
+  sim::Node node(sim::homogeneous_node(sim::titan_black(), 4));
+  Scheduler sched(node);
+  sched.set_fault_tolerance_enabled(true);
+  Matrix<int> A(W, H), B(W, H);
+  A.Bind(a.data());
+  B.Bind(b.data());
+
+  using Win = Window2D<int, 1, maps::WRAP>;
+  using Out = StructuredInjective<int, 2>;
+  WeightedStencil k;
+  sched.AnalyzeCall(Win(A), Out(B));
+  sched.AnalyzeCall(Win(B), Out(A));
+  for (int i = 0; i < 6; ++i) {
+    Matrix<int>& in = (i % 2 == 0) ? A : B;
+    Matrix<int>& out = (i % 2 == 0) ? B : A;
+    sched.Invoke(k, Win(in), Out(out));
+    reference_stencil(ref, W, H, k.center, k.cross);
+  }
+  ASSERT_GT(sched.plan_cache_size(), 0u); // steady state reached
+  ASSERT_GT(sched.stats().cache_hits, 0u);
+
+  sched.kill_device(2);
+  EXPECT_EQ(sched.plan_cache_size(), 0u);
+
+  const std::uint64_t misses_before = sched.stats().cache_misses;
+  for (int i = 6; i < 10; ++i) {
+    Matrix<int>& in = (i % 2 == 0) ? A : B;
+    Matrix<int>& out = (i % 2 == 0) ? B : A;
+    sched.Invoke(k, Win(in), Out(out));
+    reference_stencil(ref, W, H, k.center, k.cross);
+  }
+  // The first post-loss Invoke of each direction must rebuild its plan.
+  EXPECT_GE(sched.stats().cache_misses, misses_before + 2);
+  sched.Gather(A);
+  EXPECT_EQ(a, ref);
+}
+
 // --- Radius sweep -----------------------------------------------------------------
 
 struct BoxSum {
