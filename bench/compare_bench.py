@@ -23,7 +23,7 @@ import sys
 # excluded from the regression gate.
 NOISY_KEY = re.compile(
     r"^(plan_us_per_task|wall_us_per_task|plan_time_us|replay_time_us|"
-    r"planning_speedup)$"
+    r"planning_speedup|wall_ms|wall_speedup)$"
 )
 
 

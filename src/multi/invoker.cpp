@@ -26,7 +26,7 @@ void InvokerThread::submit(std::function<void()> job) {
     }
     jobs_.push_back(std::move(job));
   }
-  jobs_submitted_.fetch_add(1, std::memory_order_relaxed);
+  jobs_submitted_.fetch_add(1, std::memory_order_release);
   cv_.notify_all();
 }
 
@@ -40,7 +40,7 @@ void InvokerThread::abandon() {
   }
   // Discarded jobs count as executed so the submitted/executed drain
   // invariant (see jobs_submitted) survives a device loss.
-  jobs_executed_.fetch_add(discarded, std::memory_order_relaxed);
+  jobs_executed_.fetch_add(discarded, std::memory_order_release);
   cv_.notify_all();
 }
 
@@ -73,7 +73,7 @@ void InvokerThread::run() {
     try {
       job();
     } catch (...) {
-      jobs_executed_.fetch_add(1, std::memory_order_relaxed);
+      jobs_executed_.fetch_add(1, std::memory_order_release);
       lock.lock();
       if (!error_) {
         error_ = std::current_exception();
@@ -82,7 +82,7 @@ void InvokerThread::run() {
       cv_.notify_all();
       continue;
     }
-    jobs_executed_.fetch_add(1, std::memory_order_relaxed);
+    jobs_executed_.fetch_add(1, std::memory_order_release);
     lock.lock();
     busy_ = false;
     cv_.notify_all();

@@ -41,12 +41,15 @@ public:
 
   /// Pipeline-health introspection: after a flush() both counters are equal;
   /// a lasting gap means a job died without reporting (validation harnesses
-  /// assert the drained invariant).
+  /// assert the drained invariant). Acquire loads pair with the release
+  /// increments on the submitting/worker threads, so the drained-invariant
+  /// busy-recheck is race-free (a reader that observes an executed count
+  /// also observes the submit that preceded it).
   std::uint64_t jobs_submitted() const {
-    return jobs_submitted_.load(std::memory_order_relaxed);
+    return jobs_submitted_.load(std::memory_order_acquire);
   }
   std::uint64_t jobs_executed() const {
-    return jobs_executed_.load(std::memory_order_relaxed);
+    return jobs_executed_.load(std::memory_order_acquire);
   }
 
 private:

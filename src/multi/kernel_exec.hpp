@@ -3,21 +3,48 @@
 //
 // On real hardware the grid's thread-blocks run on the device's
 // multiprocessors; here the framework sweeps the device's block rows and the
-// threads within each block sequentially (the simulated Node accounts the
-// parallel execution time separately, via LaunchStats). Containers receive
-// the advancing ThreadContext, which is what makes the kernel body index
-// free.
+// threads within each block (the simulated Node accounts the parallel
+// execution time separately, via LaunchStats). Containers receive the
+// advancing ThreadContext, which is what makes the kernel body index free.
+//
+// Two sweep modes share the same inner loop:
+//
+//  * run_device_grid — the sequential legacy path: one thread sweeps the
+//    device's block rows in order;
+//  * run_device_grid_chunked — the parallel backend (DESIGN.md §5.12):
+//    block rows are split into cache-sized chunks fanned out on a
+//    ThreadPool, each chunk sweeping a PRIVATE copy of the pattern tuple so
+//    containers never share mutable state. Results stay bit-identical to
+//    the sequential sweep: injective outputs write disjoint rows/elements
+//    concurrently, while aggregating outputs (Sum partials, dynamic
+//    appends) accumulate into per-chunk private buffers that are merged on
+//    the forking thread in ascending chunk order — a fixed reduction order,
+//    independent of execution order. Sum outputs whose element type is not
+//    exact under reassociation (floats; PatternSpec::agg_exact) fall back
+//    to the sequential sweep.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
 #include <tuple>
 #include <utility>
+#include <vector>
 
 #include "maps/common.hpp"
+#include "multi/pattern_spec.hpp"
+#include "multi/thread_pool.hpp"
 
 namespace maps::multi {
 
 namespace detail {
+
+template <typename P>
+concept HasAppendCounter = requires(P& p, std::uint64_t* c) {
+  p.bind_append_counter(c);
+};
 
 template <typename Kernel, typename Tuple, std::size_t... I>
 void run_device_grid_impl(const maps::GridContext& gc, const Kernel& kernel,
@@ -39,15 +66,163 @@ void run_device_grid_impl(const maps::GridContext& gc, const Kernel& kernel,
   }
 }
 
+/// How one pattern participates in a chunked sweep.
+enum class ChunkMerge : std::uint8_t {
+  Shared,        ///< inputs / disjoint writers: chunks share the real view
+  SumPartial,    ///< private zeroed copy, agg_op-merged in chunk order
+  AppendPartial, ///< private staging + counter, concatenated in chunk order
+};
+
+template <typename P>
+void privatize_chunk_pattern(P& p, ChunkMerge merge,
+                             std::vector<std::byte>& store,
+                             std::uint64_t& count) {
+  if (merge == ChunkMerge::Shared) {
+    return;
+  }
+  DeviceView v = p.view();
+  store.assign(v.rows * v.pitch, std::byte{0});
+  v.base = store.data();
+  p.bind(v);
+  if constexpr (HasAppendCounter<P>) {
+    if (merge == ChunkMerge::AppendPartial) {
+      p.bind_append_counter(&count);
+    }
+  }
+  (void)count;
+}
+
+template <typename P>
+void merge_chunk_pattern(P& proto, const PatternSpec& spec, ChunkMerge merge,
+                         const std::vector<std::byte>& store,
+                         std::uint64_t count) {
+  if (merge == ChunkMerge::Shared) {
+    return;
+  }
+  const DeviceView& v = proto.view();
+  if (merge == ChunkMerge::SumPartial) {
+    // Row-wise so pitched layouts merge exactly like a host-side gather.
+    for (std::size_t r = 0; r < v.rows; ++r) {
+      spec.agg_op(v.base + r * v.pitch, store.data() + r * v.pitch,
+                  v.row_elems);
+    }
+    return;
+  }
+  if constexpr (HasAppendCounter<P>) {
+    std::uint64_t* shared = proto.append_counter();
+    if (*shared + count > v.rows) {
+      throw std::runtime_error("ReductiveDynamic: device segment overflow");
+    }
+    std::memcpy(v.base + *shared * v.pitch, store.data(), count * v.pitch);
+    *shared += count;
+  }
+}
+
+template <typename Tuple, std::size_t N, std::size_t... I>
+void privatize_tuple(Tuple& pats, const std::array<ChunkMerge, N>& merge,
+                     std::array<std::vector<std::byte>, N>& store,
+                     std::array<std::uint64_t, N>& count,
+                     std::index_sequence<I...>) {
+  (privatize_chunk_pattern(std::get<I>(pats), merge[I], store[I], count[I]),
+   ...);
+}
+
+template <typename Tuple, std::size_t N, std::size_t... I>
+void merge_tuple(Tuple& pats, const std::array<PatternSpec, N>& specs,
+                 const std::array<ChunkMerge, N>& merge,
+                 const std::array<std::vector<std::byte>, N>& store,
+                 const std::array<std::uint64_t, N>& count,
+                 std::index_sequence<I...>) {
+  (merge_chunk_pattern(std::get<I>(pats), specs[I], merge[I], store[I],
+                       count[I]),
+   ...);
+}
+
 } // namespace detail
 
 /// Runs `kernel(tc, patterns...)` for every thread of this device's block
-/// rows of the virtual grid.
+/// rows of the virtual grid, sequentially on the calling thread.
 template <typename Kernel, typename... Patterns>
 void run_device_grid(const maps::GridContext& gc, const Kernel& kernel,
                      std::tuple<Patterns...>& pats) {
   detail::run_device_grid_impl(gc, kernel, pats,
                                std::index_sequence_for<Patterns...>{});
+}
+
+/// Parallel sweep: splits the device's block rows into chunks of
+/// `chunk_block_rows`, runs each on `pool` with a private pattern-tuple
+/// copy, and merges aggregating outputs deterministically in chunk order.
+/// Falls back to the sequential sweep when there is only one chunk or when
+/// an aggregating output cannot be merged exactly (see file header).
+template <typename Kernel, typename... Patterns>
+void run_device_grid_chunked(const maps::GridContext& gc, const Kernel& kernel,
+                             std::tuple<Patterns...>& pats, ThreadPool& pool,
+                             unsigned chunk_block_rows) {
+  constexpr std::size_t N = sizeof...(Patterns);
+  using Seq = std::index_sequence_for<Patterns...>;
+  const unsigned chunk = chunk_block_rows == 0 ? 1 : chunk_block_rows;
+  const unsigned nchunks =
+      gc.block_rows == 0 ? 0 : (gc.block_rows + chunk - 1) / chunk;
+  if (nchunks <= 1 || pool.parallelism() <= 1) {
+    run_device_grid(gc, kernel, pats);
+    return;
+  }
+
+  const std::array<PatternSpec, N> specs = std::apply(
+      [](const auto&... p) { return std::array<PatternSpec, N>{p.spec()...}; },
+      pats);
+  constexpr std::array<bool, N> can_append = {
+      detail::HasAppendCounter<Patterns>...};
+  std::array<detail::ChunkMerge, N> merge{};
+  for (std::size_t i = 0; i < N; ++i) {
+    const PatternSpec& s = specs[i];
+    if (s.is_input || s.agg == AggregationKind::None ||
+        s.agg == AggregationKind::MaskedMerge) {
+      // Injective writes are disjoint across chunks (rows for structured,
+      // distinct elements/mask bytes for unstructured) — share the view.
+      merge[i] = detail::ChunkMerge::Shared;
+    } else if (s.agg == AggregationKind::Sum && s.agg_exact && s.agg_op) {
+      merge[i] = detail::ChunkMerge::SumPartial;
+    } else if (s.agg == AggregationKind::Append && can_append[i]) {
+      merge[i] = detail::ChunkMerge::AppendPartial;
+    } else {
+      // Non-exact reduction (float Sum): reassociating it would break
+      // bit-identity with the sequential backend — sweep sequentially.
+      run_device_grid(gc, kernel, pats);
+      return;
+    }
+  }
+
+  struct Chunk {
+    explicit Chunk(const std::tuple<Patterns...>& p) : pats(p) {}
+    std::tuple<Patterns...> pats;
+    maps::GridContext gc;
+    std::array<std::vector<std::byte>, N> store;
+    std::array<std::uint64_t, N> count{};
+  };
+  std::vector<std::unique_ptr<Chunk>> chunks;
+  chunks.reserve(nchunks);
+  ThreadPool::Group group;
+  for (unsigned c = 0; c < nchunks; ++c) {
+    auto ck = std::make_unique<Chunk>(pats);
+    ck->gc = gc;
+    ck->gc.block_row_offset = gc.block_row_offset + c * chunk;
+    ck->gc.block_rows = std::min(chunk, gc.block_rows - c * chunk);
+    detail::privatize_tuple(ck->pats, merge, ck->store, ck->count, Seq{});
+    Chunk* raw = ck.get();
+    chunks.push_back(std::move(ck));
+    // `kernel` outlives the group wait below (it is owned by the enclosing
+    // launch body), so capturing it by reference is safe and avoids a copy
+    // per chunk.
+    pool.submit(group, [raw, &kernel] {
+      detail::run_device_grid_impl(raw->gc, kernel, raw->pats, Seq{});
+    });
+  }
+  pool.wait(group); // helping wait; rethrows the lowest-chunk failure
+  // Deterministic merge: ascending chunk order on this (single) thread.
+  for (const auto& ck : chunks) {
+    detail::merge_tuple(pats, specs, merge, ck->store, ck->count, Seq{});
+  }
 }
 
 } // namespace maps::multi

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <type_traits>
 
 #include "multi/pattern_base.hpp"
 
@@ -114,6 +115,7 @@ public:
     s.seg = Segmentation::DuplicateFull;
     s.agg = AggregationKind::Sum;
     s.ilp_x = ILP;
+    s.agg_exact = std::is_integral_v<T>;
     s.agg_op = [](void* acc, const void* part, std::size_t elems) {
       T* a = static_cast<T*>(acc);
       const T* p = static_cast<const T*>(part);
@@ -176,6 +178,7 @@ public:
     s.datum = datum_;
     s.seg = Segmentation::DuplicateFull;
     s.agg = AggregationKind::Sum;
+    s.agg_exact = std::is_integral_v<T>;
     s.agg_op = [](void* acc, const void* part, std::size_t elems) {
       T* a = static_cast<T*>(acc);
       const T* p = static_cast<const T*>(part);
@@ -222,6 +225,9 @@ public:
 
   /// Framework hook: installs the per-device append counter for this launch.
   void bind_append_counter(std::uint64_t* counter) { count_ = counter; }
+  /// The currently bound counter (the chunked sweep reads the shared one
+  /// through the prototype tuple when concatenating chunk partials).
+  std::uint64_t* append_counter() const { return count_; }
 
   /// Appends one result to this device's output segment.
   void append(const T& value) const {

@@ -92,6 +92,11 @@ struct PatternSpec {
   /// Element-wise combiner for AggregationKind::Sum:
   /// acc[i] op= part[i] for `elems` elements.
   std::function<void(void* acc, const void* part, std::size_t elems)> agg_op;
+  /// Whether agg_op is exact under reassociation (integral element types).
+  /// The parallel execution backend only splits a Sum output into per-chunk
+  /// partials when this holds; float sums keep the sequential sweep so
+  /// results stay bit-identical (kernel_exec.hpp).
+  bool agg_exact = false;
 
   /// For Segmentation::CustomAligned: maps a work-row range to the datum
   /// rows the device must hold.

@@ -5,9 +5,11 @@
 #include <bit>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 namespace maps::multi {
 
@@ -20,7 +22,67 @@ double elapsed_us(std::chrono::steady_clock::time_point t0) {
              std::chrono::steady_clock::now() - t0)
       .count();
 }
+
+/// Default exec-thread count: MAPS_EXEC_THREADS env override (0 = forced
+/// sequential), else hardware_concurrency.
+unsigned default_exec_threads() {
+  if (const char* env = std::getenv("MAPS_EXEC_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0') {
+      return static_cast<unsigned>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
 } // namespace
+
+namespace detail {
+
+/// Worker-pool-backed sim::FunctionalExecutor. One fork-join Group per
+/// PHYSICAL node device holds that device's (at most one) pending kernel
+/// body; the event loop joins the device before deferring the next body, so
+/// same-device sweeps never overlap. Chunked sweeps running inside a body
+/// fork their block-row chunks onto the same pool — the pool's helping
+/// waits make the nested fork-join deadlock-free.
+class ExecBackend : public sim::FunctionalExecutor {
+public:
+  ExecBackend(unsigned parallelism, int device_count)
+      : pool_(parallelism), groups_(static_cast<std::size_t>(device_count)) {}
+
+  ThreadPool& pool() { return pool_; }
+
+  void run_kernel_body(int device, std::function<void()> body) override {
+    pool_.submit(groups_[static_cast<std::size_t>(device)], std::move(body));
+  }
+
+  void join_device(int device) override {
+    pool_.wait(groups_[static_cast<std::size_t>(device)]);
+  }
+
+  void join_all() override {
+    std::exception_ptr first;
+    for (auto& g : groups_) {
+      try {
+        pool_.wait(g);
+      } catch (...) {
+        if (!first) {
+          first = std::current_exception();
+        }
+      }
+    }
+    if (first) {
+      std::rethrow_exception(first);
+    }
+  }
+
+private:
+  ThreadPool pool_;
+  std::vector<ThreadPool::Group> groups_;
+};
+
+} // namespace detail
 
 Scheduler::Scheduler(sim::Node& node, std::vector<int> devices)
     : node_(node),
@@ -43,6 +105,7 @@ Scheduler::Scheduler(sim::Node& node, std::vector<int> devices)
   live_.resize(devices_.size());
   std::iota(live_.begin(), live_.end(), 0);
   dead_.assign(devices_.size(), false);
+  set_exec_threads(default_exec_threads());
 }
 
 Scheduler::~Scheduler() {
@@ -54,6 +117,13 @@ Scheduler::~Scheduler() {
     } catch (...) {
       // Destructor: swallow job errors that were never collected.
     }
+  }
+  // Unhook and tear down the execution backend before anything a deferred
+  // body could reference dies. No bodies are pending here: every drain exit
+  // joins the backend, and the invokers above are flushed.
+  if (exec_backend_ != nullptr) {
+    node_.set_functional_executor(nullptr);
+    exec_backend_.reset();
   }
   // All plan references are gone now; free whatever the deleters stacked.
   TaskPlan* head = plan_recycle_head_.exchange(nullptr);
@@ -67,6 +137,49 @@ Scheduler::~Scheduler() {
 void Scheduler::set_task_overhead_us(double task_us, double per_device_us) {
   task_overhead_us_ = task_us;
   per_device_overhead_us_ = per_device_us;
+}
+
+void Scheduler::set_exec_threads(unsigned n) {
+  const bool want_backend = n > 0 && node_.functional();
+  if (n == exec_threads_ && want_backend == (exec_backend_ != nullptr)) {
+    return;
+  }
+  // Quiesce before switching: in-flight bodies were created against the
+  // current backend. Skipped on the fresh-construction path (nothing could
+  // be in flight, and synchronizing here would drain commands other
+  // schedulers on the node may still be wiring up).
+  if (tasks_scheduled() != 0 || exec_backend_ != nullptr) {
+    for (auto& inv : invokers_) {
+      inv->flush();
+    }
+    node_.synchronize();
+  }
+  if (exec_backend_ != nullptr) {
+    node_.set_functional_executor(nullptr);
+    exec_backend_.reset();
+  }
+  exec_threads_ = n;
+  stats_.exec.threads = n;
+  if (want_backend) {
+    exec_backend_ =
+        std::make_unique<detail::ExecBackend>(n, node_.device_count());
+    node_.set_functional_executor(exec_backend_.get());
+  }
+}
+
+ThreadPool* Scheduler::exec_pool() {
+  return exec_backend_ != nullptr ? &exec_backend_->pool() : nullptr;
+}
+
+void Scheduler::refresh_exec_stats() const {
+  stats_.exec.threads = exec_threads_;
+  if (exec_backend_ == nullptr) {
+    return;
+  }
+  const ThreadPool::Stats s = exec_backend_->pool().stats();
+  stats_.exec.chunks_executed = s.executed;
+  stats_.exec.chunks_stolen = s.stolen;
+  stats_.exec.idle_waits = s.idle_waits;
 }
 
 std::uint64_t* Scheduler::append_counter(const Datum* datum, int slot) {
@@ -1386,6 +1499,10 @@ void Scheduler::set_sanitizer_enabled(bool on) {
 
 void Scheduler::reset_stats() {
   stats_ = SchedulerStats{};
+  stats_.exec.threads = exec_threads_;
+  if (exec_backend_ != nullptr) {
+    exec_backend_->pool().reset_stats();
+  }
   if (sanitizer_ != nullptr) {
     sanitizer_->reset_stats();
   }

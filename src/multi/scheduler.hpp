@@ -69,10 +69,12 @@ template <typename T> struct is_constant<Constant<T>> : std::true_type {};
 template <typename A>
 inline constexpr bool is_constant_v = is_constant<std::decay_t<A>>::value;
 
-template <typename P>
-concept HasAppendCounter = requires(P& p, std::uint64_t* c) {
-  p.bind_append_counter(c);
-};
+// HasAppendCounter lives in kernel_exec.hpp (the chunked sweep needs it too).
+
+/// Worker-pool-backed sim::FunctionalExecutor (scheduler.cpp): defers each
+/// device's kernel body onto the shared ThreadPool so functional sweeps
+/// overlap across devices while the event loop keeps scheduling.
+class ExecBackend;
 
 } // namespace detail
 
@@ -99,6 +101,15 @@ struct SchedulerStats {
   /// shape). Byte counters classify each task's planned input transfers by
   /// physical path; see TransferStats.
   TransferStats transfers;
+  /// Parallel execution backend (DESIGN.md §5.12): shared worker-pool
+  /// counters, refreshed on every stats() read.
+  struct ExecStats {
+    std::uint32_t threads = 0; ///< configured parallelism (0 = sequential)
+    /// Pool jobs executed: block-row chunks plus deferred device sweeps.
+    std::uint64_t chunks_executed = 0;
+    std::uint64_t chunks_stolen = 0; ///< jobs taken from another queue
+    std::uint64_t idle_waits = 0;    ///< times a pool thread went to sleep
+  } exec;
   /// Device-loss recovery accounting (fault-tolerance mode only).
   struct RecoveryStats {
     std::uint64_t devices_lost = 0;
@@ -157,7 +168,23 @@ public:
       bind_tuple(*tuple, views, slot,
                  std::index_sequence_for<Patterns...>{});
       maps::GridContext gc = grid;
-      return [tuple, gc, kernel] { run_device_grid(gc, kernel, *tuple); };
+      return [this, tuple, gc, kernel] {
+        // Parallel backend (DESIGN.md §5.12): fan the sweep out in
+        // cache-sized block-row chunks. exec_pool() is stable while bodies
+        // are in flight (set_exec_threads quiesces the node first).
+        ThreadPool* pool = exec_pool();
+        if (pool == nullptr) {
+          run_device_grid(gc, kernel, *tuple);
+          return;
+        }
+        const std::size_t bytes_per_block_row =
+            tuple_bytes_per_block_row(*tuple, gc,
+                                      std::index_sequence_for<Patterns...>{});
+        run_device_grid_chunked(
+            gc, kernel, *tuple, *pool,
+            exec_chunk_block_rows(gc.block_rows, bytes_per_block_row,
+                                  pool->parallelism()));
+      };
     };
     return dispatch_kernel(plan, factory);
   }
@@ -217,6 +244,18 @@ public:
   /// last Gather of `datum`.
   std::size_t gathered_count(const Datum& datum) const;
 
+  /// Parallel functional execution backend (DESIGN.md §5.12): number of
+  /// host threads sweeping kernel bodies. 0 selects the sequential legacy
+  /// path; n >= 1 installs a shared worker pool that overlaps device sweeps
+  /// and splits each sweep into cache-sized block-row chunks. Results are
+  /// bit-identical either way (deterministic chunk-ordered merges; see
+  /// kernel_exec.hpp). Defaults to std::thread::hardware_concurrency(),
+  /// overridable with the MAPS_EXEC_THREADS environment variable. Quiesces
+  /// in-flight work before switching. TimingOnly nodes always execute
+  /// sequentially (bodies are null there).
+  void set_exec_threads(unsigned n);
+  unsigned exec_threads() const { return exec_threads_; }
+
   /// Host-side software cost charged per task (scheduler bookkeeping). The
   /// defaults reproduce the paper's sub-1% unmodified-routine overhead
   /// (Table 4); see EXPERIMENTS.md.
@@ -274,7 +313,10 @@ public:
   void set_plan_cache_capacity(std::size_t n);
   std::size_t plan_cache_size() const { return cache_.size(); }
 
-  const SchedulerStats& stats() const { return stats_; }
+  const SchedulerStats& stats() const {
+    refresh_exec_stats();
+    return stats_;
+  }
   /// Resets ALL counters to a freshly-constructed state — scheduler stats
   /// (cache, transfers, overlap, recovery) and, when the sanitizer is
   /// enabled, its violation/check counters too.
@@ -593,6 +635,17 @@ private:
     (counters(std::get<I>(tuple)), ...);
   }
 
+  /// Bytes one virtual block row touches across every bound view — the
+  /// working-set estimate exec_chunk_block_rows caps chunk sizes with.
+  template <typename Tuple, std::size_t... I>
+  static std::size_t tuple_bytes_per_block_row(const Tuple& tuple,
+                                               const maps::GridContext& gc,
+                                               std::index_sequence<I...>) {
+    std::size_t row_bytes = 0;
+    ((row_bytes += std::get<I>(tuple).view().pitch), ...);
+    return row_bytes * gc.block_dim.y * gc.ilp_y;
+  }
+
   template <typename Kernel> static const char* kernel_label() {
     return "maps_kernel";
   }
@@ -721,6 +774,11 @@ private:
     return transfer_planner_enabled_ && !force_host_staged_;
   }
 
+  /// The execution backend's worker pool, or null on the sequential path.
+  ThreadPool* exec_pool();
+  /// Copies the pool counters into stats_.exec (no-op when sequential).
+  void refresh_exec_stats() const;
+
   sim::Node& node_;
   std::vector<int> devices_;
   std::vector<sim::StreamId> compute_streams_, copy_streams_, copy_streams2_;
@@ -768,7 +826,8 @@ private:
   std::list<PlanFingerprint> lru_; ///< front = most recently used
   bool plan_cache_enabled_ = true;
   std::size_t plan_cache_capacity_ = 64;
-  SchedulerStats stats_;
+  /// mutable: stats() refreshes the exec-pool counters on read.
+  mutable SchedulerStats stats_;
 
   /// Plan recycling. Retired replay plans are pushed onto a Treiber stack
   /// by their deleter (lock-free, runs on whichever invoker thread drops
@@ -832,6 +891,12 @@ private:
   double task_overhead_us_ = 60.0;
   double per_device_overhead_us_ = 20.0;
   TaskHandle next_task_ = 1;
+
+  /// Parallel execution backend (declared last: the destructor body also
+  /// tears it down explicitly after draining the invokers and unhooking the
+  /// node, so no deferred body can outlive the pool).
+  unsigned exec_threads_ = 0;
+  std::unique_ptr<detail::ExecBackend> exec_backend_;
 };
 
 } // namespace maps::multi

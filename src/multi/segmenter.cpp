@@ -325,4 +325,25 @@ std::vector<StripRange> compute_strips(const std::vector<PatternSpec>& specs,
   return strips;
 }
 
+unsigned exec_chunk_block_rows(unsigned block_rows,
+                               std::size_t bytes_per_block_row,
+                               unsigned parallelism) {
+  if (block_rows <= 1 || parallelism <= 1) {
+    return block_rows == 0 ? 1 : block_rows;
+  }
+  // ~4 chunks per thread for load balancing under stealing.
+  const unsigned target_chunks = 4 * parallelism;
+  unsigned chunk = (block_rows + target_chunks - 1) / target_chunks;
+  // Cache-interference cap: keep one chunk's touched bytes near a per-core
+  // L2 budget so concurrently sweeping chunks stay cache-resident.
+  constexpr std::size_t kChunkCacheBytes = 1u << 20;
+  if (bytes_per_block_row > 0) {
+    const std::size_t cap =
+        std::max<std::size_t>(1, kChunkCacheBytes / bytes_per_block_row);
+    chunk = static_cast<unsigned>(
+        std::min<std::size_t>(chunk, cap));
+  }
+  return std::max(1u, std::min(chunk, block_rows));
+}
+
 } // namespace maps::multi

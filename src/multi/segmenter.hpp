@@ -102,4 +102,15 @@ std::vector<StripRange> compute_strips(const std::vector<PatternSpec>& specs,
                                        const TaskPartition& partition, int slot,
                                        const std::vector<SegmentReq>& reqs);
 
+/// Chunk size (in block rows) for the parallel execution backend's
+/// block-row fan-out (kernel_exec.hpp). Balances two pressures:
+/// enough chunks that `parallelism` threads load-balance across uneven
+/// chunk costs (~4 chunks per thread), but each chunk's working set
+/// (`bytes_per_block_row` across all bound views) capped near the
+/// per-core cache budget so concurrent chunks do not thrash each other's
+/// cache lines. Returns at least 1; `block_rows` when parallelism <= 1.
+unsigned exec_chunk_block_rows(unsigned block_rows,
+                               std::size_t bytes_per_block_row,
+                               unsigned parallelism);
+
 } // namespace maps::multi

@@ -1,0 +1,176 @@
+#include "multi/thread_pool.hpp"
+
+#include <utility>
+
+namespace maps::multi {
+
+ThreadPool::ThreadPool(unsigned parallelism)
+    : parallelism_(parallelism == 0 ? 1 : parallelism) {
+  const unsigned workers = parallelism_ - 1;
+  const std::size_t queues = workers == 0 ? 1 : workers;
+  queues_.reserve(queues);
+  for (std::size_t q = 0; q < queues; ++q) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_ = true;
+    ++wake_epoch_;
+  }
+  sleep_cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+  // Jobs still queued at destruction (a caller abandoned its Group, e.g. via
+  // an exception unwind) are dropped unexecuted; their closures are freed
+  // with the queues.
+}
+
+void ThreadPool::submit(Group& group, std::function<void()> job) {
+  Job j;
+  j.group = &group;
+  j.ordinal = group.next_ordinal_.fetch_add(1, std::memory_order_relaxed);
+  j.fn = std::move(job);
+  // Publish the pending count before the job becomes runnable so wait()
+  // can never observe an in-flight job with pending == 0.
+  group.pending_.fetch_add(1, std::memory_order_release);
+  const std::size_t q =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[q]->mutex);
+    queues_[q]->jobs.push_back(std::move(j));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    ++wake_epoch_;
+  }
+  sleep_cv_.notify_all();
+}
+
+void ThreadPool::run_job(Job job) {
+  try {
+    job.fn();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(job.group->error_mutex_);
+    // Keep the FIRST-submitted failure: several chunks may throw
+    // concurrently and the rethrow must not depend on execution order.
+    if (job.ordinal < job.group->error_ordinal_) {
+      job.group->error_ordinal_ = job.ordinal;
+      job.group->error_ = std::current_exception();
+    }
+  }
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  if (job.group->pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    {
+      std::lock_guard<std::mutex> lock(sleep_mutex_);
+      ++wake_epoch_;
+    }
+    sleep_cv_.notify_all();
+  }
+}
+
+bool ThreadPool::try_run_one(std::size_t home) {
+  const std::size_t n = queues_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t q = (home + i) % n;
+    Job job;
+    {
+      std::lock_guard<std::mutex> lock(queues_[q]->mutex);
+      if (queues_[q]->jobs.empty()) {
+        continue;
+      }
+      job = std::move(queues_[q]->jobs.front());
+      queues_[q]->jobs.pop_front();
+    }
+    if (i != 0) {
+      stolen_.fetch_add(1, std::memory_order_relaxed);
+    }
+    run_job(std::move(job));
+    return true;
+  }
+  return false;
+}
+
+bool ThreadPool::any_queued() const {
+  for (const auto& q : queues_) {
+    std::lock_guard<std::mutex> lock(q->mutex);
+    if (!q->jobs.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  while (true) {
+    if (try_run_one(index)) {
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    if (stop_) {
+      return;
+    }
+    // Recheck under the sleep lock: a submit that completed after our queue
+    // scan already bumped the epoch, so waiting on the captured epoch below
+    // cannot miss it; a submit racing with the scan is caught here.
+    if (any_queued()) {
+      continue;
+    }
+    const std::uint64_t epoch = wake_epoch_;
+    idle_waits_.fetch_add(1, std::memory_order_relaxed);
+    sleep_cv_.wait(lock, [&] { return stop_ || wake_epoch_ != epoch; });
+  }
+}
+
+void ThreadPool::wait(Group& group) {
+  while (group.pending_.load(std::memory_order_acquire) != 0) {
+    // Helping wait: make progress on ANY queued job rather than sleeping —
+    // a nested fork (deferred kernel body forking its chunks while itself
+    // occupying a pool thread) needs its waiter to keep executing.
+    if (try_run_one(0)) {
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    if (group.pending_.load(std::memory_order_acquire) == 0) {
+      break;
+    }
+    if (any_queued()) {
+      continue;
+    }
+    const std::uint64_t epoch = wake_epoch_;
+    idle_waits_.fetch_add(1, std::memory_order_relaxed);
+    sleep_cv_.wait(lock, [&] { return wake_epoch_ != epoch; });
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(group.error_mutex_);
+    error = std::exchange(group.error_, nullptr);
+    group.error_ordinal_ = ~std::uint64_t{0};
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.executed = executed_.load(std::memory_order_relaxed);
+  s.stolen = stolen_.load(std::memory_order_relaxed);
+  s.idle_waits = idle_waits_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ThreadPool::reset_stats() {
+  executed_.store(0, std::memory_order_relaxed);
+  stolen_.store(0, std::memory_order_relaxed);
+  idle_waits_.store(0, std::memory_order_relaxed);
+}
+
+} // namespace maps::multi

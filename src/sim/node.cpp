@@ -590,6 +590,12 @@ void Node::drain_locked() {
                   std::to_string(streams_[s].queue.size()) + " cmds)";
         }
       }
+      // Quiesce the asynchronous body backend on BOTH exits: after a drain
+      // every functional effect must be host-visible, and a deadlock report
+      // must not leave bodies running behind the caller's back.
+      if (functional_exec_ != nullptr) {
+        functional_exec_->join_all();
+      }
       if (pending) {
         throw std::runtime_error(
             "sim::Node deadlock: streams blocked on unprocessed events:" +
@@ -653,6 +659,21 @@ void Node::drain_locked() {
 
     account(cmd, st.device, duration);
     if (cmd.body) {
+      if (functional_exec_ != nullptr) {
+        if (cmd.kind == Command::Kind::Kernel) {
+          // Defer the kernel sweep so the event loop keeps scheduling while
+          // it runs. Joining the device first keeps same-device kernels
+          // strictly ordered (at most one pending body per device); kernels
+          // only touch their own device's buffers, so cross-device overlap
+          // is safe.
+          functional_exec_->join_device(st.device);
+          functional_exec_->run_kernel_body(st.device, std::move(cmd.body));
+          continue;
+        }
+        // Copies, memsets and host functions read/write device and host
+        // memory across devices: every pending kernel body must land first.
+        functional_exec_->join_all();
+      }
       cmd.body(); // Functional mode: run the kernel/copy/host function
     }
   }
@@ -696,6 +717,11 @@ void Node::clear_trace() {
 void Node::set_exec_observer(std::function<void(const TraceEvent&)> observer) {
   std::lock_guard<std::mutex> lock(mutex_);
   exec_observer_ = std::move(observer);
+}
+
+void Node::set_functional_executor(FunctionalExecutor* executor) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  functional_exec_ = functional() ? executor : nullptr;
 }
 
 void Node::reset_stats() {

@@ -44,6 +44,30 @@ enum class ExecMode { Functional, TimingOnly };
 using StreamId = int;
 using EventId = int;
 
+/// Host-side backend that runs functional KERNEL bodies asynchronously while
+/// the event loop keeps scheduling (the multi-layer scheduler installs one
+/// backed by its worker pool; see set_functional_executor). The contract
+/// mirrors the sequential semantics exactly:
+///
+///  * run_kernel_body(device, body) may return before `body` ran; at most
+///    one body is pending per device (the event loop joins the device
+///    first), so same-device kernels never overlap;
+///  * join_device / join_all block until the named bodies finished and
+///    rethrow any captured exception.
+///
+/// Only Kernel bodies are ever deferred — copies, memsets and host functions
+/// read and write the same buffers, so the event loop joins ALL pending
+/// bodies before executing any non-kernel body, and again before returning
+/// from a drain. Deferred bodies must not call back into the Node (the same
+/// rule as inline bodies).
+class FunctionalExecutor {
+public:
+  virtual ~FunctionalExecutor() = default;
+  virtual void run_kernel_body(int device, std::function<void()> body) = 0;
+  virtual void join_device(int device) = 0;
+  virtual void join_all() = 0;
+};
+
 class Node {
 public:
   Node(std::vector<DeviceSpec> specs, Topology topo,
@@ -182,6 +206,13 @@ public:
   /// must not call back into the Node. Pass nullptr to remove.
   void set_exec_observer(std::function<void(const TraceEvent&)> observer);
 
+  /// Installs (or, with nullptr, removes) the asynchronous functional-body
+  /// backend. Must not be called while a synchronize() is in progress on
+  /// another thread (the caller quiesces the node first). The Node does not
+  /// own the executor; the installer must clear it before destroying the
+  /// backend. No-op in TimingOnly mode (bodies are null there anyway).
+  void set_functional_executor(FunctionalExecutor* executor);
+
 private:
   struct Command;
   struct StreamState;
@@ -224,6 +255,7 @@ private:
   bool trace_enabled_ = false;
   std::vector<TraceEvent> trace_;
   std::function<void(const TraceEvent&)> exec_observer_;
+  FunctionalExecutor* functional_exec_ = nullptr;
 };
 
 } // namespace sim

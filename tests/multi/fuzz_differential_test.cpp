@@ -4,16 +4,21 @@
 // out-of-band host writes, mid-chain gathers — plus a random configuration:
 // grid size, device count (1–4), architecture preset, plan cache on/off,
 // final gather ordering. The chain is generated once as data and executed
-// twice: on the seeded multi-GPU configuration and on a single-device
-// reference scheduler, both with the access sanitizer enabled. The results
-// must be bit-identical; a mismatch (or a sanitizer report on a clean run)
-// prints the seed and a full reproducer description.
+// three ways: the seeded multi-GPU configuration on the parallel execution
+// backend, the same configuration on the sequential legacy backend, and a
+// single-device reference scheduler — all with the access sanitizer
+// enabled. Results must be bit-identical everywhere and the two backends
+// must report the exact same simulated time; a mismatch (or a sanitizer
+// report on a clean run) prints the seed and a full reproducer description.
+// 1000 seeded chains by default; MAPS_FUZZ_SEEDS overrides.
 //
 // A second pass fuzzes the sanitizer itself: for each seed it counts the
 // aligned inferred copies of the run, drops one at random, and asserts the
 // stale read is reported instead of silently corrupting the output.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <random>
 #include <sstream>
 #include <string>
@@ -140,6 +145,7 @@ struct FuzzMix {
 
 struct RunResult {
   std::vector<int> a, b;
+  double sim_ms = 0.0; ///< simulated clock after the final gather
 };
 
 sim::DeviceSpec arch_spec(int arch) {
@@ -170,7 +176,8 @@ RunResult run_chain(const FuzzCase& fc, int devices,
                     Scheduler::CopyFaultHook fault = nullptr,
                     const OverlapCfg& overlap = OverlapCfg{},
                     bool fault_tolerance = false,
-                    FaultInjector injector = nullptr) {
+                    FaultInjector injector = nullptr,
+                    int exec_threads = -1) {
   using Win = Window2D<int, 1, maps::WRAP>;
   using Pt = Window2D<int, 0, maps::WRAP>;
   using Out = StructuredInjective<int, 2>;
@@ -185,6 +192,9 @@ RunResult run_chain(const FuzzCase& fc, int devices,
 
   sim::Node node(sim::homogeneous_node(arch_spec(fc.arch), devices));
   Scheduler sched(node);
+  if (exec_threads >= 0) {
+    sched.set_exec_threads(static_cast<unsigned>(exec_threads));
+  }
   if (fault_tolerance) {
     sched.set_fault_tolerance_enabled(true);
   }
@@ -249,6 +259,7 @@ RunResult run_chain(const FuzzCase& fc, int devices,
   if (overlap.stats_out != nullptr) {
     *overlap.stats_out = sched.stats();
   }
+  r.sim_ms = node.now_ms();
   return r;
 }
 
@@ -256,28 +267,63 @@ RunResult run_chain(const FuzzCase& fc, int devices,
 
 constexpr unsigned kSeedsPerChunk = 25;
 
+/// Total seeded chains: 1000 by default, tunable with MAPS_FUZZ_SEEDS (the
+/// TSan CI job trims it; soak runs can raise it).
+unsigned fuzz_seed_total() {
+  if (const char* env = std::getenv("MAPS_FUZZ_SEEDS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<unsigned>(v);
+    }
+  }
+  return 1000;
+}
+
+unsigned fuzz_chunk_count() {
+  return (fuzz_seed_total() + kSeedsPerChunk - 1) / kSeedsPerChunk;
+}
+
 class DifferentialFuzz : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(DifferentialFuzz, MultiGpuMatchesSingleDeviceReference) {
+  const unsigned total = fuzz_seed_total();
   const unsigned base = GetParam() * kSeedsPerChunk;
-  for (unsigned seed = base; seed < base + kSeedsPerChunk; ++seed) {
+  for (unsigned seed = base; seed < std::min(base + kSeedsPerChunk, total);
+       ++seed) {
     const FuzzCase fc = make_case(seed);
-    RunResult multi, ref;
+    // Every chain runs three ways: the seeded multi-GPU config on the
+    // parallel execution backend (4 exec threads, forced so the assertion
+    // is meaningful on single-core runners), the same config on the
+    // sequential legacy backend, and the single-device reference. Results
+    // must be bit-identical across all three, and the parallel backend
+    // must not move the simulated clock by a single tick (sim time depends
+    // only on the dependency graph, never on host execution).
+    RunResult par, seq, ref;
     try {
-      multi = run_chain(fc, fc.devices);
+      par = run_chain(fc, fc.devices, nullptr, OverlapCfg{}, false, nullptr,
+                      /*exec_threads=*/4);
+      seq = run_chain(fc, fc.devices, nullptr, OverlapCfg{}, false, nullptr,
+                      /*exec_threads=*/0);
       ref = run_chain(fc, 1);
     } catch (const SanitizerError& e) {
       FAIL() << "sanitizer report on a clean chain\n  " << fc.describe()
              << "\n  " << e.what();
     }
-    ASSERT_EQ(multi.a, ref.a) << "reproducer: " << fc.describe();
-    ASSERT_EQ(multi.b, ref.b) << "reproducer: " << fc.describe();
+    ASSERT_EQ(par.a, ref.a) << "reproducer: " << fc.describe();
+    ASSERT_EQ(par.b, ref.b) << "reproducer: " << fc.describe();
+    ASSERT_EQ(par.a, seq.a)
+        << "exec-threads changed results; reproducer: " << fc.describe();
+    ASSERT_EQ(par.b, seq.b)
+        << "exec-threads changed results; reproducer: " << fc.describe();
+    ASSERT_EQ(par.sim_ms, seq.sim_ms)
+        << "exec-threads changed SIM TIME; reproducer: " << fc.describe();
   }
 }
 
-// 8 chunks x 25 seeds = 200 random chains.
+// ceil(MAPS_FUZZ_SEEDS / 25) chunks of 25 seeds (40 x 25 = 1000 default).
 INSTANTIATE_TEST_SUITE_P(Chunks, DifferentialFuzz,
-                         ::testing::Range(0u, 8u));
+                         ::testing::Range(0u, fuzz_chunk_count()));
 
 // --- Determinism: same case, same config, identical output -------------------
 

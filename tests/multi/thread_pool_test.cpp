@@ -1,0 +1,362 @@
+// Tests for the parallel functional execution backend (DESIGN.md §5.12):
+// the ThreadPool itself (fork-join groups, helping waits, deterministic
+// lowest-ordinal exception selection), bit-identity of the chunked device
+// sweeps against the sequential backend for every merge kind (injective,
+// Sum partials, ordered appends), the exec-threads scheduler knob and its
+// stats, and the interaction with device-loss fault recovery.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "apps/game_of_life.hpp"
+#include "apps/histogram.hpp"
+#include "multi/fault_injector.hpp"
+#include "multi/maps_multi.hpp"
+#include "multi/thread_pool.hpp"
+#include "sim/presets.hpp"
+
+namespace {
+
+using namespace maps::multi;
+
+sim::Node make_node(int devices,
+                    sim::ExecMode mode = sim::ExecMode::Functional) {
+  return sim::Node(sim::homogeneous_node(sim::titan_black(), devices), mode);
+}
+
+// --- ThreadPool basics -------------------------------------------------------
+
+TEST(ThreadPool, ExecutesEverySubmittedJob) {
+  ThreadPool pool(4);
+  ThreadPool::Group group;
+  constexpr int kJobs = 200;
+  std::vector<std::atomic<int>> hits(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    pool.submit(group, [&hits, i] { hits[static_cast<std::size_t>(i)]++; });
+  }
+  pool.wait(group);
+  for (int i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "job " << i;
+  }
+  EXPECT_TRUE(group.idle());
+  EXPECT_GE(pool.stats().executed, static_cast<std::uint64_t>(kJobs));
+}
+
+TEST(ThreadPool, SingleThreadRunsJobsInsideWait) {
+  // parallelism == 1 spawns no workers: jobs run on the waiting thread, in
+  // submission order (one queue, no stealers).
+  ThreadPool pool(1);
+  ThreadPool::Group group;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    pool.submit(group, [&order, i] { order.push_back(i); });
+  }
+  EXPECT_TRUE(order.empty()); // nothing executes until the helping wait
+  pool.wait(group);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(pool.stats().stolen, 0u);
+}
+
+TEST(ThreadPool, GroupIsReusableAcrossRounds) {
+  ThreadPool pool(3);
+  ThreadPool::Group group;
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 16; ++i) {
+      pool.submit(group, [&count] { count++; });
+    }
+    pool.wait(group);
+    EXPECT_EQ(count.load(), (round + 1) * 16);
+  }
+}
+
+TEST(ThreadPool, WaitRethrowsLowestOrdinalException) {
+  // Several chunks fail concurrently; the rethrown error must be the
+  // FIRST-submitted one regardless of execution order — the same error the
+  // sequential sweep would have hit first.
+  ThreadPool pool(4);
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    ThreadPool::Group group;
+    for (int i = 0; i < 32; ++i) {
+      pool.submit(group, [i] {
+        if (i >= 5 && i % 3 == 2) { // lowest thrower: ordinal 5
+          throw std::runtime_error("chunk " + std::to_string(i));
+        }
+      });
+    }
+    try {
+      pool.wait(group);
+      FAIL() << "expected a rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "chunk 5");
+    }
+    // The error is cleared: the group is reusable after a failed round.
+    pool.submit(group, [] {});
+    EXPECT_NO_THROW(pool.wait(group));
+  }
+}
+
+TEST(ThreadPool, NestedForkJoinDoesNotDeadlock) {
+  // A job that itself forks sub-jobs and waits — the deferred-kernel-body
+  // shape (a device sweep forking chunks while running on the pool).
+  // Helping waits must execute the sub-jobs even when every worker is
+  // occupied by a forking parent.
+  ThreadPool pool(2);
+  ThreadPool::Group outer;
+  std::atomic<int> total{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit(outer, [&pool, &total] {
+      ThreadPool::Group inner;
+      for (int j = 0; j < 8; ++j) {
+        pool.submit(inner, [&total] { total++; });
+      }
+      pool.wait(inner);
+    });
+  }
+  pool.wait(outer);
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, StatsResetClearsCounters) {
+  ThreadPool pool(2);
+  ThreadPool::Group group;
+  for (int i = 0; i < 10; ++i) {
+    pool.submit(group, [] {});
+  }
+  pool.wait(group);
+  EXPECT_GE(pool.stats().executed, 10u);
+  pool.reset_stats();
+  EXPECT_EQ(pool.stats().executed, 0u);
+  EXPECT_EQ(pool.stats().stolen, 0u);
+  EXPECT_EQ(pool.stats().idle_waits, 0u);
+}
+
+// --- Chunked sweep: bit-identity with the sequential backend ----------------
+
+// Injective outputs (disjoint writes): the Game of Life stencil.
+std::vector<int> run_gol(int devices, unsigned exec_threads) {
+  const std::size_t W = 96, H = 160;
+  const int iterations = 5;
+  std::mt19937 rng(4242);
+  std::vector<int> a(W * H), b(W * H, 0);
+  for (auto& v : a) {
+    v = static_cast<int>(rng() & 1u);
+  }
+  sim::Node node = make_node(devices);
+  Scheduler sched(node);
+  sched.set_exec_threads(exec_threads);
+  Matrix<int> A(W, H, "A"), B(W, H, "B");
+  A.Bind(a.data());
+  B.Bind(b.data());
+  apps::gol::run(sched, A, B, iterations, apps::gol::Scheme::Maps);
+  sched.WaitAll();
+  return iterations % 2 == 0 ? a : b;
+}
+
+TEST(ChunkedSweep, InjectiveBitIdenticalToSequential) {
+  const std::vector<int> seq = run_gol(3, 0);
+  for (int devices : {1, 2, 3}) {
+    const std::vector<int> dev_seq = run_gol(devices, 0);
+    const std::vector<int> par = run_gol(devices, 4);
+    const std::vector<int> par2 = run_gol(devices, 4);
+    ASSERT_EQ(par, dev_seq) << devices << " devices";
+    ASSERT_EQ(par, par2) << devices << " devices"; // self-deterministic
+    ASSERT_EQ(par, seq) << devices << " devices";
+  }
+}
+
+// Sum partials (ReductiveStatic): the histogram, whose integral agg_op makes
+// the chunk-ordered merge exact.
+std::vector<int> run_histogram(int devices, unsigned exec_threads) {
+  const std::size_t W = 128, H = 192;
+  std::mt19937 rng(777);
+  std::vector<int> image(W * H);
+  for (auto& v : image) {
+    v = static_cast<int>(rng() % 4096);
+  }
+  std::vector<int> hist(apps::histogram::kBins, 0);
+  sim::Node node = make_node(devices);
+  Scheduler sched(node);
+  sched.set_exec_threads(exec_threads);
+  Matrix<int> Image(W, H, "image");
+  Vector<int> Hist(apps::histogram::kBins, "hist");
+  Image.Bind(image.data());
+  Hist.Bind(hist.data());
+  apps::histogram::run(sched, Image, Hist, 2, apps::histogram::Scheme::Maps);
+  sched.WaitAll();
+  return hist;
+}
+
+TEST(ChunkedSweep, SumPartialsBitIdenticalToSequential) {
+  const std::vector<int> seq = run_histogram(3, 0);
+  for (int devices : {1, 2, 3}) {
+    ASSERT_EQ(run_histogram(devices, 4), run_histogram(devices, 0))
+        << devices << " devices";
+    ASSERT_EQ(run_histogram(devices, 4), seq) << devices << " devices";
+  }
+}
+
+// Ordered appends (ReductiveDynamic): chunk-ordered concatenation must
+// reproduce the sequential sweep's append sequence EXACTLY — order included.
+struct PositiveFilter {
+  template <typename In, typename Out>
+  void operator()(const maps::ThreadContext&, In& x, Out& out) const {
+    MAPS_FOREACH(it, out) {
+      const float v = x.at(it, 0);
+      if (v > 0.0f) {
+        out.append(v);
+      }
+    }
+  }
+};
+
+std::vector<float> run_filter(int devices, unsigned exec_threads) {
+  const std::size_t n = 20000;
+  std::mt19937 rng(31);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> x(n);
+  for (auto& v : x) {
+    v = dist(rng);
+  }
+  std::vector<float> out(n, 0.0f);
+  sim::Node node = make_node(devices);
+  Scheduler sched(node);
+  sched.set_exec_threads(exec_threads);
+  Vector<float> X(n, "x"), Out(n, "out");
+  X.Bind(x.data());
+  Out.Bind(out.data());
+  sched.Invoke(PositiveFilter{}, Window1D<float, 0, maps::NO_CHECKS>(X),
+               ReductiveDynamic<float>(Out));
+  sched.Gather(Out);
+  out.resize(sched.gathered_count(Out));
+  return out;
+}
+
+TEST(ChunkedSweep, AppendOrderBitIdenticalToSequential) {
+  for (int devices : {1, 2, 3}) {
+    const std::vector<float> seq = run_filter(devices, 0);
+    const std::vector<float> par = run_filter(devices, 4);
+    ASSERT_FALSE(seq.empty());
+    ASSERT_EQ(par, seq) << devices << " devices"; // exact order, not multiset
+  }
+}
+
+TEST(ChunkedSweep, OneThreadEqualsSequential) {
+  // exec_threads == 1 keeps the backend installed but every sweep falls
+  // back to the sequential path (parallelism <= 1): still bit-identical.
+  EXPECT_EQ(run_gol(2, 1), run_gol(2, 0));
+  EXPECT_EQ(run_histogram(2, 1), run_histogram(2, 0));
+  EXPECT_EQ(run_filter(2, 1), run_filter(2, 0));
+}
+
+// --- Scheduler knob, stats and modes -----------------------------------------
+
+TEST(ExecThreads, KnobAndStatsAreWired) {
+  sim::Node node = make_node(2);
+  Scheduler sched(node);
+  sched.set_exec_threads(4);
+  EXPECT_EQ(sched.exec_threads(), 4u);
+  EXPECT_EQ(sched.stats().exec.threads, 4u);
+
+  const std::size_t W = 96, H = 160;
+  std::vector<int> a(W * H, 0), b(W * H, 0);
+  a[W + 2] = a[W + 3] = a[W + 4] = 1; // a blinker
+  Matrix<int> A(W, H, "A"), B(W, H, "B");
+  A.Bind(a.data());
+  B.Bind(b.data());
+  apps::gol::run(sched, A, B, 4, apps::gol::Scheme::Maps);
+  sched.WaitAll();
+  // The sweeps ran through the pool.
+  EXPECT_GT(sched.stats().exec.chunks_executed, 0u);
+
+  sched.reset_stats();
+  EXPECT_EQ(sched.stats().exec.chunks_executed, 0u);
+  EXPECT_EQ(sched.stats().exec.threads, 4u); // configuration survives
+
+  // Switching to sequential mid-run quiesces and detaches the backend.
+  sched.set_exec_threads(0);
+  EXPECT_EQ(sched.exec_threads(), 0u);
+  apps::gol::run(sched, A, B, 2, apps::gol::Scheme::Maps);
+  sched.WaitAll();
+  EXPECT_EQ(sched.stats().exec.chunks_executed, 0u);
+
+  // And back on again.
+  sched.set_exec_threads(2);
+  apps::gol::run(sched, A, B, 2, apps::gol::Scheme::Maps);
+  sched.WaitAll();
+  EXPECT_GT(sched.stats().exec.chunks_executed, 0u);
+}
+
+TEST(ExecThreads, TimingOnlyNodesStaySequential) {
+  // TimingOnly bodies are null: the knob is accepted but no backend is
+  // installed and no chunks ever execute.
+  sim::Node node = make_node(2, sim::ExecMode::TimingOnly);
+  Scheduler sched(node);
+  sched.set_exec_threads(8);
+  EXPECT_EQ(sched.exec_threads(), 8u);
+
+  const std::size_t W = 64, H = 64;
+  std::vector<int> a(W * H, 1), b(W * H, 0);
+  Matrix<int> A(W, H, "A"), B(W, H, "B");
+  A.Bind(a.data());
+  B.Bind(b.data());
+  apps::gol::run(sched, A, B, 2, apps::gol::Scheme::Maps);
+  sched.WaitAll();
+  EXPECT_EQ(sched.stats().exec.chunks_executed, 0u);
+}
+
+// --- Fault recovery: re-execution under the parallel backend -----------------
+
+struct GolRun {
+  std::vector<int> a, b;
+  SchedulerStats stats;
+};
+
+GolRun run_gol_with_faults(unsigned exec_threads, FaultInjector injector) {
+  const std::size_t W = 64, H = 64;
+  GolRun r;
+  std::mt19937 rng(42);
+  r.a.resize(W * H);
+  for (auto& v : r.a) {
+    v = static_cast<int>(rng() & 1u);
+  }
+  r.b.assign(W * H, 0);
+  sim::Node node = make_node(4);
+  Scheduler sched(node);
+  sched.set_exec_threads(exec_threads);
+  sched.set_fault_tolerance_enabled(true);
+  if (injector) {
+    sched.set_fault_injector(std::move(injector));
+  }
+  Matrix<int> A(W, H, "A"), B(W, H, "B");
+  A.Bind(r.a.data());
+  B.Bind(r.b.data());
+  apps::gol::run(sched, A, B, 4, apps::gol::Scheme::Maps);
+  sched.WaitAll();
+  r.stats = sched.stats();
+  return r;
+}
+
+TEST(ExecThreads, DeviceLossRecoveryBitIdenticalUnderParallelBackend) {
+  // kill mid-chain: the victim's segments re-execute through the same
+  // chunked factory path. Results must match both the fault-free run and
+  // the sequential-backend faulty run bit for bit.
+  const GolRun clean = run_gol_with_faults(0, nullptr);
+  const GolRun faulty_seq =
+      run_gol_with_faults(0, kill_at_nth(1, KillStage::KernelIssued, 1));
+  const GolRun faulty_par =
+      run_gol_with_faults(4, kill_at_nth(1, KillStage::KernelIssued, 1));
+  EXPECT_EQ(faulty_par.a, clean.a);
+  EXPECT_EQ(faulty_par.b, clean.b);
+  EXPECT_EQ(faulty_par.a, faulty_seq.a);
+  EXPECT_EQ(faulty_par.b, faulty_seq.b);
+  EXPECT_EQ(faulty_par.stats.recovery.devices_lost, 1u);
+  EXPECT_EQ(faulty_par.stats.recovery.segments_reexecuted,
+            faulty_seq.stats.recovery.segments_reexecuted);
+}
+
+} // namespace
