@@ -70,6 +70,23 @@ enum class AggregationKind {
   MaskedMerge, ///< Unstructured Injective: merge elements each device wrote.
 };
 
+/// The read-span formula of one input pattern: the datum rows a device's
+/// sweep over work rows [w0, w1) reads, expressed as affine offsets of the
+/// scaled work-row bounds. This is the *symbolic* side of the pattern's
+/// concrete sweep — the same formula evaluates over concrete rows
+/// (read_spans.hpp: compute_strips, build_strips, the sanitizer's read
+/// rectangles) and over symbolic segment boundaries (symbolic_verifier.hpp),
+/// so the dynamic checks and the static proofs can never drift apart.
+struct ReadSpanFormula {
+  bool reads = false;       ///< Pattern reads the datum at all (inputs only).
+  bool whole_datum = false; ///< Reads every row regardless of the partition
+                            ///< (Replicate / DuplicateFull / SingleDevice).
+  /// Rows read below scale_rows_begin(w0) / above scale_rows_end(w1); rows
+  /// outside [0, datum_rows) resolve through `boundary`.
+  long lo_offset = 0, hi_offset = 0;
+  maps::Boundary boundary = maps::Boundary::Clamp;
+};
+
 struct PatternSpec {
   PatternKind kind = PatternKind::Block1D;
   bool is_input = true;
@@ -109,6 +126,35 @@ struct PatternSpec {
   }
   std::size_t scale_rows_end(std::size_t w1) const {
     return (w1 * row_scale_num + row_scale_den - 1) / row_scale_den;
+  }
+
+  /// The pattern's read-span formula (see ReadSpanFormula). Derived from the
+  /// declaration only — kind, segmentation, radii, boundary — never from a
+  /// concrete partition, which is what lets the symbolic verifier evaluate
+  /// it over whole partition families at once.
+  ReadSpanFormula read_span_formula() const {
+    ReadSpanFormula f;
+    f.boundary = boundary;
+    if (!is_input) {
+      return f; // outputs read nothing through their pattern
+    }
+    f.reads = true;
+    switch (seg) {
+    case Segmentation::PartitionAligned:
+    case Segmentation::CustomAligned:
+      f.lo_offset = -static_cast<long>(radius_low);
+      f.hi_offset = static_cast<long>(radius_high);
+      break;
+    case Segmentation::Replicate:
+    case Segmentation::DuplicateFull:
+    case Segmentation::SingleDevice:
+      f.whole_datum = true;
+      break;
+    case Segmentation::DynamicAppend:
+      f.reads = false; // append outputs only; no input uses this
+      break;
+    }
+    return f;
   }
 };
 

@@ -1,0 +1,48 @@
+// The per-pattern read-span formulas, in one place.
+//
+// Several layers of the pipeline need to answer "which datum rows does a
+// device's sweep over work rows [w0, w1) read?" for a declared access
+// pattern: the segmenter's interior/boundary strip classifier
+// (compute_strips), the scheduler's strip-span construction (build_strips),
+// the access sanitizer's read rectangles (split_read_rows feeding
+// PatternPost::reads), and — since PR 7 — the symbolic transfer-inference
+// verifier, which evaluates the same formulas over symbolic segment
+// boundaries instead of concrete rows. Keeping the formulas here, derived
+// from PatternSpec::read_span_formula(), means a pattern change cannot move
+// one consumer without moving the proofs and the checks with it.
+#pragma once
+
+#include <vector>
+
+#include "multi/interval_set.hpp"
+#include "multi/pattern_spec.hpp"
+#include "multi/segmenter.hpp"
+
+namespace maps::multi {
+
+/// Lowest virtual datum row a PartitionAligned/CustomAligned sweep over work
+/// rows starting at `w0` reads (may be negative: rows below the global edge
+/// are resolved through the pattern's boundary mode).
+inline long read_span_lo(const PatternSpec& spec, std::size_t w0) {
+  const ReadSpanFormula f = spec.read_span_formula();
+  return static_cast<long>(spec.scale_rows_begin(w0)) + f.lo_offset;
+}
+
+/// One-past-the-highest virtual datum row the sweep over work rows ending at
+/// `w1` reads (may exceed the datum: resolved through the boundary mode).
+inline long read_span_hi(const PatternSpec& spec, std::size_t w1) {
+  const ReadSpanFormula f = spec.read_span_formula();
+  return static_cast<long>(spec.scale_rows_end(w1)) + f.hi_offset;
+}
+
+/// Whether a segment-requirement copy region lands at its global position
+/// (core band / interior halo) or in a Wrap/Clamp halo slot that must be
+/// refilled by a boundary copy every task. This single predicate decides the
+/// scheduler's copy planning (plan_copies_for), the sanitizer's read-rect
+/// classification (split_read_rows) and the symbolic verifier's model of
+/// which copies may update the location monitor.
+inline bool region_lands_aligned(const CopyRegion& region, long origin) {
+  return region.local_row + origin == static_cast<long>(region.global.begin);
+}
+
+} // namespace maps::multi

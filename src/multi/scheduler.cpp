@@ -11,6 +11,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "multi/read_spans.hpp"
+
 namespace maps::multi {
 
 namespace {
@@ -548,8 +550,7 @@ void Scheduler::plan_copies_for(PlanShape& shape, DeviceWiring& dw, int slot,
 
     // Whether this region lands at its global position (core / interior
     // halo) or in a Wrap/Clamp slot that must be refilled every task.
-    const bool aligned = region.local_row + req.origin ==
-                         static_cast<long>(region.global.begin);
+    const bool aligned = region_lands_aligned(region, req.origin);
 
     // The region's rows are served per Algorithm 2, then routed over the
     // topology by the transfer planner (when active; forced host staging
@@ -921,8 +922,8 @@ void Scheduler::build_strips(
         }
         // Virtual rows the strip reads (1/1 row scale — enforced by
         // overlap_eligible): its work rows widened by the window radius.
-        const long lo = static_cast<long>(w0) - s.radius_low;
-        const long hi = static_cast<long>(w1) + s.radius_high;
+        const long lo = read_span_lo(s, w0);
+        const long hi = read_span_hi(s, w1);
         const long l0 = std::max(lo - alloc.origin, 0L);
         const long l1 =
             std::min(hi - alloc.origin, static_cast<long>(alloc.rows));

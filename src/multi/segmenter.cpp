@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "multi/read_spans.hpp"
+
 namespace maps::multi {
 
 const char* to_string(PatternKind kind) {
@@ -259,9 +261,8 @@ void split_read_rows(const SegmentReq& req, std::vector<RowInterval>& aligned,
     }
     // Same alignment test the scheduler uses to decide whether a region's
     // rows land at their global position (plan_copies_for).
-    const bool is_aligned = region.local_row + req.origin ==
-                            static_cast<long>(region.global.begin);
-    (is_aligned ? aligned : halo).push_back(region.global);
+    (region_lands_aligned(region, req.origin) ? aligned : halo)
+        .push_back(region.global);
   }
 }
 
@@ -288,8 +289,8 @@ std::vector<StripRange> compute_strips(const std::vector<PatternSpec>& specs,
           (s.radius_low == 0 && s.radius_high == 0)) {
         continue;
       }
-      const long lo = static_cast<long>(s.scale_rows_begin(w0)) - s.radius_low;
-      const long hi = static_cast<long>(s.scale_rows_end(w1)) + s.radius_high;
+      const long lo = read_span_lo(s, w0);
+      const long hi = read_span_hi(s, w1);
       if (lo < static_cast<long>(req.core.begin) ||
           hi > static_cast<long>(req.core.end)) {
         return true;
@@ -323,6 +324,27 @@ std::vector<StripRange> compute_strips(const std::vector<PatternSpec>& specs,
     strips.push_back(StripRange{RowInterval{br.end - bottom, br.end}, true});
   }
   return strips;
+}
+
+StripShape strip_halo_blocks(const std::vector<PatternSpec>& specs,
+                             std::size_t rows_per_block_row) {
+  StripShape shape;
+  const std::size_t span = rows_per_block_row == 0 ? 1 : rows_per_block_row;
+  for (const PatternSpec& s : specs) {
+    if (!s.is_input || s.seg != Segmentation::PartitionAligned ||
+        (s.radius_low == 0 && s.radius_high == 0)) {
+      continue;
+    }
+    shape.any = true;
+    // Block row k of a slot is boundary below iff k·span < radius_low, i.e.
+    // for the first ceil(radius_low / span) rows; symmetrically above.
+    shape.lead = std::max(
+        shape.lead, (static_cast<std::size_t>(s.radius_low) + span - 1) / span);
+    shape.trail = std::max(
+        shape.trail,
+        (static_cast<std::size_t>(s.radius_high) + span - 1) / span);
+  }
+  return shape;
 }
 
 unsigned exec_chunk_block_rows(unsigned block_rows,

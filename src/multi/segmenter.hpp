@@ -102,6 +102,23 @@ std::vector<StripRange> compute_strips(const std::vector<PatternSpec>& specs,
                                        const TaskPartition& partition, int slot,
                                        const std::vector<SegmentReq>& reqs);
 
+/// Closed-form width of the boundary strips compute_strips produces, in
+/// block rows: `lead` leading and `trail` trailing block rows of every slot
+/// are boundary because a windowed input's reads leave the core band there;
+/// everything between is interior. This is the per-block-row scan of
+/// compute_strips solved symbolically (valid wherever no block row is
+/// clamped by a ragged work height — the symbolic verifier proves the strip
+/// theorems over whole partition families with it, and the concretization
+/// tests pin it against the scan). `any` is false when no input is windowed
+/// (compute_strips never splits then).
+struct StripShape {
+  std::size_t lead = 0;
+  std::size_t trail = 0;
+  bool any = false;
+};
+StripShape strip_halo_blocks(const std::vector<PatternSpec>& specs,
+                             std::size_t rows_per_block_row);
+
 /// Chunk size (in block rows) for the parallel execution backend's
 /// block-row fan-out (kernel_exec.hpp). Balances two pressures:
 /// enough chunks that `parallelism` threads load-balance across uneven

@@ -1,0 +1,1487 @@
+// Symbolic transfer-inference verifier — engine and abstract interpreter.
+//
+// Layout mirrors the pipeline it proves things about:
+//   1. the affine expression engine (exact decisions over box-constrained
+//      integer assignments),
+//   2. the conservative interval algebra (over/under subtraction),
+//   3. the abstract interpreter over SymStep chains (segmenter regions →
+//      Algorithm 2 planning → monitor freshness evolution → read/write
+//      obligations),
+//   4. the shipped-pattern certification sweep (the CI `symbolic-cert` gate).
+#include "multi/symbolic_verifier.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "multi/read_spans.hpp"
+#include "multi/segmenter.hpp"
+#include "multi/transfer_planner.hpp"
+
+namespace maps::multi::sym {
+
+// --- Affine expressions ------------------------------------------------------
+
+namespace {
+void widen(Expr& a, std::size_t n) {
+  if (a.coef.size() < n) {
+    a.coef.resize(n, 0);
+  }
+}
+} // namespace
+
+Expr operator+(Expr a, const Expr& b) {
+  widen(a, b.coef.size());
+  a.cst += b.cst;
+  for (std::size_t i = 0; i < b.coef.size(); ++i) {
+    a.coef[i] += b.coef[i];
+  }
+  return a;
+}
+
+Expr operator-(Expr a, const Expr& b) {
+  widen(a, b.coef.size());
+  a.cst -= b.cst;
+  for (std::size_t i = 0; i < b.coef.size(); ++i) {
+    a.coef[i] -= b.coef[i];
+  }
+  return a;
+}
+
+Expr operator+(Expr a, long c) {
+  a.cst += c;
+  return a;
+}
+
+Expr operator-(Expr a, long c) {
+  a.cst -= c;
+  return a;
+}
+
+Expr operator*(long k, Expr a) {
+  a.cst *= k;
+  for (long& c : a.coef) {
+    c *= k;
+  }
+  return a;
+}
+
+// --- Families ----------------------------------------------------------------
+
+Family Family::unaligned(int slots, long min_gap, long unit) {
+  Family f;
+  f.slots = slots;
+  f.unit = unit;
+  f.aligned_shape = false;
+  for (int i = 0; i < slots; ++i) {
+    f.vars.push_back(Var{"g" + std::to_string(i), min_gap, kUnbounded});
+  }
+  f.gap_prefix.resize(static_cast<std::size_t>(slots) + 1, f.constant(0));
+  for (int i = 0; i < slots; ++i) {
+    f.gap_prefix[static_cast<std::size_t>(i) + 1] =
+        f.gap_prefix[static_cast<std::size_t>(i)] + f.var(i);
+  }
+  for (const Expr& p : f.gap_prefix) {
+    f.work_bounds.push_back(unit * p);
+  }
+  std::ostringstream os;
+  os << slots << " device(s), unaligned gaps >= " << min_gap;
+  if (unit != 1) {
+    os << " x " << unit << " rows";
+  }
+  f.name = os.str();
+  return f;
+}
+
+Family Family::aligned(int slots, long min_gap, long unit) {
+  Family f;
+  f.slots = slots;
+  f.unit = unit;
+  f.aligned_shape = true;
+  f.vars.push_back(Var{"g", min_gap, kUnbounded});
+  for (int i = 0; i <= slots; ++i) {
+    f.gap_prefix.push_back(i * f.var(0));
+    f.work_bounds.push_back(unit * f.gap_prefix.back());
+  }
+  std::ostringstream os;
+  os << slots << " device(s), aligned even split, gap >= " << min_gap;
+  if (unit != 1) {
+    os << " x " << unit << " rows";
+  }
+  f.name = os.str();
+  return f;
+}
+
+Expr Family::constant(long c) const {
+  Expr e;
+  e.cst = c;
+  e.coef.assign(vars.size(), 0);
+  return e;
+}
+
+Expr Family::var(int i) const {
+  Expr e;
+  e.coef.assign(vars.size(), 0);
+  e.coef[static_cast<std::size_t>(i)] = 1;
+  return e;
+}
+
+long Family::min_value(const Expr& e) const {
+  long m = e.cst;
+  for (std::size_t i = 0; i < e.coef.size() && i < vars.size(); ++i) {
+    const long c = e.coef[i];
+    if (c == 0) {
+      continue;
+    }
+    if (c > 0) {
+      m += c * vars[i].lb;
+    } else {
+      if (vars[i].ub == kUnbounded) {
+        return std::numeric_limits<long>::min();
+      }
+      m += c * vars[i].ub;
+    }
+  }
+  return m;
+}
+
+bool Family::provable_nonneg(const Expr& e) const {
+  const long m = min_value(e);
+  return m != std::numeric_limits<long>::min() && m >= 0;
+}
+
+bool Family::provable_le(const Expr& a, const Expr& b) const {
+  return provable_nonneg(b - a);
+}
+
+bool Family::provable_eq(const Expr& a, const Expr& b) const {
+  return provable_le(a, b) && provable_le(b, a);
+}
+
+long Family::eval(const Expr& e, const std::vector<long>& gaps) const {
+  long v = e.cst;
+  for (std::size_t i = 0; i < e.coef.size() && i < gaps.size(); ++i) {
+    v += e.coef[i] * gaps[i];
+  }
+  return v;
+}
+
+namespace {
+/// Renders cst + Σ terms, where terms are (display name, coefficient).
+std::string render(long cst,
+                   const std::vector<std::pair<std::string, long>>& terms) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, c] : terms) {
+    if (c == 0) {
+      continue;
+    }
+    if (first) {
+      if (c == -1) {
+        os << "-";
+      } else if (c != 1) {
+        os << c << "*";
+      }
+      os << name;
+      first = false;
+    } else {
+      os << (c > 0 ? " + " : " - ");
+      const long a = c > 0 ? c : -c;
+      if (a != 1) {
+        os << a << "*";
+      }
+      os << name;
+    }
+  }
+  if (first) {
+    os << cst;
+  } else if (cst > 0) {
+    os << " + " << cst;
+  } else if (cst < 0) {
+    os << " - " << -cst;
+  }
+  return os.str();
+}
+} // namespace
+
+std::string Family::print(const Expr& e) const {
+  Expr padded = e;
+  widen(padded, vars.size());
+  // Try the boundary basis: e = cst + Σ_j d_j·b_j with b_j = unit·(g_0+…+
+  // g_{j-1}) and b_slots printed as R. Works when every gap coefficient is a
+  // whole multiple of `unit` and the family has independent per-slot gaps.
+  if (!aligned_shape && slots > 0 &&
+      padded.coef.size() == static_cast<std::size_t>(slots)) {
+    bool whole = true;
+    std::vector<long> t(static_cast<std::size_t>(slots) + 1, 0);
+    for (int i = 0; i < slots; ++i) {
+      const long c = padded.coef[static_cast<std::size_t>(i)];
+      if (c % unit != 0) {
+        whole = false;
+        break;
+      }
+      t[static_cast<std::size_t>(i)] = c / unit;
+    }
+    if (whole) {
+      std::vector<std::pair<std::string, long>> terms;
+      for (int j = 1; j <= slots; ++j) {
+        const long d = t[static_cast<std::size_t>(j) - 1] -
+                       t[static_cast<std::size_t>(j)];
+        const std::string name =
+            j == slots ? std::string("R") : "b" + std::to_string(j);
+        terms.emplace_back(name, d);
+      }
+      return render(padded.cst, terms);
+    }
+  }
+  std::vector<std::pair<std::string, long>> terms;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    terms.emplace_back(vars[i].name, padded.coef[i]);
+  }
+  return render(padded.cst, terms);
+}
+
+std::string Family::print(const Interval& iv) const {
+  return "[" + print(iv.lo) + ", " + print(iv.hi) + ")";
+}
+
+// --- Conservative interval algebra -------------------------------------------
+
+bool provably_empty(const Family& f, const Interval& iv) {
+  return f.provable_le(iv.hi, iv.lo);
+}
+
+bool provably_disjoint(const Family& f, const Interval& a, const Interval& b) {
+  return provably_empty(f, a) || provably_empty(f, b) ||
+         f.provable_le(a.hi, b.lo) || f.provable_le(b.hi, a.lo);
+}
+
+bool provably_contains(const Family& f, const Interval& outer,
+                       const Interval& inner) {
+  return provably_empty(f, inner) ||
+         (f.provable_le(outer.lo, inner.lo) &&
+          f.provable_le(inner.hi, outer.hi));
+}
+
+std::vector<Interval> subtract_over(const Family& f, const Interval& r,
+                                    const Interval& p) {
+  if (provably_empty(f, r)) {
+    return {};
+  }
+  if (provably_empty(f, p) || provably_disjoint(f, r, p)) {
+    return {r};
+  }
+  if (!(f.provable_le(p.lo, r.hi) && f.provable_le(r.lo, p.hi))) {
+    // Overlap is possible but not provable: splitting on p's endpoints
+    // would fabricate flanks for members where p misses r entirely. The
+    // untouched r is the tighter (still sound) over-approximation.
+    return {r};
+  }
+  std::vector<Interval> out;
+  const Interval left{r.lo, p.lo};
+  if (!provably_empty(f, left)) {
+    out.push_back(left);
+  }
+  const Interval right{p.hi, r.hi};
+  if (!provably_empty(f, right)) {
+    out.push_back(right);
+  }
+  return out;
+}
+
+std::vector<Interval> subtract_under(const Family& f, const Interval& r,
+                                     const Interval& p) {
+  if (provably_empty(f, r)) {
+    return {};
+  }
+  if (provably_empty(f, p) || provably_disjoint(f, r, p)) {
+    return {r};
+  }
+  std::vector<Interval> out;
+  // Each kept piece must be inside r and outside p for EVERY family member;
+  // incomparable endpoints drop rows (freshness is only ever understated).
+  const Interval left{r.lo, p.lo};
+  if (f.provable_le(p.lo, r.hi) && !provably_empty(f, left)) {
+    out.push_back(left);
+  }
+  const Interval right{p.hi, r.hi};
+  if (f.provable_le(r.lo, p.hi) && !provably_empty(f, right)) {
+    out.push_back(right);
+  }
+  return out;
+}
+
+std::vector<Interval> subtract_over_set(const Family& f,
+                                        std::vector<Interval> required,
+                                        const std::vector<Interval>& covered) {
+  for (const Interval& p : covered) {
+    std::vector<Interval> next;
+    for (const Interval& r : required) {
+      for (Interval& piece : subtract_over(f, r, p)) {
+        next.push_back(std::move(piece));
+      }
+    }
+    required = std::move(next);
+  }
+  return required;
+}
+
+} // namespace maps::multi::sym
+
+namespace maps::multi {
+
+// --- Chain steps and results -------------------------------------------------
+
+SymStep SymStep::task(std::vector<SymArg> args) {
+  SymStep s;
+  s.kind = Kind::Task;
+  s.args = std::move(args);
+  return s;
+}
+
+SymStep SymStep::gather(int datum) {
+  SymStep s;
+  s.kind = Kind::Gather;
+  s.datum = datum;
+  return s;
+}
+
+SymStep SymStep::host_write(int datum) {
+  SymStep s;
+  s.kind = Kind::HostWrite;
+  s.datum = datum;
+  return s;
+}
+
+void CertResult::merge(const CertResult& o) {
+  ok = ok && o.ok;
+  failures.insert(failures.end(), o.failures.begin(), o.failures.end());
+  iterations = std::max(iterations, o.iterations);
+  obligations += o.obligations;
+  families += o.families;
+}
+
+std::string CertResult::summary() const {
+  std::ostringstream os;
+  os << (ok ? "OK" : "FAIL") << ": " << families << " family(ies) certified, "
+     << obligations << " obligation(s) proved";
+  if (!failures.empty()) {
+    const SymFailure& f = failures.front();
+    os << ", " << failures.size() << " failure(s); first: " << f.what;
+    if (!f.rect.empty()) {
+      os << " " << f.rect;
+    }
+    os << " (" << f.detail << ")";
+  }
+  return os.str();
+}
+
+// --- Verifier context and helpers --------------------------------------------
+
+struct SymbolicVerifier::Ctx {
+  sym::MonitorState state;
+  CertResult* res = nullptr;
+  int iteration = 0;
+  /// (arg index, slot) -> rows covered by this task's unaligned halo copies.
+  std::map<std::pair<int, int>, std::vector<sym::Interval>> halo_cover;
+};
+
+SymbolicVerifier::SymbolicVerifier(sym::Family family)
+    : family_(std::move(family)) {}
+
+void SymbolicVerifier::set_datum_scale(int datum, long num) {
+  scales_[datum] = num;
+}
+
+void SymbolicVerifier::set_read_span_mutator(
+    std::function<void(ReadSpanFormula&)> m) {
+  mutator_ = std::move(m);
+}
+
+void SymbolicVerifier::set_copy_filter(
+    std::function<bool(const sym::Copy&)> f) {
+  filter_ = std::move(f);
+}
+
+long SymbolicVerifier::datum_scale(int datum) const {
+  const auto it = scales_.find(datum);
+  return it == scales_.end() ? 1 : it->second;
+}
+
+sym::Expr SymbolicVerifier::datum_rows(int datum) const {
+  return datum_scale(datum) * family_.work_rows();
+}
+
+sym::DatumState& SymbolicVerifier::state_for(Ctx& ctx, int datum) {
+  sym::DatumState& st = ctx.state[datum];
+  if (st.fresh.empty()) {
+    // Cold start: the host holds the whole datum (gather-to-host is the
+    // concrete monitor's initial state too).
+    st.fresh.resize(static_cast<std::size_t>(family_.slots) + 1);
+    st.fresh[0].push_back(
+        sym::Interval{family_.constant(0), datum_rows(datum)});
+  }
+  return st;
+}
+
+int SymbolicVerifier::task_slots(const SymStep& step) const {
+  for (const SymArg& a : step.args) {
+    if (a.spec.seg == Segmentation::SingleDevice) {
+      return 1;
+    }
+  }
+  return family_.slots;
+}
+
+sym::Expr SymbolicVerifier::task_bound(const SymStep& step, int i) const {
+  if (task_slots(step) == family_.slots) {
+    return family_.work_bound(i);
+  }
+  // Single-device task: slot 0 covers the whole work space.
+  return i == 0 ? family_.constant(0) : family_.work_rows();
+}
+
+void SymbolicVerifier::fail(Ctx& ctx, std::size_t step, int datum, int slot,
+                            std::string what, std::string rect,
+                            std::string detail) {
+  ctx.res->ok = false;
+  ctx.res->failures.push_back(SymFailure{step, ctx.iteration, datum, slot,
+                                         std::move(what), std::move(rect),
+                                         std::move(detail)});
+}
+
+void SymbolicVerifier::normalize(std::vector<sym::Interval>& set) const {
+  const sym::Family& f = family_;
+  std::vector<sym::Interval> out;
+  for (sym::Interval& iv : set) {
+    if (!sym::provably_empty(f, iv)) {
+      // Canonical coefficient width, so fixpoint comparison (syntactic
+      // equality) never distinguishes equal values built differently.
+      if (iv.lo.coef.size() < f.vars.size()) {
+        iv.lo.coef.resize(f.vars.size(), 0);
+      }
+      if (iv.hi.coef.size() < f.vars.size()) {
+        iv.hi.coef.resize(f.vars.size(), 0);
+      }
+      out.push_back(std::move(iv));
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < out.size() && !changed; ++i) {
+      for (std::size_t j = 0; j < out.size(); ++j) {
+        if (i == j) {
+          continue;
+        }
+        if (sym::provably_contains(f, out[i], out[j])) {
+          out.erase(out.begin() + static_cast<long>(j));
+          changed = true;
+          break;
+        }
+        // Provable overlap-or-adjacency extending i to the right: merge.
+        if (f.provable_le(out[i].lo, out[j].lo) &&
+            f.provable_le(out[j].lo, out[i].hi) &&
+            f.provable_le(out[i].hi, out[j].hi)) {
+          out[i].hi = out[j].hi;
+          out.erase(out.begin() + static_cast<long>(j));
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  const auto expr_key = [](const sym::Expr& a, const sym::Expr& b) {
+    if (a.cst != b.cst) {
+      return a.cst < b.cst;
+    }
+    return a.coef < b.coef;
+  };
+  std::sort(out.begin(), out.end(),
+            [&](const sym::Interval& a, const sym::Interval& b) {
+              if (!(a.lo == b.lo)) {
+                return expr_key(a.lo, b.lo);
+              }
+              return expr_key(a.hi, b.hi);
+            });
+  set = std::move(out);
+}
+
+// --- Segmenter mirror: per-(arg, slot) requirement regions -------------------
+
+std::vector<SymbolicVerifier::RegionTrace>
+SymbolicVerifier::regions_for(Ctx& ctx, const SymStep& step, std::size_t index,
+                              int arg_index, int slot) {
+  std::vector<RegionTrace> out;
+  const SymArg& arg = step.args[static_cast<std::size_t>(arg_index)];
+  const PatternSpec& spec = arg.spec;
+  const sym::Family& f = family_;
+  const int slots = task_slots(step);
+  const sym::Expr R = datum_rows(arg.datum);
+  const auto push = [&](sym::Interval global, bool zero_fill, bool aligned) {
+    RegionTrace r;
+    r.arg = arg_index;
+    r.slot = slot;
+    r.global = std::move(global);
+    r.zero_fill = zero_fill;
+    r.aligned = aligned;
+    out.push_back(std::move(r));
+  };
+  switch (spec.seg) {
+  case Segmentation::PartitionAligned: {
+    if (!spec.is_input) {
+      return out; // outputs need no pre-filled regions
+    }
+    if (spec.row_scale_den != 1 ||
+        static_cast<long>(spec.row_scale_num) != datum_scale(arg.datum)) {
+      fail(ctx, index, arg.datum, slot, "unsupported-scale", "",
+           "row scale " + std::to_string(spec.row_scale_num) + "/" +
+               std::to_string(spec.row_scale_den) +
+               " outside the symbolic model (datum scale " +
+               std::to_string(datum_scale(arg.datum)) + ")");
+      return out;
+    }
+    const long num = static_cast<long>(spec.row_scale_num);
+    const sym::Expr c0 = num * task_bound(step, slot);
+    const sym::Expr c1 = num * task_bound(step, slot + 1);
+    push({c0, c1}, false, true); // core band, lands aligned
+    const long rl = spec.radius_low;
+    const long rh = spec.radius_high;
+    if (rl > 0) {
+      if (slot > 0) {
+        ctx.res->obligations++;
+        if (!f.provable_nonneg(c0 - rl)) {
+          fail(ctx, index, arg.datum, slot, "family-unsupported",
+               f.print(sym::Interval{c0 - rl, c0}),
+               "low halo can cross the global edge inside this family");
+        }
+        push({c0 - rl, c0}, false, true); // interior halo, lands aligned
+      } else {
+        switch (spec.boundary) {
+        case maps::Boundary::Wrap:
+          push({R - rl, R}, false, false);
+          break;
+        case maps::Boundary::Clamp:
+          for (long k = 0; k < rl; ++k) {
+            push({f.constant(0), f.constant(1)}, false, false);
+          }
+          break;
+        case maps::Boundary::Zero:
+          for (long k = 0; k < rl; ++k) {
+            push({f.constant(0), f.constant(0)}, true, false);
+          }
+          break;
+        case maps::Boundary::NoChecks:
+          break;
+        }
+      }
+    }
+    if (rh > 0) {
+      if (slot + 1 < slots) {
+        ctx.res->obligations++;
+        if (!f.provable_le(c1 + rh, R)) {
+          fail(ctx, index, arg.datum, slot, "family-unsupported",
+               f.print(sym::Interval{c1, c1 + rh}),
+               "high halo can cross the global edge inside this family");
+        }
+        push({c1, c1 + rh}, false, true);
+      } else {
+        switch (spec.boundary) {
+        case maps::Boundary::Wrap:
+          push({f.constant(0), f.constant(rh)}, false, false);
+          break;
+        case maps::Boundary::Clamp:
+          for (long k = 0; k < rh; ++k) {
+            push({R - 1, R}, false, false);
+          }
+          break;
+        case maps::Boundary::Zero:
+          for (long k = 0; k < rh; ++k) {
+            push({f.constant(0), f.constant(0)}, true, false);
+          }
+          break;
+        case maps::Boundary::NoChecks:
+          break;
+        }
+      }
+    }
+    break;
+  }
+  case Segmentation::Replicate:
+    if (spec.is_input) {
+      push({f.constant(0), R}, false, true);
+    }
+    break;
+  case Segmentation::DuplicateFull:
+    // The segmenter zero-initialises the private full copy unconditionally
+    // (reductive partials start from the identity), inputs and outputs alike.
+    push({f.constant(0), R}, true, false);
+    break;
+  case Segmentation::SingleDevice:
+    if (spec.is_input && slot == 0) {
+      push({f.constant(0), R}, false, true);
+    }
+    break;
+  case Segmentation::DynamicAppend:
+    break;
+  case Segmentation::CustomAligned:
+    fail(ctx, index, arg.datum, slot, "outside-model", "",
+         "CustomAligned segmentation is outside the symbolic model "
+         "(dynamic sanitizer territory)");
+    break;
+  }
+  return out;
+}
+
+// --- Algorithm 2 mirror ------------------------------------------------------
+
+namespace {
+/// Coverage split of `r` by one fresh interval `cov`: the provably covered
+/// piece (if the overlap is provable on at least one side pair) plus the
+/// provable leftovers. Mirrors the concrete monitor's multi-source
+/// intersection pass over symbolic endpoints.
+struct SplitCover {
+  bool covered = false;
+  sym::Interval piece;
+  std::vector<sym::Interval> leftover;
+};
+
+SplitCover split_cover(const sym::Family& f, const sym::Interval& r,
+                       const sym::Interval& cov) {
+  SplitCover out;
+  if (sym::provably_disjoint(f, r, cov)) {
+    out.leftover = {r};
+    return out;
+  }
+  const bool lo_ge = f.provable_le(cov.lo, r.lo); // cov starts at/before r
+  const bool lo_le = f.provable_le(r.lo, cov.lo);
+  const bool hi_ge = f.provable_le(r.hi, cov.hi); // cov ends at/after r
+  const bool hi_le = f.provable_le(cov.hi, r.hi);
+  if (!((lo_ge || lo_le) && (hi_ge || hi_le))) {
+    out.leftover = {r}; // endpoints incomparable: nothing provable
+    return out;
+  }
+  sym::Interval c{lo_ge ? r.lo : cov.lo, hi_ge ? r.hi : cov.hi};
+  if (!f.provable_le(c.lo, c.hi)) {
+    out.leftover = {r};
+    return out;
+  }
+  out.covered = true;
+  out.piece = std::move(c);
+  if (lo_le && !lo_ge) {
+    out.leftover.push_back({r.lo, cov.lo});
+  }
+  if (hi_le && !hi_ge) {
+    out.leftover.push_back({cov.hi, r.hi});
+  }
+  return out;
+}
+} // namespace
+
+void SymbolicVerifier::plan_region(Ctx& ctx, const SymStep& step,
+                                   std::size_t index, int arg_index, int slot,
+                                   const RegionTrace& region,
+                                   std::vector<sym::Copy>& out) {
+  const sym::Family& f = family_;
+  if (region.zero_fill) {
+    return; // zero fills move no datum rows
+  }
+  const int datum = arg_index >= 0
+                        ? step.args[static_cast<std::size_t>(arg_index)].datum
+                        : step.datum;
+  sym::DatumState& st = state_for(ctx, datum);
+  if (st.pending) {
+    fail(ctx, index, datum, slot, "pending-aggregation-read",
+         f.print(region.global),
+         "datum read while an aggregation is pending (missing gather)");
+    return;
+  }
+  const int dst = slot < 0 ? 0 : slot + 1;
+  const int locations = family_.slots + 1;
+  std::vector<sym::Interval> missing;
+  if (region.aligned) {
+    // Aligned regions land at their global rows: the monitor tracks them, so
+    // only the provably-not-fresh remainder needs to move.
+    missing = sym::subtract_over_set(
+        f, {region.global}, st.fresh[static_cast<std::size_t>(dst)]);
+  } else {
+    // Halo-slot regions land at non-global positions; they are refilled
+    // every task regardless of what the destination holds.
+    missing = {region.global};
+  }
+  const auto emit = [&](int src, sym::Interval rows) {
+    sym::Copy c;
+    c.datum = datum;
+    c.src_location = src;
+    c.dst_location = dst;
+    c.rows = std::move(rows);
+    c.aligned = region.aligned;
+    c.slot = slot;
+    c.arg = arg_index;
+    out.push_back(std::move(c));
+  };
+  for (const sym::Interval& piece : missing) {
+    if (sym::provably_empty(f, piece)) {
+      continue;
+    }
+    ctx.res->obligations++;
+    // Monitor scan order: devices 1..S, then host (l % locations).
+    int single = -1;
+    for (int l = 1; l <= locations && single < 0; ++l) {
+      const int cand = l % locations;
+      if (cand == dst && region.aligned) {
+        continue; // an aligned target is never its own source
+      }
+      for (const sym::Interval& cov :
+           st.fresh[static_cast<std::size_t>(cand)]) {
+        if (sym::provably_contains(f, cov, piece)) {
+          single = cand;
+          break;
+        }
+      }
+    }
+    if (single >= 0) {
+      emit(single, piece);
+      continue;
+    }
+    // Multi-source: peel provable sub-pieces off per candidate, in the same
+    // scan order (the concrete monitor's intersection fallback).
+    std::vector<sym::Interval> rem = {piece};
+    for (int l = 1; l <= locations && !rem.empty(); ++l) {
+      const int cand = l % locations;
+      if (cand == dst && region.aligned) {
+        continue;
+      }
+      for (const sym::Interval& cov :
+           st.fresh[static_cast<std::size_t>(cand)]) {
+        std::vector<sym::Interval> next;
+        for (const sym::Interval& r : rem) {
+          SplitCover sc = split_cover(f, r, cov);
+          if (sc.covered && !sym::provably_empty(f, sc.piece)) {
+            emit(cand, sc.piece);
+          }
+          for (sym::Interval& lr : sc.leftover) {
+            if (!sym::provably_empty(f, lr)) {
+              next.push_back(std::move(lr));
+            }
+          }
+        }
+        rem = std::move(next);
+        if (rem.empty()) {
+          break;
+        }
+      }
+    }
+    for (const sym::Interval& r : rem) {
+      fail(ctx, index, datum, slot, "no-provable-source", f.print(r),
+           "no location provably holds these rows up to date");
+    }
+  }
+}
+
+void SymbolicVerifier::apply_copies(Ctx& ctx, std::vector<sym::Copy>& copies,
+                                    std::size_t index) {
+  (void)index;
+  if (routing_) {
+    copies = TransferPlanner::symbolic_route(family_, ctx.state,
+                                             std::move(copies));
+  }
+  if (filter_) {
+    copies.erase(std::remove_if(copies.begin(), copies.end(),
+                                [&](const sym::Copy& c) {
+                                  return !filter_(c);
+                                }),
+                 copies.end());
+  }
+  for (const sym::Copy& c : copies) {
+    if (c.zero_fill) {
+      continue;
+    }
+    if (c.aligned) {
+      // Only aligned copies update the monitor (scheduler wire_copy rule).
+      sym::DatumState& st = state_for(ctx, c.datum);
+      st.fresh[static_cast<std::size_t>(c.dst_location)].push_back(c.rows);
+      normalize(st.fresh[static_cast<std::size_t>(c.dst_location)]);
+    } else {
+      ctx.halo_cover[{c.arg, c.slot}].push_back(c.rows);
+    }
+  }
+}
+
+// --- Read obligations --------------------------------------------------------
+
+void SymbolicVerifier::check_reads(Ctx& ctx, const SymStep& step,
+                                   std::size_t index) {
+  const sym::Family& f = family_;
+  const int slots = task_slots(step);
+  for (int a = 0; a < static_cast<int>(step.args.size()); ++a) {
+    const SymArg& arg = step.args[static_cast<std::size_t>(a)];
+    const PatternSpec& spec = arg.spec;
+    if (!spec.is_input || spec.seg == Segmentation::CustomAligned) {
+      continue; // CustomAligned already failed at region derivation
+    }
+    ReadSpanFormula fm = spec.read_span_formula();
+    if (mutator_) {
+      mutator_(fm);
+    }
+    if (!fm.reads) {
+      continue;
+    }
+    const sym::Expr R = datum_rows(arg.datum);
+    sym::DatumState& st = state_for(ctx, arg.datum);
+    if (st.pending) {
+      continue; // already reported when planning the regions
+    }
+    const int read_slots =
+        spec.seg == Segmentation::SingleDevice ? 1 : slots;
+    for (int slot = 0; slot < read_slots; ++slot) {
+      const std::size_t dst = static_cast<std::size_t>(slot) + 1;
+      if (fm.whole_datum) {
+        ctx.res->obligations++;
+        for (const sym::Interval& r : sym::subtract_over_set(
+                 f, {sym::Interval{f.constant(0), R}}, st.fresh[dst])) {
+          if (!sym::provably_empty(f, r)) {
+            fail(ctx, index, arg.datum, slot, "uncovered-read", f.print(r),
+                 "whole-datum read span not provably fresh on the device");
+          }
+        }
+        continue;
+      }
+      const long num = static_cast<long>(spec.row_scale_num);
+      const sym::Expr c0 = num * task_bound(step, slot);
+      const sym::Expr c1 = num * task_bound(step, slot + 1);
+      sym::Expr lo = c0 + fm.lo_offset;
+      sym::Expr hi = c1 + fm.hi_offset;
+      long below = 0;
+      long above = 0;
+      if (slot == 0 && fm.lo_offset < 0) {
+        below = -fm.lo_offset; // rows resolved through the boundary mode
+        lo = f.constant(0);
+      }
+      if (slot == read_slots - 1 && fm.hi_offset > 0) {
+        above = fm.hi_offset;
+        hi = R;
+      }
+      ctx.res->obligations++;
+      for (const sym::Interval& r : sym::subtract_over_set(
+               f, {sym::Interval{lo, hi}}, st.fresh[dst])) {
+        if (!sym::provably_empty(f, r)) {
+          fail(ctx, index, arg.datum, slot, "uncovered-read", f.print(r),
+               "aligned read span not provably fresh on the device");
+        }
+      }
+      const auto check_halo = [&](sym::Interval want, const char* which) {
+        ctx.res->obligations++;
+        const auto it = ctx.halo_cover.find({a, slot});
+        static const std::vector<sym::Interval> kNone;
+        const std::vector<sym::Interval>& cover =
+            it == ctx.halo_cover.end() ? kNone : it->second;
+        for (const sym::Interval& r :
+             sym::subtract_over_set(f, {std::move(want)}, cover)) {
+          if (!sym::provably_empty(f, r)) {
+            fail(ctx, index, arg.datum, slot, "uncovered-halo-read",
+                 f.print(r),
+                 std::string(which) +
+                     " boundary rows not covered by a halo copy");
+          }
+        }
+      };
+      if (below > 0) {
+        if (fm.boundary == maps::Boundary::Wrap) {
+          check_halo({R - below, R}, "low");
+        } else if (fm.boundary == maps::Boundary::Clamp) {
+          check_halo({f.constant(0), f.constant(1)}, "low");
+        } // Zero: reads T{}; NoChecks: explicitly unchecked
+      }
+      if (above > 0) {
+        if (fm.boundary == maps::Boundary::Wrap) {
+          check_halo({f.constant(0), f.constant(above)}, "high");
+        } else if (fm.boundary == maps::Boundary::Clamp) {
+          check_halo({R - 1, R}, "high");
+        }
+      }
+    }
+  }
+}
+
+// --- Write obligations and freshness evolution -------------------------------
+
+void SymbolicVerifier::check_and_apply_writes(Ctx& ctx, const SymStep& step,
+                                              std::size_t index) {
+  const sym::Family& f = family_;
+  const int slots = task_slots(step);
+  for (int a = 0; a < static_cast<int>(step.args.size()); ++a) {
+    const SymArg& arg = step.args[static_cast<std::size_t>(a)];
+    const PatternSpec& spec = arg.spec;
+    if (spec.is_input) {
+      continue;
+    }
+    sym::DatumState& st = state_for(ctx, arg.datum);
+    const sym::Expr R = datum_rows(arg.datum);
+    const auto write_core = [&](const sym::Interval& core, int writer) {
+      for (std::size_t loc = 0; loc < st.fresh.size(); ++loc) {
+        if (static_cast<int>(loc) == writer) {
+          continue;
+        }
+        std::vector<sym::Interval> kept;
+        for (const sym::Interval& iv : st.fresh[loc]) {
+          for (sym::Interval& piece : sym::subtract_under(f, iv, core)) {
+            kept.push_back(std::move(piece));
+          }
+        }
+        st.fresh[loc] = std::move(kept);
+        normalize(st.fresh[loc]);
+      }
+      st.fresh[static_cast<std::size_t>(writer)].push_back(core);
+      normalize(st.fresh[static_cast<std::size_t>(writer)]);
+    };
+    switch (spec.seg) {
+    case Segmentation::PartitionAligned: {
+      if (spec.row_scale_den != 1 ||
+          static_cast<long>(spec.row_scale_num) != datum_scale(arg.datum)) {
+        fail(ctx, index, arg.datum, -1, "unsupported-scale", "",
+             "output row scale outside the symbolic model");
+        break;
+      }
+      const long num = static_cast<long>(spec.row_scale_num);
+      std::vector<sym::Interval> cores;
+      for (int s = 0; s < slots; ++s) {
+        cores.push_back(sym::Interval{num * task_bound(step, s),
+                                      num * task_bound(step, s + 1)});
+      }
+      ctx.res->obligations++;
+      if (!f.provable_eq(cores.front().lo, f.constant(0))) {
+        fail(ctx, index, arg.datum, 0, "write-gap",
+             f.print(sym::Interval{f.constant(0), cores.front().lo}),
+             "first device's write core does not start at row 0");
+      }
+      ctx.res->obligations++;
+      if (!f.provable_eq(cores.back().hi, R)) {
+        fail(ctx, index, arg.datum, slots - 1, "write-gap",
+             f.print(sym::Interval{cores.back().hi, R}),
+             "last device's write core does not reach the end of the datum");
+      }
+      for (int s = 0; s + 1 < slots; ++s) {
+        const sym::Interval& cur = cores[static_cast<std::size_t>(s)];
+        const sym::Interval& nxt = cores[static_cast<std::size_t>(s) + 1];
+        ctx.res->obligations++;
+        if (!f.provable_le(cur.hi, nxt.lo)) {
+          fail(ctx, index, arg.datum, s, "write-overlap",
+               f.print(sym::Interval{nxt.lo, cur.hi}),
+               "adjacent devices' write cores overlap");
+        }
+        ctx.res->obligations++;
+        if (!f.provable_eq(cur.hi, nxt.lo)) {
+          fail(ctx, index, arg.datum, s, "write-gap",
+               f.print(sym::Interval{cur.hi, nxt.lo}),
+               "rows between adjacent write cores are written by no device");
+        }
+      }
+      for (int s = 0; s < slots; ++s) {
+        write_core(cores[static_cast<std::size_t>(s)], s + 1);
+      }
+      break;
+    }
+    case Segmentation::DuplicateFull:
+    case Segmentation::DynamicAppend:
+      // Reductive / appended partials: no single valid global copy exists
+      // until a gather aggregates them (monitor set_pending_aggregation).
+      st.pending = true;
+      for (std::vector<sym::Interval>& v : st.fresh) {
+        v.clear();
+      }
+      break;
+    case Segmentation::SingleDevice:
+      write_core(sym::Interval{f.constant(0), R}, 1);
+      break;
+    case Segmentation::Replicate:
+    case Segmentation::CustomAligned:
+      fail(ctx, index, arg.datum, -1, "outside-model", "",
+           "output segmentation outside the symbolic model");
+      break;
+    }
+  }
+}
+
+// --- Step drivers ------------------------------------------------------------
+
+void SymbolicVerifier::run_step(Ctx& ctx, const SymStep& step,
+                                std::size_t index) {
+  switch (step.kind) {
+  case SymStep::Kind::Task:
+    run_task(ctx, step, index);
+    break;
+  case SymStep::Kind::Gather:
+    run_gather(ctx, step, index);
+    break;
+  case SymStep::Kind::HostWrite:
+    run_host_write(ctx, step, index);
+    break;
+  }
+}
+
+void SymbolicVerifier::run_task(Ctx& ctx, const SymStep& step,
+                                std::size_t index) {
+  ctx.halo_cover.clear();
+  StepTrace st;
+  st.pre_state = ctx.state;
+  const int slots = task_slots(step);
+  // Devices are planned slot by slot, like the scheduler: a replica routed
+  // to one device is a candidate source for the next one.
+  for (int slot = 0; slot < slots; ++slot) {
+    std::vector<sym::Copy> slot_copies;
+    for (int a = 0; a < static_cast<int>(step.args.size()); ++a) {
+      for (RegionTrace& r : regions_for(ctx, step, index, a, slot)) {
+        plan_region(ctx, step, index, a, slot, r, slot_copies);
+        st.regions.push_back(std::move(r));
+      }
+    }
+    apply_copies(ctx, slot_copies, index);
+    st.copies.insert(st.copies.end(), slot_copies.begin(), slot_copies.end());
+  }
+  check_reads(ctx, step, index);
+  check_and_apply_writes(ctx, step, index);
+  trace_.push_back(std::move(st));
+}
+
+void SymbolicVerifier::run_gather(Ctx& ctx, const SymStep& step,
+                                  std::size_t index) {
+  const sym::Family& f = family_;
+  StepTrace tr;
+  tr.pre_state = ctx.state;
+  sym::DatumState& st = state_for(ctx, step.datum);
+  const sym::Expr R = datum_rows(step.datum);
+  if (st.pending) {
+    // Aggregation resolve: every device ships its private copy / appended
+    // rows and the host combines them — afterwards only the host is fresh.
+    st.pending = false;
+    for (std::vector<sym::Interval>& v : st.fresh) {
+      v.clear();
+    }
+    st.fresh[0].push_back(sym::Interval{f.constant(0), R});
+  } else {
+    // Structured gather: Algorithm 2 planning with the host as target;
+    // devices keep their replicas.
+    RegionTrace r;
+    r.arg = -1;
+    r.slot = -1;
+    r.global = sym::Interval{f.constant(0), R};
+    r.zero_fill = false;
+    r.aligned = true;
+    std::vector<sym::Copy> copies;
+    plan_region(ctx, step, index, -1, -1, r, copies);
+    tr.regions.push_back(std::move(r));
+    apply_copies(ctx, copies, index);
+    tr.copies = std::move(copies);
+  }
+  trace_.push_back(std::move(tr));
+}
+
+void SymbolicVerifier::run_host_write(Ctx& ctx, const SymStep& step,
+                                      std::size_t index) {
+  (void)index;
+  StepTrace tr;
+  tr.pre_state = ctx.state;
+  sym::DatumState& st = state_for(ctx, step.datum);
+  // MarkHostModified: the host wrote every row, all device replicas die.
+  for (std::size_t loc = 1; loc < st.fresh.size(); ++loc) {
+    st.fresh[loc].clear();
+  }
+  st.fresh[0].clear();
+  st.fresh[0].push_back(
+      sym::Interval{family_.constant(0), datum_rows(step.datum)});
+  trace_.push_back(std::move(tr));
+}
+
+// --- Fixpoint induction ------------------------------------------------------
+
+CertResult SymbolicVerifier::verify_chain(const std::vector<SymStep>& chain,
+                                          bool loop) {
+  CertResult res;
+  Ctx ctx;
+  ctx.res = &res;
+  constexpr int kMaxIter = 6;
+  sym::MonitorState prev_end;
+  bool fixed = false;
+  const int max_iter = loop ? kMaxIter : 1;
+  for (int it = 1; it <= max_iter; ++it) {
+    ctx.iteration = it;
+    trace_.clear();
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      run_step(ctx, chain[i], i);
+    }
+    res.iterations = it;
+    if (!res.ok) {
+      break; // report the first failing iteration's exact rectangles
+    }
+    if (loop) {
+      if (it > 1 && ctx.state == prev_end) {
+        // Induction: this iteration was verified starting from prev_end and
+        // ended in prev_end again — every later iteration repeats it.
+        fixed = true;
+        break;
+      }
+      prev_end = ctx.state;
+    }
+  }
+  if (loop && res.ok && !fixed) {
+    res.ok = false;
+    res.failures.push_back(
+        SymFailure{0, res.iterations, -1, -1, "no-fixpoint", "",
+                   "symbolic monitor state did not close within " +
+                       std::to_string(kMaxIter) + " iterations"});
+  }
+  if (res.ok) {
+    res.families = 1;
+  }
+  return res;
+}
+
+// --- Strip certificates (PR 4 interior/boundary split) -----------------------
+
+CertResult SymbolicVerifier::certify_strips(const std::vector<SymStep>& chain,
+                                            std::size_t strip_step) {
+  CertResult res = verify_chain(chain, /*loop=*/true);
+  if (!res.ok) {
+    return res;
+  }
+  const sym::Family& f = family_;
+  Ctx ctx;
+  ctx.res = &res;
+  ctx.iteration = res.iterations;
+  const SymStep& step = chain[strip_step];
+  std::vector<PatternSpec> specs;
+  for (const SymArg& a : step.args) {
+    specs.push_back(a.spec);
+  }
+  const StripShape shape =
+      strip_halo_blocks(specs, static_cast<std::size_t>(f.unit));
+  if (!shape.any) {
+    fail(ctx, strip_step, -1, -1, "no-boundary", "",
+         "no windowed input: compute_strips never splits this task");
+    return res;
+  }
+  const long lead = static_cast<long>(shape.lead);
+  const long trail = static_cast<long>(shape.trail);
+  for (const sym::Var& v : f.vars) {
+    ctx.res->obligations++;
+    if (v.lb < lead + trail + 1) {
+      fail(ctx, strip_step, -1, -1, "family-unsupported", "",
+           "gap " + v.name + " lower bound " + std::to_string(v.lb) +
+               " leaves no interior strip (need >= " +
+               std::to_string(lead + trail + 1) + " block rows)");
+      return res;
+    }
+  }
+  // trace_ holds the steady-state (fixpoint) iteration the induction proved.
+  const StepTrace& st = trace_[strip_step];
+  const long span = f.unit;
+  const int slots = task_slots(step);
+  for (int slot = 0; slot < slots; ++slot) {
+    const sym::Expr b0 = f.gap_prefix[static_cast<std::size_t>(slot)];
+    const sym::Expr b1 = f.gap_prefix[static_cast<std::size_t>(slot) + 1];
+    for (int a = 0; a < static_cast<int>(step.args.size()); ++a) {
+      const SymArg& arg = step.args[static_cast<std::size_t>(a)];
+      const PatternSpec& spec = arg.spec;
+      if (!spec.is_input || spec.seg != Segmentation::PartitionAligned ||
+          (spec.radius_low == 0 && spec.radius_high == 0) ||
+          spec.row_scale_num != 1 || spec.row_scale_den != 1) {
+        continue; // strips only split over 1/1-scale windowed inputs
+      }
+      const long rl = spec.radius_low;
+      const long rh = spec.radius_high;
+      const sym::Expr R = datum_rows(arg.datum);
+      // Interior strip: block rows [b0+lead, b1-trail); its reads widen by
+      // the window radius and must stay inside the slot's own core band.
+      const sym::Interval interior{span * (b0 + lead) - rl,
+                                   span * (b1 - trail) + rh};
+      const sym::Interval core{span * b0, span * b1};
+      ctx.res->obligations++;
+      if (!sym::provably_contains(f, core, interior)) {
+        fail(ctx, strip_step, arg.datum, slot, "interior-escapes-core",
+             f.print(interior),
+             "interior strip reads leave the slot's core band");
+      }
+      // Interior strips launch before any halo traffic lands: every
+      // steady-state copy into this device must miss the interior's reads.
+      for (const sym::Copy& c : st.copies) {
+        if (c.zero_fill || c.datum != arg.datum ||
+            c.dst_location != slot + 1) {
+          continue;
+        }
+        ctx.res->obligations++;
+        if (!sym::provably_disjoint(f, interior, c.rows)) {
+          fail(ctx, strip_step, arg.datum, slot, "interior-waits-on-copy",
+               f.print(c.rows),
+               "a steady-state copy to the device intersects the interior "
+               "strip's reads");
+        }
+      }
+      // Boundary strips: widened reads must be covered by what was fresh on
+      // the device before the task plus the task's own copies (aligned to
+      // the device, or this argument's halo-slot refills). Rows outside
+      // [0, R) resolve through the boundary mode, whose coverage the chain
+      // verification already proved — clip at the global edges.
+      std::vector<sym::Interval> cover;
+      const auto pre = st.pre_state.find(arg.datum);
+      if (pre != st.pre_state.end() &&
+          static_cast<std::size_t>(slot) + 1 < pre->second.fresh.size()) {
+        cover = pre->second.fresh[static_cast<std::size_t>(slot) + 1];
+      }
+      for (const sym::Copy& c : st.copies) {
+        if (c.zero_fill || c.datum != arg.datum) {
+          continue;
+        }
+        if (c.aligned ? c.dst_location == slot + 1
+                      : (c.arg == a && c.slot == slot)) {
+          cover.push_back(c.rows);
+        }
+      }
+      const auto check_strip = [&](sym::Interval reads, const char* which) {
+        ctx.res->obligations++;
+        for (const sym::Interval& r :
+             sym::subtract_over_set(f, {std::move(reads)}, cover)) {
+          if (!sym::provably_empty(f, r)) {
+            fail(ctx, strip_step, arg.datum, slot, "uncovered-strip-read",
+                 f.print(r),
+                 std::string(which) +
+                     " boundary strip reads rows neither fresh before the "
+                     "task nor moved by its copies");
+          }
+        }
+      };
+      if (lead > 0) {
+        sym::Interval leading{span * b0 - rl, span * (b0 + lead) + rh};
+        if (slot == 0) {
+          leading.lo = f.constant(0);
+        }
+        check_strip(std::move(leading), "leading");
+      }
+      if (trail > 0) {
+        sym::Interval trailing{span * (b1 - trail) - rl, span * b1 + rh};
+        if (slot == slots - 1) {
+          trailing.hi = R;
+        }
+        check_strip(std::move(trailing), "trailing");
+      }
+    }
+  }
+  return res;
+}
+
+// --- Shipped-pattern certification sweep -------------------------------------
+
+namespace {
+
+SymArg in_block(int datum) {
+  PatternSpec s;
+  s.kind = PatternKind::Block2D;
+  s.is_input = true;
+  s.seg = Segmentation::PartitionAligned;
+  s.boundary = maps::Boundary::NoChecks;
+  return {s, datum};
+}
+
+SymArg in_window(int datum, int radius, maps::Boundary b) {
+  PatternSpec s;
+  s.kind = PatternKind::Window;
+  s.is_input = true;
+  s.seg = Segmentation::PartitionAligned;
+  s.radius_low = radius;
+  s.radius_high = radius;
+  s.boundary = b;
+  return {s, datum};
+}
+
+SymArg in_scaled_window(int datum, std::size_t num, int radius,
+                        maps::Boundary b) {
+  SymArg a = in_window(datum, radius, b);
+  a.spec.row_scale_num = num;
+  return a;
+}
+
+SymArg in_repl(int datum) {
+  PatternSpec s;
+  s.kind = PatternKind::Block1D;
+  s.is_input = true;
+  s.seg = Segmentation::Replicate;
+  return {s, datum};
+}
+
+SymArg in_trav(int datum) {
+  PatternSpec s;
+  s.kind = PatternKind::Traversal;
+  s.is_input = true;
+  s.seg = Segmentation::SingleDevice;
+  return {s, datum};
+}
+
+SymArg out_sj(int datum) {
+  PatternSpec s;
+  s.kind = PatternKind::StructuredInjective;
+  s.is_input = false;
+  s.seg = Segmentation::PartitionAligned;
+  return {s, datum};
+}
+
+SymArg out_single(int datum) {
+  PatternSpec s;
+  s.kind = PatternKind::StructuredInjective;
+  s.is_input = false;
+  s.seg = Segmentation::SingleDevice;
+  return {s, datum};
+}
+
+SymArg out_sum(int datum) {
+  PatternSpec s;
+  s.kind = PatternKind::ReductiveStatic;
+  s.is_input = false;
+  s.seg = Segmentation::DuplicateFull;
+  s.agg = AggregationKind::Sum;
+  return {s, datum};
+}
+
+SymArg out_masked(int datum) {
+  PatternSpec s;
+  s.kind = PatternKind::UnstructuredInjective;
+  s.is_input = false;
+  s.seg = Segmentation::DuplicateFull;
+  s.agg = AggregationKind::MaskedMerge;
+  return {s, datum};
+}
+
+SymArg out_append(int datum) {
+  PatternSpec s;
+  s.kind = PatternKind::ReductiveDynamic;
+  s.is_input = false;
+  s.seg = Segmentation::DynamicAppend;
+  s.agg = AggregationKind::Append;
+  return {s, datum};
+}
+
+} // namespace
+
+CertResult certify_shipped(int max_devices) {
+  CertResult total;
+  const auto run = [&total](const std::string& tag, SymbolicVerifier& v,
+                            const std::vector<SymStep>& chain) {
+    CertResult r = v.verify_chain(chain, /*loop=*/true);
+    for (SymFailure& fl : r.failures) {
+      fl.detail = tag + " [" + v.family().name + "]: " + fl.detail;
+    }
+    total.merge(r);
+  };
+  const auto run_strips = [&total](const std::string& tag, SymbolicVerifier& v,
+                                   const std::vector<SymStep>& chain,
+                                   std::size_t strip_step) {
+    CertResult r = v.certify_strips(chain, strip_step);
+    for (SymFailure& fl : r.failures) {
+      fl.detail = tag + " [" + v.family().name + "]: " + fl.detail;
+    }
+    total.merge(r);
+  };
+  for (int S = 1; S <= max_devices; ++S) {
+    for (int shape = 0; shape < 2; ++shape) {
+      const auto make = [&](long min_gap) {
+        return shape != 0 ? sym::Family::aligned(S, min_gap)
+                          : sym::Family::unaligned(S, min_gap);
+      };
+      {
+        SymbolicVerifier v(make(1));
+        run("pointwise ping-pong", v,
+            {SymStep::task({in_block(0), out_sj(1)}),
+             SymStep::task({in_block(1), out_sj(0)})});
+      }
+      for (int r = 1; r <= 3; ++r) {
+        for (const maps::Boundary b :
+             {maps::Boundary::Wrap, maps::Boundary::Clamp, maps::Boundary::Zero,
+              maps::Boundary::NoChecks}) {
+          SymbolicVerifier v(make(std::max(1L, static_cast<long>(r))));
+          run("window r" + std::to_string(r), v,
+              {SymStep::task({in_window(0, r, b), out_sj(1)}),
+               SymStep::task({in_block(1), out_sj(0)})});
+        }
+      }
+      {
+        SymbolicVerifier v(make(1));
+        run("replicated input", v,
+            {SymStep::task({in_repl(2), in_window(0, 1, maps::Boundary::Wrap),
+                            out_sj(1)}),
+             SymStep::task({in_block(1), out_sj(0)})});
+      }
+      {
+        SymbolicVerifier v(make(1));
+        run("reductive sum", v, {SymStep::task({in_block(0), out_sum(1)}),
+                                 SymStep::gather(1)});
+      }
+      {
+        SymbolicVerifier v(make(1));
+        run("masked merge", v, {SymStep::task({in_block(0), out_masked(1)}),
+                                SymStep::gather(1)});
+      }
+      {
+        SymbolicVerifier v(make(1));
+        run("dynamic append", v, {SymStep::task({in_block(0), out_append(1)}),
+                                  SymStep::gather(1)});
+      }
+      {
+        SymbolicVerifier v(make(1));
+        v.set_datum_scale(0, 2);
+        run("2/1 row scale", v,
+            {SymStep::host_write(0),
+             SymStep::task({in_scaled_window(0, 2, 1, maps::Boundary::Clamp),
+                            out_sj(1)})});
+      }
+      {
+        SymbolicVerifier v(make(1));
+        run("in-place pointwise", v,
+            {SymStep::task({in_block(0), out_sj(0)})});
+      }
+      {
+        SymbolicVerifier v(make(1));
+        run("host-modify loop", v,
+            {SymStep::host_write(0),
+             SymStep::task({in_window(0, 1, maps::Boundary::Clamp),
+                            out_sj(1)})});
+      }
+      {
+        SymbolicVerifier v(make(1));
+        run("gather-read", v,
+            {SymStep::task({in_window(0, 1, maps::Boundary::Wrap), out_sj(1)}),
+             SymStep::gather(1),
+             SymStep::task({in_block(1), out_sj(0)})});
+      }
+      {
+        SymbolicVerifier v(make(1));
+        run("traversal single-device", v,
+            {SymStep::task({in_trav(0), out_single(1)}),
+             SymStep::task({in_block(1), out_sj(0)})});
+      }
+    }
+    if (S >= 2) {
+      // Strip-split certificates: gaps counted in block rows, wide enough
+      // for a non-empty interior (lead + trail + 1).
+      for (const long span : {1L, 4L}) {
+        for (const int r : {1, 3}) {
+          for (int shape = 0; shape < 2; ++shape) {
+            const long lead = (r + span - 1) / span;
+            const long min_gap = 2 * lead + 1;
+            SymbolicVerifier v(shape != 0
+                                   ? sym::Family::aligned(S, min_gap, span)
+                                   : sym::Family::unaligned(S, min_gap, span));
+            run_strips("strip split r" + std::to_string(r) + " span" +
+                           std::to_string(span),
+                       v,
+                       {SymStep::task(
+                            {in_window(0, r, maps::Boundary::Wrap), out_sj(1)}),
+                        SymStep::task({in_block(1), out_sj(0)})},
+                       0);
+          }
+        }
+      }
+    }
+  }
+  return total;
+}
+
+} // namespace maps::multi

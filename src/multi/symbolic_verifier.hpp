@@ -1,0 +1,338 @@
+// Symbolic transfer-inference verifier (DESIGN.md §5.13).
+//
+// The PR 2 access sanitizer validates the pipeline's central claim — that
+// declared access patterns let the runtime *infer* every inter-device
+// transfer — dynamically, one concrete execution at a time. This module
+// proves the same claim statically, for an entire pattern-class ×
+// partition-shape × device-count *family* at once: every input pattern's
+// read span is an affine interval function of symbolic segment boundaries
+// [b_i, b_{i+1}), the segmenter's requirement regions and the location
+// monitor's freshness evolution are mirrored over those expressions, and
+// the planner's inferred copy set is shown to cover every read rectangle
+// (and, dually, no two devices' inferred writes to overlap) by exact
+// reasoning over box-constrained affine integer expressions.
+//
+// The engine is deliberately tiny and decidable:
+//
+//   Expr      c + Σ coef[i]·g_i   over per-slot "gap" variables g_i with
+//             integer lower (and optional upper) bounds. Minimising a linear
+//             function over a box is exact, so `provable_nonneg` is a
+//             *decision procedure* for this constraint language, not a
+//             heuristic: e ≥ 0 holds for every member of the family iff the
+//             box minimum is ≥ 0.
+//   Interval  half-open [lo, hi) of datum rows with Expr endpoints.
+//   Family    the partition family: slot boundaries b_i as prefix sums of
+//             the gaps (aligned shape: one shared gap, b_i = i·g; unaligned
+//             shape: independent gaps — a superset of everything
+//             make_partition can produce, including clipped tails).
+//
+// Subtraction is conservative in the direction soundness requires:
+// `subtract_over` over-approximates (used for "what is still uncovered" —
+// a spurious leftover is a verification failure, never a false proof) and
+// `subtract_under` under-approximates (used for invalidating freshness on
+// writes — a replica is only kept fresh when provably untouched).
+//
+// Chains of steps (Task / Gather / HostWrite) are verified by abstract
+// interpretation of the monitor state; looping chains are certified for
+// unboundedly many iterations by fixpoint induction: once an iteration is
+// verified and ends in the same symbolic state it started from, every
+// later iteration repeats the proven one.
+//
+// What the verifier proves vs. what only the sanitizer can catch is a real
+// boundary — see DESIGN.md §5.13. CustomAligned segmentations, fractional
+// row scales (den > 1), Boundary::NoChecks reads and segments thinner than
+// their halo are *outside* the symbolic model and remain the dynamic
+// sanitizer's job.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "multi/interval_set.hpp"
+#include "multi/pattern_spec.hpp"
+
+namespace maps::multi::sym {
+
+/// "No upper bound" marker for Var::ub.
+inline constexpr long kUnbounded = std::numeric_limits<long>::max();
+
+/// One symbolic family variable (a per-slot partition gap).
+struct Var {
+  std::string name;
+  long lb = 1;          ///< Inclusive lower bound (gaps are at least 1).
+  long ub = kUnbounded; ///< Inclusive upper bound (rarely needed).
+};
+
+/// Affine integer expression over the family's variables: cst + Σ coef·g.
+struct Expr {
+  long cst = 0;
+  std::vector<long> coef; ///< One entry per family variable.
+
+  friend bool operator==(const Expr&, const Expr&) = default;
+};
+
+Expr operator+(Expr a, const Expr& b);
+Expr operator-(Expr a, const Expr& b);
+Expr operator+(Expr a, long c);
+Expr operator-(Expr a, long c);
+Expr operator*(long k, Expr a);
+
+/// Half-open symbolic row interval [lo, hi).
+struct Interval {
+  Expr lo, hi;
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// A symbolic partition family: `slots` devices, boundaries b_0 = 0 ≤ b_1 ≤
+/// … ≤ b_S, expressed over gap variables. `unit` scales gap units to work
+/// rows (1 normally; the block-row span for strip families, whose gaps count
+/// whole block rows).
+struct Family {
+  std::string name;
+  int slots = 0;
+  long unit = 1;
+  bool aligned_shape = false;
+  std::vector<Var> vars;
+  std::vector<Expr> gap_prefix;  ///< size slots+1: Σ gaps, in gap units.
+  std::vector<Expr> work_bounds; ///< size slots+1: unit · gap_prefix.
+
+  /// Independent per-slot gaps g_i ≥ min_gap — covers every partition
+  /// make_partition can produce for `slots` devices (including uneven
+  /// remainder distribution and clipped tails).
+  static Family unaligned(int slots, long min_gap, long unit = 1);
+  /// One shared gap g ≥ min_gap; b_i = i·unit·g (the even-split shape).
+  static Family aligned(int slots, long min_gap, long unit = 1);
+
+  Expr constant(long c) const;
+  Expr var(int i) const;
+  /// Work-row boundary of slot i (0 ≤ i ≤ slots).
+  const Expr& work_bound(int i) const {
+    return work_bounds[static_cast<std::size_t>(i)];
+  }
+  /// Total work rows W = work_bound(slots).
+  const Expr& work_rows() const { return work_bounds.back(); }
+
+  /// Exact decision: e ≥ 0 for EVERY variable assignment in the box.
+  bool provable_nonneg(const Expr& e) const;
+  bool provable_le(const Expr& a, const Expr& b) const;
+  bool provable_eq(const Expr& a, const Expr& b) const;
+  /// Box minimum of e (kUnbounded-negative cases return false via nonneg).
+  long min_value(const Expr& e) const;
+  /// Concrete evaluation at one member of the family (cross-checks).
+  long eval(const Expr& e, const std::vector<long>& gaps) const;
+
+  /// Pretty print in the boundary basis where possible: "b1 - 2", "R - 1",
+  /// "2*b1 + 3". Falls back to the raw gap basis ("g0 + 1") when the
+  /// expression is not a whole-unit combination of boundaries.
+  std::string print(const Expr& e) const;
+  std::string print(const Interval& iv) const; ///< "[b1 - 1, b1)"
+};
+
+// --- Conservative interval algebra (all provability relative to a family) --
+
+bool provably_empty(const Family& f, const Interval& iv);
+bool provably_disjoint(const Family& f, const Interval& a, const Interval& b);
+/// Provable a ⊆ b.
+bool provably_contains(const Family& f, const Interval& outer,
+                       const Interval& inner);
+
+/// Over-approximation of r \ p: the result is a superset of the true
+/// difference for every family member (spurious leftovers possible — they
+/// read as verification failures, never as false proofs).
+std::vector<Interval> subtract_over(const Family& f, const Interval& r,
+                                    const Interval& p);
+/// Under-approximation of r \ p: every kept interval is provably inside the
+/// true difference (used to invalidate freshness — incomparable overlap
+/// drops the replica entirely).
+std::vector<Interval> subtract_under(const Family& f, const Interval& r,
+                                     const Interval& p);
+/// Over-approximate difference of `required` minus the whole `covered` set.
+std::vector<Interval> subtract_over_set(const Family& f,
+                                        std::vector<Interval> required,
+                                        const std::vector<Interval>& covered);
+
+/// One symbolically planned copy (mirror of SegmentLocationMonitor::CopyOp
+/// plus the scheduler's alignment classification and routing provenance).
+struct Copy {
+  int datum = 0;
+  int src_location = 0; ///< 0 = host, 1 + slot = device (monitor convention).
+  int dst_location = 0;
+  Interval rows;        ///< GLOBAL datum rows moved.
+  bool aligned = true;  ///< Lands at its global position (updates freshness).
+  bool zero_fill = false;
+  bool rerouted = false; ///< Source rewritten by the symbolic router.
+  int slot = -1;         ///< Destination slot.
+  int arg = -1;          ///< Task argument index that required it.
+};
+
+/// Per-datum symbolic monitor state: which rows are provably up to date at
+/// each location (0 = host, 1 + slot = device), plus pending aggregation.
+struct DatumState {
+  std::vector<std::vector<Interval>> fresh; ///< per location.
+  bool pending = false;
+  friend bool operator==(const DatumState&, const DatumState&) = default;
+};
+
+/// Full symbolic monitor: datum id → state.
+using MonitorState = std::map<int, DatumState>;
+
+} // namespace maps::multi::sym
+
+namespace maps::multi {
+
+/// One task argument: the (type-erased) pattern declaration plus a symbolic
+/// datum id. `spec.datum` is never dereferenced — the datum's height is the
+/// symbolic R = row_scale_num · W.
+struct SymArg {
+  PatternSpec spec;
+  int datum = 0;
+};
+
+/// One step of a symbolic task chain.
+struct SymStep {
+  enum class Kind { Task, Gather, HostWrite };
+  Kind kind = Kind::Task;
+  std::vector<SymArg> args; ///< Task only.
+  int datum = 0;            ///< Gather / HostWrite target.
+
+  static SymStep task(std::vector<SymArg> args);
+  static SymStep gather(int datum);
+  static SymStep host_write(int datum);
+};
+
+/// One failed proof obligation, with the exact symbolic counterexample
+/// rectangle (mirroring the sanitizer's concrete stale-rectangle reports).
+struct SymFailure {
+  std::size_t step = 0;
+  int iteration = 0;
+  int datum = -1;
+  int slot = -1;
+  std::string what;   ///< Obligation class, e.g. "uncovered-read".
+  std::string rect;   ///< Exact uncovered/overlapping symbolic rectangle.
+  std::string detail; ///< Human-readable message.
+};
+
+/// Outcome of one certification run.
+struct CertResult {
+  bool ok = true;
+  std::vector<SymFailure> failures;
+  int iterations = 0;          ///< Iterations until the fixpoint closed.
+  std::size_t obligations = 0; ///< Individually proved obligations.
+  std::size_t families = 0;    ///< Families certified (certify_shipped).
+
+  void merge(const CertResult& o);
+  std::string summary() const;
+};
+
+class SymbolicVerifier {
+public:
+  explicit SymbolicVerifier(sym::Family family);
+
+  const sym::Family& family() const { return family_; }
+
+  /// Datum id → datum rows per work row (R_d = num · W). Default 1.
+  void set_datum_scale(int datum, long num);
+
+  // --- Mutation-test hooks --------------------------------------------------
+  /// Perturbs the semantic read-span formula after derivation (models a
+  /// pattern/formula drift the planner does not know about).
+  void set_read_span_mutator(std::function<void(ReadSpanFormula&)> m);
+  /// Returning false drops a planned copy before it takes effect (models a
+  /// planner regression; the verifier must report the exact hole).
+  void set_copy_filter(std::function<bool(const sym::Copy&)> f);
+  /// Route planned copies through TransferPlanner::symbolic_route (on by
+  /// default) — proves the routing layer preserves destination coverage.
+  void set_routing_enabled(bool on) { routing_ = on; }
+
+  /// Verifies a chain of steps starting from the cold-start state (host
+  /// holds every datum). With `loop`, iterates the chain until the symbolic
+  /// monitor state reaches a fixpoint, certifying unboundedly many
+  /// iterations by induction; fails if no fixpoint appears within a small
+  /// bound (a real steady state repeats within two iterations).
+  CertResult verify_chain(const std::vector<SymStep>& chain, bool loop = true);
+
+  /// Certifies the PR 4 interior/boundary strip split for the task at
+  /// `strip_step` of a looping chain: the chain is first driven to its
+  /// steady-state fixpoint, then for every slot the interior strip's reads
+  /// are proved disjoint from every planned copy to its device (it waits on
+  /// zero halo traffic), the boundary strips' widened reads are proved
+  /// covered, and the strips are shown to tile the slot exactly. The
+  /// family's gaps must be in block-row units (`unit` = rows per block row)
+  /// and wide enough for a non-empty interior.
+  CertResult certify_strips(const std::vector<SymStep>& chain,
+                            std::size_t strip_step);
+
+  /// Dispatch trace of the last verified iteration, for concretization
+  /// cross-checks against compute_requirement / plan_copies.
+  struct RegionTrace {
+    int arg = -1;
+    int slot = -1;
+    sym::Interval global;
+    bool zero_fill = false;
+    bool aligned = true;
+  };
+  struct StepTrace {
+    std::vector<RegionTrace> regions;
+    std::vector<sym::Copy> copies;
+    /// Monitor state as of the start of this step (strip certificates
+    /// reason about what was already fresh before the task's own copies).
+    sym::MonitorState pre_state;
+  };
+  const std::vector<StepTrace>& last_trace() const { return trace_; }
+
+private:
+  struct Ctx; // per-run context (state, failures, iteration)
+
+  long datum_scale(int datum) const;
+  sym::Expr datum_rows(int datum) const;
+  sym::DatumState& state_for(Ctx& ctx, int datum);
+
+  int task_slots(const SymStep& step) const;
+  sym::Expr task_bound(const SymStep& step, int i) const;
+
+  void run_step(Ctx& ctx, const SymStep& step, std::size_t index);
+  void run_task(Ctx& ctx, const SymStep& step, std::size_t index);
+  void run_gather(Ctx& ctx, const SymStep& step, std::size_t index);
+  void run_host_write(Ctx& ctx, const SymStep& step, std::size_t index);
+
+  /// Mirrors compute_requirement: the regions slot `s` must hold for `arg`.
+  std::vector<RegionTrace> regions_for(Ctx& ctx, const SymStep& step,
+                                       std::size_t index, int arg_index,
+                                       int slot);
+  /// Mirrors Algorithm 2 over the symbolic state: plans copies filling
+  /// `region` at its destination (single covering source preferred, then
+  /// provable multi-source pieces), reporting unprovable rows.
+  void plan_region(Ctx& ctx, const SymStep& step, std::size_t index,
+                   int arg_index, int slot, const RegionTrace& region,
+                   std::vector<sym::Copy>& out);
+  void apply_copies(Ctx& ctx, std::vector<sym::Copy>& copies,
+                    std::size_t index);
+  void check_reads(Ctx& ctx, const SymStep& step, std::size_t index);
+  void check_and_apply_writes(Ctx& ctx, const SymStep& step,
+                              std::size_t index);
+
+  void fail(Ctx& ctx, std::size_t step, int datum, int slot, std::string what,
+            std::string rect, std::string detail);
+  void normalize(std::vector<sym::Interval>& set) const;
+
+  sym::Family family_;
+  std::map<int, long> scales_;
+  std::function<void(ReadSpanFormula&)> mutator_;
+  std::function<bool(const sym::Copy&)> filter_;
+  bool routing_ = true;
+  std::vector<StepTrace> trace_;
+};
+
+/// Certifies every shipped pattern class — pointwise, Window radii 1..3 ×
+/// {Wrap, Clamp, Zero, NoChecks}, replicated inputs, Reductive (Static),
+/// Unstructured Injective, Reductive (Dynamic), Traversal/SingleDevice,
+/// 2/1 row scales, in-place updates, host-modify loops and the PR 4 strip
+/// split — across device counts 1..max_devices and both partition shapes
+/// (aligned even splits and fully unaligned gap families). Milliseconds per
+/// family; the whole sweep is the CI `symbolic-cert` first gate.
+CertResult certify_shipped(int max_devices = 8);
+
+} // namespace maps::multi

@@ -286,4 +286,53 @@ TransferPlanner::route(const Datum* datum, int target_location,
   return merged;
 }
 
+std::vector<sym::Copy>
+TransferPlanner::symbolic_route(const sym::Family& family,
+                                const sym::MonitorState& state,
+                                std::vector<sym::Copy> ops) {
+  // Replicas created by copies routed earlier in the same task are candidate
+  // forwarding sources for later ones (the emergent fan-out shape of the
+  // concrete planner's fresh-replica table). Readiness ordering is a timing
+  // concern the symbolic model does not carry — only provable coverage.
+  std::map<int, std::map<int, std::vector<sym::Interval>>> task_fresh;
+  const auto holds = [&](int datum, int loc, const sym::Interval& rows) {
+    auto it = state.find(datum);
+    if (it != state.end()) {
+      const auto& sets = it->second.fresh;
+      if (loc < static_cast<int>(sets.size())) {
+        for (const sym::Interval& f : sets[static_cast<std::size_t>(loc)]) {
+          if (provably_contains(family, f, rows)) {
+            return true;
+          }
+        }
+      }
+    }
+    for (const sym::Interval& f : task_fresh[datum][loc]) {
+      if (provably_contains(family, f, rows)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (sym::Copy& op : ops) {
+    if (!op.zero_fill && op.src_location == 0) {
+      // Host staging is the costliest class under the contention model; the
+      // greedy rule reroutes to any device replica that provably holds the
+      // rows (deterministic first-match, mirroring the tie-break on
+      // location index). Destination, rows and alignment stay untouched.
+      for (int dev = 1; dev <= family.slots; ++dev) {
+        if (dev != op.dst_location && holds(op.datum, dev, op.rows)) {
+          op.src_location = dev;
+          op.rerouted = true;
+          break;
+        }
+      }
+    }
+    if (op.aligned && !op.zero_fill) {
+      task_fresh[op.datum][op.dst_location].push_back(op.rows);
+    }
+  }
+  return ops;
+}
+
 } // namespace maps::multi

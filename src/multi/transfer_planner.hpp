@@ -43,6 +43,7 @@
 
 #include "multi/datum.hpp"
 #include "multi/location_monitor.hpp"
+#include "multi/symbolic_verifier.hpp"
 #include "sim/topology.hpp"
 
 namespace maps::multi {
@@ -116,6 +117,22 @@ public:
   static void account(TransferStats& stats, const sim::Topology& topo,
                       sim::Endpoint src, sim::Endpoint dst, bool host_staged,
                       std::uint64_t bytes);
+
+  /// Symbolic mirror of route() for the transfer-inference verifier: given
+  /// the copies Algorithm 2 planned symbolically, re-sources each one the
+  /// way the greedy earliest-finish rule prefers (device replicas beat host
+  /// staging, and replicas created by earlier copies of the same task are
+  /// candidate forwarding sources — the multicast fan-out shape), but ONLY
+  /// to locations whose holdings provably cover the rows for every member
+  /// of the partition family. Routing's correctness contract — destination
+  /// rows, alignment and zero-fill classification are never rewritten, so
+  /// coverage of the read set is invariant under routing — holds by
+  /// construction here and is re-proved downstream: the verifier checks
+  /// coverage on the *routed* set, so a routing bug that dropped or moved
+  /// destination rows would surface as an uncovered rectangle.
+  static std::vector<sym::Copy> symbolic_route(const sym::Family& family,
+                                               const sym::MonitorState& state,
+                                               std::vector<sym::Copy> ops);
 
   /// Upper bound on the size of a coalesced op (0 = unlimited). The
   /// scheduler sets this to its copy-chunk threshold when compute–transfer

@@ -26,6 +26,7 @@
 
 #include "multi/maps_multi.hpp"
 #include "multi/sanitizer.hpp"
+#include "multi/symbolic_verifier.hpp"
 #include "sim/presets.hpp"
 
 namespace {
@@ -416,6 +417,124 @@ TEST(FaultFuzz, DroppedAlignedCopyIsAlwaysReported) {
   }
   // The seed range must actually exercise the fault path.
   EXPECT_GE(exercised, 10);
+}
+
+// --- Symbolic agreement: static proofs match the dynamic sanitizer -----------
+
+SymArg sym_window(int datum, int radius) {
+  PatternSpec s;
+  s.kind = PatternKind::Window;
+  s.is_input = true;
+  s.seg = Segmentation::PartitionAligned;
+  s.radius_low = radius;
+  s.radius_high = radius;
+  s.boundary = maps::Boundary::Wrap;
+  return {s, datum};
+}
+
+SymArg sym_out(int datum) {
+  PatternSpec s;
+  s.kind = PatternKind::StructuredInjective;
+  s.is_input = false;
+  s.seg = Segmentation::PartitionAligned;
+  return {s, datum};
+}
+
+/// The symbolic image of a fuzz chain: same ping-pong parity, same
+/// out-of-band host writes and gathers as run_chain() issues concretely.
+/// Win is a radius-1 WRAP window, Pt a radius-0 one; datum 0 is A, 1 is B.
+std::vector<SymStep> symbolic_chain(const FuzzCase& fc) {
+  std::vector<SymStep> chain;
+  int step = 0;
+  for (const FuzzOp& op : fc.ops) {
+    const int in = (step % 2 == 0) ? 0 : 1;
+    const int out = 1 - in;
+    switch (op.kind) {
+    case FuzzOp::Stencil:
+      chain.push_back(SymStep::task({sym_window(in, 1), sym_out(out)}));
+      ++step;
+      break;
+    case FuzzOp::Mix:
+      chain.push_back(SymStep::task(
+          {sym_window(in, 0), sym_window(out, 0), sym_out(out)}));
+      ++step;
+      break;
+    case FuzzOp::HostModify:
+      chain.push_back(SymStep::gather(op.target));
+      chain.push_back(SymStep::host_write(op.target));
+      break;
+    case FuzzOp::MidGather:
+      chain.push_back(SymStep::gather(op.target));
+      break;
+    }
+  }
+  chain.push_back(SymStep::gather(fc.gather_a_first ? 0 : 1));
+  chain.push_back(SymStep::gather(fc.gather_a_first ? 1 : 0));
+  return chain;
+}
+
+TEST(SymbolicAgreement, VerifierAndSanitizerNeverDisagree) {
+  // A slice of the fuzz corpus, checked both ways. Direction one: every
+  // chain the sanitizer accepts at runtime must be PROVABLE — the symbolic
+  // verifier certifies the chain's whole partition family for each device
+  // count the seed can draw, then the concrete run (sanitizer live) must be
+  // clean. Direction two: a chain the sanitizer would flag must fail the
+  // proof too — drop the first aligned inferred copy through the symbolic
+  // hook and require a counterexample rectangle, mirroring what FaultFuzz
+  // proves concretely with the scheduler's copy fault hook.
+  const unsigned total = std::min(fuzz_seed_total(), 150u);
+  unsigned mutated = 0;
+  for (unsigned seed = 0; seed < total; ++seed) {
+    const FuzzCase fc = make_case(seed);
+    const std::vector<SymStep> chain = symbolic_chain(fc);
+    SymbolicVerifier probe(sym::Family::unaligned(fc.devices, 1));
+    for (int devices = 1; devices <= fc.devices; ++devices) {
+      SymbolicVerifier v(sym::Family::unaligned(devices, 1));
+      const CertResult res = v.verify_chain(chain, /*loop=*/false);
+      EXPECT_TRUE(res.ok) << "proof failed for a chain the sanitizer accepts"
+                          << "\n  devices=" << devices << " " << fc.describe()
+                          << "\n  " << res.summary();
+      if (devices == fc.devices) {
+        probe = std::move(v);
+      }
+    }
+    try {
+      run_chain(fc, fc.devices);
+    } catch (const SanitizerError& e) {
+      FAIL() << "sanitizer flagged a chain the verifier proved\n  "
+             << fc.describe() << "\n  " << e.what();
+    }
+    // Direction two on the same seed: drop the first aligned task copy.
+    bool has_victim = false;
+    for (const SymbolicVerifier::StepTrace& st : probe.last_trace()) {
+      for (const sym::Copy& c : st.copies) {
+        has_victim |= c.aligned && !c.zero_fill && c.arg >= 0;
+      }
+    }
+    if (!has_victim) {
+      continue;
+    }
+    ++mutated;
+    SymbolicVerifier broken(sym::Family::unaligned(fc.devices, 1));
+    bool dropped = false;
+    broken.set_copy_filter([&dropped](const sym::Copy& c) {
+      if (!dropped && c.aligned && !c.zero_fill && c.arg >= 0) {
+        dropped = true;
+        return false;
+      }
+      return true;
+    });
+    const CertResult res = broken.verify_chain(chain, /*loop=*/false);
+    EXPECT_TRUE(dropped) << fc.describe();
+    EXPECT_FALSE(res.ok)
+        << "dropped copy not detected symbolically; " << fc.describe();
+    for (const SymFailure& f : res.failures) {
+      EXPECT_FALSE(f.rect.empty())
+          << "counterexample without a rectangle; " << fc.describe();
+    }
+  }
+  // The corpus slice must actually exercise the mutation direction.
+  EXPECT_GE(mutated, total / 2);
 }
 
 // --- Fault fuzz: random device loss keeps chains bit-identical ---------------

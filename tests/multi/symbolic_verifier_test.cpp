@@ -1,0 +1,496 @@
+// Symbolic transfer-inference verifier (label: symbolic-cert).
+//
+// Four layers of coverage:
+//   1. the affine engine itself (exact provability, conservative subtraction,
+//      boundary-basis printing),
+//   2. the shipped-pattern certification sweep — every pattern class x
+//      {1..8 devices} x {aligned, unaligned} partition shape, proved in
+//      milliseconds (this is the CI first gate),
+//   3. mutation-style negative tests: perturb the read-span formula or drop
+//      a planned copy through the hooks and assert the verifier reports the
+//      EXACT symbolic counterexample rectangle,
+//   4. concretization cross-checks: evaluate the symbolic regions and copies
+//      at concrete partition gaps and compare them against the real
+//      segmenter (compute_requirement, compute_strips) and the real location
+//      monitor (plan_copies) — the proofs and the runtime can never drift
+//      apart silently.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "multi/input_patterns.hpp"
+#include "multi/location_monitor.hpp"
+#include "multi/output_patterns.hpp"
+#include "multi/read_spans.hpp"
+#include "multi/segmenter.hpp"
+#include "multi/symbolic_verifier.hpp"
+
+namespace {
+
+using namespace maps::multi;
+
+// --- Spec helpers (mirrors of the typed pattern wrappers, no datum needed) ---
+
+SymArg in_window_arg(int datum, int radius, maps::Boundary b) {
+  PatternSpec s;
+  s.kind = PatternKind::Window;
+  s.is_input = true;
+  s.seg = Segmentation::PartitionAligned;
+  s.radius_low = radius;
+  s.radius_high = radius;
+  s.boundary = b;
+  return {s, datum};
+}
+
+SymArg in_block_arg(int datum) {
+  PatternSpec s;
+  s.kind = PatternKind::Block2D;
+  s.is_input = true;
+  s.seg = Segmentation::PartitionAligned;
+  s.boundary = maps::Boundary::NoChecks;
+  return {s, datum};
+}
+
+SymArg out_sj_arg(int datum) {
+  PatternSpec s;
+  s.kind = PatternKind::StructuredInjective;
+  s.is_input = false;
+  s.seg = Segmentation::PartitionAligned;
+  return {s, datum};
+}
+
+SymArg out_sum_arg(int datum) {
+  PatternSpec s;
+  s.kind = PatternKind::ReductiveStatic;
+  s.is_input = false;
+  s.seg = Segmentation::DuplicateFull;
+  s.agg = AggregationKind::Sum;
+  return {s, datum};
+}
+
+/// The window ping-pong chain every steady-state proof uses: stencil A -> B,
+/// pointwise B -> A.
+std::vector<SymStep> window_chain(int radius, maps::Boundary b) {
+  return {SymStep::task({in_window_arg(0, radius, b), out_sj_arg(1)}),
+          SymStep::task({in_block_arg(1), out_sj_arg(0)})};
+}
+
+// --- 1. Engine ---------------------------------------------------------------
+
+TEST(SymEngineTest, BoundaryBasisPrinting) {
+  const sym::Family f = sym::Family::unaligned(2, 1);
+  EXPECT_EQ(f.print(f.work_bound(1) - 2), "b1 - 2");
+  EXPECT_EQ(f.print(f.work_rows() - 1), "R - 1");
+  EXPECT_EQ(f.print(f.work_rows()), "R");
+  EXPECT_EQ(f.print(f.constant(7)), "7");
+  EXPECT_EQ(f.print(2 * f.work_bound(1) + 3), "2*b1 + 3");
+  EXPECT_EQ(f.print(sym::Interval{f.work_bound(1) - 1, f.work_bound(1)}),
+            "[b1 - 1, b1)");
+  // Aligned families have no independent boundaries: raw gap basis.
+  const sym::Family a = sym::Family::aligned(3, 1);
+  EXPECT_EQ(a.print(a.var(0)), "g");
+  EXPECT_EQ(a.print(3 * a.var(0) - 1), "3*g - 1");
+}
+
+TEST(SymEngineTest, ProvabilityIsExactOverTheBox) {
+  sym::Family f = sym::Family::unaligned(2, 3); // g0, g1 >= 3
+  EXPECT_TRUE(f.provable_nonneg(f.var(0) - 3));
+  EXPECT_FALSE(f.provable_nonneg(f.var(0) - 4)); // g0 = 3 violates
+  EXPECT_TRUE(f.provable_le(f.work_bound(1), f.work_bound(2) - 3));
+  // Negative coefficients need an upper bound to be decidable.
+  EXPECT_FALSE(f.provable_nonneg(f.constant(100) - f.var(0)));
+  f.vars[0].ub = 50;
+  EXPECT_TRUE(f.provable_nonneg(f.constant(100) - f.var(0)));
+  EXPECT_FALSE(f.provable_nonneg(f.constant(49) - f.var(0)));
+  // eval agrees with the concrete member.
+  EXPECT_EQ(f.eval(f.work_bound(2) - 1, {5, 7}), 11);
+}
+
+TEST(SymEngineTest, ConservativeSubtraction) {
+  const sym::Family f = sym::Family::unaligned(2, 2);
+  const sym::Expr b1 = f.work_bound(1);
+  const sym::Expr R = f.work_rows();
+  const sym::Interval r{f.constant(0), R};
+  const sym::Interval p{b1 - 1, b1 + 1};
+  // Over-approximation: both flanks survive (superset of the difference).
+  const auto over = sym::subtract_over(f, r, p);
+  ASSERT_EQ(over.size(), 2u);
+  EXPECT_EQ(f.print(over[0]), "[0, b1 - 1)");
+  EXPECT_EQ(f.print(over[1]), "[b1 + 1, R)");
+  // Under-approximation drops pieces whose endpoints are incomparable: the
+  // right flank of [0, b1) minus [g0-dependent cut] must not be overstated.
+  const sym::Interval q{b1 - 1, R + 5}; // reaches past r for every member
+  const auto under = sym::subtract_under(f, r, q);
+  ASSERT_EQ(under.size(), 1u);
+  EXPECT_EQ(f.print(under[0]), "[0, b1 - 1)");
+  // Containment and disjointness are decisions, not heuristics.
+  EXPECT_TRUE(sym::provably_contains(f, r, p));
+  EXPECT_TRUE(sym::provably_disjoint(f, {f.constant(0), b1 - 1}, {b1, R}));
+  EXPECT_FALSE(sym::provably_disjoint(f, {f.constant(0), b1}, {b1 - 1, R}));
+}
+
+// --- 2. The shipped sweep ----------------------------------------------------
+
+TEST(SymbolicCertTest, EveryShippedFamilyIsCertified) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const CertResult res = certify_shipped(8);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  EXPECT_TRUE(res.ok) << res.summary();
+  for (const SymFailure& f : res.failures) {
+    ADD_FAILURE() << f.what << " " << f.rect << " step " << f.step << " slot "
+                  << f.slot << " iter " << f.iteration << ": " << f.detail;
+  }
+  // Pattern classes x 1..8 devices x two partition shapes, plus the strip
+  // certificates: hundreds of families, each an unbounded set of concrete
+  // partitions.
+  EXPECT_GE(res.families, 300u);
+  EXPECT_GE(res.obligations, 5000u);
+  // The whole sweep is the CI first gate; it must stay in the milliseconds.
+  EXPECT_LT(ms, 1000.0) << "symbolic-cert gate must stay under a second";
+}
+
+TEST(SymbolicCertTest, FixpointClosesWithinTwoSteadyIterations) {
+  SymbolicVerifier v(sym::Family::unaligned(4, 2));
+  const CertResult res = v.verify_chain(window_chain(2, maps::Boundary::Wrap));
+  EXPECT_TRUE(res.ok) << res.summary();
+  // Cold start + one steady iteration + the repeat that proves induction.
+  EXPECT_LE(res.iterations, 3);
+}
+
+// --- 3. Mutation-style negatives --------------------------------------------
+
+TEST(SymbolicMutationTest, WidenedReadSpanReportsExactRectangle) {
+  SymbolicVerifier v(sym::Family::unaligned(2, 1));
+  // The windowed kernel reads one row further down than the pattern declares:
+  // the planner's copy set is now short by exactly one symbolic row on slot 1.
+  // (Gate on lo_offset < 0 so only the window read is perturbed, not the
+  // radius-0 block read of the ping-pong partner.)
+  v.set_read_span_mutator([](ReadSpanFormula& f) {
+    if (f.reads && !f.whole_datum && f.lo_offset < 0) {
+      f.lo_offset -= 1;
+    }
+  });
+  const CertResult res = v.verify_chain(window_chain(1, maps::Boundary::Wrap));
+  ASSERT_FALSE(res.ok);
+  bool found = false;
+  for (const SymFailure& f : res.failures) {
+    if (f.what == "uncovered-read" && f.slot == 1) {
+      EXPECT_EQ(f.rect, "[b1 - 2, b1 - 1)");
+      EXPECT_EQ(f.iteration, 1); // caught on the very first abstract run
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << res.summary();
+}
+
+TEST(SymbolicMutationTest, DroppedAlignedHaloCopyReportsExactRectangle) {
+  const sym::Family fam = sym::Family::unaligned(2, 1);
+  SymbolicVerifier v(fam);
+  // Drop exactly slot 1's low interior halo copy [b1 - 1, b1).
+  const sym::Interval halo{fam.work_bound(1) - 1, fam.work_bound(1)};
+  v.set_copy_filter([halo](const sym::Copy& c) {
+    return !(c.aligned && c.rows == halo);
+  });
+  const CertResult res = v.verify_chain(window_chain(1, maps::Boundary::Wrap));
+  ASSERT_FALSE(res.ok);
+  bool found = false;
+  for (const SymFailure& f : res.failures) {
+    if (f.what == "uncovered-read" && f.slot == 1) {
+      EXPECT_EQ(f.rect, "[b1 - 1, b1)");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << res.summary();
+}
+
+TEST(SymbolicMutationTest, DroppedWrapHaloRefillReportsExactRectangle) {
+  SymbolicVerifier v(sym::Family::unaligned(2, 1));
+  // Drop every halo-slot refill (the unaligned copies): slot 0's wrapped
+  // read of the last global row goes uncovered.
+  v.set_copy_filter([](const sym::Copy& c) { return c.aligned; });
+  const CertResult res = v.verify_chain(window_chain(1, maps::Boundary::Wrap));
+  ASSERT_FALSE(res.ok);
+  bool found = false;
+  for (const SymFailure& f : res.failures) {
+    if (f.what == "uncovered-halo-read" && f.slot == 0) {
+      EXPECT_EQ(f.rect, "[R - 1, R)");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << res.summary();
+}
+
+TEST(SymbolicMutationTest, MissingGatherIsAPendingAggregationRead) {
+  SymbolicVerifier v(sym::Family::unaligned(2, 1));
+  // Reductive output read back without a gather in between.
+  const CertResult res = v.verify_chain(
+      {SymStep::task({in_block_arg(0), out_sum_arg(1)}),
+       SymStep::task({in_block_arg(1), out_sj_arg(0)})});
+  ASSERT_FALSE(res.ok);
+  EXPECT_EQ(res.failures.front().what, "pending-aggregation-read");
+}
+
+TEST(SymbolicMutationTest, RoutingPreservesCoverage) {
+  // The same chains verify with the symbolic router on and off — routing
+  // rewrites sources only, never destination rows (the planner invariant).
+  for (const bool routed : {true, false}) {
+    SymbolicVerifier v(sym::Family::unaligned(4, 2));
+    v.set_routing_enabled(routed);
+    const CertResult res =
+        v.verify_chain(window_chain(2, maps::Boundary::Clamp));
+    EXPECT_TRUE(res.ok) << "routing=" << routed << " " << res.summary();
+  }
+}
+
+// --- 4. Strip certificates ---------------------------------------------------
+
+TEST(SymbolicStripTest, StripSplitCertifiedForWholeFamilies) {
+  // Gaps in block rows (unit = 8 rows per block row), radius 3 -> one
+  // leading and one trailing boundary block row per slot.
+  SymbolicVerifier v(sym::Family::unaligned(4, 3, 8));
+  const CertResult res =
+      v.certify_strips(window_chain(3, maps::Boundary::Wrap), 0);
+  EXPECT_TRUE(res.ok) << res.summary();
+  EXPECT_GT(res.obligations, 0u);
+}
+
+TEST(SymbolicStripTest, FamilyWithoutInteriorIsRejected) {
+  // lead + trail + 1 = 3 block rows minimum; a min gap of 2 leaves members
+  // with no interior strip, so no certificate may be issued.
+  SymbolicVerifier v(sym::Family::unaligned(4, 2, 8));
+  const CertResult res =
+      v.certify_strips(window_chain(3, maps::Boundary::Wrap), 0);
+  ASSERT_FALSE(res.ok);
+  EXPECT_EQ(res.failures.front().what, "family-unsupported");
+}
+
+// --- 5. Concretization cross-checks ------------------------------------------
+//
+// Evaluating every symbolic region/copy at one concrete member of the family
+// (the gaps make_partition actually produced) must reproduce the real
+// segmenter's regions and the real location monitor's plans exactly — this
+// pins the abstract interpreter to the runtime it talks about.
+
+using RegionKey = std::tuple<long, long, bool, bool>; ///< lo, hi, zero, aligned
+using CopyKey = std::tuple<int, int, long, long, bool>; ///< dst, src, lo, hi, al
+
+std::vector<long> partition_gaps(const TaskPartition& p) {
+  std::vector<long> gaps;
+  for (const RowInterval& r : p.work_row_ranges) {
+    gaps.push_back(static_cast<long>(r.size()));
+  }
+  return gaps;
+}
+
+void expect_regions_match(int radius, maps::Boundary b, int slots,
+                          std::size_t rows) {
+  SCOPED_TRACE("radius=" + std::to_string(radius) +
+               " slots=" + std::to_string(slots));
+  Matrix<int> m(64, rows, "A");
+  std::vector<int> host(64 * rows);
+  m.Bind(host.data());
+  PatternSpec win = in_window_arg(0, radius, b).spec;
+  win.datum = &m;
+  const TaskPartition p =
+      make_partition(rows, 64, maps::Dim3{32, 8, 1}, 1, 1, slots);
+  const std::vector<long> gaps = partition_gaps(p);
+
+  SymbolicVerifier v(sym::Family::unaligned(slots, std::max(1, radius)));
+  const CertResult res = v.verify_chain(
+      {SymStep::task({SymArg{win, 0}, out_sj_arg(1)})}, /*loop=*/false);
+  ASSERT_TRUE(res.ok) << res.summary();
+  ASSERT_EQ(v.last_trace().size(), 1u);
+
+  for (int s = 0; s < slots; ++s) {
+    const SegmentReq req = compute_requirement(win, p, s);
+    std::vector<RegionKey> concrete;
+    for (const CopyRegion& r : req.input_regions) {
+      concrete.emplace_back(static_cast<long>(r.global.begin),
+                            static_cast<long>(r.global.end), r.zero_fill,
+                            !r.zero_fill &&
+                                region_lands_aligned(r, req.origin));
+    }
+    std::vector<RegionKey> symbolic;
+    for (const SymbolicVerifier::RegionTrace& r : v.last_trace()[0].regions) {
+      if (r.arg != 0 || r.slot != s) {
+        continue;
+      }
+      symbolic.emplace_back(v.family().eval(r.global.lo, gaps),
+                            v.family().eval(r.global.hi, gaps), r.zero_fill,
+                            !r.zero_fill && r.aligned);
+    }
+    std::sort(concrete.begin(), concrete.end());
+    std::sort(symbolic.begin(), symbolic.end());
+    EXPECT_EQ(concrete, symbolic) << "slot " << s;
+  }
+}
+
+TEST(ConcretizationTest, RegionsMatchComputeRequirement) {
+  expect_regions_match(2, maps::Boundary::Clamp, 3, 256);
+  expect_regions_match(1, maps::Boundary::Wrap, 4, 256);
+  expect_regions_match(2, maps::Boundary::Zero, 3, 192);
+  expect_regions_match(0, maps::Boundary::NoChecks, 4, 256);
+  expect_regions_match(3, maps::Boundary::Wrap, 1, 128);
+}
+
+/// Replays one task the way the scheduler drives Algorithm 2: per slot, per
+/// input region, plan against the monitor and mark aligned copies; then mark
+/// the output cores written. Returns the planned copies.
+std::vector<CopyKey>
+emulate_task(SegmentLocationMonitor& mon,
+             const std::vector<PatternSpec>& specs, const TaskPartition& p,
+             int slots) {
+  std::vector<CopyKey> out;
+  for (int s = 0; s < slots; ++s) {
+    for (const PatternSpec& spec : specs) {
+      if (!spec.is_input) {
+        continue;
+      }
+      const SegmentReq req = compute_requirement(spec, p, s);
+      for (const CopyRegion& r : req.input_regions) {
+        if (r.zero_fill) {
+          continue;
+        }
+        const bool aligned = region_lands_aligned(r, req.origin);
+        for (const SegmentLocationMonitor::CopyOp& op : mon.plan_copies(
+                 spec.datum, SegmentLocationMonitor::loc(s), r.global,
+                 aligned)) {
+          out.emplace_back(s + 1, op.src_location,
+                           static_cast<long>(op.rows.begin),
+                           static_cast<long>(op.rows.end), aligned);
+          if (aligned) {
+            mon.mark_copied(spec.datum, SegmentLocationMonitor::loc(s),
+                            op.rows);
+          }
+        }
+      }
+    }
+  }
+  for (const PatternSpec& spec : specs) {
+    if (spec.is_input) {
+      continue;
+    }
+    for (int s = 0; s < slots; ++s) {
+      const SegmentReq req = compute_requirement(spec, p, s);
+      mon.mark_written(spec.datum, SegmentLocationMonitor::loc(s), req.core);
+    }
+  }
+  return out;
+}
+
+std::vector<CopyKey> eval_copies(const sym::Family& f,
+                                 const std::vector<sym::Copy>& copies,
+                                 const std::vector<long>& gaps) {
+  std::vector<CopyKey> out;
+  for (const sym::Copy& c : copies) {
+    out.emplace_back(c.dst_location, c.src_location, f.eval(c.rows.lo, gaps),
+                     f.eval(c.rows.hi, gaps), c.aligned);
+  }
+  return out;
+}
+
+TEST(ConcretizationTest, PlannedCopiesMatchLocationMonitor) {
+  constexpr int kSlots = 3;
+  constexpr std::size_t kRows = 240;
+  constexpr int kRadius = 2;
+  Matrix<int> A(64, kRows, "A"), B(64, kRows, "B");
+  std::vector<int> ah(64 * kRows), bh(64 * kRows);
+  A.Bind(ah.data());
+  B.Bind(bh.data());
+  const TaskPartition p =
+      make_partition(kRows, 64, maps::Dim3{32, 8, 1}, 1, 1, kSlots);
+  const std::vector<long> gaps = partition_gaps(p);
+
+  PatternSpec win = in_window_arg(0, kRadius, maps::Boundary::Wrap).spec;
+  win.datum = &A;
+  PatternSpec blk = in_block_arg(1).spec;
+  blk.datum = &B;
+  PatternSpec out_b = out_sj_arg(1).spec;
+  out_b.datum = &B;
+  PatternSpec out_a = out_sj_arg(0).spec;
+  out_a.datum = &A;
+
+  SegmentLocationMonitor mon(kSlots);
+  mon.register_datum(&A);
+  mon.register_datum(&B);
+  std::vector<CopyKey> cold = emulate_task(mon, {win, out_b}, p, kSlots);
+  emulate_task(mon, {blk, out_a}, p, kSlots); // finish iteration 1
+  std::vector<CopyKey> steady =
+      emulate_task(mon, {win, out_b}, p, kSlots); // iteration 2, task 1
+
+  // Symbolic side: raw Algorithm-2 sources (routing off so the source
+  // choices are comparable one to one).
+  const std::vector<SymStep> chain = window_chain(kRadius,
+                                                  maps::Boundary::Wrap);
+  SymbolicVerifier v(sym::Family::unaligned(kSlots, kRadius));
+  v.set_routing_enabled(false);
+  const CertResult cold_res = v.verify_chain(chain, /*loop=*/false);
+  ASSERT_TRUE(cold_res.ok) << cold_res.summary();
+  std::vector<CopyKey> sym_cold =
+      eval_copies(v.family(), v.last_trace()[0].copies, gaps);
+  const CertResult steady_res = v.verify_chain(chain, /*loop=*/true);
+  ASSERT_TRUE(steady_res.ok) << steady_res.summary();
+  // last_trace() now holds the proven fixpoint iteration: the steady state.
+  std::vector<CopyKey> sym_steady =
+      eval_copies(v.family(), v.last_trace()[0].copies, gaps);
+
+  std::sort(cold.begin(), cold.end());
+  std::sort(sym_cold.begin(), sym_cold.end());
+  std::sort(steady.begin(), steady.end());
+  std::sort(sym_steady.begin(), sym_steady.end());
+  EXPECT_EQ(cold, sym_cold);
+  EXPECT_EQ(steady, sym_steady);
+  // Steady state recopies exactly the halos — interior traffic is gone.
+  EXPECT_LT(steady.size(), cold.size());
+}
+
+TEST(ConcretizationTest, StripHaloBlocksMatchesComputeStrips) {
+  constexpr int kSlots = 4;
+  constexpr std::size_t kRows = 256;
+  for (const int radius : {1, 3, 9}) {
+    SCOPED_TRACE("radius=" + std::to_string(radius));
+    Matrix<int> in(64, kRows, "in"), out(64, kRows, "out");
+    std::vector<int> ih(64 * kRows), oh(64 * kRows);
+    in.Bind(ih.data());
+    out.Bind(oh.data());
+    PatternSpec win = in_window_arg(0, radius, maps::Boundary::Wrap).spec;
+    win.datum = &in;
+    PatternSpec sj = out_sj_arg(1).spec;
+    sj.datum = &out;
+    const std::vector<PatternSpec> specs{win, sj};
+    const TaskPartition p =
+        make_partition(kRows, 64, maps::Dim3{32, 8, 1}, 1, 1, kSlots);
+    const StripShape shape = strip_halo_blocks(specs, p.rows_per_block_row());
+    ASSERT_TRUE(shape.any);
+    for (int s = 0; s < kSlots; ++s) {
+      std::vector<SegmentReq> reqs;
+      for (const PatternSpec& spec : specs) {
+        reqs.push_back(compute_requirement(spec, p, s));
+      }
+      const std::vector<StripRange> strips =
+          compute_strips(specs, p, s, reqs);
+      ASSERT_EQ(strips.size(), 3u);
+      const RowInterval span = p.block_rows[static_cast<std::size_t>(s)];
+      EXPECT_TRUE(strips.front().boundary);
+      EXPECT_EQ(strips.front().block_rows.size(), shape.lead);
+      EXPECT_EQ(strips.front().block_rows.begin, span.begin);
+      EXPECT_FALSE(strips[1].boundary);
+      EXPECT_EQ(strips[1].block_rows.size(),
+                span.size() - shape.lead - shape.trail);
+      EXPECT_TRUE(strips.back().boundary);
+      EXPECT_EQ(strips.back().block_rows.size(), shape.trail);
+      EXPECT_EQ(strips.back().block_rows.end, span.end);
+    }
+  }
+  // No windowed input -> no boundary anywhere, and compute_strips agrees.
+  PatternSpec blk = in_block_arg(0).spec;
+  EXPECT_FALSE(strip_halo_blocks({blk}, 8).any);
+}
+
+} // namespace
