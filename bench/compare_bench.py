@@ -23,7 +23,8 @@ import sys
 # excluded from the regression gate.
 NOISY_KEY = re.compile(
     r"^(plan_us_per_task|wall_us_per_task|plan_time_us|replay_time_us|"
-    r"planning_speedup|wall_ms|wall_speedup)$"
+    r"planning_speedup|wall_ms|wall_speedup|monitor_us_per_task|"
+    r"route_us_per_task|plan_us_ratio)$"
 )
 
 

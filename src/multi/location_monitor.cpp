@@ -17,8 +17,21 @@ void SegmentLocationMonitor::register_datum(const Datum* datum) {
   if (datum->bound()) {
     // The bound host buffer is the initial authoritative copy.
     s.up_to_date[kHost].add(RowInterval{0, datum->rows()});
+    s.holders.push_back(kHost);
   }
   states_.emplace(datum->key(), std::move(s));
+}
+
+void SegmentLocationMonitor::sync_holder(State& s, int location) {
+  const bool holds =
+      !s.up_to_date[static_cast<std::size_t>(location)].empty();
+  auto it = std::lower_bound(s.holders.begin(), s.holders.end(), location);
+  const bool present = it != s.holders.end() && *it == location;
+  if (holds && !present) {
+    s.holders.insert(it, location);
+  } else if (!holds && present) {
+    s.holders.erase(it);
+  }
 }
 
 bool SegmentLocationMonitor::known(const Datum* datum) const {
@@ -77,14 +90,25 @@ SegmentLocationMonitor::plan_copies(const Datum* datum, int target,
     // device hold the rows, and starting the scan at location 0 made the
     // host shadow every device replica — turning free P2P (or intra-device)
     // reuse into host transfers that also contend on the shared host links.
+    // Both scans walk the holder index rather than all locations — an empty
+    // set can neither cover nor intersect anything, so restricting to
+    // holders picks the same winners in the same (ascending-device) order
+    // while the scan cost tracks the replica count, not the device count.
     int single = -1;
-    for (int l = 1; l <= locations_; ++l) {
-      const int cand = l % locations_; // 1..slots, then kHost
+    for (const int cand : s.holders) {
+      if (cand == kHost) { // host is scanned last, below
+        continue;
+      }
       if ((cand != target || !target_holds_slot) &&
           s.up_to_date[static_cast<std::size_t>(cand)].covers(miss)) {
         single = cand;
         break;
       }
+    }
+    if (single < 0 && !s.holders.empty() && s.holders.front() == kHost &&
+        (kHost != target || !target_holds_slot) &&
+        s.up_to_date[kHost].covers(miss)) {
+      single = kHost;
     }
     if (single >= 0) {
       ops.push_back(CopyOp{single, miss});
@@ -92,8 +116,11 @@ SegmentLocationMonitor::plan_copies(const Datum* datum, int target,
     }
     // Lines 9-14: intersect with every other device's holdings.
     IntervalSet remaining({std::vector<RowInterval>{miss}});
-    for (int l = 1; l < locations_ && !remaining.empty(); ++l) {
-      if (l == target && target_holds_slot) {
+    for (const int l : s.holders) {
+      if (remaining.empty()) {
+        break;
+      }
+      if (l == kHost || (l == target && target_holds_slot)) {
         continue;
       }
       for (const RowInterval& piece : remaining.intervals()) {
@@ -152,20 +179,28 @@ void SegmentLocationMonitor::mark_copied(const Datum* datum, int target,
                                          const RowInterval& rows) {
   State& s = state(datum);
   s.up_to_date[static_cast<std::size_t>(target)].add(rows);
+  sync_holder(s, target);
   s.epoch = ++epoch_counter_;
 }
 
 void SegmentLocationMonitor::mark_written(const Datum* datum, int writer,
                                           const RowInterval& rows) {
   State& s = state(datum);
-  for (int l = 0; l < locations_; ++l) {
+  // Only holders can have rows to invalidate. lastOutput is covered too:
+  // every addition to it also lands in up_to_date and every removal strips
+  // both sets identically, so last_output[l] ⊆ up_to_date[l] always holds
+  // and a non-holder has nothing in either set.
+  for (std::size_t i = s.holders.size(); i-- > 0;) {
+    const int l = s.holders[i];
     if (l != writer) {
       s.up_to_date[static_cast<std::size_t>(l)].remove(rows);
       s.last_output[static_cast<std::size_t>(l)].remove(rows);
+      sync_holder(s, l);
     }
   }
   s.up_to_date[static_cast<std::size_t>(writer)].add(rows);
   s.last_output[static_cast<std::size_t>(writer)].add(rows);
+  sync_holder(s, writer);
   s.epoch = ++epoch_counter_;
 }
 
@@ -178,8 +213,13 @@ void SegmentLocationMonitor::state_snapshot(
     const Datum* datum, std::vector<std::uint64_t>& out) const {
   const State& s = state(datum);
   out.push_back(s.has_pending ? 1 : 0);
-  for (const IntervalSet& set : s.up_to_date) {
-    const auto& ivs = set.intervals();
+  // Sparse encoding: only holders appear, each tagged with its location
+  // index. Canonical because the holder index is sorted and an empty set
+  // cannot be a holder, so equal states produce byte-identical encodings.
+  out.push_back(s.holders.size());
+  for (const int l : s.holders) {
+    const auto& ivs = s.up_to_date[static_cast<std::size_t>(l)].intervals();
+    out.push_back(static_cast<std::uint64_t>(l));
     out.push_back(ivs.size());
     for (const RowInterval& iv : ivs) {
       out.push_back(iv.begin);
@@ -202,6 +242,7 @@ void SegmentLocationMonitor::drop_location(int location) {
   for (auto& [key, s] : states_) {
     s.up_to_date[static_cast<std::size_t>(location)].clear();
     s.last_output[static_cast<std::size_t>(location)].clear();
+    sync_holder(s, location);
     s.epoch = ++epoch_counter_;
   }
 }
@@ -210,6 +251,7 @@ void SegmentLocationMonitor::drop_holdings(const Datum* datum, int location) {
   State& s = state(datum);
   s.up_to_date[static_cast<std::size_t>(location)].clear();
   s.last_output[static_cast<std::size_t>(location)].clear();
+  sync_holder(s, location);
   s.epoch = ++epoch_counter_;
 }
 
@@ -234,6 +276,7 @@ void SegmentLocationMonitor::set_pending_aggregation(const Datum* datum,
   for (auto& set : s.last_output) {
     set.clear();
   }
+  s.holders.clear();
   s.pending = std::move(agg);
   s.has_pending = true;
   s.epoch = ++epoch_counter_;
@@ -255,6 +298,7 @@ void SegmentLocationMonitor::capture_state(const Datum* datum,
                                            StateCopy& out) const {
   const State& s = state(datum);
   out.up_to_date = s.up_to_date;
+  out.holders = s.holders;
   if (s.has_pending) { // `pending` is only read behind the flag
     out.pending = s.pending;
   }
@@ -268,6 +312,7 @@ void SegmentLocationMonitor::restore_state(const Datum* datum,
   // Element-wise assignment reuses the existing interval storage, so a
   // steady-state restore allocates nothing.
   s.up_to_date = sc.up_to_date;
+  s.holders = sc.holders;
   if (sc.has_pending) { // `pending` is only read behind the flag
     s.pending = sc.pending;
   }

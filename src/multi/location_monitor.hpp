@@ -116,7 +116,10 @@ public:
   /// Appends a canonical encoding of the datum's planning-relevant state
   /// (up-to-date holdings per location + pending-aggregation flag) to `out`.
   /// lastOutput is deliberately excluded: Algorithm 2 never consults it, so
-  /// two states with equal snapshots plan identical copies.
+  /// two states with equal snapshots plan identical copies. The encoding is
+  /// sparse — only locations that hold anything appear, each tagged with its
+  /// index — so snapshot size scales with the holders, not the device count
+  /// (at 64 devices a datum typically lives on a handful of them).
   void state_snapshot(const Datum* datum, std::vector<std::uint64_t>& out) const;
 
   // --- Aggregation state (Reductive / Unstructured outputs) ----------------
@@ -140,6 +143,7 @@ public:
   /// a replay leaves whatever the live mark path last produced.
   struct StateCopy {
     std::vector<IntervalSet> up_to_date;
+    std::vector<int> holders; ///< Captured holder index (see State::holders).
     PendingAggregation pending;
     bool has_pending = false;
     std::uint64_t epoch = 0; ///< The label this state carried when captured.
@@ -153,12 +157,21 @@ private:
   struct State {
     std::vector<IntervalSet> up_to_date;  // per location
     std::vector<IntervalSet> last_output; // per location
+    /// Holder index: ascending locations whose up_to_date set is non-empty,
+    /// maintained by every mutation. Algorithm 2's source scans and the
+    /// state snapshot iterate this instead of all locations, keeping both
+    /// O(holders) — sub-linear in device count for the common case of a
+    /// datum resident on a few devices out of 64.
+    std::vector<int> holders;
     PendingAggregation pending;
     bool has_pending = false;
     std::uint64_t epoch = 1;
   };
   State& state(const Datum* datum);
   const State& state(const Datum* datum) const;
+  /// Re-syncs one location's membership in the holder index with the
+  /// emptiness of its up_to_date set.
+  static void sync_holder(State& s, int location);
 
   int locations_;
   std::uint64_t epoch_counter_ = 1; ///< Source of unique state labels.

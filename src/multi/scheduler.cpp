@@ -555,10 +555,14 @@ void Scheduler::plan_copies_for(PlanShape& shape, DeviceWiring& dw, int slot,
     // The region's rows are served per Algorithm 2, then routed over the
     // topology by the transfer planner (when active; forced host staging
     // prescribes every route).
+    const auto t_monitor = std::chrono::steady_clock::now();
     auto ops = monitor_.plan_copies(datum, dst_loc, region.global, aligned);
+    stats_.monitor_plan_us += elapsed_us(t_monitor);
     if (planner_active()) {
+      const auto t_route = std::chrono::steady_clock::now();
       ops = planner_.route(datum, dst_loc, alloc.row_bytes, std::move(ops),
                            shape.transfers);
+      stats_.route_plan_us += elapsed_us(t_route);
     } else {
       shape.transfers.copies_planned += static_cast<std::uint32_t>(ops.size());
     }
@@ -1541,6 +1545,34 @@ void Scheduler::kill_device(int slot) {
   // aggregation partials can be lost — the PreGather stage repairs exactly
   // those.
   recover_device(slot, KillStage::PreGather);
+}
+
+void Scheduler::kill_node(int cluster_node) {
+  const sim::Topology& topo = node_.topology();
+  if (cluster_node < 0 || cluster_node >= topo.cluster_nodes()) {
+    throw std::invalid_argument("kill_node: node " +
+                                std::to_string(cluster_node) +
+                                " out of range");
+  }
+  std::vector<int> victims;
+  for (int slot = 0; slot < slots(); ++slot) {
+    if (!dead_[static_cast<std::size_t>(slot)] &&
+        topo.cluster_node_of(devices_[static_cast<std::size_t>(slot)]) ==
+            cluster_node) {
+      victims.push_back(slot);
+    }
+  }
+  if (victims.empty()) {
+    throw std::logic_error("kill_node: node " + std::to_string(cluster_node) +
+                           " has no live devices");
+  }
+  // Sequential losses through the single-device path: each recovery leaves
+  // the scheduler consistent, so the next victim's recovery sees exactly the
+  // state a real cascading loss would. kill_device itself throws if the last
+  // live device would go.
+  for (const int slot : victims) {
+    kill_device(slot);
+  }
 }
 
 void Scheduler::enqueue_host_mirrors(const TaskPlan& plan, int skip_slot) {
@@ -2629,26 +2661,45 @@ void Scheduler::ReduceScatter(Datum& datum, Work work) {
     const std::size_t seg_bytes = rows.size() * row_bytes;
 
     // Hierarchical pre-combine (the reduce dual of the transfer planner's
-    // fan-out trees): when a whole PCIe pair of partials sits on the far
-    // side of the inter-socket link, sum them in-pair first so the target's
-    // segment crosses the socket once instead of once per holder.
+    // fan-out trees): partials are grouped into *combine domains* — PCIe
+    // pairs on the target's own cluster node, whole nodes elsewhere — and
+    // each domain sums locally before its single combined segment travels
+    // to the target. A pair of partials behind the inter-socket link then
+    // crosses it once instead of once per holder, and on a cluster each
+    // remote node's partials cross the network once instead of once per
+    // writer.
     const sim::Topology& topo = node_.topology();
-    const int t_bus = topo.bus_of(devices_[static_cast<std::size_t>(t)]);
+    const int t_dev = devices_[static_cast<std::size_t>(t)];
+    const int t_bus = topo.bus_of(t_dev);
+    const int t_node = topo.cluster_node_of(t_dev);
     std::vector<int> sources;
     std::vector<std::vector<int>> combine_groups;
     {
-      std::vector<std::vector<int>> by_bus(
-          static_cast<std::size_t>(topo.bus_count()));
+      // Domain ids: [0, bus_count) = buses on the target's node,
+      // [bus_count, bus_count + cluster_nodes) = whole remote nodes.
+      const std::size_t n_domains =
+          static_cast<std::size_t>(topo.bus_count()) +
+          static_cast<std::size_t>(topo.cluster_nodes());
+      std::vector<std::vector<int>> by_domain(n_domains);
       for (int s : writers) {
         if (s == t || analyzer_.find(&datum, s) == nullptr) {
           continue;
         }
-        const int bus = topo.bus_of(devices_[static_cast<std::size_t>(s)]);
-        by_bus[static_cast<std::size_t>(bus)].push_back(s);
+        const int dev = devices_[static_cast<std::size_t>(s)];
+        const int s_node = topo.cluster_node_of(dev);
+        const std::size_t dom =
+            s_node == t_node
+                ? static_cast<std::size_t>(topo.bus_of(dev))
+                : static_cast<std::size_t>(topo.bus_count()) +
+                      static_cast<std::size_t>(s_node);
+        by_domain[dom].push_back(s);
       }
-      for (int bus = 0; bus < topo.bus_count(); ++bus) {
-        auto& members = by_bus[static_cast<std::size_t>(bus)];
-        if (!planner_active() || bus == t_bus || members.size() < 2) {
+      for (std::size_t dom = 0; dom < n_domains; ++dom) {
+        auto& members = by_domain[dom];
+        // The target's own bus needs no pre-combine: its partials already
+        // sit one cheap hop away.
+        const bool target_bus = dom == static_cast<std::size_t>(t_bus);
+        if (!planner_active() || target_bus || members.size() < 2) {
           sources.insert(sources.end(), members.begin(), members.end());
           continue;
         }

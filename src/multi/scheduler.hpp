@@ -91,6 +91,12 @@ struct SchedulerStats {
   std::uint64_t uncacheable_tasks = 0;   ///< e.g. CustomAligned row mappings.
   double plan_time_us = 0.0;   ///< Host time spent building plans.
   double replay_time_us = 0.0; ///< Host time spent replaying cached plans.
+  /// Per-phase breakdown of plan_time_us (both are included in it): host
+  /// time inside Algorithm 2 source scans vs. the transfer planner's
+  /// earliest-finish routing. The cluster bench reports these per task to
+  /// show planning stays sub-quadratic in device count.
+  double monitor_plan_us = 0.0;
+  double route_plan_us = 0.0;
   /// Compute–transfer overlap: sub-kernel launches emitted by interior/
   /// boundary splitting, summed over every dispatched task (builds and
   /// replays alike). Zero when overlap is off or no task was splittable.
@@ -357,6 +363,13 @@ public:
   /// finishes first) and runs recovery. Requires fault tolerance enabled;
   /// throws std::logic_error otherwise or if the slot is already dead.
   void kill_device(int slot);
+  /// Kills every live device of one cluster node (a whole-node loss: the
+  /// machine and its NIC go away together) and recovers each in turn via the
+  /// kill_device path — results stay bit-identical to a fault-free run.
+  /// Throws std::invalid_argument for an out-of-range node, std::logic_error
+  /// when the node has no live devices left (mirroring the already-dead slot
+  /// check), and std::runtime_error if the loss would leave no live device.
+  void kill_node(int cluster_node);
   /// Slots still alive, in ascending order (all slots before any loss).
   const std::vector<int>& live_devices() const { return live_; }
   bool device_lost(int slot) const {

@@ -1100,6 +1100,18 @@ CertResult SymbolicVerifier::verify_chain(const std::vector<SymStep>& chain,
   CertResult res;
   Ctx ctx;
   ctx.res = &res;
+  if (cluster_nodes_ > 1) {
+    // The symbolic copy model has no network tier: cluster transfers take
+    // staged multi-leg routes (D2H, NIC, H2D) the proofs cannot see, so
+    // certifying them here would claim coverage the simulator does not
+    // honor. Report outside-model — the dynamic sanitizer owns clusters,
+    // mirroring how CustomAligned segmentations are handled per-arg.
+    fail(ctx, 0, -1, -1, "outside-model", "",
+         "cluster topologies (" + std::to_string(cluster_nodes_) +
+             " nodes) are outside the symbolic model; use the dynamic "
+             "sanitizer for cross-node transfer checking");
+    return res;
+  }
   constexpr int kMaxIter = 6;
   sym::MonitorState prev_end;
   bool fixed = false;

@@ -246,6 +246,14 @@ public:
   /// Route planned copies through TransferPlanner::symbolic_route (on by
   /// default) — proves the routing layer preserves destination coverage.
   void set_routing_enabled(bool on) { routing_ = on; }
+  /// Declares the topology's cluster-node count (sim::Topology::cluster).
+  /// The symbolic model covers a single node only: its copies have no
+  /// network tier, NICs or staged inter-node legs, so for nodes > 1
+  /// verify_chain (and certify_strips, which runs it first) reports one
+  /// "outside-model" failure instead of certifying transfers the simulator
+  /// would route differently — the dynamic sanitizer owns that territory,
+  /// exactly as it owns CustomAligned segmentations.
+  void set_cluster_nodes(int nodes) { cluster_nodes_ = nodes; }
 
   /// Verifies a chain of steps starting from the cold-start state (host
   /// holds every datum). With `loop`, iterates the chain until the symbolic
@@ -323,6 +331,7 @@ private:
   std::function<void(ReadSpanFormula&)> mutator_;
   std::function<bool(const sym::Copy&)> filter_;
   bool routing_ = true;
+  int cluster_nodes_ = 1; ///< >1 ⇒ outside the model (set_cluster_nodes)
   std::vector<StepTrace> trace_;
 };
 

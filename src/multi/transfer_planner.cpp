@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/cost_model.hpp"
+
 namespace maps::multi {
 
 TransferPlanner::TransferPlanner(const SegmentLocationMonitor& monitor,
@@ -15,6 +17,16 @@ TransferPlanner::TransferPlanner(const SegmentLocationMonitor& monitor,
   socket_busy_.resize(static_cast<std::size_t>(topo_.cluster_nodes()),
                       {0.0, 0.0});
   engine_busy_.resize(devices_.size(), {0.0, 0.0});
+  nic_send_busy_.resize(static_cast<std::size_t>(topo_.cluster_nodes()), 0.0);
+  nic_recv_busy_.resize(static_cast<std::size_t>(topo_.cluster_nodes()), 0.0);
+  loc_node_.resize(devices_.size() + 1, 0);
+  node_locs_.resize(static_cast<std::size_t>(topo_.cluster_nodes()));
+  for (std::size_t slot = 0; slot < devices_.size(); ++slot) {
+    const int node = topo_.cluster_node_of(devices_[slot]);
+    loc_node_[slot + 1] = node;
+    node_locs_[static_cast<std::size_t>(node)].push_back(
+        static_cast<int>(slot) + 1);
+  }
 }
 
 void TransferPlanner::begin_task() {
@@ -24,6 +36,8 @@ void TransferPlanner::begin_task() {
             std::array<double, 2>{0.0, 0.0});
   std::fill(engine_busy_.begin(), engine_busy_.end(),
             std::array<double, 2>{0.0, 0.0});
+  std::fill(nic_send_busy_.begin(), nic_send_busy_.end(), 0.0);
+  std::fill(nic_recv_busy_.begin(), nic_recv_busy_.end(), 0.0);
   fresh_.clear();
 }
 
@@ -49,6 +63,14 @@ double TransferPlanner::link_free(const sim::Topology::LinkUse& use) const {
         free_s, socket_busy_[static_cast<std::size_t>(use.socket_node)]
                             [static_cast<std::size_t>(use.socket_dir)]);
   }
+  if (use.nic_send_node >= 0) {
+    free_s = std::max(
+        free_s, nic_send_busy_[static_cast<std::size_t>(use.nic_send_node)]);
+  }
+  if (use.nic_recv_node >= 0) {
+    free_s = std::max(
+        free_s, nic_recv_busy_[static_cast<std::size_t>(use.nic_recv_node)]);
+  }
   return free_s;
 }
 
@@ -64,24 +86,71 @@ void TransferPlanner::reserve_links(const sim::Topology::LinkUse& use,
     socket_busy_[static_cast<std::size_t>(use.socket_node)]
                 [static_cast<std::size_t>(use.socket_dir)] = until;
   }
+  if (use.nic_send_node >= 0) {
+    nic_send_busy_[static_cast<std::size_t>(use.nic_send_node)] = until;
+  }
+  if (use.nic_recv_node >= 0) {
+    nic_recv_busy_[static_cast<std::size_t>(use.nic_recv_node)] = until;
+  }
 }
 
 std::pair<double, std::uint32_t>
-TransferPlanner::source_state(const Datum* datum, int loc,
+TransferPlanner::source_state(const FreshState* fs, int loc,
                               const RowInterval& rows) const {
-  const auto it = fresh_.find(datum->key());
-  if (it == fresh_.end()) {
+  if (fs == nullptr) {
     return {0.0, 0};
   }
   double ready = 0.0;
   std::uint32_t depth = 0;
-  for (const Fresh& f : it->second[static_cast<std::size_t>(loc)]) {
+  for (const Fresh& f : fs->per_loc[static_cast<std::size_t>(loc)]) {
     if (f.rows.begin < rows.end && rows.begin < f.rows.end) {
       ready = std::max(ready, f.ready_s);
       depth = std::max(depth, f.depth);
     }
   }
   return {ready, depth};
+}
+
+void TransferPlanner::collect_candidates(const FreshState* fs, int op_src,
+                                         int target_location) {
+  cand_buf_.clear();
+  const int locations = static_cast<int>(devices_.size()) + 1;
+  if (topo_.cluster_nodes() <= 1) {
+    // Single node: every location is a candidate, exactly the PR 3 scan.
+    for (int l = 0; l < locations; ++l) {
+      if (l != target_location) {
+        cand_buf_.push_back(l);
+      }
+    }
+    return;
+  }
+  cand_buf_.push_back(SegmentLocationMonitor::kHost);
+  cand_buf_.push_back(op_src);
+  const int target_node = loc_node_[static_cast<std::size_t>(target_location)];
+  for (int l : node_locs_[static_cast<std::size_t>(target_node)]) {
+    cand_buf_.push_back(l);
+  }
+  if (fs != nullptr) {
+    // One fresh-replica gateway per remote node: the first location of each
+    // node that this task already routed rows to. Enough for the
+    // earliest-finish rule to build inter-node forwarding trees without
+    // scanning every device (coverage of the specific rows is re-checked by
+    // route(); a gateway that misses them simply loses the comparison).
+    int last_node = -1;
+    for (int l : fs->fresh_locs) {
+      const int node = loc_node_[static_cast<std::size_t>(l)];
+      if (node != target_node && node != last_node) {
+        cand_buf_.push_back(l);
+        last_node = node;
+      }
+    }
+  }
+  std::sort(cand_buf_.begin(), cand_buf_.end());
+  cand_buf_.erase(std::unique(cand_buf_.begin(), cand_buf_.end()),
+                  cand_buf_.end());
+  cand_buf_.erase(
+      std::remove(cand_buf_.begin(), cand_buf_.end(), target_location),
+      cand_buf_.end());
 }
 
 void TransferPlanner::account(TransferStats& stats, const sim::Topology& topo,
@@ -105,6 +174,15 @@ void TransferPlanner::account(TransferStats& stats, const sim::Topology& topo,
   case sim::LinkClass::HostStaged:
     stats.bytes_host_staged += bytes;
     break;
+  case sim::LinkClass::NetworkSend:
+    stats.bytes_net_send += bytes;
+    break;
+  case sim::LinkClass::NetworkRecv:
+    stats.bytes_net_recv += bytes;
+    break;
+  case sim::LinkClass::NetworkStaged:
+    stats.bytes_net_staged += bytes;
+    break;
   }
 }
 
@@ -114,7 +192,6 @@ TransferPlanner::route(const Datum* datum, int target_location,
                        std::vector<SegmentLocationMonitor::CopyOp> ops,
                        TransferStats& stats) {
   stats.copies_planned += static_cast<std::uint32_t>(ops.size());
-  const int locations = static_cast<int>(devices_.size()) + 1;
   const int target_slot = target_location - 1;
   const sim::Endpoint dst = endpoint(target_location);
 
@@ -122,35 +199,28 @@ TransferPlanner::route(const Datum* datum, int target_location,
   // monitor may hand us one wide op whose source rows become ready at
   // different times (some original, some still in flight). Each span routes
   // independently so it stalls only on its own source; the coalescing pass
-  // below re-merges spans that end up equal.
+  // below re-merges spans that end up equal. The boundary list is maintained
+  // incrementally as replicas are committed (FreshState::cuts), so this pass
+  // costs O(cuts), not a rescan of every location's replica list.
   const auto fresh_it = fresh_.find(datum->key());
-  if (fresh_it != fresh_.end()) {
-    std::vector<std::size_t> cuts;
-    for (const auto& per_loc : fresh_it->second) {
-      for (const Fresh& f : per_loc) {
-        cuts.push_back(f.rows.begin);
-        cuts.push_back(f.rows.end);
-      }
-    }
-    std::sort(cuts.begin(), cuts.end());
-    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
-    if (!cuts.empty()) {
-      std::vector<SegmentLocationMonitor::CopyOp> split;
-      split.reserve(ops.size());
-      for (const auto& op : ops) {
-        SegmentLocationMonitor::CopyOp piece = op;
-        for (std::size_t cut : cuts) {
-          if (cut > piece.rows.begin && cut < piece.rows.end) {
-            SegmentLocationMonitor::CopyOp head = piece;
-            head.rows.end = cut;
-            split.push_back(head);
-            piece.rows.begin = cut;
-          }
+  const FreshState* fs = fresh_it == fresh_.end() ? nullptr : &fresh_it->second;
+  if (fs != nullptr && !fs->cuts.empty()) {
+    const auto& cuts = fs->cuts;
+    std::vector<SegmentLocationMonitor::CopyOp> split;
+    split.reserve(ops.size());
+    for (const auto& op : ops) {
+      SegmentLocationMonitor::CopyOp piece = op;
+      for (std::size_t cut : cuts) {
+        if (cut > piece.rows.begin && cut < piece.rows.end) {
+          SegmentLocationMonitor::CopyOp head = piece;
+          head.rows.end = cut;
+          split.push_back(head);
+          piece.rows.begin = cut;
         }
-        split.push_back(piece);
       }
-      ops = std::move(split);
+      split.push_back(piece);
     }
+    ops = std::move(split);
   }
 
   // Source-readiness of each op's chosen source (0 for data already in
@@ -172,12 +242,12 @@ TransferPlanner::route(const Datum* datum, int target_location,
     int best_rank = 0;
     std::uint32_t best_depth = 0;
     double best_ready = 0.0;
+    bool best_network = false;
     sim::Topology::LinkUse best_use;
 
-    for (int l = 0; l < locations; ++l) {
-      if (l == target_location) {
-        continue;
-      }
+    collect_candidates(fs, op.src_location, target_location);
+    stats.candidates_scanned += cand_buf_.size();
+    for (int l : cand_buf_) {
       // The monitor's own pick is always a valid candidate; any other
       // location qualifies iff its up-to-date holdings cover the rows
       // (including replicas this task routed to it moments ago — the build
@@ -190,7 +260,7 @@ TransferPlanner::route(const Datum* datum, int target_location,
       const bool staged = !src.is_host() && !dst.is_host() &&
                           !topo_.peer_enabled(src.device, dst.device);
       const sim::Topology::LinkUse use = topo_.link_use(src, dst, staged);
-      const auto [ready, depth] = source_state(datum, l, op.rows);
+      const auto [ready, depth] = source_state(fs, l, op.rows);
       // Mirror the simulator: setup latency pipelines with whatever is still
       // draining the shared link, so only the data phase queues behind it.
       const double setup =
@@ -203,17 +273,13 @@ TransferPlanner::route(const Datum* datum, int target_location,
         const auto& eng = engine_busy_[static_cast<std::size_t>(target_slot)];
         start = std::max(start, std::min(eng[0], eng[1]));
       }
-      double duration;
-      if (staged) {
-        duration = topo_.transfer_seconds(src, sim::Endpoint::host(), bytes) +
-                   topo_.transfer_seconds(sim::Endpoint::host(), dst, bytes) +
-                   topo_.host_staging_software_us * 1e-6;
-      } else {
-        duration = topo_.transfer_seconds(src, dst, bytes);
-      }
+      // The simulator's own duration model, network hop included — the
+      // planner must see the same cross-node cost the event loop will
+      // charge, or it would rank remote sources too cheap.
+      const double duration = sim::copy_seconds(topo_, src, dst, bytes, staged);
       const double finish = start + duration;
-      const int rank =
-          sim::Topology::link_rank(topo_.link_class(src, dst, staged));
+      const sim::LinkClass cls = topo_.link_class(src, dst, staged);
+      const int rank = sim::Topology::link_rank(cls);
       if (finish < best_finish ||
           (finish == best_finish &&
            (rank < best_rank || (rank == best_rank && l < best_loc)))) {
@@ -222,6 +288,7 @@ TransferPlanner::route(const Datum* datum, int target_location,
         best_rank = rank;
         best_depth = depth;
         best_ready = ready;
+        best_network = sim::Topology::crosses_network(cls);
         best_use = use;
       }
     }
@@ -234,6 +301,9 @@ TransferPlanner::route(const Datum* datum, int target_location,
       ++stats.copies_rerouted;
       op.src_location = best_loc;
     }
+    if (best_network) {
+      ++stats.staged_routes_planned;
+    }
     // Commit the choice to the load tracker so later ops (of this and every
     // following slot in the task) see this transfer occupying its links and
     // one of the destination's copy engines.
@@ -242,12 +312,26 @@ TransferPlanner::route(const Datum* datum, int target_location,
       auto& eng = engine_busy_[static_cast<std::size_t>(target_slot)];
       (eng[0] <= eng[1] ? eng[0] : eng[1]) = best_finish;
     }
-    auto& per_loc = fresh_[datum->key()];
-    if (per_loc.empty()) {
-      per_loc.resize(static_cast<std::size_t>(locations));
+    FreshState& fstate = fresh_[datum->key()];
+    if (fstate.per_loc.empty()) {
+      fstate.per_loc.resize(devices_.size() + 1);
     }
-    per_loc[static_cast<std::size_t>(target_location)].push_back(
+    fstate.per_loc[static_cast<std::size_t>(target_location)].push_back(
         Fresh{op.rows, best_finish, best_depth + 1});
+    // Maintain the digests: the sorted location list feeds the remote
+    // gateway scan, the sorted boundary list feeds the op-splitting pass.
+    auto lit = std::lower_bound(fstate.fresh_locs.begin(),
+                                fstate.fresh_locs.end(), target_location);
+    if (lit == fstate.fresh_locs.end() || *lit != target_location) {
+      fstate.fresh_locs.insert(lit, target_location);
+    }
+    for (const std::size_t cut : {op.rows.begin, op.rows.end}) {
+      auto cit =
+          std::lower_bound(fstate.cuts.begin(), fstate.cuts.end(), cut);
+      if (cit == fstate.cuts.end() || *cit != cut) {
+        fstate.cuts.insert(cit, cut);
+      }
+    }
     stats.max_fanout_depth = std::max(stats.max_fanout_depth, best_depth + 1);
   }
 

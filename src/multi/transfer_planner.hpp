@@ -31,6 +31,20 @@
 // Finally, ops that end up adjacent with the same source are coalesced into
 // one transfer (each op pays the per-transfer latency in the simulator).
 //
+// On cluster topologies (sim::Topology::cluster) the same rule becomes
+// hierarchical. The load model gains the per-node NICs, the duration
+// estimate gains the network hop (mirroring sim::copy_seconds exactly), and
+// the candidate set per op shrinks from every location to: the monitor's own
+// pick, the host, the destination node's locations, and one fresh-replica
+// gateway per remote node. Under NIC contention the earliest-finish rule
+// then crosses the network once per destination *node* — the first transfer
+// into a node pays the NIC hop, after which that node's replica is the
+// cheapest source for its neighbours — and remote gateways with fresh
+// replicas forward across their own NICs, so one-to-many distributions form
+// inter-node trees instead of serializing on the head node's egress NIC.
+// The reduce dual (Scheduler::ReduceScatter) pre-combines partials within
+// each node before its combined segment crosses the network once.
+//
 // Everything here is deterministic and runs at plan-build time only: routed
 // plans are baked into the immutable PlanShape, flow through the scheduler's
 // plan cache unchanged, and replay without consulting the planner again.
@@ -58,6 +72,12 @@ struct TransferStats {
   std::uint64_t bytes_p2p_same_bus = 0;
   std::uint64_t bytes_p2p_cross_bus = 0;
   std::uint64_t bytes_host_staged = 0;
+  // Network link classes (cluster topologies only; see sim::LinkClass).
+  // Transfers are classified by the full path they take, so cross-node
+  // traffic lands here rather than in the single-node counters above.
+  std::uint64_t bytes_net_send = 0;   ///< remote device -> head host
+  std::uint64_t bytes_net_recv = 0;   ///< head host -> remote device
+  std::uint64_t bytes_net_staged = 0; ///< device -> device across nodes
 
   std::uint32_t copies_planned = 0;   ///< raw Algorithm-2 ops before routing
   std::uint32_t copies_issued = 0;    ///< transfers actually dispatched
@@ -65,13 +85,23 @@ struct TransferStats {
   std::uint32_t copies_coalesced = 0; ///< ops merged into an adjacent one
   std::uint32_t copies_chunked = 0;   ///< extra pieces from row-range chunking
   std::uint32_t max_fanout_depth = 0; ///< longest replica-forwarding chain
+  /// Routed ops whose chosen source crosses the inter-node network: the
+  /// hierarchical planner's claim — one crossing per destination node, not
+  /// per destination device — is asserted against this counter.
+  std::uint32_t staged_routes_planned = 0;
+  /// Source candidates examined by route(), summed over ops. The planner's
+  /// per-op scan is O(gpus-per-node + nodes) on a cluster, not O(devices);
+  /// benches gate the asymptotics on this deterministic counter instead of
+  /// noisy wall-clock time.
+  std::uint64_t candidates_scanned = 0;
 
   /// Sum of every byte category — the total data the task actually moves.
   /// Routing, coalescing and chunking may reclassify bytes between
   /// categories but must never change this total.
   std::uint64_t bytes_total() const {
     return bytes_h2d + bytes_d2h + bytes_p2p_same_bus + bytes_p2p_cross_bus +
-           bytes_host_staged;
+           bytes_host_staged + bytes_net_send + bytes_net_recv +
+           bytes_net_staged;
   }
 
   void add(const TransferStats& o) {
@@ -80,12 +110,17 @@ struct TransferStats {
     bytes_p2p_same_bus += o.bytes_p2p_same_bus;
     bytes_p2p_cross_bus += o.bytes_p2p_cross_bus;
     bytes_host_staged += o.bytes_host_staged;
+    bytes_net_send += o.bytes_net_send;
+    bytes_net_recv += o.bytes_net_recv;
+    bytes_net_staged += o.bytes_net_staged;
     copies_planned += o.copies_planned;
     copies_issued += o.copies_issued;
     copies_rerouted += o.copies_rerouted;
     copies_coalesced += o.copies_coalesced;
     copies_chunked += o.copies_chunked;
     max_fanout_depth = std::max(max_fanout_depth, o.max_fanout_depth);
+    staged_routes_planned += o.staged_routes_planned;
+    candidates_scanned += o.candidates_scanned;
   }
 };
 
@@ -151,17 +186,40 @@ private:
     std::uint32_t depth = 0; ///< forwarding-chain length that produced it
   };
 
+  /// Per-datum fresh-replica state for one task. Beyond the per-location
+  /// replica lists this keeps two incrementally-maintained digests so
+  /// route() stays sub-linear in device count: the sorted-unique row
+  /// boundaries of every replica (op splitting consults them directly
+  /// instead of rescanning all locations), and the sorted list of locations
+  /// that hold any fresh replica (the hierarchical candidate set picks one
+  /// gateway per remote cluster node from it).
+  struct FreshState {
+    std::vector<std::vector<Fresh>> per_loc;
+    std::vector<int> fresh_locs;    ///< ascending locations with replicas
+    std::vector<std::size_t> cuts;  ///< sorted unique replica row boundaries
+  };
+
   sim::Endpoint endpoint(int location) const;
   double link_free(const sim::Topology::LinkUse& use) const;
   void reserve_links(const sim::Topology::LinkUse& use, double until);
   /// Estimated ready time and chain depth of `rows` at `loc` (0/0 for
   /// replicas that existed before this task).
-  std::pair<double, std::uint32_t> source_state(const Datum* datum, int loc,
+  std::pair<double, std::uint32_t> source_state(const FreshState* fs, int loc,
                                                 const RowInterval& rows) const;
+  /// Candidate source locations for one op targeting `target_location`:
+  /// every location on a single node; on a cluster, the monitor's own pick,
+  /// the host, the target node's locations, and one fresh-replica gateway
+  /// per remote node — O(gpus-per-node + nodes), not O(devices).
+  void collect_candidates(const FreshState* fs, int op_src,
+                          int target_location);
 
   const SegmentLocationMonitor& monitor_;
   const sim::Topology& topo_;
   std::vector<int> devices_;
+  /// Cluster node of each location (index 0 = host = head node).
+  std::vector<int> loc_node_;
+  /// Locations per cluster node (host excluded; ascending within a node).
+  std::vector<std::vector<int>> node_locs_;
 
   // Per-task shared-link and destination-engine load estimates, in seconds
   // of estimated busy-until time relative to the task's start. These mirror
@@ -172,8 +230,11 @@ private:
   std::vector<double> downlink_busy_; ///< per bus
   std::vector<std::array<double, 2>> socket_busy_; ///< per node, per direction
   std::vector<std::array<double, 2>> engine_busy_; ///< per slot, two engines
-  /// Fresh replicas routed this task: datum key -> per-location list.
-  std::unordered_map<const void*, std::vector<std::vector<Fresh>>> fresh_;
+  std::vector<double> nic_send_busy_; ///< per cluster node (egress NIC)
+  std::vector<double> nic_recv_busy_; ///< per cluster node (ingress NIC)
+  /// Fresh replicas routed this task: datum key -> per-location state.
+  std::unordered_map<const void*, FreshState> fresh_;
+  std::vector<int> cand_buf_; ///< scratch for collect_candidates
   std::size_t max_coalesce_bytes_ = 0; ///< 0 = no cap (see setter)
 };
 

@@ -37,23 +37,25 @@ double kernel_seconds(const DeviceSpec& spec, const LaunchStats& stats) {
 
 double copy_seconds(const Topology& topo, Endpoint src, Endpoint dst,
                     std::size_t bytes, bool host_staged) {
+  // Endpoints on different cluster nodes pay one network hop on top of the
+  // PCIe legs (host endpoints count as the head node — bound host buffers
+  // live in its RAM). Zero within a node, so single-node topologies are
+  // untouched by this term.
+  const double net = topo.network_seconds(src.device, dst.device, bytes);
   if (!host_staged) {
-    return topo.transfer_seconds(src, dst, bytes);
+    return topo.transfer_seconds(src, dst, bytes) + net;
   }
   // Device -> host RAM -> device, plus software (MPI/IPC or host-based API)
   // latency. This is the path the paper identifies as the scaling killer in
-  // CUBLAS-XT (§5.4) and NMF-mGPU (§6.2).
+  // CUBLAS-XT (§5.4) and NMF-mGPU (§6.2); across cluster nodes it
+  // additionally crosses the network once (D2H -> NIC -> H2D legs).
   const Endpoint host = Endpoint::host();
-  double t = topo.host_staging_software_us * 1e-6;
+  double t = topo.host_staging_software_us * 1e-6 + net;
   if (!src.is_host()) {
     t += topo.transfer_seconds(src, host, bytes);
   }
   if (!dst.is_host()) {
     t += topo.transfer_seconds(host, dst, bytes);
-  }
-  if (!src.is_host() && !dst.is_host()) {
-    // Across cluster nodes the staged copy additionally crosses the network.
-    t += topo.network_seconds(src.device, dst.device, bytes);
   }
   return t;
 }

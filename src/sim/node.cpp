@@ -90,6 +90,11 @@ struct Node::LinkState {
   // Full-duplex inter-socket link, one pair per cluster node (indexed by
   // cluster node; [0] ascending bus direction, [1] descending).
   double socket_free_s[2] = {0.0, 0.0};
+  // Full-duplex NIC, one per cluster node (indexed by cluster node): every
+  // transfer leaving the node serializes on nic_send, every transfer
+  // entering it on nic_recv, regardless of link class.
+  double nic_send_free_s = 0.0;
+  double nic_recv_free_s = 0.0;
 };
 
 Node::Node(std::vector<DeviceSpec> specs, Topology topo, ExecMode mode)
@@ -465,6 +470,16 @@ double Node::link_free_time(const Command& cmd) const {
                       links_[static_cast<std::size_t>(use.socket_node)]
                           .socket_free_s[use.socket_dir]);
   }
+  if (use.nic_send_node >= 0) {
+    free_s = std::max(
+        free_s,
+        links_[static_cast<std::size_t>(use.nic_send_node)].nic_send_free_s);
+  }
+  if (use.nic_recv_node >= 0) {
+    free_s = std::max(
+        free_s,
+        links_[static_cast<std::size_t>(use.nic_recv_node)].nic_recv_free_s);
+  }
   return free_s;
 }
 
@@ -486,6 +501,16 @@ void Node::reserve_links(const Command& cmd, double completion,
         .socket_free_s[use.socket_dir] = completion;
     stats_.socket_link_busy_seconds += duration;
   }
+  if (use.nic_send_node >= 0) {
+    links_[static_cast<std::size_t>(use.nic_send_node)].nic_send_free_s =
+        completion;
+    stats_.nic_send_busy_seconds += duration;
+  }
+  if (use.nic_recv_node >= 0) {
+    links_[static_cast<std::size_t>(use.nic_recv_node)].nic_recv_free_s =
+        completion;
+    stats_.nic_recv_busy_seconds += duration;
+  }
 }
 
 void Node::account(const Command& cmd, int device, double duration) {
@@ -503,19 +528,31 @@ void Node::account(const Command& cmd, int device, double duration) {
     const std::size_t di =
         cmd.dst.is_host() ? 0 : static_cast<std::size_t>(cmd.dst.device) + 1;
     stats_.bytes_between[si][di] += cmd.bytes;
-    if (cmd.host_staged) {
-      stats_.bytes_host_staged += cmd.bytes;
-    } else if (cmd.src.is_host()) {
-      stats_.bytes_h2d += cmd.bytes;
-    } else if (cmd.dst.is_host()) {
-      stats_.bytes_d2h += cmd.bytes;
-    } else if (cmd.src.device != cmd.dst.device) {
+    switch (topo_.link_class(cmd.src, cmd.dst, cmd.host_staged)) {
+    case LinkClass::IntraDevice:
+      break; // never leaves the device: no interconnect traffic
+    case LinkClass::PeerSameBus:
       stats_.bytes_p2p += cmd.bytes;
-      if (topo_.bus_of(cmd.src.device) == topo_.bus_of(cmd.dst.device)) {
-        stats_.bytes_p2p_same_bus += cmd.bytes;
-      } else {
-        stats_.bytes_p2p_cross_bus += cmd.bytes;
-      }
+      stats_.bytes_p2p_same_bus += cmd.bytes;
+      break;
+    case LinkClass::PeerCrossBus:
+      stats_.bytes_p2p += cmd.bytes;
+      stats_.bytes_p2p_cross_bus += cmd.bytes;
+      break;
+    case LinkClass::HostToDevice:
+      stats_.bytes_h2d += cmd.bytes;
+      break;
+    case LinkClass::DeviceToHost:
+      stats_.bytes_d2h += cmd.bytes;
+      break;
+    case LinkClass::HostStaged:
+      stats_.bytes_host_staged += cmd.bytes;
+      break;
+    case LinkClass::NetworkSend:
+    case LinkClass::NetworkRecv:
+    case LinkClass::NetworkStaged:
+      stats_.bytes_network += cmd.bytes;
+      break;
     }
     break;
   }

@@ -30,6 +30,12 @@ struct SimStats {
   std::uint64_t bytes_d2h = 0;
   std::uint64_t bytes_p2p = 0; ///< device-to-device, direct peer path
   std::uint64_t bytes_host_staged = 0; ///< device-to-device through the host
+  /// Payload bytes that crossed the inter-node network (cluster topologies:
+  /// link classes NetworkSend / NetworkRecv / NetworkStaged). Disjoint from
+  /// the single-node counters above — a transfer is classified by the full
+  /// path it takes, so cross-node traffic lands here, not in bytes_h2d/d2h/
+  /// host_staged.
+  std::uint64_t bytes_network = 0;
 
   // Split of bytes_p2p by physical path (transfer-routing tests use these to
   // check traffic lands on the link class the planner chose).
@@ -45,6 +51,10 @@ struct SimStats {
   double host_uplink_busy_seconds = 0;
   double host_downlink_busy_seconds = 0;
   double socket_link_busy_seconds = 0;
+  /// NIC busy time summed across cluster nodes, per direction (the NICs are
+  /// full duplex; each node's egress and ingress serialize independently).
+  double nic_send_busy_seconds = 0;
+  double nic_recv_busy_seconds = 0;
 
   /// bytes_between[i][j]: bytes moved from endpoint i to endpoint j, where
   /// index 0 is the host and index d+1 is device d.

@@ -39,8 +39,8 @@ int Topology::bus_of(int device) const {
 }
 
 int Topology::cluster_node_of(int device) const {
-  if (gpus_per_node_ <= 0) {
-    return 0;
+  if (gpus_per_node_ <= 0 || device < 0) {
+    return 0; // host endpoints live in the head node's RAM
   }
   return device / gpus_per_node_;
 }
@@ -67,6 +67,18 @@ LinkClass Topology::link_class(Endpoint src, Endpoint dst,
                                bool host_staged) const {
   if (!src.is_host() && !dst.is_host() && src.device == dst.device) {
     return LinkClass::IntraDevice;
+  }
+  // Cross-node transfers are network-classed regardless of the staging flag:
+  // a cluster hop is inherently staged through the endpoints' hosts and the
+  // NICs, so the flag adds nothing the node placement doesn't already say.
+  if (cluster_node_of(src.device) != cluster_node_of(dst.device)) {
+    if (src.is_host()) {
+      return LinkClass::NetworkRecv;
+    }
+    if (dst.is_host()) {
+      return LinkClass::NetworkSend;
+    }
+    return LinkClass::NetworkStaged;
   }
   if (host_staged) {
     return LinkClass::HostStaged;
@@ -103,6 +115,28 @@ Topology::LinkUse Topology::link_use(Endpoint src, Endpoint dst,
     // downlink, into the destination bus's uplink (the same bus when the
     // staging is forced rather than cross-node).
     use.downlink_bus = bus_of(src.device);
+    use.uplink_bus = bus_of(dst.device);
+    break;
+  case LinkClass::NetworkSend:
+    // Remote device -> head host: PCIe D2H on the source node, then the
+    // source node's egress NIC into the head node's ingress NIC.
+    use.downlink_bus = bus_of(src.device);
+    use.nic_send_node = cluster_node_of(src.device);
+    use.nic_recv_node = cluster_node_of(dst.device);
+    break;
+  case LinkClass::NetworkRecv:
+    // Head host -> remote device: head egress NIC, destination ingress NIC,
+    // then PCIe H2D on the destination node.
+    use.nic_send_node = cluster_node_of(src.device);
+    use.nic_recv_node = cluster_node_of(dst.device);
+    use.uplink_bus = bus_of(dst.device);
+    break;
+  case LinkClass::NetworkStaged:
+    // Device -> device across nodes: D2H out of the source bus, one NIC hop
+    // (source egress, destination ingress), H2D into the destination bus.
+    use.downlink_bus = bus_of(src.device);
+    use.nic_send_node = cluster_node_of(src.device);
+    use.nic_recv_node = cluster_node_of(dst.device);
     use.uplink_bus = bus_of(dst.device);
     break;
   }

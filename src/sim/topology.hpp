@@ -29,8 +29,14 @@ enum class LinkClass {
   PeerCrossBus, ///< P2P across the inter-socket link
   HostToDevice, ///< over the host's PCIe uplink
   DeviceToHost, ///< over the host's PCIe downlink
-  HostStaged,   ///< D2H + H2D bounce through host RAM (and the network,
-                ///< when the endpoints live on different cluster nodes)
+  HostStaged,   ///< D2H + H2D bounce through host RAM within one node
+  // Network tier (cluster topologies only; see Topology::cluster). Bound
+  // host buffers live on the head node (cluster node 0), so host transfers
+  // touching a device on another node cross the network too. Each class
+  // occupies the NICs it traverses (LinkUse::nic_send_node / nic_recv_node).
+  NetworkSend,   ///< device on a remote node -> head-node host RAM
+  NetworkRecv,   ///< head-node host RAM -> device on a remote node
+  NetworkStaged, ///< device -> device across nodes: D2H + NIC hop + H2D
 };
 
 /// Per-node interconnect description with a simple per-hop bandwidth/latency
@@ -58,9 +64,14 @@ public:
 
   int device_count() const { return device_count_; }
   int bus_of(int device) const;
-  /// Cluster node a device belongs to (0 when single-node).
+  /// Cluster node a device belongs to (0 when single-node). Negative device
+  /// indices (host endpoints) map to the head node: bound host buffers live
+  /// in the head node's RAM, which is what makes remote host transfers pay
+  /// the network hop.
   int cluster_node_of(int device) const;
   int cluster_nodes() const { return cluster_nodes_; }
+  /// Devices per cluster node (0 = all devices in one node).
+  int gpus_per_node() const { return gpus_per_node_; }
   /// True when src and dst can exchange data without host staging
   /// (false across cluster nodes).
   bool peer_enabled(int src, int dst) const;
@@ -76,9 +87,16 @@ public:
                        bool host_staged = false) const;
 
   /// Routing preference of a link class: lower ranks are cheaper / less
-  /// shared (in-pair P2P < cross-bus P2P < H2D < D2H < host-staged).
-  /// IntraDevice ranks cheapest of all — it never leaves the device.
+  /// shared (in-pair P2P < cross-bus P2P < H2D < D2H < host-staged < the
+  /// network classes). IntraDevice ranks cheapest of all — it never leaves
+  /// the device.
   static int link_rank(LinkClass c) { return static_cast<int>(c); }
+
+  /// True when the class traverses the inter-node network.
+  static bool crosses_network(LinkClass c) {
+    return c == LinkClass::NetworkSend || c == LinkClass::NetworkRecv ||
+           c == LinkClass::NetworkStaged;
+  }
 
   /// Shared interconnect resources one transfer occupies (-1 = unused). The
   /// simulator serializes concurrent transfers on each shared resource;
@@ -91,11 +109,19 @@ public:
   /// downlink are independent directions of the same x16 connection), and
   /// cross-bus peer traffic shares one full-duplex inter-socket link per
   /// cluster node (one resource per direction).
+  /// Each cluster node owns one full-duplex NIC shared by every transfer
+  /// entering or leaving the node: the send and receive directions are
+  /// independent resources, but a node's egress (or ingress) traffic
+  /// serializes on the one NIC regardless of which link class it belongs to
+  /// — the same resource identity a transfer planner must model to cross
+  /// the network once per destination node instead of once per device.
   struct LinkUse {
     int uplink_bus = -1;    ///< host->device: dst's bus uplink
     int downlink_bus = -1;  ///< device->host: src's bus downlink
     int socket_node = -1;   ///< cross-bus P2P: cluster node of the hop
     int socket_dir = 0;     ///< 0 = ascending bus index, 1 = descending
+    int nic_send_node = -1; ///< egress NIC (cluster node the data leaves)
+    int nic_recv_node = -1; ///< ingress NIC (cluster node the data enters)
   };
   LinkUse link_use(Endpoint src, Endpoint dst, bool host_staged = false) const;
   /// Number of PCIe buses (consecutive device pairs).

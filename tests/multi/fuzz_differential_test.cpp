@@ -173,12 +173,16 @@ struct OverlapCfg {
 /// the scheduler's copy fault hook for the kernel tasks. `fault_tolerance`
 /// switches on host mirroring, and `injector` (optional, requires fault
 /// tolerance) kills a device at a seeded dispatch boundary mid-chain.
+/// `cluster_nodes > 0` spreads the devices over that many cluster nodes
+/// (devices must divide evenly); `planner` forces the transfer planner on
+/// (1) or off (0), -1 keeps the scheduler default.
 RunResult run_chain(const FuzzCase& fc, int devices,
                     Scheduler::CopyFaultHook fault = nullptr,
                     const OverlapCfg& overlap = OverlapCfg{},
                     bool fault_tolerance = false,
                     FaultInjector injector = nullptr,
-                    int exec_threads = -1) {
+                    int exec_threads = -1, int cluster_nodes = 0,
+                    int planner = -1) {
   using Win = Window2D<int, 1, maps::WRAP>;
   using Pt = Window2D<int, 0, maps::WRAP>;
   using Out = StructuredInjective<int, 2>;
@@ -191,10 +195,17 @@ RunResult run_chain(const FuzzCase& fc, int devices,
     v = static_cast<int>(init_rng() % 1000);
   }
 
-  sim::Node node(sim::homogeneous_node(arch_spec(fc.arch), devices));
+  const sim::Topology topo =
+      cluster_nodes > 0
+          ? sim::Topology::cluster(cluster_nodes, devices / cluster_nodes)
+          : sim::Topology::pcie3_pairs(devices);
+  sim::Node node(sim::homogeneous_node(arch_spec(fc.arch), devices), topo);
   Scheduler sched(node);
   if (exec_threads >= 0) {
     sched.set_exec_threads(static_cast<unsigned>(exec_threads));
+  }
+  if (planner >= 0) {
+    sched.set_transfer_planner_enabled(planner != 0);
   }
   if (fault_tolerance) {
     sched.set_fault_tolerance_enabled(true);
@@ -585,6 +596,55 @@ TEST(FaultFuzz, RandomDeviceLossKeepsChainsBitIdentical) {
   }
   // The seed range must actually exercise recovery.
   EXPECT_GE(exercised, 20);
+}
+
+// --- Cluster fuzz: hierarchical routing never changes results ----------------
+
+TEST(ClusterFuzz, PlannerOnOffBitIdenticalAcrossNodeBoundaries) {
+  // Cluster slice (2 nodes x 2-4 GPUs per node): the hierarchical planner
+  // only reroutes copies — it picks sources and stages node crossings, never
+  // changes what lands where. For every seeded chain the planner-on and
+  // planner-off runs must agree bit for bit, and the total bytes moved is a
+  // routing invariant (reclassification between link classes is allowed;
+  // the sum is not).
+  int crossed = 0;
+  for (unsigned seed = 1300; seed < 1330; ++seed) {
+    const FuzzCase fc = make_case(seed);
+    const int gpn = 2 + static_cast<int>(seed % 3u); // 2..4 GPUs per node
+    const int devices = 2 * gpn;
+    SchedulerStats on_stats, off_stats;
+    OverlapCfg on_cfg, off_cfg;
+    on_cfg.stats_out = &on_stats;
+    off_cfg.stats_out = &off_stats;
+    RunResult on, off;
+    try {
+      on = run_chain(fc, devices, nullptr, on_cfg, false, nullptr, -1,
+                     /*cluster_nodes=*/2, /*planner=*/1);
+      off = run_chain(fc, devices, nullptr, off_cfg, false, nullptr, -1,
+                      /*cluster_nodes=*/2, /*planner=*/0);
+    } catch (const SanitizerError& e) {
+      FAIL() << "sanitizer report on cluster chain\n  " << fc.describe()
+             << "\n  gpus per node " << gpn << "\n  " << e.what();
+    }
+    ASSERT_EQ(on.a, off.a)
+        << "cluster planner changed results; reproducer: " << fc.describe()
+        << " gpus per node " << gpn;
+    ASSERT_EQ(on.b, off.b)
+        << "cluster planner changed results; reproducer: " << fc.describe()
+        << " gpus per node " << gpn;
+    ASSERT_EQ(on_stats.transfers.bytes_total(),
+              off_stats.transfers.bytes_total())
+        << "routing changed the total bytes moved; reproducer: "
+        << fc.describe() << " gpus per node " << gpn;
+    const std::uint64_t net = on_stats.transfers.bytes_net_send +
+                              on_stats.transfers.bytes_net_recv +
+                              on_stats.transfers.bytes_net_staged;
+    if (net > 0) {
+      ++crossed;
+    }
+  }
+  // The slice must actually drive traffic across the node boundary.
+  EXPECT_GE(crossed, 20);
 }
 
 } // namespace

@@ -163,6 +163,25 @@ TEST(SymbolicCertTest, FixpointClosesWithinTwoSteadyIterations) {
   EXPECT_LE(res.iterations, 3);
 }
 
+TEST(SymbolicCertTest, ClusterTopologiesReportOutsideModelNotSilentPass) {
+  // The symbolic copy model has no network tier (NICs, staged inter-node
+  // legs); a cluster chain must be *rejected* as outside-model, exactly as
+  // CustomAligned segmentations are — never silently certified with
+  // single-node routing the simulator would not use.
+  SymbolicVerifier v(sym::Family::unaligned(4, 2));
+  v.set_cluster_nodes(2);
+  const CertResult res = v.verify_chain(window_chain(2, maps::Boundary::Wrap));
+  EXPECT_FALSE(res.ok);
+  ASSERT_EQ(res.failures.size(), 1u);
+  EXPECT_EQ(res.failures.front().what, "outside-model");
+  EXPECT_NE(res.failures.front().detail.find("cluster"), std::string::npos);
+  // certify_strips runs verify_chain first, so it is gated identically.
+  const CertResult strips =
+      v.certify_strips(window_chain(2, maps::Boundary::Wrap), 0);
+  EXPECT_FALSE(strips.ok);
+  EXPECT_EQ(strips.failures.front().what, "outside-model");
+}
+
 // --- 3. Mutation-style negatives --------------------------------------------
 
 TEST(SymbolicMutationTest, WidenedReadSpanReportsExactRectangle) {

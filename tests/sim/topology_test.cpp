@@ -127,4 +127,100 @@ TEST(TopologyTest, BusCountCoversOddDeviceCounts) {
   EXPECT_EQ(sim::Topology::pcie3_pairs(4).bus_count(), 2);
 }
 
+// --- Cluster network tier ----------------------------------------------------
+
+TEST(TopologyClusterTest, LinkClassCrossesNetworkByNodeNotByFlag) {
+  const sim::Topology topo = sim::Topology::cluster(2, 4);
+  const auto host = sim::Endpoint::host();
+  using LC = sim::LinkClass;
+  // Same node: exactly the single-node classes, network tier invisible.
+  EXPECT_EQ(topo.link_class(sim::Endpoint::dev(4), sim::Endpoint::dev(5)),
+            LC::PeerSameBus);
+  EXPECT_EQ(topo.link_class(sim::Endpoint::dev(0), sim::Endpoint::dev(2),
+                            /*host_staged=*/true),
+            LC::HostStaged);
+  // Cross-node device pairs are network-staged regardless of the staging
+  // flag — the route is inherently D2H + NIC hop + H2D.
+  EXPECT_EQ(topo.link_class(sim::Endpoint::dev(0), sim::Endpoint::dev(4)),
+            LC::NetworkStaged);
+  EXPECT_EQ(topo.link_class(sim::Endpoint::dev(0), sim::Endpoint::dev(4),
+                            /*host_staged=*/true),
+            LC::NetworkStaged);
+  // Host endpoints live in the head node's RAM: transfers touching a remote
+  // device cross the network in the matching direction.
+  EXPECT_EQ(topo.link_class(host, sim::Endpoint::dev(7)), LC::NetworkRecv);
+  EXPECT_EQ(topo.link_class(sim::Endpoint::dev(7), host), LC::NetworkSend);
+  EXPECT_EQ(topo.link_class(host, sim::Endpoint::dev(3)), LC::HostToDevice);
+  EXPECT_EQ(topo.link_class(sim::Endpoint::dev(3), host), LC::DeviceToHost);
+}
+
+TEST(TopologyClusterTest, NetworkSecondsChargesLatencyPlusBandwidth) {
+  const sim::Topology topo =
+      sim::Topology::cluster(2, 4, /*network_gbps=*/5.0,
+                             /*network_latency_us=*/30.0);
+  // Same node (and the head-node host): free of network cost.
+  EXPECT_EQ(topo.network_seconds(0, 3, 1 << 20), 0.0);
+  EXPECT_EQ(topo.network_seconds(-1, 2, 1 << 20), 0.0);
+  // Cross-node: latency + bytes / bandwidth, both directions equal.
+  const double t = topo.network_seconds(0, 4, 1 << 20);
+  EXPECT_NEAR(t, 30e-6 + (1 << 20) / 5.0e9, 1e-9);
+  EXPECT_EQ(topo.network_seconds(4, 0, 1 << 20), t);
+  // Host -> remote device crosses too (host is on node 0).
+  EXPECT_EQ(topo.network_seconds(-1, 4, 1 << 20), t);
+}
+
+TEST(TopologyClusterTest, SingleGpuNodesStillFormANetwork) {
+  const sim::Topology topo = sim::Topology::cluster(4, 1);
+  EXPECT_EQ(topo.cluster_nodes(), 4);
+  EXPECT_EQ(topo.cluster_node_of(2), 2);
+  EXPECT_FALSE(topo.peer_enabled(0, 1)); // every pair crosses the network
+  EXPECT_EQ(topo.link_class(sim::Endpoint::dev(0), sim::Endpoint::dev(1)),
+            sim::LinkClass::NetworkStaged);
+  EXPECT_GT(topo.network_seconds(0, 1, 1), 0.0);
+}
+
+TEST(TopologyClusterTest, NicResourceIdentitySharedAcrossDirectionsAndClasses) {
+  const sim::Topology topo = sim::Topology::cluster(2, 4);
+  const auto host = sim::Endpoint::host();
+  // A device->device staged route and a device->host send from the same node
+  // contend on the SAME egress NIC (resource identity by node index).
+  const auto staged = topo.link_use(sim::Endpoint::dev(5),
+                                    sim::Endpoint::dev(1));
+  const auto send = topo.link_use(sim::Endpoint::dev(6), host);
+  EXPECT_EQ(staged.nic_send_node, 1);
+  EXPECT_EQ(send.nic_send_node, 1);
+  EXPECT_EQ(staged.nic_recv_node, 0);
+  EXPECT_EQ(send.nic_recv_node, 0);
+  // The reverse direction uses the other node's send NIC: the NICs are
+  // full-duplex, so send and recv are independent resources.
+  const auto recv = topo.link_use(host, sim::Endpoint::dev(6));
+  EXPECT_EQ(recv.nic_send_node, 0);
+  EXPECT_EQ(recv.nic_recv_node, 1);
+  // Staged routes also hold the PCIe legs at both ends.
+  EXPECT_EQ(staged.downlink_bus, topo.bus_of(5));
+  EXPECT_EQ(staged.uplink_bus, topo.bus_of(1));
+  // Same-node transfers never touch a NIC.
+  const auto local = topo.link_use(sim::Endpoint::dev(0),
+                                   sim::Endpoint::dev(2));
+  EXPECT_EQ(local.nic_send_node, -1);
+  EXPECT_EQ(local.nic_recv_node, -1);
+}
+
+TEST(TopologyClusterTest, NetworkClassesRankBelowSingleNodePaths) {
+  using LC = sim::LinkClass;
+  // The planner's tie-break prefers any single-node path over a network
+  // crossing; the appended enum order encodes that.
+  EXPECT_LT(sim::Topology::link_rank(LC::HostStaged),
+            sim::Topology::link_rank(LC::NetworkSend));
+  EXPECT_LT(sim::Topology::link_rank(LC::NetworkSend),
+            sim::Topology::link_rank(LC::NetworkRecv));
+  EXPECT_LT(sim::Topology::link_rank(LC::NetworkRecv),
+            sim::Topology::link_rank(LC::NetworkStaged));
+  EXPECT_TRUE(sim::Topology::crosses_network(LC::NetworkSend));
+  EXPECT_TRUE(sim::Topology::crosses_network(LC::NetworkRecv));
+  EXPECT_TRUE(sim::Topology::crosses_network(LC::NetworkStaged));
+  EXPECT_FALSE(sim::Topology::crosses_network(LC::HostStaged));
+  EXPECT_FALSE(sim::Topology::crosses_network(LC::PeerSameBus));
+}
+
 } // namespace
