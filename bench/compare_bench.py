@@ -28,7 +28,7 @@ NOISY_KEY = re.compile(
 )
 
 
-def compare(fresh, ref, path, rel_tol, errors):
+def compare(fresh, ref, path, rel_tol, errors, missing):
     if isinstance(ref, dict):
         if not isinstance(fresh, dict):
             errors.append(f"{path}: expected object, got {type(fresh).__name__}")
@@ -36,13 +36,17 @@ def compare(fresh, ref, path, rel_tol, errors):
         for key in sorted(set(fresh) | set(ref)):
             sub = f"{path}.{key}" if path else key
             if key not in fresh:
-                errors.append(f"{sub}: missing from fresh output")
+                # A reference key the bench no longer emits. Collected
+                # separately (not silently skipped, even for NOISY keys):
+                # a disappeared key means the bench's JSON schema changed,
+                # which must be a deliberate reference refresh.
+                missing.append(sub)
             elif key not in ref:
                 errors.append(f"{sub}: not in committed reference")
             elif NOISY_KEY.match(key):
                 continue
             else:
-                compare(fresh[key], ref[key], sub, rel_tol, errors)
+                compare(fresh[key], ref[key], sub, rel_tol, errors, missing)
     elif isinstance(ref, bool) or isinstance(ref, str) or ref is None:
         if fresh != ref:
             errors.append(f"{path}: {fresh!r} != {ref!r}")
@@ -62,7 +66,7 @@ def compare(fresh, ref, path, rel_tol, errors):
             errors.append(f"{path}: list shape differs")
         else:
             for i, (a, b) in enumerate(zip(fresh, ref)):
-                compare(a, b, f"{path}[{i}]", rel_tol, errors)
+                compare(a, b, f"{path}[{i}]", rel_tol, errors, missing)
     else:
         errors.append(f"{path}: type mismatch {type(fresh)} vs {type(ref)}")
 
@@ -95,12 +99,18 @@ def main(argv):
             failed = True
             continue
         errors = []
-        compare(fresh, ref, "", args.rel_tol, errors)
-        if errors:
+        missing = []
+        compare(fresh, ref, "", args.rel_tol, errors, missing)
+        if errors or missing:
             failed = True
             print(f"MISMATCH {fresh_path} vs {ref_path}:")
             for e in errors:
                 print(f"  {e}")
+            if missing:
+                print(f"  committed reference keys absent from the fresh "
+                      f"output ({len(missing)}):")
+                for key in missing:
+                    print(f"    - {key}")
         else:
             print(f"ok: {fresh_path} matches {ref_path}")
     if failed:

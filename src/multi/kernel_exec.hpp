@@ -20,8 +20,11 @@
 //    appends) accumulate into per-chunk private buffers that are merged on
 //    the forking thread in ascending chunk order — a fixed reduction order,
 //    independent of execution order. Sum outputs whose element type is not
-//    exact under reassociation (floats; PatternSpec::agg_exact) fall back
-//    to the sequential sweep.
+//    exact under reassociation (floats) use a compensated (Neumaier) merge
+//    (PatternSpec::agg_op_comp) over chunk boundaries that are a pure
+//    function of the segment shape — never of pool parallelism — so float
+//    sums are bit-identical across thread counts, though not to the
+//    unchunked sequential order (the compensation bounds that drift).
 #pragma once
 
 #include <array>
@@ -68,10 +71,16 @@ void run_device_grid_impl(const maps::GridContext& gc, const Kernel& kernel,
 
 /// How one pattern participates in a chunked sweep.
 enum class ChunkMerge : std::uint8_t {
-  Shared,        ///< inputs / disjoint writers: chunks share the real view
-  SumPartial,    ///< private zeroed copy, agg_op-merged in chunk order
-  AppendPartial, ///< private staging + counter, concatenated in chunk order
+  Shared,         ///< inputs / disjoint writers: chunks share the real view
+  SumPartial,     ///< private zeroed copy, agg_op-merged in chunk order
+  SumCompensated, ///< float Sum: Neumaier merge via agg_op_comp + carry
+  AppendPartial,  ///< private staging + counter, concatenated in chunk order
 };
+
+/// Fixed chunk-count target for compensated float sums. Chunk boundaries for
+/// such tasks must depend only on the segment's block-row count so every
+/// thread count produces the same partial groupings (bit-identity).
+inline constexpr unsigned kCompensatedSumChunks = 64;
 
 template <typename P>
 void privatize_chunk_pattern(P& p, ChunkMerge merge,
@@ -95,7 +104,7 @@ void privatize_chunk_pattern(P& p, ChunkMerge merge,
 template <typename P>
 void merge_chunk_pattern(P& proto, const PatternSpec& spec, ChunkMerge merge,
                          const std::vector<std::byte>& store,
-                         std::uint64_t count) {
+                         std::uint64_t count, std::vector<std::byte>& carry) {
   if (merge == ChunkMerge::Shared) {
     return;
   }
@@ -105,6 +114,18 @@ void merge_chunk_pattern(P& proto, const PatternSpec& spec, ChunkMerge merge,
     for (std::size_t r = 0; r < v.rows; ++r) {
       spec.agg_op(v.base + r * v.pitch, store.data() + r * v.pitch,
                   v.row_elems);
+    }
+    return;
+  }
+  if (merge == ChunkMerge::SumCompensated) {
+    // All-zero bytes are +0.0 in IEEE-754, so byte-zeroing initializes the
+    // carry correctly for any floating-point element type.
+    if (carry.empty()) {
+      carry.assign(v.rows * v.pitch, std::byte{0});
+    }
+    for (std::size_t r = 0; r < v.rows; ++r) {
+      spec.agg_op_comp(v.base + r * v.pitch, store.data() + r * v.pitch,
+                       carry.data() + r * v.pitch, v.row_elems);
     }
     return;
   }
@@ -132,9 +153,36 @@ void merge_tuple(Tuple& pats, const std::array<PatternSpec, N>& specs,
                  const std::array<ChunkMerge, N>& merge,
                  const std::array<std::vector<std::byte>, N>& store,
                  const std::array<std::uint64_t, N>& count,
+                 std::array<std::vector<std::byte>, N>& carry,
                  std::index_sequence<I...>) {
   (merge_chunk_pattern(std::get<I>(pats), specs[I], merge[I], store[I],
-                       count[I]),
+                       count[I], carry[I]),
+   ...);
+}
+
+/// Folds the banked Neumaier carry back into a compensated Sum output after
+/// the last chunk merged. A plain element-wise add (agg_op) completes the
+/// compensated accumulation.
+template <typename P>
+void finalize_chunk_pattern(P& proto, const PatternSpec& spec,
+                            ChunkMerge merge,
+                            const std::vector<std::byte>& carry) {
+  if (merge != ChunkMerge::SumCompensated || carry.empty()) {
+    return;
+  }
+  const DeviceView& v = proto.view();
+  for (std::size_t r = 0; r < v.rows; ++r) {
+    spec.agg_op(v.base + r * v.pitch, carry.data() + r * v.pitch,
+                v.row_elems);
+  }
+}
+
+template <typename Tuple, std::size_t N, std::size_t... I>
+void finalize_tuple(Tuple& pats, const std::array<PatternSpec, N>& specs,
+                    const std::array<ChunkMerge, N>& merge,
+                    const std::array<std::vector<std::byte>, N>& carry,
+                    std::index_sequence<I...>) {
+  (finalize_chunk_pattern(std::get<I>(pats), specs[I], merge[I], carry[I]),
    ...);
 }
 
@@ -160,12 +208,8 @@ void run_device_grid_chunked(const maps::GridContext& gc, const Kernel& kernel,
                              unsigned chunk_block_rows) {
   constexpr std::size_t N = sizeof...(Patterns);
   using Seq = std::index_sequence_for<Patterns...>;
-  const unsigned chunk = chunk_block_rows == 0 ? 1 : chunk_block_rows;
-  const unsigned nchunks =
-      gc.block_rows == 0 ? 0 : (gc.block_rows + chunk - 1) / chunk;
-  if (nchunks <= 1 || pool.parallelism() <= 1) {
-    run_device_grid(gc, kernel, pats);
-    return;
+  if (gc.block_rows == 0) {
+    return; // empty segment: nothing to sweep
   }
 
   const std::array<PatternSpec, N> specs = std::apply(
@@ -174,6 +218,7 @@ void run_device_grid_chunked(const maps::GridContext& gc, const Kernel& kernel,
   constexpr std::array<bool, N> can_append = {
       detail::HasAppendCounter<Patterns>...};
   std::array<detail::ChunkMerge, N> merge{};
+  bool compensated = false;
   for (std::size_t i = 0; i < N; ++i) {
     const PatternSpec& s = specs[i];
     if (s.is_input || s.agg == AggregationKind::None ||
@@ -183,14 +228,33 @@ void run_device_grid_chunked(const maps::GridContext& gc, const Kernel& kernel,
       merge[i] = detail::ChunkMerge::Shared;
     } else if (s.agg == AggregationKind::Sum && s.agg_exact && s.agg_op) {
       merge[i] = detail::ChunkMerge::SumPartial;
+    } else if (s.agg == AggregationKind::Sum && s.agg_op && s.agg_op_comp) {
+      merge[i] = detail::ChunkMerge::SumCompensated;
+      compensated = true;
     } else if (s.agg == AggregationKind::Append && can_append[i]) {
       merge[i] = detail::ChunkMerge::AppendPartial;
     } else {
-      // Non-exact reduction (float Sum): reassociating it would break
-      // bit-identity with the sequential backend — sweep sequentially.
+      // No deterministic merge available for this aggregation — sweep
+      // sequentially.
       run_device_grid(gc, kernel, pats);
       return;
     }
+  }
+
+  unsigned chunk = chunk_block_rows == 0 ? 1 : chunk_block_rows;
+  if (compensated) {
+    // Compensated float sums must chunk identically at every thread count:
+    // derive the chunk size from the segment shape alone, ignoring the
+    // cache-targeted, parallelism-dependent size the caller computed. Such
+    // tasks also take the chunked path at parallelism <= 1 so single-worker
+    // pools agree bitwise with wider ones.
+    chunk = std::max(1u, (gc.block_rows + detail::kCompensatedSumChunks - 1) /
+                             detail::kCompensatedSumChunks);
+  }
+  const unsigned nchunks = (gc.block_rows + chunk - 1) / chunk;
+  if (!compensated && (nchunks <= 1 || pool.parallelism() <= 1)) {
+    run_device_grid(gc, kernel, pats);
+    return;
   }
 
   struct Chunk {
@@ -220,9 +284,12 @@ void run_device_grid_chunked(const maps::GridContext& gc, const Kernel& kernel,
   }
   pool.wait(group); // helping wait; rethrows the lowest-chunk failure
   // Deterministic merge: ascending chunk order on this (single) thread.
+  std::array<std::vector<std::byte>, N> carry{};
   for (const auto& ck : chunks) {
-    detail::merge_tuple(pats, specs, merge, ck->store, ck->count, Seq{});
+    detail::merge_tuple(pats, specs, merge, ck->store, ck->count, carry,
+                        Seq{});
   }
+  detail::finalize_tuple(pats, specs, merge, carry, Seq{});
 }
 
 } // namespace maps::multi

@@ -51,6 +51,13 @@ public:
   struct CopyOp {
     int src_location = kHost;
     RowInterval rows;
+    /// Path override set by the transfer planner: dispatch this device->device
+    /// copy through host RAM (memcpy_p2p_host_staged) even though the peers
+    /// could go direct. On cluster topologies with pipelined crossings the
+    /// planner uses the bounce as a second candidate path for cross-bus
+    /// fan-out, spilling load from the saturated inter-socket link onto the
+    /// per-bus host links. Never set by the monitor itself.
+    bool via_host = false;
   };
 
   /// Algorithm 2: plans the copies making `required` up to date at `target`.

@@ -13,6 +13,7 @@
 // global commit per block instead of per-thread global atomics.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <stdexcept>
 #include <type_traits>
@@ -20,6 +21,42 @@
 #include "multi/pattern_base.hpp"
 
 namespace maps::multi {
+
+namespace detail {
+
+/// Fills the Sum-aggregation hooks of a ReductiveStatic-style spec: the plain
+/// element-wise combiner, the exactness flag, and — for floating-point
+/// element types — the Neumaier-compensated merge step the parallel backend
+/// uses so chunked float sums stay deterministic (pattern_spec.hpp).
+template <typename T> inline void fill_sum_agg(PatternSpec& s) {
+  s.agg_exact = std::is_integral_v<T>;
+  s.agg_op = [](void* acc, const void* part, std::size_t elems) {
+    T* a = static_cast<T*>(acc);
+    const T* p = static_cast<const T*>(part);
+    for (std::size_t i = 0; i < elems; ++i) {
+      a[i] += p[i];
+    }
+  };
+  if constexpr (std::is_floating_point_v<T>) {
+    s.agg_op_comp = [](void* acc, const void* part, void* carry,
+                       std::size_t elems) {
+      T* a = static_cast<T*>(acc);
+      const T* p = static_cast<const T*>(part);
+      T* c = static_cast<T*>(carry);
+      for (std::size_t i = 0; i < elems; ++i) {
+        const T s0 = a[i];
+        const T t = s0 + p[i];
+        // Neumaier: the rounding error of s0 + p[i] is recoverable from
+        // whichever operand is larger in magnitude; bank it in the carry.
+        c[i] += std::abs(s0) >= std::abs(p[i]) ? (s0 - t) + p[i]
+                                               : (p[i] - t) + s0;
+        a[i] = t;
+      }
+    };
+  }
+}
+
+} // namespace detail
 
 // ---------------------------------------------------------------------------
 // Structured Injective
@@ -115,14 +152,7 @@ public:
     s.seg = Segmentation::DuplicateFull;
     s.agg = AggregationKind::Sum;
     s.ilp_x = ILP;
-    s.agg_exact = std::is_integral_v<T>;
-    s.agg_op = [](void* acc, const void* part, std::size_t elems) {
-      T* a = static_cast<T*>(acc);
-      const T* p = static_cast<const T*>(part);
-      for (std::size_t i = 0; i < elems; ++i) {
-        a[i] += p[i];
-      }
-    };
+    detail::fill_sum_agg<T>(s);
     return s;
   }
 
@@ -178,14 +208,7 @@ public:
     s.datum = datum_;
     s.seg = Segmentation::DuplicateFull;
     s.agg = AggregationKind::Sum;
-    s.agg_exact = std::is_integral_v<T>;
-    s.agg_op = [](void* acc, const void* part, std::size_t elems) {
-      T* a = static_cast<T*>(acc);
-      const T* p = static_cast<const T*>(part);
-      for (std::size_t i = 0; i < elems; ++i) {
-        a[i] += p[i];
-      }
-    };
+    detail::fill_sum_agg<T>(s);
     return s;
   }
 

@@ -110,10 +110,21 @@ struct PatternSpec {
   /// acc[i] op= part[i] for `elems` elements.
   std::function<void(void* acc, const void* part, std::size_t elems)> agg_op;
   /// Whether agg_op is exact under reassociation (integral element types).
-  /// The parallel execution backend only splits a Sum output into per-chunk
-  /// partials when this holds; float sums keep the sequential sweep so
-  /// results stay bit-identical (kernel_exec.hpp).
+  /// The parallel execution backend merges such Sum outputs with plain
+  /// per-chunk partials under any chunking; inexact (floating-point) sums
+  /// instead use agg_op_comp below (kernel_exec.hpp).
   bool agg_exact = false;
+
+  /// Compensated (Neumaier) merge step for inexact Sum element types:
+  /// acc[i] += part[i] with the rounding error of each addition banked into
+  /// carry[i]; the backend finalizes by folding the carry back via agg_op.
+  /// Merged in ascending chunk order over parallelism-independent chunk
+  /// boundaries, this makes float sums bit-identical across thread counts
+  /// (and bounds drift against the unchunked sweep). Null when agg_exact
+  /// holds or the type has no compensated form.
+  std::function<void(void* acc, const void* part, void* carry,
+                     std::size_t elems)>
+      agg_op_comp;
 
   /// For Segmentation::CustomAligned: maps a work-row range to the datum
   /// rows the device must hold.

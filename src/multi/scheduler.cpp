@@ -251,6 +251,73 @@ Scheduler::derive_partition(const std::vector<PatternSpec>& specs,
   return make_partition(rows, cols, kBlock2D, ilp_x, ilp_y, slots_eff);
 }
 
+void Scheduler::apply_placement(const std::vector<PatternSpec>& specs) {
+  if (!placement_enabled_ || node_.topology().cluster_nodes() <= 1 ||
+      live_.size() <= 1) {
+    return;
+  }
+  // Placement only helps pattern sets with provable adjacent-segment
+  // exchanges: halo inputs, whose block-row neighbours trade boundary rows
+  // every task. Broadcast (Replicate) consumers already cross the network
+  // once per node under hierarchical routing regardless of segment order,
+  // so reordering buys them nothing and would churn plan-cache shapes.
+  bool halo = false;
+  for (const auto& s : specs) {
+    if (s.is_input && s.seg == Segmentation::PartitionAligned &&
+        (s.radius_low > 0 || s.radius_high > 0)) {
+      halo = true;
+      break;
+    }
+  }
+  if (!halo) {
+    return;
+  }
+  ++stats_.placement.evaluations;
+  const sim::Topology& topo = node_.topology();
+  const auto dev = [&](int slot) {
+    return devices_[static_cast<std::size_t>(slot)];
+  };
+  const auto crossings = [&](const std::vector<int>& order) {
+    std::uint32_t n = 0;
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      if (topo.cluster_node_of(dev(order[i])) !=
+          topo.cluster_node_of(dev(order[i + 1]))) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  // Canonical order: live slots sorted by (cluster node, bus, device index).
+  // Adjacent segments become node neighbours — the minimum possible
+  // node-crossing count for a linear halo chain — and within a node, bus
+  // neighbours. The canonical order is unique and independent of the
+  // current one, so placement can never flip-flop between equal-cost orders
+  // across tasks; a reorder is adopted only when strictly cheaper, which
+  // also makes the pass a provable no-op for the default node-contiguous
+  // device enumeration.
+  std::vector<int> canonical = live_;
+  std::stable_sort(canonical.begin(), canonical.end(), [&](int a, int b) {
+    const int da = dev(a), db = dev(b);
+    const int na = topo.cluster_node_of(da), nb = topo.cluster_node_of(db);
+    if (na != nb) {
+      return na < nb;
+    }
+    const int ba = topo.bus_of(da), bb = topo.bus_of(db);
+    if (ba != bb) {
+      return ba < bb;
+    }
+    return da < db;
+  });
+  const std::uint32_t cur = crossings(live_);
+  const std::uint32_t can = crossings(canonical);
+  if (can < cur) {
+    stats_.placement.crossings_before = cur;
+    stats_.placement.crossings_after = can;
+    ++stats_.placement.reorders;
+    live_ = std::move(canonical);
+  }
+}
+
 void Scheduler::analyze_task(std::vector<PatternSpec> specs,
                              const Work* work) {
   bool single = work != nullptr && work->single_device;
@@ -258,6 +325,7 @@ void Scheduler::analyze_task(std::vector<PatternSpec> specs,
     monitor_.register_datum(s.datum);
     single = single || s.seg == Segmentation::SingleDevice;
   }
+  apply_placement(specs);
   const int slots_eff = single ? 1 : live_count();
   TaskPartition partition = derive_partition(specs, work, slots_eff);
   for (int seg = 0; seg < slots_eff; ++seg) {
@@ -288,7 +356,7 @@ Scheduler::fingerprint(const std::vector<PatternSpec>& specs, const Work* work,
   PlanFingerprint fp;
   auto& w = fp.words;
   w.reserve(specs.size() * 12 + 10);
-  w.push_back(0x4d415053'46503103ull); // "MAPS" fingerprint, version 3
+  w.push_back(0x4d415053'46503104ull); // "MAPS" fingerprint, version 4
   w.push_back(static_cast<std::uint64_t>(slots()));
   // Device losses change the segment → slot map, so the live set is part of
   // the shape identity (the cache is also cleared wholesale on recovery;
@@ -298,6 +366,15 @@ Scheduler::fingerprint(const std::vector<PatternSpec>& specs, const Work* work,
     live_mask |= 1ull << s;
   }
   w.push_back(live_mask);
+  // The live *order* is the segment → slot map itself; topology-aware
+  // placement can permute it without changing the mask, and a plan built
+  // under one order must never replay under another.
+  std::uint64_t live_order = 0xcbf29ce484222325ull;
+  for (int s : live_) {
+    live_order = (live_order ^ static_cast<std::uint64_t>(s)) *
+                 0x100000001b3ull;
+  }
+  w.push_back(live_order);
   // Routing is baked into cached plans, so the planner setting is part of
   // the shape identity: a plan routed with the planner on must never be
   // replayed after it is switched off (or vice versa).
@@ -569,19 +646,49 @@ void Scheduler::plan_copies_for(PlanShape& shape, DeviceWiring& dw, int slot,
     // Row-range chunking: split transfers above the threshold so consumers
     // with row-granular reads (interior/boundary strips, forwarding copies
     // in a fan-out tree) start as soon as their chunk lands instead of when
-    // the whole transfer finishes. Purely structural — every chunk moves the
-    // same rows over the same link, so byte totals are unchanged.
-    if (overlap_enabled_ && copy_chunk_bytes_ > 0) {
+    // the whole transfer finishes. On clusters, chunk pieces of one network
+    // crossing additionally pipeline their D2H / NIC / H2D hops in the
+    // simulator's leg-wise occupancy model, so network routes are chunked
+    // even when compute–transfer overlap is off. Purely structural — every
+    // chunk moves the same rows over the same link, so byte totals are
+    // unchanged.
+    const sim::Topology& topo = node_.topology();
+    const auto op_crosses = [&](const SegmentLocationMonitor::CopyOp& op) {
+      const int src_dev =
+          op.src_location == SegmentLocationMonitor::kHost
+              ? -1
+              : devices_[static_cast<std::size_t>(op.src_location - 1)];
+      return topo.cluster_node_of(src_dev) !=
+             topo.cluster_node_of(devices_[static_cast<std::size_t>(slot)]);
+    };
+    // Without leg-wise occupancy (network_pipelining off) chunked crossings
+    // would serialize whole-duration reservations and only add per-piece
+    // latency, so the PR 8 monolithic model plans monolithic routes.
+    const bool chunk_network = planner_active() && topo.cluster_nodes() > 1 &&
+                               topo.network_pipelining;
+    if (copy_chunk_bytes_ > 0 && (overlap_enabled_ || chunk_network)) {
       const std::size_t chunk_rows =
           std::max<std::size_t>(1, copy_chunk_bytes_ / alloc.row_bytes);
-      const bool oversize =
-          std::any_of(ops.begin(), ops.end(), [&](const auto& op) {
-            return op.rows.size() > chunk_rows;
-          });
+      const auto splits = [&](const SegmentLocationMonitor::CopyOp& op) {
+        return op.rows.size() > chunk_rows &&
+               (overlap_enabled_ || op_crosses(op));
+      };
+      const bool oversize = std::any_of(ops.begin(), ops.end(), splits);
       if (oversize) {
         std::vector<SegmentLocationMonitor::CopyOp> pieces;
         pieces.reserve(ops.size());
         for (const auto& op : ops) {
+          if (!splits(op)) {
+            pieces.push_back(op);
+            continue;
+          }
+          const std::uint32_t depth = static_cast<std::uint32_t>(
+              (op.rows.size() + chunk_rows - 1) / chunk_rows);
+          shape.transfers.max_pipeline_depth =
+              std::max(shape.transfers.max_pipeline_depth, depth);
+          (op_crosses(op) ? shape.transfers.bytes_chunked_network
+                          : shape.transfers.bytes_chunked_intranode) +=
+              op.rows.size() * alloc.row_bytes;
           std::size_t b = op.rows.begin;
           while (op.rows.end - b > chunk_rows) {
             auto piece = op;
@@ -603,6 +710,7 @@ void Scheduler::plan_copies_for(PlanShape& shape, DeviceWiring& dw, int slot,
       c.aligned = aligned;
       c.src_location = op.src_location;
       c.dst_location = dst_loc;
+      c.via_host = op.via_host;
       c.datum = datum;
       c.src_avail = &avail_[{datum->key(), op.src_location}];
       c.dst_avail = &avail_[{datum->key(), dst_loc}];
@@ -655,7 +763,7 @@ void Scheduler::plan_copies_for(PlanShape& shape, DeviceWiring& dw, int slot,
           sim::Endpoint::dev(devices_[static_cast<std::size_t>(slot)]);
       const bool staged =
           !src_ep.is_host() &&
-          (force_host_staged_ ||
+          (force_host_staged_ || op.via_host ||
            !node_.topology().peer_enabled(src_ep.device, dst_ep.device));
       TransferPlanner::account(shape.transfers, node_.topology(), src_ep,
                                dst_ep, staged, c.bytes);
@@ -759,6 +867,9 @@ Scheduler::plan_task(std::vector<PatternSpec> specs, const Work* work,
   for (const auto& s : specs) {
     monitor_.register_datum(s.datum);
   }
+  // Placement must settle before the fingerprint is taken: the chosen
+  // segment -> slot order is part of the plan's shape identity.
+  apply_placement(specs);
 
   const bool want_cache = plan_cache_enabled_ && plan_cache_capacity_ > 0;
   const bool use_cache = want_cache && cacheable(specs);
@@ -1424,7 +1535,7 @@ void Scheduler::enqueue_device_commands(
       node_.memset_device(cs, c.dst_buffer, c.dst_offset, 0, c.bytes);
     } else if (c.src_host != nullptr) {
       node_.memcpy_h2d(cs, c.dst_buffer, c.dst_offset, c.src_host, c.bytes);
-    } else if (force_host_staged_ &&
+    } else if ((force_host_staged_ || c.via_host) &&
                c.src_buffer->device() != c.dst_buffer->device()) {
       node_.memcpy_p2p_host_staged(cs, c.dst_buffer, c.dst_offset,
                                    c.src_buffer, c.src_offset, c.bytes);
@@ -2837,6 +2948,12 @@ void Scheduler::ReduceScatter(Datum& datum, Work work) {
       std::size_t src_off = 0;
       std::vector<sim::EventId> waits;
       sim::EventId done = 0;
+      /// Piece-wise copy granularity (0 = one copy). Set for network
+      /// crossings so a remote node's combined segment pipelines its
+      /// D2H / NIC / H2D hops chunk by chunk, exactly like routed input
+      /// transfers. Byte totals are unchanged: the chunks partition the
+      /// same segment over the same link.
+      std::size_t chunk_bytes = 0;
     };
     std::vector<Piece> pieces;
     sim::Buffer* staging = nullptr;
@@ -2870,6 +2987,18 @@ void Scheduler::ReduceScatter(Datum& datum, Work work) {
           sim::Endpoint::dev(devices_[static_cast<std::size_t>(s)]),
           sim::Endpoint::dev(devices_[static_cast<std::size_t>(t)]), false,
           seg_bytes);
+      if (planner_active() && copy_chunk_bytes_ > 0 &&
+          topo.network_pipelining &&
+          !topo.peer_enabled(devices_[static_cast<std::size_t>(s)], t_dev) &&
+          seg_bytes > copy_chunk_bytes_) {
+        piece.chunk_bytes = copy_chunk_bytes_;
+        const std::uint32_t depth = static_cast<std::uint32_t>(
+            (seg_bytes + copy_chunk_bytes_ - 1) / copy_chunk_bytes_);
+        stats_.transfers.max_pipeline_depth =
+            std::max(stats_.transfers.max_pipeline_depth, depth);
+        stats_.transfers.bytes_chunked_network += seg_bytes;
+        stats_.transfers.copies_chunked += depth - 1;
+      }
       pieces.push_back(piece);
     }
 
@@ -2911,8 +3040,23 @@ void Scheduler::ReduceScatter(Datum& datum, Work work) {
         for (sim::EventId w : piece.waits) {
           node_.wait_event_generation(cs, w, 1);
         }
-        node_.memcpy_p2p(cs, staging, off, piece.src, piece.src_off,
-                         seg_bytes);
+        if (piece.chunk_bytes > 0) {
+          // Network crossing: issue the segment as chunk pieces on the same
+          // stream (ordering preserved) so successive chunks overlap their
+          // D2H / NIC / H2D legs under the simulator's pipelined occupancy
+          // model. piece.done still records after the last chunk.
+          std::size_t done_b = 0;
+          while (done_b < seg_bytes) {
+            const std::size_t n =
+                std::min(piece.chunk_bytes, seg_bytes - done_b);
+            node_.memcpy_p2p(cs, staging, off + done_b, piece.src,
+                             piece.src_off + done_b, n);
+            done_b += n;
+          }
+        } else {
+          node_.memcpy_p2p(cs, staging, off, piece.src, piece.src_off,
+                           seg_bytes);
+        }
         node_.record_event(piece.done, cs);
         off += seg_bytes;
       }

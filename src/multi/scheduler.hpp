@@ -129,6 +129,17 @@ struct SchedulerStats {
     /// Simulated time spent draining + repairing, in simulated microseconds.
     double recovery_sim_us = 0.0;
   } recovery;
+  /// Topology-aware partition placement (set_placement_enabled): maps
+  /// logical block-row segments onto physical devices so halo neighbours
+  /// share a cluster node wherever possible.
+  struct PlacementStats {
+    std::uint64_t evaluations = 0; ///< tasks the placement pass examined
+    std::uint64_t reorders = 0;    ///< tasks where it adopted a new order
+    /// Provable node crossings between adjacent segments, before/after the
+    /// last adopted reorder (equal when no reorder was ever needed).
+    std::uint32_t crossings_before = 0;
+    std::uint32_t crossings_after = 0;
+  } placement;
 };
 
 class Scheduler {
@@ -295,6 +306,21 @@ public:
   /// the simulated timeline changes. Part of the plan-cache fingerprint.
   void set_overlap_enabled(bool on) { overlap_enabled_ = on; }
   bool overlap_enabled() const { return overlap_enabled_; }
+  /// Topology-aware partition placement (off by default). When on, the
+  /// segment -> device map is re-derived per task shape so adjacent logical
+  /// segments land on the same cluster node wherever the inferred pattern
+  /// set makes a node crossing provable (halo inputs): block-row neighbours
+  /// exchange halos, so co-locating them converts NetworkStaged crossings
+  /// into in-node peer transfers. The cost model is deterministic (counts
+  /// provable crossings over sim::Topology node membership; ties keep the
+  /// current order), a reorder is adopted only when strictly cheaper, and
+  /// the chosen order is part of the plan-cache fingerprint. On single-node
+  /// topologies and for the default node-contiguous device enumeration the
+  /// canonical order equals the current one, so enabling placement is a
+  /// no-op there — results are bit-identical on or off in all cases; only
+  /// the simulated timeline changes.
+  void set_placement_enabled(bool on) { placement_enabled_ = on; }
+  bool placement_enabled() const { return placement_enabled_; }
   /// Row-range chunking threshold for large inferred copies, in bytes
   /// (0 disables chunking; only applies while overlap is enabled).
   void set_copy_chunk_bytes(std::size_t bytes) { copy_chunk_bytes_ = bytes; }
@@ -415,6 +441,9 @@ private:
     bool aligned = false; ///< rows land at their global position (see below)
     int src_location = 0;
     int dst_location = 0;
+    /// Planner path override: bounce this in-node device->device copy
+    /// through host RAM (see SegmentLocationMonitor::CopyOp::via_host).
+    bool via_host = false;
     Datum* datum = nullptr;
     RowInterval rows;      ///< GLOBAL rows copied (empty for zero fills)
     RowInterval dst_local; ///< destination rows in LOCAL buffer coordinates
@@ -665,6 +694,12 @@ private:
 
   // Non-template heavy lifting (scheduler.cpp):
   void analyze_task(std::vector<PatternSpec> specs, const Work* work);
+  /// Topology-aware partition placement: reorders live_ (the segment ->
+  /// slot map) so adjacent halo-exchanging segments share a cluster node
+  /// when that provably removes node crossings. Runs before fingerprinting
+  /// and before any segment -> slot use; no-op unless placement is enabled,
+  /// the topology is a cluster, and the pattern set has halo inputs.
+  void apply_placement(const std::vector<PatternSpec>& specs);
   std::shared_ptr<TaskPlan> plan_task(std::vector<PatternSpec> specs,
                                       const Work* work, const CostHints& hints,
                                       const char* label, bool splittable);
@@ -897,6 +932,7 @@ private:
   bool force_host_staged_ = false;
   bool transfer_planner_enabled_ = true;
   bool overlap_enabled_ = true;
+  bool placement_enabled_ = false;
   /// 4 MiB: small enough that a GEMM stripe pipelines through a fan-out tree
   /// in ~16 pieces, large enough that per-copy latency stays negligible.
   std::size_t copy_chunk_bytes_ = 4u << 20;

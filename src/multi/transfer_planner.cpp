@@ -39,6 +39,7 @@ void TransferPlanner::begin_task() {
   std::fill(nic_send_busy_.begin(), nic_send_busy_.end(), 0.0);
   std::fill(nic_recv_busy_.begin(), nic_recv_busy_.end(), 0.0);
   fresh_.clear();
+  gateway_rotation_ = 0;
 }
 
 sim::Endpoint TransferPlanner::endpoint(int location) const {
@@ -76,21 +77,25 @@ double TransferPlanner::link_free(const sim::Topology::LinkUse& use) const {
 
 void TransferPlanner::reserve_links(const sim::Topology::LinkUse& use,
                                     double until) {
+  // max() rather than plain assignment: per-leg reservations of one shared
+  // resource may commit out of completion order across ops, and a busy-until
+  // estimate must never move backwards.
+  const auto hold = [until](double& busy) { busy = std::max(busy, until); };
   if (use.uplink_bus >= 0) {
-    uplink_busy_[static_cast<std::size_t>(use.uplink_bus)] = until;
+    hold(uplink_busy_[static_cast<std::size_t>(use.uplink_bus)]);
   }
   if (use.downlink_bus >= 0) {
-    downlink_busy_[static_cast<std::size_t>(use.downlink_bus)] = until;
+    hold(downlink_busy_[static_cast<std::size_t>(use.downlink_bus)]);
   }
   if (use.socket_node >= 0) {
-    socket_busy_[static_cast<std::size_t>(use.socket_node)]
-                [static_cast<std::size_t>(use.socket_dir)] = until;
+    hold(socket_busy_[static_cast<std::size_t>(use.socket_node)]
+                     [static_cast<std::size_t>(use.socket_dir)]);
   }
   if (use.nic_send_node >= 0) {
-    nic_send_busy_[static_cast<std::size_t>(use.nic_send_node)] = until;
+    hold(nic_send_busy_[static_cast<std::size_t>(use.nic_send_node)]);
   }
   if (use.nic_recv_node >= 0) {
-    nic_recv_busy_[static_cast<std::size_t>(use.nic_recv_node)] = until;
+    hold(nic_recv_busy_[static_cast<std::size_t>(use.nic_recv_node)]);
   }
 }
 
@@ -131,18 +136,29 @@ void TransferPlanner::collect_candidates(const FreshState* fs, int op_src,
     cand_buf_.push_back(l);
   }
   if (fs != nullptr) {
-    // One fresh-replica gateway per remote node: the first location of each
-    // node that this task already routed rows to. Enough for the
-    // earliest-finish rule to build inter-node forwarding trees without
-    // scanning every device (coverage of the specific rows is re-checked by
-    // route(); a gateway that misses them simply loses the comparison).
-    int last_node = -1;
-    for (int l : fs->fresh_locs) {
-      const int node = loc_node_[static_cast<std::size_t>(l)];
-      if (node != target_node && node != last_node) {
-        cand_buf_.push_back(l);
-        last_node = node;
+    // One fresh-replica gateway per remote node, rotated across the ops of a
+    // task: when a node holds several fresh replicas, successive ops are
+    // offered different holders, spreading that node's NIC egress and bus
+    // downlink load instead of funneling every forward through the first
+    // replica. Enough for the earliest-finish rule to build inter-node
+    // forwarding trees without scanning every device (coverage of the
+    // specific rows is re-checked by route(); a gateway that misses them
+    // simply loses the comparison). The rotation counter advances once per
+    // op and resets per task, so planning stays deterministic.
+    const std::uint64_t rot = gateway_rotation_++;
+    std::size_t i = 0;
+    while (i < fs->fresh_locs.size()) {
+      const int node = loc_node_[static_cast<std::size_t>(fs->fresh_locs[i])];
+      std::size_t j = i;
+      while (j < fs->fresh_locs.size() &&
+             loc_node_[static_cast<std::size_t>(fs->fresh_locs[j])] == node) {
+        ++j;
       }
+      if (node != target_node) {
+        cand_buf_.push_back(
+            fs->fresh_locs[i + static_cast<std::size_t>(rot % (j - i))]);
+      }
+      i = j;
     }
   }
   std::sort(cand_buf_.begin(), cand_buf_.end());
@@ -238,12 +254,27 @@ TransferPlanner::route(const Datum* datum, int target_location,
     const std::uint64_t bytes = op.rows.size() * row_bytes;
 
     double best_finish = std::numeric_limits<double>::infinity();
+    double best_duration = 0.0;
     int best_loc = -1;
+    int best_dev = std::numeric_limits<int>::max();
     int best_rank = 0;
     std::uint32_t best_depth = 0;
     double best_ready = 0.0;
     bool best_network = false;
+    bool best_staged = false;
+    bool best_bounce = false;
     sim::Topology::LinkUse best_use;
+
+    // With pipelined crossings on, cross-bus in-node copies get a second
+    // candidate path: the host-RAM bounce. The inter-socket link is the one
+    // resource every cross-bus delivery of an in-node fan-out shares; the
+    // bounce pays two PCIe hops plus software latency but occupies per-bus
+    // links instead, so under socket saturation the earliest-finish rule
+    // spills deliveries onto the idle host links. Off-cluster (and with
+    // pipelining off) the candidate set is unchanged — single-node plans and
+    // the PR 8 reservation model stay bit-identical.
+    const bool balance_paths =
+        topo_.cluster_nodes() > 1 && topo_.network_pipelining;
 
     collect_candidates(fs, op.src_location, target_location);
     stats.candidates_scanned += cand_buf_.size();
@@ -257,18 +288,37 @@ TransferPlanner::route(const Datum* datum, int target_location,
         continue;
       }
       const sim::Endpoint src = endpoint(l);
-      const bool staged = !src.is_host() && !dst.is_host() &&
+      const bool forced = !src.is_host() && !dst.is_host() &&
                           !topo_.peer_enabled(src.device, dst.device);
-      const sim::Topology::LinkUse use = topo_.link_use(src, dst, staged);
+      const bool can_bounce =
+          balance_paths && !forced && !src.is_host() && !dst.is_host() &&
+          topo_.link_class(src, dst) == sim::LinkClass::PeerCrossBus;
       const auto [ready, depth] = source_state(fs, l, op.rows);
+      for (int variant = 0; variant < (can_bounce ? 2 : 1); ++variant) {
+      const bool bounce = variant == 1;
+      const bool staged = forced || bounce;
+      const sim::Topology::LinkUse use = topo_.link_use(src, dst, staged);
       // Mirror the simulator: setup latency pipelines with whatever is still
       // draining the shared link, so only the data phase queues behind it.
       const double setup =
           (staged ? topo_.latency_us(src, sim::Endpoint::host())
                   : topo_.latency_us(src, dst)) *
           1e-6;
-      double start =
-          std::max({ready, link_free(use) - setup, 0.0});
+      // Network crossings are costed leg-wise, mirroring the simulator's
+      // pipelined occupancy model: each hop's resource need only be free by
+      // that hop's offset into the transfer, so a chunk piece queues behind
+      // its predecessor's matching hop, not its whole duration.
+      sim::Topology::CopyLeg legs[3];
+      const int nlegs = topo_.copy_legs(src, dst, bytes, staged, legs);
+      double lf = 0.0;
+      if (nlegs > 0) {
+        for (int li = 0; li < nlegs; ++li) {
+          lf = std::max(lf, link_free(legs[li].use) - legs[li].offset_s);
+        }
+      } else {
+        lf = link_free(use);
+      }
+      double start = std::max({ready, lf - setup, 0.0});
       if (target_slot >= 0) {
         const auto& eng = engine_busy_[static_cast<std::size_t>(target_slot)];
         start = std::max(start, std::min(eng[0], eng[1]));
@@ -280,16 +330,26 @@ TransferPlanner::route(const Datum* datum, int target_location,
       const double finish = start + duration;
       const sim::LinkClass cls = topo_.link_class(src, dst, staged);
       const int rank = sim::Topology::link_rank(cls);
+      // Ties break on physical device index, not location index: two fresh
+      // gateways finishing at the same sim time must pick the same source
+      // under any slot->device placement, or plan-cache replay could
+      // diverge from a rebuilt plan after a placement reorder.
+      const int cand_dev = src.is_host() ? -1 : src.device;
       if (finish < best_finish ||
           (finish == best_finish &&
-           (rank < best_rank || (rank == best_rank && l < best_loc)))) {
+           (rank < best_rank || (rank == best_rank && cand_dev < best_dev)))) {
         best_finish = finish;
+        best_duration = duration;
         best_loc = l;
+        best_dev = cand_dev;
         best_rank = rank;
         best_depth = depth;
         best_ready = ready;
         best_network = sim::Topology::crosses_network(cls);
+        best_staged = staged;
+        best_bounce = bounce;
         best_use = use;
+      }
       }
     }
 
@@ -301,13 +361,29 @@ TransferPlanner::route(const Datum* datum, int target_location,
       ++stats.copies_rerouted;
       op.src_location = best_loc;
     }
+    op.via_host = best_bounce;
     if (best_network) {
       ++stats.staged_routes_planned;
     }
     // Commit the choice to the load tracker so later ops (of this and every
     // following slot in the task) see this transfer occupying its links and
-    // one of the destination's copy engines.
-    reserve_links(best_use, best_finish);
+    // one of the destination's copy engines. Network crossings reserve per
+    // leg — each hop's resource is released when that hop ends, matching
+    // what the event loop will do.
+    {
+      sim::Topology::CopyLeg legs[3];
+      const int nlegs = topo_.copy_legs(endpoint(best_loc), dst, bytes,
+                                        best_staged, legs);
+      if (nlegs > 0) {
+        const double start = best_finish - best_duration;
+        for (int li = 0; li < nlegs; ++li) {
+          reserve_links(legs[li].use,
+                        start + legs[li].offset_s + legs[li].duration_s);
+        }
+      } else {
+        reserve_links(best_use, best_finish);
+      }
+    }
     if (target_slot >= 0) {
       auto& eng = engine_busy_[static_cast<std::size_t>(target_slot)];
       (eng[0] <= eng[1] ? eng[0] : eng[1]) = best_finish;
@@ -355,6 +431,7 @@ TransferPlanner::route(const Datum* datum, int target_location,
   for (std::size_t i : order) {
     const auto& op = ops[i];
     if (!merged.empty() && merged.back().src_location == op.src_location &&
+        merged.back().via_host == op.via_host &&
         merged.back().rows.end == op.rows.begin &&
         std::abs(src_ready[i] - merged_ready) < 1e-9 &&
         (max_coalesce_bytes_ == 0 ||

@@ -85,6 +85,16 @@ struct TransferStats {
   std::uint32_t copies_coalesced = 0; ///< ops merged into an adjacent one
   std::uint32_t copies_chunked = 0;   ///< extra pieces from row-range chunking
   std::uint32_t max_fanout_depth = 0; ///< longest replica-forwarding chain
+  /// Deepest chunk pipeline of any single routed transfer: the number of
+  /// chunk pieces one oversize op was split into (1 = unchunked). Network
+  /// crossings pipeline their D2H / NIC / H2D hops at this depth.
+  std::uint32_t max_pipeline_depth = 0;
+  /// Chunk-piece bytes by class: pieces whose route crosses the inter-node
+  /// network (the pipelining win lives here) vs pieces staying within one
+  /// node. Both are also counted in the per-link-class byte counters above;
+  /// chunking must never change bytes_total().
+  std::uint64_t bytes_chunked_network = 0;
+  std::uint64_t bytes_chunked_intranode = 0;
   /// Routed ops whose chosen source crosses the inter-node network: the
   /// hierarchical planner's claim — one crossing per destination node, not
   /// per destination device — is asserted against this counter.
@@ -119,6 +129,9 @@ struct TransferStats {
     copies_coalesced += o.copies_coalesced;
     copies_chunked += o.copies_chunked;
     max_fanout_depth = std::max(max_fanout_depth, o.max_fanout_depth);
+    max_pipeline_depth = std::max(max_pipeline_depth, o.max_pipeline_depth);
+    bytes_chunked_network += o.bytes_chunked_network;
+    bytes_chunked_intranode += o.bytes_chunked_intranode;
     staged_routes_planned += o.staged_routes_planned;
     candidates_scanned += o.candidates_scanned;
   }
@@ -234,6 +247,12 @@ private:
   std::vector<double> nic_recv_busy_; ///< per cluster node (ingress NIC)
   /// Fresh replicas routed this task: datum key -> per-location state.
   std::unordered_map<const void*, FreshState> fresh_;
+  /// Rotates which fresh replica of a remote node is offered as that node's
+  /// gateway, so concurrent ops spread their NIC egress load across the
+  /// node's replica holders instead of all forwarding from the first one.
+  /// Reset per task (begin_task) so identical tasks plan identically — a
+  /// plan-cache requirement.
+  std::uint64_t gateway_rotation_ = 0;
   std::vector<int> cand_buf_; ///< scratch for collect_candidates
   std::size_t max_coalesce_bytes_ = 0; ///< 0 = no cap (see setter)
 };

@@ -453,9 +453,7 @@ double Node::copy_setup_seconds(const Command& cmd) const {
   return topo_.latency_us(cmd.src, cmd.dst) * 1e-6;
 }
 
-double Node::link_free_time(const Command& cmd) const {
-  const Topology::LinkUse use =
-      topo_.link_use(cmd.src, cmd.dst, cmd.host_staged);
+double Node::link_free_use(const Topology::LinkUse& use) const {
   double free_s = 0.0;
   if (use.uplink_bus >= 0) {
     free_s = std::max(
@@ -483,34 +481,75 @@ double Node::link_free_time(const Command& cmd) const {
   return free_s;
 }
 
-void Node::reserve_links(const Command& cmd, double completion,
-                         double duration) {
-  const Topology::LinkUse use =
-      topo_.link_use(cmd.src, cmd.dst, cmd.host_staged);
+void Node::reserve_use(const Topology::LinkUse& use, double until,
+                       double duration) {
   if (use.uplink_bus >= 0) {
-    links_[static_cast<std::size_t>(use.uplink_bus)].uplink_free_s = completion;
+    auto& free_s = links_[static_cast<std::size_t>(use.uplink_bus)].uplink_free_s;
+    free_s = std::max(free_s, until);
     stats_.host_uplink_busy_seconds += duration;
   }
   if (use.downlink_bus >= 0) {
-    links_[static_cast<std::size_t>(use.downlink_bus)].downlink_free_s =
-        completion;
+    auto& free_s =
+        links_[static_cast<std::size_t>(use.downlink_bus)].downlink_free_s;
+    free_s = std::max(free_s, until);
     stats_.host_downlink_busy_seconds += duration;
   }
   if (use.socket_node >= 0) {
-    links_[static_cast<std::size_t>(use.socket_node)]
-        .socket_free_s[use.socket_dir] = completion;
+    auto& free_s = links_[static_cast<std::size_t>(use.socket_node)]
+                       .socket_free_s[use.socket_dir];
+    free_s = std::max(free_s, until);
     stats_.socket_link_busy_seconds += duration;
   }
   if (use.nic_send_node >= 0) {
-    links_[static_cast<std::size_t>(use.nic_send_node)].nic_send_free_s =
-        completion;
+    auto& free_s =
+        links_[static_cast<std::size_t>(use.nic_send_node)].nic_send_free_s;
+    free_s = std::max(free_s, until);
     stats_.nic_send_busy_seconds += duration;
   }
   if (use.nic_recv_node >= 0) {
-    links_[static_cast<std::size_t>(use.nic_recv_node)].nic_recv_free_s =
-        completion;
+    auto& free_s =
+        links_[static_cast<std::size_t>(use.nic_recv_node)].nic_recv_free_s;
+    free_s = std::max(free_s, until);
     stats_.nic_recv_busy_seconds += duration;
   }
+}
+
+int Node::copy_legs_for(const Command& cmd, Topology::CopyLeg legs[3]) const {
+  if (cmd.kind != Command::Kind::Copy || cmd.duration_override_s >= 0) {
+    return 0; // an override replaces the whole cost model, legs included
+  }
+  return topo_.copy_legs(cmd.src, cmd.dst, cmd.bytes, cmd.host_staged, legs);
+}
+
+double Node::link_free_time(const Command& cmd) const {
+  Topology::CopyLeg legs[3];
+  const int nlegs = copy_legs_for(cmd, legs);
+  if (nlegs > 0) {
+    // A leg's resource must be free by the time the leg starts, not by the
+    // time the transfer starts: earlier legs of this transfer cover the gap.
+    double start_s = 0.0;
+    for (int i = 0; i < nlegs; ++i) {
+      start_s = std::max(start_s, link_free_use(legs[i].use) - legs[i].offset_s);
+    }
+    return start_s;
+  }
+  return link_free_use(topo_.link_use(cmd.src, cmd.dst, cmd.host_staged));
+}
+
+void Node::reserve_links(const Command& cmd, double completion,
+                         double duration) {
+  Topology::CopyLeg legs[3];
+  const int nlegs = copy_legs_for(cmd, legs);
+  if (nlegs > 0) {
+    const double start = completion - duration;
+    for (int i = 0; i < nlegs; ++i) {
+      reserve_use(legs[i].use, start + legs[i].offset_s + legs[i].duration_s,
+                  legs[i].duration_s);
+    }
+    return;
+  }
+  reserve_use(topo_.link_use(cmd.src, cmd.dst, cmd.host_staged), completion,
+              duration);
 }
 
 void Node::account(const Command& cmd, int device, double duration) {

@@ -225,12 +225,25 @@ private:
   double command_duration(const Command& cmd, int device) const;
   void account(const Command& cmd, int device, double duration);
   /// Earliest time every shared link a copy needs is free (0 for none).
+  /// Network-crossing copies are evaluated leg-wise (Topology::copy_legs):
+  /// each leg's resource need only be free by that leg's offset into the
+  /// transfer, which is what lets successive chunk pieces pipeline their
+  /// D2H / NIC / H2D hops instead of serializing end-to-end.
   double link_free_time(const Command& cmd) const;
   /// Setup-latency share of a copy's duration; this much may overlap the
   /// predecessor still draining the shared link.
   double copy_setup_seconds(const Command& cmd) const;
-  /// Marks the copy's shared links busy until `completion`.
+  /// Marks the copy's shared links busy until `completion` (per leg for
+  /// network-crossing copies: each resource is released when its leg ends).
   void reserve_links(const Command& cmd, double completion, double duration);
+  /// Max free-time over the resources in one LinkUse.
+  double link_free_use(const Topology::LinkUse& use) const;
+  /// Marks one LinkUse's resources busy until `until`, accounting
+  /// `duration` of busy time to each.
+  void reserve_use(const Topology::LinkUse& use, double until, double duration);
+  /// Fills `legs` for a copy command; 0 when no decomposition applies or
+  /// the duration was overridden (an override invalidates the leg model).
+  int copy_legs_for(const Command& cmd, Topology::CopyLeg legs[3]) const;
 
   std::vector<DeviceSpec> specs_;
   Topology topo_;

@@ -143,6 +143,98 @@ Topology::LinkUse Topology::link_use(Endpoint src, Endpoint dst,
   return use;
 }
 
+int Topology::copy_legs(Endpoint src, Endpoint dst, std::size_t bytes,
+                        bool host_staged, CopyLeg out[3]) const {
+  if (!network_pipelining) {
+    return 0;
+  }
+  const LinkClass cls = link_class(src, dst, host_staged);
+  // HostStaged decomposes too, but only on cluster topologies: the planner's
+  // cross-bus bounce path wants its D2H and H2D hops to pipeline chunk-wise,
+  // while single-node forced staging must keep the PR 8 whole-duration
+  // reservation so the committed single-node baselines are untouched.
+  if (!crosses_network(cls) &&
+      !(cls == LinkClass::HostStaged && cluster_nodes_ > 1)) {
+    return 0;
+  }
+  // Leg offsets and durations must sum to exactly cost_model's copy_seconds
+  // for the same arguments, so a lone transfer's completion time is
+  // identical with or without the decomposition.
+  const Endpoint host = Endpoint::host();
+  const double net = network_seconds(src.device, dst.device, bytes);
+  int n = 0;
+  auto add = [&](double offset, double dur, const LinkUse& use) {
+    if (dur <= 0.0) {
+      return;
+    }
+    out[n].offset_s = offset;
+    out[n].duration_s = dur;
+    out[n].use = use;
+    ++n;
+  };
+  auto nic_hop = [&]() {
+    LinkUse u;
+    u.nic_send_node = cluster_node_of(src.device);
+    u.nic_recv_node = cluster_node_of(dst.device);
+    return u;
+  };
+  switch (cls) {
+  case LinkClass::NetworkStaged: {
+    if (!host_staged) {
+      return 0; // unstaged cross-node p2p keeps the monolithic model
+    }
+    const double sw = host_staging_software_us * 1e-6;
+    const double d2h = transfer_seconds(src, host, bytes);
+    const double h2d = transfer_seconds(host, dst, bytes);
+    LinkUse down, up;
+    down.downlink_bus = bus_of(src.device);
+    up.uplink_bus = bus_of(dst.device);
+    add(sw, d2h, down);
+    add(sw + d2h, net, nic_hop());
+    add(sw + d2h + net, h2d, up);
+    return n;
+  }
+  case LinkClass::HostStaged: {
+    // In-node bounce through host RAM: software setup, then D2H out of the
+    // source bus, then H2D into the destination bus (net is 0 within a
+    // node). The legs partition copy_seconds' staged duration exactly.
+    const double sw = host_staging_software_us * 1e-6;
+    const double d2h = transfer_seconds(src, host, bytes);
+    const double h2d = transfer_seconds(host, dst, bytes);
+    LinkUse down, up;
+    down.downlink_bus = bus_of(src.device);
+    up.uplink_bus = bus_of(dst.device);
+    add(sw, d2h, down);
+    add(sw + d2h, h2d, up);
+    return n;
+  }
+  case LinkClass::NetworkSend: {
+    if (host_staged) {
+      return 0;
+    }
+    const double d2h = transfer_seconds(src, host, bytes);
+    LinkUse down;
+    down.downlink_bus = bus_of(src.device);
+    add(0.0, d2h, down);
+    add(d2h, net, nic_hop());
+    return n;
+  }
+  case LinkClass::NetworkRecv: {
+    if (host_staged) {
+      return 0;
+    }
+    const double h2d = transfer_seconds(host, dst, bytes);
+    LinkUse up;
+    up.uplink_bus = bus_of(dst.device);
+    add(0.0, net, nic_hop());
+    add(net, h2d, up);
+    return n;
+  }
+  default:
+    return 0;
+  }
+}
+
 double Topology::bandwidth_gbps(Endpoint src, Endpoint dst) const {
   if (src.is_host() && dst.is_host()) {
     return 25.0; // host memcpy; never on the critical path in practice

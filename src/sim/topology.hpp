@@ -127,6 +127,32 @@ public:
   /// Number of PCIe buses (consecutive device pairs).
   int bus_count() const { return (device_count_ + 1) / 2; }
 
+  /// One leg of a network-crossing transfer's path: the time window
+  /// (relative to the transfer's start) during which it occupies a subset of
+  /// the shared resources. A NetworkStaged copy decomposes into its D2H hop
+  /// (source bus downlink), the NIC hop (source egress + destination
+  /// ingress), and its H2D hop (destination bus uplink); the windows are
+  /// disjoint and sum (with the software-staging setup) to exactly the
+  /// monolithic copy duration, so a lone transfer's timing is unchanged —
+  /// only *concurrent* transfers (e.g. successive chunk pieces of one routed
+  /// crossing) can now overlap leg-wise instead of serializing end-to-end.
+  struct CopyLeg {
+    double offset_s = 0.0;   ///< leg start relative to the transfer's start
+    double duration_s = 0.0; ///< leg length (resource busy time)
+    LinkUse use;             ///< resources this leg occupies
+  };
+
+  /// Decomposes a transfer into per-resource occupancy legs. Returns the
+  /// number of legs written to `out` (at most 3), or 0 when no decomposition
+  /// applies — direct single-node link classes, HostStaged on a single-node
+  /// topology, or `network_pipelining` off — in which case the caller must
+  /// fall back to whole-duration reservation of link_use(). On cluster
+  /// topologies HostStaged decomposes into its D2H and H2D hops so the
+  /// planner's in-node bounce path pipelines chunk-wise like a crossing.
+  /// Zero-duration legs are omitted.
+  int copy_legs(Endpoint src, Endpoint dst, std::size_t bytes,
+                bool host_staged, CopyLeg out[3]) const;
+
   /// Effective bandwidth (GB/s) for a transfer between two endpoints.
   double bandwidth_gbps(Endpoint src, Endpoint dst) const;
   /// Fixed per-transfer latency (us) between two endpoints.
@@ -138,6 +164,12 @@ public:
   /// Extra software latency (us) added by host-staged exchange baselines
   /// (MPI/IPC in NMF-mGPU, host-based API in CUBLAS-XT).
   double host_staging_software_us = 25.0;
+
+  /// When true (default), network-crossing transfers occupy each shared
+  /// link only during the leg that traverses it (see copy_legs), letting
+  /// chunk pieces of one routed crossing pipeline D2H / NIC / H2D hops.
+  /// Off reproduces the PR 8 whole-duration reservation model.
+  bool network_pipelining = true;
 
 private:
   int device_count_ = 0;

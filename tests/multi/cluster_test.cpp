@@ -49,6 +49,34 @@ TEST(ClusterTest, CrossNodeCopyStagesThroughHostsAndNetwork) {
   EXPECT_EQ(intra.stats().bytes_p2p, bytes);
 }
 
+TEST(ClusterTest, PipelinedCrossingsOverlapConcurrentTransfers) {
+  // Two crossings from the same source to different remote devices: under
+  // the monolithic reservation model (network_pipelining = false, the PR 8
+  // behaviour) the second holds every staged resource for the full window
+  // behind the first; with leg decomposition its d2h stage overlaps the
+  // first crossing's wire time.
+  const std::size_t bytes = 8 << 20;
+  auto run = [&](bool pipelining, bool second) {
+    sim::Topology topo = sim::Topology::cluster(2, 4);
+    topo.network_pipelining = pipelining;
+    sim::Node node(sim::homogeneous_node(sim::gtx780(), 8), topo,
+                   sim::ExecMode::TimingOnly);
+    sim::Buffer* a = node.malloc_device(0, bytes);
+    sim::Buffer* b5 = node.malloc_device(5, bytes);
+    node.memcpy_p2p(node.default_stream(5), b5, 0, a, 0, bytes);
+    if (second) {
+      sim::Buffer* b6 = node.malloc_device(6, bytes);
+      node.memcpy_p2p(node.default_stream(6), b6, 0, a, 0, bytes);
+    }
+    node.synchronize();
+    return node.now_ms();
+  };
+  EXPECT_LT(run(true, true), run(false, true));
+  // A lone crossing costs the same either way: the leg windows partition
+  // the monolithic staged duration exactly.
+  EXPECT_DOUBLE_EQ(run(true, false), run(false, false));
+}
+
 TEST(ClusterTest, GameOfLifeCorrectAcrossTwoNodes) {
   // The same framework code runs unmodified on a 2x4 cluster; boundary
   // exchanges that cross the node boundary are staged automatically.
@@ -81,11 +109,17 @@ struct ClusterGolRun {
   std::vector<int> a;
   std::size_t devices_lost = 0;
   std::vector<bool> lost; // per slot
+  std::uint32_t pipeline_depth = 0;
+};
+
+struct ClusterGolOptions {
+  std::size_t copy_chunk_bytes = 0; // 0: keep the scheduler default
+  bool placement = false;
 };
 
 // Four GoL ticks on a 2x2 cluster with fault tolerance on; `kill_after`
 // ticks in, the whole of cluster node 1 goes down at once.
-ClusterGolRun run_cluster_gol(int kill_after) {
+ClusterGolRun run_cluster_gol(int kill_after, ClusterGolOptions opt = {}) {
   const std::size_t W = 64, H = 64;
   std::mt19937 rng(7);
   ClusterGolRun out;
@@ -100,6 +134,10 @@ ClusterGolRun run_cluster_gol(int kill_after) {
   Scheduler sched(node);
   sched.set_fault_tolerance_enabled(true);
   sched.set_sanitizer_enabled(true);
+  if (opt.copy_chunk_bytes > 0) {
+    sched.set_copy_chunk_bytes(opt.copy_chunk_bytes);
+  }
+  sched.set_placement_enabled(opt.placement);
   Matrix<int> A(W, H, "A"), B(W, H, "B");
   A.Bind(out.a.data());
   B.Bind(b.data());
@@ -115,6 +153,7 @@ ClusterGolRun run_cluster_gol(int kill_after) {
   }
   sched.Gather(A);
   out.devices_lost = sched.stats().recovery.devices_lost;
+  out.pipeline_depth = sched.stats().transfers.max_pipeline_depth;
   for (int slot = 0; slot < 4; ++slot) {
     out.lost.push_back(sched.device_lost(slot));
   }
@@ -147,6 +186,31 @@ TEST(ClusterFaultTest, NodeLossRecoversBitIdentically) {
     EXPECT_EQ(faulty.devices_lost, 2u) << "kill_after=" << kill_after;
     // Node 0 (slots 0,1) survives; node 1 (slots 2,3) is gone.
     EXPECT_EQ(faulty.lost, std::vector<bool>({false, false, true, true}));
+  }
+}
+
+TEST(ClusterFaultTest, NodeLossMidPipelinedCrossingRecoversBitIdentically) {
+  // Tiny copy chunks force every multi-row cross-node route into a chunked
+  // pipeline (the scatter and the post-kill rebalance both move multi-row
+  // bands across the network), so the kill lands with chunked network
+  // pieces in flight. Recovery must still reach the fault-free answer —
+  // with topology-aware placement both off and on.
+  const ClusterGolRun clean = run_cluster_gol(/*kill_after=*/-1);
+  for (const bool placement : {false, true}) {
+    ClusterGolOptions opt;
+    opt.copy_chunk_bytes = 512; // W=64 ints: 256-byte rows, 2-row chunks
+    opt.placement = placement;
+    const ClusterGolRun chunked_clean = run_cluster_gol(-1, opt);
+    EXPECT_EQ(chunked_clean.a, clean.a) << "placement=" << placement;
+    EXPECT_GT(chunked_clean.pipeline_depth, 1u)
+        << "expected chunked network routes, placement=" << placement;
+    for (int kill_after : {1, 2}) {
+      const ClusterGolRun faulty = run_cluster_gol(kill_after, opt);
+      EXPECT_EQ(faulty.a, clean.a)
+          << "kill_after=" << kill_after << " placement=" << placement;
+      EXPECT_EQ(faulty.devices_lost, 2u);
+      EXPECT_GT(faulty.pipeline_depth, 1u);
+    }
   }
 }
 

@@ -182,7 +182,7 @@ RunResult run_chain(const FuzzCase& fc, int devices,
                     bool fault_tolerance = false,
                     FaultInjector injector = nullptr,
                     int exec_threads = -1, int cluster_nodes = 0,
-                    int planner = -1) {
+                    int planner = -1, int placement = -1) {
   using Win = Window2D<int, 1, maps::WRAP>;
   using Pt = Window2D<int, 0, maps::WRAP>;
   using Out = StructuredInjective<int, 2>;
@@ -206,6 +206,9 @@ RunResult run_chain(const FuzzCase& fc, int devices,
   }
   if (planner >= 0) {
     sched.set_transfer_planner_enabled(planner != 0);
+  }
+  if (placement >= 0) {
+    sched.set_placement_enabled(placement != 0);
   }
   if (fault_tolerance) {
     sched.set_fault_tolerance_enabled(true);
@@ -612,16 +615,19 @@ TEST(ClusterFuzz, PlannerOnOffBitIdenticalAcrossNodeBoundaries) {
     const FuzzCase fc = make_case(seed);
     const int gpn = 2 + static_cast<int>(seed % 3u); // 2..4 GPUs per node
     const int devices = 2 * gpn;
-    SchedulerStats on_stats, off_stats;
-    OverlapCfg on_cfg, off_cfg;
+    SchedulerStats on_stats, off_stats, pl_stats;
+    OverlapCfg on_cfg, off_cfg, pl_cfg;
     on_cfg.stats_out = &on_stats;
     off_cfg.stats_out = &off_stats;
-    RunResult on, off;
+    pl_cfg.stats_out = &pl_stats;
+    RunResult on, off, pl;
     try {
       on = run_chain(fc, devices, nullptr, on_cfg, false, nullptr, -1,
                      /*cluster_nodes=*/2, /*planner=*/1);
       off = run_chain(fc, devices, nullptr, off_cfg, false, nullptr, -1,
                       /*cluster_nodes=*/2, /*planner=*/0);
+      pl = run_chain(fc, devices, nullptr, pl_cfg, false, nullptr, -1,
+                     /*cluster_nodes=*/2, /*planner=*/1, /*placement=*/1);
     } catch (const SanitizerError& e) {
       FAIL() << "sanitizer report on cluster chain\n  " << fc.describe()
              << "\n  gpus per node " << gpn << "\n  " << e.what();
@@ -631,6 +637,14 @@ TEST(ClusterFuzz, PlannerOnOffBitIdenticalAcrossNodeBoundaries) {
         << " gpus per node " << gpn;
     ASSERT_EQ(on.b, off.b)
         << "cluster planner changed results; reproducer: " << fc.describe()
+        << " gpus per node " << gpn;
+    // Topology-aware placement only reorders which physical device hosts
+    // which segment — results must stay bit-identical with it on.
+    ASSERT_EQ(pl.a, on.a)
+        << "placement changed results; reproducer: " << fc.describe()
+        << " gpus per node " << gpn;
+    ASSERT_EQ(pl.b, on.b)
+        << "placement changed results; reproducer: " << fc.describe()
         << " gpus per node " << gpn;
     ASSERT_EQ(on_stats.transfers.bytes_total(),
               off_stats.transfers.bytes_total())

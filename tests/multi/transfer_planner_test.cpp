@@ -108,6 +108,72 @@ TEST_F(TransferPlannerTest, SplitsOpsAtFreshReplicaBoundaries) {
   EXPECT_EQ(ops[1].rows, (RowInterval{0, 32}));
 }
 
+// --- Cluster gateway determinism --------------------------------------------
+
+TEST(GatewayTieBreakTest, EqualFinishCandidatesResolveToTheLowerDevice) {
+  // Devices 6 and 7 (cluster node 1, pair-mates on the same bus) both hold
+  // the rows; the target, device 4, is cross-bus from each, so both
+  // candidate copies finish at exactly the same simulated time. The tie
+  // must resolve to the lower device index — plan-cache replay depends on
+  // this ordering being stable across planner changes.
+  SegmentLocationMonitor monitor(8);
+  sim::Topology topo = sim::Topology::cluster(2, 4);
+  TransferPlanner planner(monitor, topo, {0, 1, 2, 3, 4, 5, 6, 7});
+  std::vector<int> host(64 * 100);
+  Matrix<int> datum(64, 100, "d");
+  datum.Bind(host.data());
+  monitor.register_datum(&datum);
+  TransferStats stats;
+
+  monitor.mark_written(&datum, 7, {0, 64}); // device 6
+  monitor.mark_copied(&datum, 8, {0, 64});  // device 7
+  planner.begin_task();
+  auto ops = planner.route(&datum, 5, datum.row_bytes(),
+                           {{7, RowInterval{0, 64}}}, stats);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].src_location, 7) << "tie must pick the lower device";
+}
+
+TEST(GatewayTieBreakTest, GatewayRotationReplansIdenticallyAcrossTasks) {
+  // The gateway-rotation counter resets in begin_task, so the SAME request
+  // sequence must produce the SAME ops in a later task — the invariant the
+  // scheduler's plan cache relies on when replaying fingerprinted plans.
+  SegmentLocationMonitor monitor(8);
+  sim::Topology topo = sim::Topology::cluster(2, 4);
+  std::vector<int> host(64 * 100);
+  Matrix<int> datum(64, 100, "d");
+  datum.Bind(host.data());
+
+  auto plan_once = [&] {
+    SegmentLocationMonitor m(8);
+    TransferPlanner planner(m, topo, {0, 1, 2, 3, 4, 5, 6, 7});
+    m.register_datum(&datum);
+    TransferStats stats;
+    const std::size_t wide_row = std::size_t{1} << 20;
+    m.mark_written(&datum, 1, {0, 64}); // device 0, node 0
+    planner.begin_task();
+    std::vector<std::vector<SegmentLocationMonitor::CopyOp>> plans;
+    // A broadcast chain across the network: successive targets on node 1
+    // exercise the fresh-gateway rotation.
+    for (int target : {5, 6, 7, 8}) {
+      plans.push_back(planner.route(&datum, target, wide_row,
+                                    {{1, RowInterval{0, 64}}}, stats));
+      m.mark_copied(&datum, target, {0, 64});
+    }
+    return plans;
+  };
+  const auto a = plan_once();
+  const auto b = plan_once();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size()) << "op " << i;
+    for (std::size_t k = 0; k < a[i].size(); ++k) {
+      EXPECT_EQ(a[i][k].src_location, b[i][k].src_location);
+      EXPECT_EQ(a[i][k].rows, b[i][k].rows);
+    }
+  }
+}
+
 TEST(TransferStatsTest, AddAccumulatesCountersAndMaxesDepth) {
   TransferStats a, b;
   a.bytes_h2d = 10;
@@ -123,6 +189,10 @@ TEST(TransferStatsTest, AddAccumulatesCountersAndMaxesDepth) {
   b.copies_rerouted = 2;
   b.copies_coalesced = 3;
   b.max_fanout_depth = 2;
+  a.max_pipeline_depth = 2;
+  b.max_pipeline_depth = 5;
+  b.bytes_chunked_network = 9;
+  b.bytes_chunked_intranode = 3;
   a.add(b);
   EXPECT_EQ(a.bytes_h2d, 15u);
   EXPECT_EQ(a.bytes_d2h, 7u);
@@ -134,6 +204,9 @@ TEST(TransferStatsTest, AddAccumulatesCountersAndMaxesDepth) {
   EXPECT_EQ(a.copies_rerouted, 2u);
   EXPECT_EQ(a.copies_coalesced, 3u);
   EXPECT_EQ(a.max_fanout_depth, 3u);
+  EXPECT_EQ(a.max_pipeline_depth, 5u);
+  EXPECT_EQ(a.bytes_chunked_network, 9u);
+  EXPECT_EQ(a.bytes_chunked_intranode, 3u);
 }
 
 // --- Scheduler-level attribution and end-to-end behaviour -------------------
