@@ -14,6 +14,7 @@ void SegmentLocationMonitor::register_datum(const Datum* datum) {
   State s;
   s.up_to_date.resize(static_cast<std::size_t>(locations_));
   s.last_output.resize(static_cast<std::size_t>(locations_));
+  s.spilled.resize(static_cast<std::size_t>(locations_));
   if (datum->bound()) {
     // The bound host buffer is the initial authoritative copy.
     s.up_to_date[kHost].add(RowInterval{0, datum->rows()});
@@ -179,6 +180,9 @@ void SegmentLocationMonitor::mark_copied(const Datum* datum, int target,
                                          const RowInterval& rows) {
   State& s = state(datum);
   s.up_to_date[static_cast<std::size_t>(target)].add(rows);
+  if (!s.spilled[static_cast<std::size_t>(target)].empty()) {
+    s.spilled[static_cast<std::size_t>(target)].remove(rows); // refilled
+  }
   sync_holder(s, target);
   s.epoch = ++epoch_counter_;
 }
@@ -200,8 +204,36 @@ void SegmentLocationMonitor::mark_written(const Datum* datum, int writer,
   }
   s.up_to_date[static_cast<std::size_t>(writer)].add(rows);
   s.last_output[static_cast<std::size_t>(writer)].add(rows);
+  if (!s.spilled[static_cast<std::size_t>(writer)].empty()) {
+    s.spilled[static_cast<std::size_t>(writer)].remove(rows); // re-resident
+  }
   sync_holder(s, writer);
   s.epoch = ++epoch_counter_;
+}
+
+void SegmentLocationMonitor::mark_spilled(const Datum* datum, int location,
+                                          const RowInterval& rows) {
+  State& s = state(datum);
+  s.spilled[static_cast<std::size_t>(location)].add(rows);
+  s.up_to_date[static_cast<std::size_t>(location)].remove(rows);
+  s.last_output[static_cast<std::size_t>(location)].remove(rows);
+  sync_holder(s, location);
+  s.epoch = ++epoch_counter_;
+}
+
+const IntervalSet& SegmentLocationMonitor::spilled(const Datum* datum,
+                                                   int location) const {
+  return state(datum).spilled[static_cast<std::size_t>(location)];
+}
+
+int SegmentLocationMonitor::spilled_datum_count(int location) const {
+  int count = 0;
+  for (const auto& [key, s] : states_) {
+    if (!s.spilled[static_cast<std::size_t>(location)].intervals().empty()) {
+      ++count;
+    }
+  }
+  return count;
 }
 
 std::uint64_t SegmentLocationMonitor::epoch(const Datum* datum) const {
@@ -226,6 +258,25 @@ void SegmentLocationMonitor::state_snapshot(
       out.push_back(iv.end);
     }
   }
+  // Spilled residency records, same sparse canonical shape. In-core states
+  // (no budget) contribute a single constant 0 here.
+  std::uint64_t spilled_locs = 0;
+  for (const IntervalSet& set : s.spilled) {
+    spilled_locs += set.empty() ? 0 : 1;
+  }
+  out.push_back(spilled_locs);
+  for (std::size_t l = 0; l < s.spilled.size(); ++l) {
+    const auto& ivs = s.spilled[l].intervals();
+    if (ivs.empty()) {
+      continue;
+    }
+    out.push_back(static_cast<std::uint64_t>(l));
+    out.push_back(ivs.size());
+    for (const RowInterval& iv : ivs) {
+      out.push_back(iv.begin);
+      out.push_back(iv.end);
+    }
+  }
 }
 
 const IntervalSet& SegmentLocationMonitor::up_to_date(const Datum* datum,
@@ -242,6 +293,7 @@ void SegmentLocationMonitor::drop_location(int location) {
   for (auto& [key, s] : states_) {
     s.up_to_date[static_cast<std::size_t>(location)].clear();
     s.last_output[static_cast<std::size_t>(location)].clear();
+    s.spilled[static_cast<std::size_t>(location)].clear();
     sync_holder(s, location);
     s.epoch = ++epoch_counter_;
   }
@@ -251,6 +303,7 @@ void SegmentLocationMonitor::drop_holdings(const Datum* datum, int location) {
   State& s = state(datum);
   s.up_to_date[static_cast<std::size_t>(location)].clear();
   s.last_output[static_cast<std::size_t>(location)].clear();
+  s.spilled[static_cast<std::size_t>(location)].clear();
   sync_holder(s, location);
   s.epoch = ++epoch_counter_;
 }
@@ -298,6 +351,7 @@ void SegmentLocationMonitor::capture_state(const Datum* datum,
                                            StateCopy& out) const {
   const State& s = state(datum);
   out.up_to_date = s.up_to_date;
+  out.spilled = s.spilled;
   out.holders = s.holders;
   if (s.has_pending) { // `pending` is only read behind the flag
     out.pending = s.pending;
@@ -312,6 +366,7 @@ void SegmentLocationMonitor::restore_state(const Datum* datum,
   // Element-wise assignment reuses the existing interval storage, so a
   // steady-state restore allocates nothing.
   s.up_to_date = sc.up_to_date;
+  s.spilled = sc.spilled;
   s.holders = sc.holders;
   if (sc.has_pending) { // `pending` is only read behind the flag
     s.pending = sc.pending;

@@ -80,10 +80,36 @@ public:
                                   bool target_holds_slot = true) const;
 
   /// Marks rows as valid (unmodified replica) at a location after a copy.
+  /// Clears any "spilled" record for the rows at the target: residency has
+  /// returned, so a later eviction of the same rows is a fresh spill.
   void mark_copied(const Datum* datum, int target, const RowInterval& rows);
   /// Marks rows as (re)written by `writer`: all other locations' replicas of
   /// those rows become stale.
   void mark_written(const Datum* datum, int writer, const RowInterval& rows);
+
+  // --- Out-of-core residency ------------------------------------------------
+
+  /// Marks rows as *spilled to host* at a device location: the device buffer
+  /// backing them was evicted under the memory budget after their content was
+  /// written back, so the location no longer holds them (up-to-date and
+  /// last-output are stripped) but the monitor remembers that it once did.
+  /// The host's own up-to-date entry is NOT touched here — the scheduler
+  /// marks the actual write-back copy via mark_copied(kHost, ...), keeping
+  /// Algorithm 2 the single source of refill planning: once the device
+  /// holding is gone, any later requirement is served from the host (or a
+  /// peer replica) through the ordinary plan_copies path.
+  void mark_spilled(const Datum* datum, int location, const RowInterval& rows);
+  /// Rows recorded as spilled from `location` and not yet refilled. Used by
+  /// the scheduler to classify planned copies landing on previously evicted
+  /// rows as refills (SpillStats) rather than first-touch distribution.
+  const IntervalSet& spilled(const Datum* datum, int location) const;
+  /// Number of datums with rows currently recorded as spilled from
+  /// `location`. On a device loss these rows are already host-resident by
+  /// construction (the write-back precedes every eviction), so recovery
+  /// restores them from the host without re-executing anything — the
+  /// scheduler counts them into RecoveryStats::segments_restored_from_host
+  /// before dropping the location.
+  int spilled_datum_count(int location) const;
 
   const IntervalSet& up_to_date(const Datum* datum, int location) const;
   const IntervalSet& last_output(const Datum* datum, int location) const;
@@ -121,7 +147,11 @@ public:
   std::uint64_t epoch_counter() const { return epoch_counter_; }
 
   /// Appends a canonical encoding of the datum's planning-relevant state
-  /// (up-to-date holdings per location + pending-aggregation flag) to `out`.
+  /// (up-to-date holdings per location, spilled residency records, and the
+  /// pending-aggregation flag) to `out`. Spilled records are included even
+  /// though Algorithm 2 never consults them: the scheduler's refill
+  /// accounting is a function of them, so two states differing only in
+  /// residency must not alias in the plan cache.
   /// lastOutput is deliberately excluded: Algorithm 2 never consults it, so
   /// two states with equal snapshots plan identical copies. The encoding is
   /// sparse — only locations that hold anything appear, each tagged with its
@@ -150,6 +180,7 @@ public:
   /// a replay leaves whatever the live mark path last produced.
   struct StateCopy {
     std::vector<IntervalSet> up_to_date;
+    std::vector<IntervalSet> spilled; ///< Out-of-core eviction records.
     std::vector<int> holders; ///< Captured holder index (see State::holders).
     PendingAggregation pending;
     bool has_pending = false;
@@ -164,6 +195,10 @@ private:
   struct State {
     std::vector<IntervalSet> up_to_date;  // per location
     std::vector<IntervalSet> last_output; // per location
+    /// Per location: rows once resident here whose device buffer was evicted
+    /// under the memory budget ("spilled to host"). Cleared as the rows are
+    /// copied or written back in. Always empty in in-core runs.
+    std::vector<IntervalSet> spilled;
     /// Holder index: ascending locations whose up_to_date set is non-empty,
     /// maintained by every mutation. Algorithm 2's source scans and the
     /// state snapshot iterate this instead of all locations, keeping both

@@ -129,6 +129,29 @@ void MemoryAnalyzer::grow(const Datum* datum, int slot) {
   allocs_.erase(it);
 }
 
+std::size_t MemoryAnalyzer::planned_bytes(const Datum* datum, int slot) const {
+  auto it = plans_.find(Key{datum->key(), slot});
+  if (it == plans_.end()) {
+    return 0;
+  }
+  return it->second.rows() * datum->row_bytes() + it->second.extra_tail_bytes;
+}
+
+std::vector<MemoryAnalyzer::Resident> MemoryAnalyzer::resident(int slot) const {
+  std::vector<Resident> out;
+  for (const auto& [key, alloc] : allocs_) {
+    if (key.second == slot && alloc.buffer != nullptr) {
+      out.push_back(Resident{datum_of_.at(key), &alloc});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Resident& a, const Resident& b) {
+    return a.datum->name() != b.datum->name()
+               ? a.datum->name() < b.datum->name()
+               : a.datum->key() < b.datum->key();
+  });
+  return out;
+}
+
 void MemoryAnalyzer::release_all() {
   for (auto& [key, alloc] : allocs_) {
     node_.free_device(alloc.buffer);

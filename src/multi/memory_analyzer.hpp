@@ -86,6 +86,33 @@ public:
   /// must invalidate the location's holdings.
   void grow(const Datum* datum, int slot);
 
+  // --- Out-of-core eviction -------------------------------------------------
+
+  /// Evicts the (datum, slot) allocation under the device-memory budget:
+  /// the buffer is freed but the plan survives, so the next ensure()
+  /// rematerializes a buffer of the same bounding box — that
+  /// rematerialization (plus the monitor-planned copies into it) is the
+  /// refill. Mechanically identical to grow(); a separate entry point so
+  /// call sites read as residency policy, not as repartition recovery.
+  /// Contents are NOT migrated; the caller must write back dirty rows and
+  /// mark the holding spilled first.
+  void evict(const Datum* datum, int slot) { grow(datum, slot); }
+
+  /// Bytes ensure() would materialize for (datum, slot) given the recorded
+  /// plan — the working-set contribution used by the scheduler's budget
+  /// check. Zero when the datum was never analyzed for the slot.
+  std::size_t planned_bytes(const Datum* datum, int slot) const;
+
+  /// One materialized allocation on a slot, for eviction-policy scans.
+  struct Resident {
+    const Datum* datum = nullptr;
+    const Alloc* alloc = nullptr;
+  };
+  /// Every allocation currently materialized on `slot`, sorted by datum name
+  /// (hash-map iteration order must not leak into eviction decisions — the
+  /// LRU tie-break has to be deterministic for the pinned-counter tests).
+  std::vector<Resident> resident(int slot) const;
+
   /// Releases all device buffers (also done by the destructor).
   void release_all();
 

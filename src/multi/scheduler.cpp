@@ -355,8 +355,8 @@ Scheduler::fingerprint(const std::vector<PatternSpec>& specs, const Work* work,
                        bool splittable) const {
   PlanFingerprint fp;
   auto& w = fp.words;
-  w.reserve(specs.size() * 12 + 10);
-  w.push_back(0x4d415053'46503104ull); // "MAPS" fingerprint, version 4
+  w.reserve(specs.size() * 12 + 11);
+  w.push_back(0x4d415053'46503105ull); // "MAPS" fingerprint, version 5
   w.push_back(static_cast<std::uint64_t>(slots()));
   // Device losses change the segment → slot map, so the live set is part of
   // the shape identity (the cache is also cleared wholesale on recovery;
@@ -384,6 +384,9 @@ Scheduler::fingerprint(const std::vector<PatternSpec>& specs, const Work* work,
   w.push_back((overlap_enabled_ ? 2u : 0u) | (splittable ? 1u : 0u));
   w.push_back(static_cast<std::uint64_t>(copy_chunk_bytes_));
   w.push_back(std::bit_cast<std::uint64_t>(overlap_min_benefit_));
+  // The device-memory budget decides which residents a build evicts, so a
+  // plan built under one budget must never replay under another.
+  w.push_back(static_cast<std::uint64_t>(device_memory_budget_));
   w.push_back(specs.size());
   for (const auto& s : specs) {
     w.push_back(reinterpret_cast<std::uintptr_t>(s.datum->key()));
@@ -750,10 +753,24 @@ void Scheduler::plan_copies_for(PlanShape& shape, DeviceWiring& dw, int slot,
             static_cast<std::size_t>(static_cast<long>(op.rows.end) -
                                      src_alloc->origin)};
       }
+      // Out-of-core refill classification: a copy landing entirely on rows
+      // this location previously spilled is residency-policy traffic, not the
+      // task's inherent data movement — it rematerializes evicted state. It
+      // is accounted under SpillStats (partially spilled destinations stay
+      // ordinary, so refills never over-count). Checked before wire_copy:
+      // mark_copied below clears the spilled record.
+      const bool refill = device_memory_budget_ > 0 && c.aligned &&
+                          !op.rows.empty() &&
+                          monitor_.spilled(datum, dst_loc).covers(op.rows);
+      TransferStats& tacct = refill ? shape.spill.transfers : shape.transfers;
+      if (refill) {
+        ++shape.spill.refills;
+        shape.spill.bytes_refilled += c.bytes;
+      }
       // Byte attribution by physical path, matching how the copy will be
       // dispatched (forced staging and cross-node peers bounce through the
       // host).
-      ++shape.transfers.copies_issued;
+      ++tacct.copies_issued;
       const sim::Endpoint src_ep =
           op.src_location == SegmentLocationMonitor::kHost
               ? sim::Endpoint::host()
@@ -765,7 +782,7 @@ void Scheduler::plan_copies_for(PlanShape& shape, DeviceWiring& dw, int slot,
           !src_ep.is_host() &&
           (force_host_staged_ || op.via_host ||
            !node_.topology().peer_enabled(src_ep.device, dst_ep.device));
-      TransferPlanner::account(shape.transfers, node_.topology(), src_ep,
+      TransferPlanner::account(tacct, node_.topology(), src_ep,
                                dst_ep, staged, c.bytes);
       CopyWiring w;
       wire_copy(c, dw, w, node_.create_event(), /*update_monitor=*/true);
@@ -856,6 +873,7 @@ void Scheduler::commit_aggregations(const PlanShape& shape,
 
 void Scheduler::account_dispatch(const PlanShape& shape) {
   stats_.transfers.add(shape.transfers);
+  stats_.spill.add(shape.spill);
   stats_.interior_subkernels += shape.interior_launches;
   stats_.boundary_subkernels += shape.boundary_launches;
 }
@@ -867,9 +885,34 @@ Scheduler::plan_task(std::vector<PatternSpec> specs, const Work* work,
   for (const auto& s : specs) {
     monitor_.register_datum(s.datum);
   }
+  // Out-of-core LRU recency: every datum this task references counts as
+  // touched on every live slot, for hit and miss paths alike — a replayed
+  // plan keeps its buffers exactly as warm as a rebuilt one would.
+  if (device_memory_budget_ > 0) {
+    const std::uint64_t stamp = ++touch_counter_;
+    for (const auto& s : specs) {
+      for (int slot : live_) {
+        last_touch_[{s.datum->key(), slot}] = stamp;
+      }
+    }
+  }
   // Placement must settle before the fingerprint is taken: the chosen
   // segment -> slot order is part of the plan's shape identity.
   apply_placement(specs);
+
+  // Budget enforcement must precede the cache lookup: a replayed plan bakes
+  // in the residency it was built under, and any eviction here clears the
+  // cache, so the subsequent miss rebuilds with the refill copies planned.
+  // (build_plan enforces again after recording this task's requirements —
+  // that second pass is exact for first-time tasks whose planned sizes are
+  // unknown here.)
+  if (device_memory_budget_ > 0) {
+    bool single = work != nullptr && work->single_device;
+    for (const auto& s : specs) {
+      single = single || s.seg == Segmentation::SingleDevice;
+    }
+    enforce_budget(specs, single ? 1 : live_count());
+  }
 
   const bool want_cache = plan_cache_enabled_ && plan_cache_capacity_ > 0;
   const bool use_cache = want_cache && cacheable(specs);
@@ -1206,6 +1249,14 @@ Scheduler::build_plan(std::vector<PatternSpec> specs, const Work* work,
         }
       }
     }
+  }
+
+  // Out-of-core residency: make room for this task's datums under the
+  // device-memory budget before ensure() materializes them (DESIGN.md §5.16).
+  // streaming_required() already diverted tasks whose own working set cannot
+  // fit, so eviction of colder residents always suffices here (or throws).
+  if (device_memory_budget_ > 0) {
+    enforce_budget(shape.specs, slots_eff);
   }
 
   // Interior/boundary splitting: structurally eligible shapes pass the cost
@@ -1624,6 +1675,944 @@ void Scheduler::reset_stats() {
   }
 }
 
+// --- Out-of-core execution (DESIGN.md §5.16) ---------------------------------
+
+void Scheduler::set_device_memory_budget(std::size_t bytes) {
+  if (bytes == device_memory_budget_) {
+    return;
+  }
+  if (tasks_scheduled() != 0) {
+    // Mid-chain budget change: cached plans bake in residency decisions made
+    // under the old budget, and in-flight jobs may reference buffers the new
+    // policy is about to evict — quiesce and drop the cache wholesale.
+    for (auto& inv : invokers_) {
+      inv->flush();
+    }
+    node_.synchronize();
+    stats_.cache_evictions += cache_.size();
+    cache_.clear();
+    lru_.clear();
+  }
+  device_memory_budget_ = bytes;
+}
+
+bool Scheduler::streaming_required(const std::vector<PatternSpec>& specs,
+                                   const Work* work) {
+  if (device_memory_budget_ == 0 || specs.empty()) {
+    return false;
+  }
+  bool single = work != nullptr && work->single_device;
+  for (const auto& s : specs) {
+    monitor_.register_datum(s.datum);
+    single = single || s.seg == Segmentation::SingleDevice;
+  }
+  const int slots_eff = single ? 1 : live_count();
+  const TaskPartition partition = derive_partition(specs, work, slots_eff);
+  // Per-slot working set of THIS task alone: the bounding-box bytes ensure()
+  // would materialize per referenced datum — the hull of the task's
+  // requirements with any previously recorded plan. Computed without touching
+  // the analyzer: the decision must be free of side effects on slots a
+  // subsequent placement pass may re-map.
+  for (int seg = 0; seg < slots_eff; ++seg) {
+    const int slot = live_[static_cast<std::size_t>(seg)];
+    struct Hull {
+      long origin = 0;
+      long end = 0;
+      std::size_t tail = 0;
+      std::size_t row_bytes = 0;
+    };
+    std::vector<std::pair<const void*, Hull>> hulls;
+    for (const auto& s : specs) {
+      const SegmentReq req = compute_requirement(s, partition, seg);
+      if (!req.active) {
+        continue;
+      }
+      long origin = req.origin;
+      long end = req.origin + static_cast<long>(req.local_rows);
+      std::size_t tail = s.agg == AggregationKind::MaskedMerge
+                             ? s.datum->rows() * s.datum->row_elems()
+                             : 0;
+      if (const auto* plan = analyzer_.plan(s.datum, slot)) {
+        origin = std::min(origin, plan->origin);
+        end = std::max(end, plan->end);
+        tail = std::max(tail, plan->extra_tail_bytes);
+      }
+      auto it = std::find_if(
+          hulls.begin(), hulls.end(),
+          [&](const auto& h) { return h.first == s.datum->key(); });
+      if (it == hulls.end()) {
+        hulls.emplace_back(s.datum->key(),
+                           Hull{origin, end, tail, s.datum->row_bytes()});
+      } else {
+        it->second.origin = std::min(it->second.origin, origin);
+        it->second.end = std::max(it->second.end, end);
+        it->second.tail = std::max(it->second.tail, tail);
+      }
+    }
+    std::size_t working = 0;
+    for (const auto& [key, h] : hulls) {
+      working +=
+          static_cast<std::size_t>(h.end - h.origin) * h.row_bytes + h.tail;
+    }
+    if (working > device_memory_budget_) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Scheduler::enforce_budget(const std::vector<PatternSpec>& specs,
+                               int slots_eff) {
+  bool quiesced = false;
+  for (int seg = 0; seg < slots_eff; ++seg) {
+    const int slot = live_[static_cast<std::size_t>(seg)];
+    // Bytes on this slot once the task's datums materialize: current
+    // residents plus the planned size of every referenced datum that has no
+    // buffer yet (build_plan recorded the requirements just above).
+    std::vector<const void*> task_keys;
+    std::size_t after = 0;
+    for (const auto& s : specs) {
+      if (std::find(task_keys.begin(), task_keys.end(), s.datum->key()) !=
+          task_keys.end()) {
+        continue;
+      }
+      task_keys.push_back(s.datum->key());
+      if (analyzer_.find(s.datum, slot) == nullptr) {
+        after += analyzer_.planned_bytes(s.datum, slot);
+      }
+    }
+    for (const auto& r : analyzer_.resident(slot)) {
+      after += r.alloc->buffer->size();
+    }
+    if (after <= device_memory_budget_) {
+      continue;
+    }
+    // LRU eviction over residents the task does not reference. Pending
+    // aggregation partials are pinned (their rows are valid nowhere else,
+    // and written back as global rows they would corrupt the datum), as are
+    // unbound datums (no host buffer to spill into). resident() is
+    // name-sorted, so the stable_sort's tie-break is deterministic — the
+    // pinned eviction counters in the tests rely on that.
+    struct Cand {
+      const Datum* datum;
+      std::size_t bytes;
+      std::uint64_t touch;
+    };
+    std::vector<Cand> cands;
+    for (const auto& r : analyzer_.resident(slot)) {
+      if (std::find(task_keys.begin(), task_keys.end(), r.datum->key()) !=
+          task_keys.end()) {
+        continue;
+      }
+      if (monitor_.pending_aggregation(r.datum) != nullptr ||
+          !r.datum->bound()) {
+        continue;
+      }
+      const auto t = last_touch_.find({r.datum->key(), slot});
+      cands.push_back({r.datum, r.alloc->buffer->size(),
+                       t == last_touch_.end() ? 0 : t->second});
+    }
+    std::stable_sort(cands.begin(), cands.end(),
+                     [](const Cand& a, const Cand& b) {
+                       return a.touch < b.touch;
+                     });
+    for (const Cand& c : cands) {
+      if (after <= device_memory_budget_) {
+        break;
+      }
+      spill_allocation(c.datum, slot, quiesced);
+      after -= c.bytes;
+    }
+    if (after > device_memory_budget_) {
+      throw OutOfCoreError(
+          "out-of-core: slot " + std::to_string(slot) + " needs " +
+          std::to_string(after) + " bytes against a device memory budget of " +
+          std::to_string(device_memory_budget_) +
+          " bytes and nothing more can be evicted (the remaining residents "
+          "are the task's own datums, pending aggregation partials, or "
+          "unbound data) — raise the budget or Gather pending partials "
+          "first");
+    }
+  }
+}
+
+void Scheduler::spill_allocation(const Datum* datum, int slot,
+                                 bool& quiesced) {
+  if (!quiesced) {
+    // In-flight jobs may reference the buffer being freed, and cached plans
+    // bake in residency this eviction invalidates.
+    for (auto& inv : invokers_) {
+      inv->flush();
+    }
+    node_.synchronize();
+    stats_.cache_evictions += cache_.size();
+    cache_.clear();
+    lru_.clear();
+    quiesced = true;
+  }
+  const auto* alloc = analyzer_.find(datum, slot);
+  if (alloc == nullptr) {
+    return;
+  }
+  const int loc = SegmentLocationMonitor::loc(slot);
+  // Snapshot before the write-back loop mutates the monitor.
+  const IntervalSet held = monitor_.up_to_date(datum, loc);
+  const IntervalSet& host =
+      monitor_.up_to_date(datum, SegmentLocationMonitor::kHost);
+  const std::size_t row_bytes = datum->row_bytes();
+  const sim::StreamId stream = copy_streams2_[static_cast<std::size_t>(slot)];
+  for (const RowInterval& iv : held.intervals()) {
+    for (const RowInterval& dirty : host.missing_from(iv)) {
+      // Rows valid only on this device: write them back before freeing.
+      if (!datum->bound()) {
+        throw OutOfCoreError("out-of-core: datum '" + datum->name() +
+                             "' holds device-only rows but has no bound host "
+                             "buffer to spill into");
+      }
+      const std::size_t bytes = dirty.size() * row_bytes;
+      node_.memcpy_d2h(stream, datum->host_row(dirty.begin), alloc->buffer,
+                       alloc->row_offset(static_cast<long>(dirty.begin)),
+                       bytes);
+      ++stats_.spill.transfers.copies_issued;
+      TransferPlanner::account(
+          stats_.spill.transfers, node_.topology(),
+          sim::Endpoint::dev(devices_[static_cast<std::size_t>(slot)]),
+          sim::Endpoint::host(), false, bytes);
+      stats_.spill.bytes_spilled += bytes;
+      monitor_.mark_copied(datum, SegmentLocationMonitor::kHost, dirty);
+      if (sanitizer_ != nullptr) {
+        sanitizer_->on_copy(datum, loc, SegmentLocationMonitor::kHost, dirty);
+      }
+      ++host_content_stamp_[datum->key()];
+    }
+  }
+  // The holdings become "spilled": the refill classifier in plan_copies_for
+  // recognizes copies that restore exactly these rows.
+  for (const RowInterval& iv : held.intervals()) {
+    monitor_.mark_spilled(datum, loc, iv);
+  }
+  if (sanitizer_ != nullptr) {
+    sanitizer_->on_holdings_dropped(datum, loc);
+  }
+  auto av = avail_.find({datum->key(), loc});
+  if (av != avail_.end()) {
+    av->second = IntervalEventMap{};
+  }
+  auto ac = access_.find({datum->key(), loc});
+  if (ac != access_.end()) {
+    ac->second = AccessIntervalMap{};
+  }
+  // The write-backs above must land before the buffer is freed.
+  node_.synchronize();
+  analyzer_.evict(datum, slot);
+  ++stats_.spill.evictions;
+}
+
+void Scheduler::flush_datum_to_host(Datum* datum) {
+  const auto ops = monitor_.plan_copies(
+      datum, SegmentLocationMonitor::kHost, RowInterval{0, datum->rows()});
+  const std::size_t row_bytes = datum->row_bytes();
+  for (const auto& op : ops) {
+    if (op.src_location == SegmentLocationMonitor::kHost || op.rows.empty()) {
+      continue;
+    }
+    const int src_slot = op.src_location - 1;
+    const auto* alloc = analyzer_.find(datum, src_slot);
+    if (alloc == nullptr) {
+      throw std::logic_error(
+          "out-of-core: monitor holds rows of datum '" + datum->name() +
+          "' on a slot with no allocation");
+    }
+    const std::size_t bytes = op.rows.size() * row_bytes;
+    node_.memcpy_d2h(copy_streams2_[static_cast<std::size_t>(src_slot)],
+                     datum->host_row(op.rows.begin), alloc->buffer,
+                     alloc->row_offset(static_cast<long>(op.rows.begin)),
+                     bytes);
+    ++stats_.spill.transfers.copies_issued;
+    TransferPlanner::account(
+        stats_.spill.transfers, node_.topology(),
+        sim::Endpoint::dev(devices_[static_cast<std::size_t>(src_slot)]),
+        sim::Endpoint::host(), false, bytes);
+    stats_.spill.bytes_spilled += bytes;
+    monitor_.mark_copied(datum, SegmentLocationMonitor::kHost, op.rows);
+    if (sanitizer_ != nullptr) {
+      sanitizer_->on_copy(datum, op.src_location,
+                          SegmentLocationMonitor::kHost, op.rows);
+    }
+    ++host_content_stamp_[datum->key()];
+  }
+}
+
+TaskHandle Scheduler::dispatch_streamed(
+    std::vector<PatternSpec> specs, const Work* work, const CostHints& hints,
+    const char* label, const BodyFactory& factory, UnmodifiedRoutine routine,
+    void* context, std::vector<std::vector<std::byte>> consts) {
+  // Structural guards: shapes the window decomposition cannot stream. Each
+  // failure names its cause — the edge-case tests pin these diagnostics.
+  for (const auto& s : specs) {
+    monitor_.register_datum(s.datum);
+    if (s.custom_rows) {
+      throw OutOfCoreError(
+          "out-of-core: task '" + std::string(label) +
+          "' uses a CustomAligned row mapping — windows must be a pure "
+          "function of the partition, so it cannot be streamed; raise the "
+          "device memory budget");
+    }
+    if (!s.datum->bound()) {
+      throw OutOfCoreError("out-of-core: datum '" + s.datum->name() +
+                           "' needs a bound host buffer to stream through");
+    }
+    if (!s.is_input && s.agg != AggregationKind::None &&
+        s.agg != AggregationKind::Sum) {
+      throw OutOfCoreError(
+          "out-of-core: task '" + std::string(label) +
+          "' has a dynamic (Append/MaskedMerge) output — its size is not a "
+          "function of the partition, so it cannot be streamed; raise the "
+          "device memory budget");
+    }
+    if (s.is_input && monitor_.pending_aggregation(s.datum) != nullptr) {
+      throw OutOfCoreError("out-of-core: input datum '" + s.datum->name() +
+                           "' has a pending aggregation — Gather it before a "
+                           "streamed task can read it");
+    }
+  }
+  for (const auto& out : specs) {
+    if (out.is_input) {
+      continue;
+    }
+    if (out.agg == AggregationKind::None &&
+        (out.row_scale_num != 1 || out.row_scale_den != 1)) {
+      throw OutOfCoreError(
+          "out-of-core: task '" + std::string(label) +
+          "' writes through a non-unit row scale — window drains would not "
+          "tile the output; raise the device memory budget");
+    }
+    for (const auto& in : specs) {
+      if (!in.is_input || in.datum->key() != out.datum->key()) {
+        continue;
+      }
+      if (in.radius_low > 0 || in.radius_high > 0) {
+        throw OutOfCoreError(
+            "out-of-core: task '" + std::string(label) +
+            "' updates datum '" + out.datum->name() +
+            "' in place with a window radius — a later window would read "
+            "host rows an earlier window already overwrote; raise the "
+            "device memory budget");
+      }
+    }
+  }
+
+  // Streamed tasks run synchronously against a drained node: in-flight jobs
+  // may reference buffers evicted below, and cached plans bake in residency
+  // the streaming pass is about to change.
+  for (auto& inv : invokers_) {
+    inv->flush();
+  }
+  node_.synchronize();
+  stats_.cache_evictions += cache_.size();
+  cache_.clear();
+  lru_.clear();
+  bool quiesced = true;
+
+  // LRU recency, mirroring plan_task.
+  {
+    const std::uint64_t stamp = ++touch_counter_;
+    for (const auto& s : specs) {
+      for (int slot : live_) {
+        last_touch_[{s.datum->key(), slot}] = stamp;
+      }
+    }
+  }
+
+  const TaskHandle handle = next_task_++;
+  ++stats_.spill.streamed_tasks;
+  if (sanitizer_ != nullptr) {
+    sanitizer_->begin_context(handle, label);
+  }
+
+  bool single = work != nullptr && work->single_device;
+  for (const auto& s : specs) {
+    single = single || s.seg == Segmentation::SingleDevice;
+  }
+  const int slots_eff = single ? 1 : live_count();
+  // Streamed tasks keep the current segment→slot order: windows of one
+  // segment run entirely on one device, so placement has no halo crossing
+  // to remove.
+  const TaskPartition partition = derive_partition(specs, work, slots_eff);
+  const std::size_t span = partition.rows_per_block_row();
+  const std::size_t work_rows = partition.work_rows;
+
+  std::vector<std::vector<SegmentReq>> reqs(
+      static_cast<std::size_t>(slots_eff));
+  int active_segs = 0;
+  for (int seg = 0; seg < slots_eff; ++seg) {
+    const int slot = live_[static_cast<std::size_t>(seg)];
+    bool any = false;
+    for (const auto& s : specs) {
+      reqs[static_cast<std::size_t>(seg)].push_back(
+          compute_requirement(s, partition, seg));
+      analyzer_.record(s, reqs[static_cast<std::size_t>(seg)].back(), slot);
+      any = any || reqs[static_cast<std::size_t>(seg)].back().active;
+    }
+    if (any) {
+      ++active_segs;
+    }
+  }
+  node_.advance_host_us(task_overhead_us_ +
+                        per_device_overhead_us_ * active_segs);
+
+  // Sum outputs must be whole-datum duplicates (the same invariant the
+  // in-core reductive path relies on): each slot then accumulates its
+  // private partial across its windows in ascending block-row order — the
+  // same sweep order as the unsplit kernel, which is what keeps float
+  // partials bit-identical.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].is_input || specs[i].agg != AggregationKind::Sum) {
+      continue;
+    }
+    for (int seg = 0; seg < slots_eff; ++seg) {
+      const SegmentReq& r = reqs[static_cast<std::size_t>(seg)][i];
+      if (r.active && !r.whole) {
+        throw OutOfCoreError(
+            "out-of-core: Sum output datum '" + specs[i].datum->name() +
+            "' is not duplicated whole — partitioned reductive outputs "
+            "cannot be streamed");
+      }
+    }
+  }
+
+  // 1. Make the host authoritative for every input: windows read host rows
+  // directly, and the flush itself is spill traffic.
+  {
+    std::vector<const void*> flushed;
+    for (const auto& s : specs) {
+      if (!s.is_input || std::find(flushed.begin(), flushed.end(),
+                                   s.datum->key()) != flushed.end()) {
+        continue;
+      }
+      flushed.push_back(s.datum->key());
+      flush_datum_to_host(s.datum);
+    }
+    node_.synchronize();
+  }
+
+  // 2. Clear residency on every active slot: windowed datums stream through
+  // transient buffers, and colder residents make room for the persistent
+  // set. Whole-requirement datums stay resident unless their recorded plan
+  // outgrew the existing buffer. Dirty rows were flushed above, so these
+  // evictions write back nothing for this task's own inputs.
+  std::vector<std::size_t> unevictable(static_cast<std::size_t>(slots_eff),
+                                       0);
+  for (int seg = 0; seg < slots_eff; ++seg) {
+    const int slot = live_[static_cast<std::size_t>(seg)];
+    const auto& sreqs = reqs[static_cast<std::size_t>(seg)];
+    std::vector<const void*> keep;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (sreqs[i].active && sreqs[i].whole &&
+          !analyzer_.needs_grow(specs[i].datum, slot)) {
+        keep.push_back(specs[i].datum->key());
+      }
+    }
+    const auto residents = analyzer_.resident(slot);
+    for (const auto& r : residents) {
+      if (std::find(keep.begin(), keep.end(), r.datum->key()) != keep.end()) {
+        continue;
+      }
+      if (monitor_.pending_aggregation(r.datum) != nullptr ||
+          !r.datum->bound()) {
+        unevictable[static_cast<std::size_t>(seg)] += r.alloc->buffer->size();
+        continue;
+      }
+      spill_allocation(r.datum, slot, quiesced);
+    }
+  }
+
+  // 3. Per-segment streamed passes.
+  std::vector<sim::Buffer*> temps;
+  for (int seg = 0; seg < slots_eff; ++seg) {
+    const int slot = live_[static_cast<std::size_t>(seg)];
+    const auto& sreqs = reqs[static_cast<std::size_t>(seg)];
+    const RowInterval sblocks =
+        partition.block_rows[static_cast<std::size_t>(seg)];
+    const std::size_t nblocks = sblocks.size();
+    bool any = false;
+    for (const auto& r : sreqs) {
+      any = any || r.active;
+    }
+    if (!any || nblocks == 0) {
+      continue;
+    }
+    const sim::StreamId cs = copy_streams_[static_cast<std::size_t>(slot)];
+    const sim::StreamId ks = compute_streams_[static_cast<std::size_t>(slot)];
+    const sim::StreamId ds = copy_streams2_[static_cast<std::size_t>(slot)];
+    const int loc = SegmentLocationMonitor::loc(slot);
+
+    // 3a. Persistent (window-invariant) residents: replicated inputs and
+    // whole-datum reductive partials.
+    std::size_t persistent_bytes = unevictable[static_cast<std::size_t>(seg)];
+    std::vector<const MemoryAnalyzer::Alloc*> wallocs(specs.size(), nullptr);
+    std::vector<const void*> filled;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const SegmentReq& req = sreqs[i];
+      if (!req.active || !req.whole) {
+        continue;
+      }
+      const auto& alloc = analyzer_.ensure(specs[i].datum, slot);
+      wallocs[i] = &alloc;
+      const Datum* d = specs[i].datum;
+      if (std::find(filled.begin(), filled.end(), d->key()) != filled.end()) {
+        continue;
+      }
+      filled.push_back(d->key());
+      persistent_bytes += alloc.buffer->size();
+      for (const CopyRegion& region : req.input_regions) {
+        if (region.zero_fill) {
+          // Reductive partial: fresh zeros every task, like the in-core
+          // zero-fill copy.
+          node_.memset_device(cs, alloc.buffer, 0, 0, alloc.buffer->size());
+          continue;
+        }
+        // Upload only what the device does not already hold — kept
+        // residents stay warm across a task chain.
+        for (const RowInterval& miss :
+             monitor_.up_to_date(d, loc).missing_from(region.global)) {
+          const long local = region.local_row +
+                             static_cast<long>(miss.begin) -
+                             static_cast<long>(region.global.begin) +
+                             (req.origin - alloc.origin);
+          const std::size_t bytes = miss.size() * alloc.row_bytes;
+          node_.memcpy_h2d(cs, alloc.buffer,
+                           static_cast<std::size_t>(local) * alloc.row_bytes,
+                           d->host_row(miss.begin), bytes);
+          ++stats_.spill.transfers.copies_issued;
+          TransferPlanner::account(
+              stats_.spill.transfers, node_.topology(),
+              sim::Endpoint::host(),
+              sim::Endpoint::dev(devices_[static_cast<std::size_t>(slot)]),
+              false, bytes);
+          stats_.spill.bytes_refilled += bytes;
+          monitor_.mark_copied(d, loc, miss);
+          if (sanitizer_ != nullptr) {
+            sanitizer_->on_copy(d, SegmentLocationMonitor::kHost, loc, miss);
+          }
+        }
+      }
+    }
+
+    // 3b. Window size from the linear local-rows model of each streamed
+    // pattern: probing 1- and 2-block-row windows gives the per-block-row
+    // slope and the fixed overhead (halo rows), which
+    // streaming_window_block_rows turns into the largest double-bufferable
+    // window. The doubled fixed bytes ride in the persistent term — both
+    // ping-pong buffer sets carry them.
+    std::size_t slope_bytes = 0;
+    std::size_t fixed_bytes = 0;
+    bool any_windowed = false;
+    {
+      TaskPartition p1 = partition;
+      p1.block_rows = {RowInterval{sblocks.begin, sblocks.begin + 1}};
+      p1.work_row_ranges = {
+          RowInterval{std::min(sblocks.begin * span, work_rows),
+                      std::min((sblocks.begin + 1) * span, work_rows)}};
+      TaskPartition p2 = partition;
+      if (nblocks >= 2) {
+        p2.block_rows = {RowInterval{sblocks.begin, sblocks.begin + 2}};
+        p2.work_row_ranges = {
+            RowInterval{std::min(sblocks.begin * span, work_rows),
+                        std::min((sblocks.begin + 2) * span, work_rows)}};
+      }
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (!sreqs[i].active || sreqs[i].whole) {
+          continue;
+        }
+        any_windowed = true;
+        const std::size_t row_bytes = specs[i].datum->row_bytes();
+        const std::size_t l1 =
+            compute_requirement(specs[i], p1, 0).local_rows;
+        std::size_t slope = l1;
+        std::size_t fixed = 0;
+        if (nblocks >= 2) {
+          const std::size_t l2 =
+              compute_requirement(specs[i], p2, 0).local_rows;
+          slope = l2 - l1;
+          fixed = l1 > slope ? l1 - slope : 0;
+        }
+        slope_bytes += slope * row_bytes;
+        fixed_bytes += fixed * row_bytes;
+      }
+    }
+    std::size_t W = nblocks;
+    if (any_windowed) {
+      W = streaming_window_block_rows(slope_bytes,
+                                      persistent_bytes + 2 * fixed_bytes,
+                                      device_memory_budget_, nblocks);
+      if (W == 0) {
+        throw OutOfCoreError(
+            "out-of-core: device memory budget of " +
+            std::to_string(device_memory_budget_) +
+            " bytes cannot hold a single streaming window of task '" +
+            std::string(label) + "' on slot " + std::to_string(slot) +
+            " (window-invariant residents need " +
+            std::to_string(persistent_bytes + 2 * fixed_bytes) +
+            " bytes, one window block-row streams " +
+            std::to_string(slope_bytes) +
+            " bytes, double-buffered) — the budget is smaller than one "
+            "segment");
+      }
+    } else if (persistent_bytes > device_memory_budget_) {
+      throw OutOfCoreError(
+          "out-of-core: the whole-datum residents of task '" +
+          std::string(label) + "' alone need " +
+          std::to_string(persistent_bytes) +
+          " bytes on slot " + std::to_string(slot) +
+          ", exceeding the device memory budget of " +
+          std::to_string(device_memory_budget_) +
+          " bytes — the budget is smaller than one segment");
+    }
+    const std::size_t nwindows = (nblocks + W - 1) / W;
+    stats_.spill.pass_count += nwindows;
+
+    // Window requirements precomputed — windows are spans of the segment's
+    // block rows, a pure function of the partition.
+    std::vector<std::vector<SegmentReq>> wreqs(nwindows);
+    std::vector<RowInterval> wblocks(nwindows);
+    std::vector<std::size_t> max_rows(specs.size(), 0);
+    for (std::size_t p = 0; p < nwindows; ++p) {
+      const std::size_t b0 = sblocks.begin + p * W;
+      const std::size_t b1 = std::min(b0 + W, sblocks.end);
+      wblocks[p] = RowInterval{b0, b1};
+      TaskPartition cp = partition;
+      cp.block_rows = {RowInterval{b0, b1}};
+      cp.work_row_ranges = {RowInterval{std::min(b0 * span, work_rows),
+                                        std::min(b1 * span, work_rows)}};
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        wreqs[p].push_back(compute_requirement(specs[i], cp, 0));
+        if (!sreqs[i].whole && wreqs[p].back().active) {
+          max_rows[i] = std::max(max_rows[i], wreqs[p].back().local_rows);
+        }
+      }
+    }
+
+    // In-place updates: an output spec whose datum this task also reads must
+    // stream through the SAME window temporary as the input spec — the
+    // in-core path aliases their device allocation, and routines
+    // read-modify-write through the output parameter (W *= ... in NMF's
+    // wupdate). The radius guard above makes the two window geometries
+    // identical (radius 0, unit row scale).
+    std::vector<std::size_t> alias(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      alias[i] = i;
+    }
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (specs[i].is_input || sreqs[i].whole) {
+        continue;
+      }
+      for (std::size_t j = 0; j < specs.size(); ++j) {
+        if (!specs[j].is_input || sreqs[j].whole ||
+            specs[j].datum->key() != specs[i].datum->key()) {
+          continue;
+        }
+        alias[i] = j;
+        max_rows[j] = std::max(max_rows[j], max_rows[i]);
+        max_rows[i] = 0; // shares j's temporary
+        break;
+      }
+    }
+    for (std::size_t p = 0; p < nwindows; ++p) {
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (alias[i] != i && wreqs[p][i].active &&
+            wreqs[p][i].origin != wreqs[p][alias[i]].origin) {
+          throw OutOfCoreError(
+              "out-of-core: task '" + std::string(label) +
+              "' updates datum '" + specs[i].datum->name() +
+              "' in place but its input and output window geometries "
+              "disagree — it cannot be streamed; raise the device memory "
+              "budget");
+        }
+      }
+    }
+
+    // Ping-pong temporaries: window p streams through set p % 2, so the
+    // refill of window p can overlap the kernel of window p - 1 under
+    // prefetch. Transient residency is deliberately NOT recorded in the
+    // location monitor — the buffers die with the pass.
+    std::vector<sim::Buffer*> wbufs[2] = {
+        std::vector<sim::Buffer*>(specs.size(), nullptr),
+        std::vector<sim::Buffer*>(specs.size(), nullptr)};
+    for (int set = 0; set < 2; ++set) {
+      if (set == 1 && nwindows < 2) {
+        break;
+      }
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (max_rows[i] == 0) {
+          continue;
+        }
+        sim::Buffer* buf = node_.malloc_device(
+            devices_[static_cast<std::size_t>(slot)],
+            max_rows[i] * specs[i].datum->row_bytes());
+        temps.push_back(buf);
+        wbufs[set][i] = buf;
+      }
+    }
+    if (nwindows < 2) {
+      wbufs[1] = wbufs[0];
+    }
+    for (int set = 0; set < 2; ++set) {
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (alias[i] != i) {
+          wbufs[set][i] = wbufs[set][alias[i]];
+        }
+      }
+    }
+
+    const sim::EventId ev0 =
+        node_.create_events(static_cast<int>(3 * nwindows));
+    const auto inputs_ready = [&](std::size_t p) {
+      return ev0 + static_cast<sim::EventId>(p);
+    };
+    const auto kernel_done = [&](std::size_t p) {
+      return ev0 + static_cast<sim::EventId>(nwindows + p);
+    };
+    const auto drain_done = [&](std::size_t p) {
+      return ev0 + static_cast<sim::EventId>(2 * nwindows + p);
+    };
+
+    sim::LaunchStats dev_stats{};
+    if (factory) {
+      dev_stats = task_launch_stats(specs, partition, seg, hints, label);
+    }
+
+    for (std::size_t p = 0; p < nwindows; ++p) {
+      const RowInterval wb = wblocks[p];
+      const auto& wr = wreqs[p];
+      const int set = static_cast<int>(p % 2);
+      // Double-buffer gating. Prefetch on: window p's refill may start as
+      // soon as its buffer set is free — kernel p-2 released the input
+      // temps, drain p-2 released the output temps — so it overlaps window
+      // p-1's kernel. Prefetch off: the naive evict-then-refill baseline
+      // serializes on the PREVIOUS window's drain.
+      if (spill_prefetch_) {
+        if (p >= 2) {
+          node_.wait_event_generation(cs, kernel_done(p - 2), 1);
+          node_.wait_event_generation(cs, drain_done(p - 2), 1);
+        }
+      } else if (p >= 1) {
+        node_.wait_event_generation(cs, drain_done(p - 1), 1);
+      }
+
+      // Refill: window inputs straight from the flushed host rows.
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (sreqs[i].whole || !wr[i].active) {
+          continue;
+        }
+        sim::Buffer* buf = wbufs[set][i];
+        const Datum* d = specs[i].datum;
+        const std::size_t row_bytes = d->row_bytes();
+        for (const CopyRegion& region : wr[i].input_regions) {
+          if (region.zero_fill) {
+            node_.memset_device(
+                cs, buf, static_cast<std::size_t>(region.local_row) *
+                             row_bytes,
+                0, row_bytes);
+            continue;
+          }
+          const std::size_t bytes = region.global.size() * row_bytes;
+          node_.memcpy_h2d(cs, buf,
+                           static_cast<std::size_t>(region.local_row) *
+                               row_bytes,
+                           d->host_row(region.global.begin), bytes);
+          ++stats_.spill.transfers.copies_issued;
+          TransferPlanner::account(
+              stats_.spill.transfers, node_.topology(),
+              sim::Endpoint::host(),
+              sim::Endpoint::dev(devices_[static_cast<std::size_t>(slot)]),
+              false, bytes);
+          stats_.spill.bytes_refilled += bytes;
+          if (sanitizer_ != nullptr) {
+            sanitizer_->on_read(d, SegmentLocationMonitor::kHost,
+                                region.global);
+          }
+        }
+      }
+      node_.record_event(inputs_ready(p), cs);
+
+      // Kernel over the window's block rows. The event wait transitively
+      // covers the persistent fills issued on the same copy stream.
+      node_.wait_event_generation(ks, inputs_ready(p), 1);
+      maps::GridContext gc;
+      gc.grid_dim = maps::Dim3{static_cast<unsigned>(partition.blocks_x),
+                               static_cast<unsigned>(partition.blocks_y), 1};
+      gc.block_dim = partition.block_dim;
+      gc.block_row_offset = static_cast<unsigned>(wb.begin);
+      gc.block_rows = static_cast<unsigned>(wb.size());
+      gc.device = seg;
+      gc.device_count = slots_eff;
+      gc.work_width = static_cast<unsigned>(partition.work_cols);
+      gc.work_height = static_cast<unsigned>(partition.work_rows);
+      gc.ilp_x = partition.ilp_x;
+      gc.ilp_y = partition.ilp_y;
+
+      std::vector<DeviceView> views;
+      views.reserve(specs.size());
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (!wr[i].active) {
+          views.emplace_back();
+          continue;
+        }
+        const Datum* d = specs[i].datum;
+        DeviceView view;
+        if (sreqs[i].whole) {
+          const auto* alloc = wallocs[i];
+          view.base = alloc->buffer->data();
+          view.pitch = alloc->row_bytes;
+          view.origin = alloc->origin;
+          view.rows = alloc->rows;
+        } else {
+          sim::Buffer* buf = wbufs[set][i];
+          view.base = buf->data();
+          view.pitch = d->row_bytes();
+          view.origin = wr[i].origin;
+          view.rows = wr[i].local_rows;
+        }
+        view.row_elems = d->row_elems();
+        view.datum_rows = d->rows();
+        view.core_begin = wr[i].core.begin;
+        view.core_end = wr[i].core.end;
+        views.push_back(view);
+      }
+
+      if (factory) {
+        auto body = factory(slot, gc, views);
+        const double frac =
+            static_cast<double>(wb.size()) / static_cast<double>(nblocks);
+        node_.launch(ks, scale_launch_stats(dev_stats, frac),
+                     std::move(body));
+      } else {
+        RoutineArgs args;
+        args.node = &node_;
+        args.device_idx = slot;
+        args.sim_device = devices_[static_cast<std::size_t>(slot)];
+        args.stream = ks;
+        args.context = context;
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+          if (!wr[i].active) {
+            args.parameters.emplace_back();
+            args.container_segments.emplace_back();
+            continue;
+          }
+          RoutineParam param;
+          if (sreqs[i].whole) {
+            param.buffer = wallocs[i]->buffer;
+            param.byte_offset = wallocs[i]->row_offset(
+                static_cast<long>(wr[i].core.begin));
+          } else {
+            param.buffer = wbufs[set][i];
+            param.byte_offset =
+                static_cast<std::size_t>(
+                    static_cast<long>(wr[i].core.begin) - wr[i].origin) *
+                specs[i].datum->row_bytes();
+          }
+          param.view = views[i];
+          args.parameters.push_back(param);
+          Segment sg;
+          sg.global_row_begin = wr[i].core.begin;
+          sg.global_row_end = wr[i].core.end;
+          sg.m_dimensions = specs[i].datum->dims();
+          sg.m_dimensions[0] = wr[i].core.size();
+          args.container_segments.push_back(std::move(sg));
+        }
+        args.constants = consts;
+        if (!routine(args)) {
+          throw std::runtime_error("unmodified routine reported failure");
+        }
+      }
+      node_.record_event(kernel_done(p), ks);
+
+      // Drain: each plain output's core rows go straight to the host — the
+      // host is the streamed output's resting place, which is exactly what
+      // makes the next task's uploads classify as refills.
+      node_.wait_event_generation(ds, kernel_done(p), 1);
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (specs[i].is_input || sreqs[i].whole || !wr[i].active ||
+            wr[i].core.empty()) {
+          continue;
+        }
+        const Datum* d = specs[i].datum;
+        const std::size_t row_bytes = d->row_bytes();
+        const std::size_t bytes = wr[i].core.size() * row_bytes;
+        node_.memcpy_d2h(
+            ds, d->host_row(wr[i].core.begin), wbufs[set][i],
+            static_cast<std::size_t>(static_cast<long>(wr[i].core.begin) -
+                                     wr[i].origin) *
+                row_bytes,
+            bytes);
+        ++stats_.spill.transfers.copies_issued;
+        TransferPlanner::account(
+            stats_.spill.transfers, node_.topology(),
+            sim::Endpoint::dev(devices_[static_cast<std::size_t>(slot)]),
+            sim::Endpoint::host(), false, bytes);
+        stats_.spill.bytes_spilled += bytes;
+        monitor_.mark_written(d, SegmentLocationMonitor::kHost, wr[i].core);
+        if (sanitizer_ != nullptr) {
+          sanitizer_->on_write(d, SegmentLocationMonitor::kHost, wr[i].core);
+        }
+        ++host_content_stamp_[d->key()];
+      }
+      node_.record_event(drain_done(p), ds);
+    }
+  }
+
+  // 4. Pending aggregations: streamed Sum partials resolve through the
+  // ordinary Gather / ReduceScatter machinery. The producing pass cannot be
+  // re-executed per segment after a device loss (no cached plan shape), so
+  // the aggregation log carries a null factory — a subsequent writer loss
+  // fails loudly instead of silently dropping the partial.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const PatternSpec& s = specs[i];
+    if (s.is_input || s.agg == AggregationKind::None) {
+      continue;
+    }
+    SegmentLocationMonitor::PendingAggregation agg;
+    agg.kind = s.agg;
+    agg.op = s.agg_op;
+    for (int seg = 0; seg < slots_eff; ++seg) {
+      if (reqs[static_cast<std::size_t>(seg)][i].active) {
+        agg.writer_slots.push_back(live_[static_cast<std::size_t>(seg)]);
+      }
+    }
+    monitor_.set_pending_aggregation(s.datum, std::move(agg));
+    if (sanitizer_ != nullptr) {
+      sanitizer_->on_pending_aggregation(s.datum);
+    }
+    if (fault_tolerance_) {
+      AggLog log;
+      log.datum = s.datum;
+      log.live = live_;
+      for (const PatternSpec& in : specs) {
+        if (!in.is_input) {
+          continue;
+        }
+        auto it = host_content_stamp_.find(in.datum->key());
+        log.input_stamps.emplace_back(
+            in.datum->key(),
+            it == host_content_stamp_.end() ? 0 : it->second);
+      }
+      agg_log_[s.datum->key()] = std::move(log);
+    }
+  }
+
+  node_.synchronize();
+  for (sim::Buffer* buf : temps) {
+    node_.free_device(buf);
+  }
+  // A streamed task leaves nothing for repair_structured: its plain outputs
+  // are already host-resident and its partials are covered by the
+  // aggregation log above.
+  last_task_.valid = false;
+  (void)quiesced;
+  return handle;
+}
+
 // --- Fault tolerance & device-loss recovery (DESIGN.md §5.11) ----------------
 
 void Scheduler::set_fault_tolerance_enabled(bool on) {
@@ -1783,6 +2772,12 @@ void Scheduler::recover_device(int victim, KillStage stage) {
   // the reduce-scatter staging pools, and the whole plan cache (every cached
   // shape was partitioned over the old live set).
   const int vloc = SegmentLocationMonitor::loc(victim);
+  // Out-of-core residency pays off here: every segment the victim spilled
+  // under the memory budget was written back to the host before its buffer
+  // was freed, so those datums survive the loss with no repair at all —
+  // count them before the drop below erases the records (DESIGN.md §5.16).
+  stats_.recovery.segments_restored_from_host +=
+      static_cast<std::uint64_t>(monitor_.spilled_datum_count(vloc));
   monitor_.drop_location(vloc);
   if (sanitizer_ != nullptr) {
     sanitizer_->on_device_lost(vloc);
@@ -1859,6 +2854,32 @@ void Scheduler::repair_structured(int victim, KillStage stage,
   }
   if (any_agg) {
     return; // nothing mirrored was lost; repair_aggregations covers it
+  }
+  // Out-of-core interplay (DESIGN.md §5.16): when the host already covers
+  // every output row of the victim's segment, the mirrors ARE the result and
+  // nothing needs re-execution — spilled segments are restored from the host
+  // for free. The current mid-task kill sites leave the victim's freshly
+  // written rows host-stale (its mirror is suppressed), so this triggers
+  // only when something else made them host-resident — e.g. an eviction
+  // write-back; it also spares unmodified routines the throw below.
+  bool host_covers = true;
+  for (const PatternSpec& s : sh.specs) {
+    if (s.is_input) {
+      continue;
+    }
+    const SegmentReq req = compute_requirement(s, sh.partition, victim_seg);
+    if (!req.active || req.core.empty()) {
+      continue;
+    }
+    if (!monitor_.up_to_date(s.datum, SegmentLocationMonitor::kHost)
+             .covers(req.core)) {
+      host_covers = false;
+      break;
+    }
+  }
+  if (host_covers) {
+    ++stats_.recovery.segments_restored_from_host;
+    return;
   }
   if (!last_task_.factory) {
     throw std::runtime_error(
@@ -2032,7 +3053,8 @@ void Scheduler::repair_aggregations(int victim,
     if (!log.factory) {
       throw std::runtime_error(
           "device-loss recovery: the pending partial of datum '" + d->name() +
-          "' was produced by an unmodified routine — unrecoverable");
+          "' was produced by an unmodified routine or a streamed "
+          "out-of-core pass — unrecoverable; Gather before killing");
     }
     for (const auto& [ikey, stamp] : log.input_stamps) {
       auto it = host_content_stamp_.find(ikey);

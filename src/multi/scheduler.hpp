@@ -28,6 +28,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <list>
+#include <stdexcept>
 #include <atomic>
 #include <memory>
 #include <optional>
@@ -56,6 +57,16 @@
 namespace maps::multi {
 
 using TaskHandle = std::uint64_t;
+
+/// Thrown when the device-memory budget cannot be honoured: a task needs more
+/// device memory than the budget even with every evictable resident spilled,
+/// or its streamed form cannot fit a single window (budget smaller than one
+/// segment's working set), or its shape cannot be streamed at all. The what()
+/// string names the offending datum/slot and the relevant byte counts.
+class OutOfCoreError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
 
 namespace detail {
 
@@ -126,6 +137,14 @@ struct SchedulerStats {
     /// Input fills of re-executed segments served from the host mirrors
     /// instead of the (dead) device the original plan used.
     std::uint64_t copies_rerouted = 0;
+    /// Victim segments that needed no repair because the host already held
+    /// their rows: one per datum the victim had spilled under the memory
+    /// budget (the write-back precedes every eviction, so the rows are
+    /// host-resident by construction), plus losses whose structured repair
+    /// was skipped because the host covered every output row of the
+    /// victim's segment — spilled segments are restored from the host,
+    /// never re-executed.
+    std::uint64_t segments_restored_from_host = 0;
     /// Simulated time spent draining + repairing, in simulated microseconds.
     double recovery_sim_us = 0.0;
   } recovery;
@@ -140,6 +159,10 @@ struct SchedulerStats {
     std::uint32_t crossings_before = 0;
     std::uint32_t crossings_after = 0;
   } placement;
+  /// Out-of-core execution (set_device_memory_budget; DESIGN.md §5.16):
+  /// eviction write-backs, refills of previously spilled rows, and streamed
+  /// multi-pass tasks. All-zero under the default unlimited budget.
+  SpillStats spill;
 };
 
 class Scheduler {
@@ -174,8 +197,6 @@ public:
   TaskHandle Invoke(const CostHints& hints, const Kernel& kernel,
                     Patterns... pats) {
     std::vector<PatternSpec> specs{pats.spec()...};
-    auto plan = plan_task(std::move(specs), nullptr, hints,
-                          kernel_label<Kernel>(), /*splittable=*/true);
     auto factory = [this, kernel, pats...](int slot,
                                            const maps::GridContext& grid,
                                            const std::vector<DeviceView>&
@@ -203,6 +224,15 @@ public:
                                   pool->parallelism()));
       };
     };
+    // Out-of-core: a task whose working set cannot fit the device-memory
+    // budget bypasses plan building entirely and streams over row-windows.
+    if (streaming_required(specs, nullptr)) {
+      return dispatch_streamed(std::move(specs), nullptr, hints,
+                               kernel_label<Kernel>(), factory, nullptr,
+                               nullptr, {});
+    }
+    auto plan = plan_task(std::move(specs), nullptr, hints,
+                          kernel_label<Kernel>(), /*splittable=*/true);
     return dispatch_kernel(plan, factory);
   }
 
@@ -216,6 +246,11 @@ public:
     std::optional<Work> w = work;
     std::vector<std::vector<std::byte>> consts;
     collect(specs, w, consts, args...);
+    if (streaming_required(specs, &*w)) {
+      return dispatch_streamed(std::move(specs), &*w, CostHints{}, "routine",
+                               BodyFactory{}, std::move(routine), context,
+                               std::move(consts));
+    }
     // Routines run as one opaque launch per device, so they are never split
     // into strips; their copies still benefit from row-range chunking.
     auto plan = plan_task(std::move(specs), &*w, CostHints{}, "routine",
@@ -332,6 +367,27 @@ public:
   /// default of 1 declines splits that would trade a cheap exchange for two
   /// extra kernel launches.
   void set_overlap_min_benefit(double factor) { overlap_min_benefit_ = factor; }
+
+  /// Out-of-core execution (DESIGN.md §5.16): per-device byte budget for
+  /// analyzer-materialized buffers. 0 (the default) is the legacy unlimited
+  /// in-core behaviour. Under a budget, plan builds evict least-recently-
+  /// touched residents (dirty rows written back to the bound host buffers,
+  /// the holding marked spilled) until the task fits, and a task whose own
+  /// working set exceeds the budget runs as a streamed multi-pass sweep over
+  /// resident row-windows. Results are bit-identical to the unlimited run.
+  /// Changing the budget mid-chain quiesces in-flight work and clears the
+  /// plan cache (cached plans point into buffers the new policy may evict);
+  /// the budget is part of the plan-cache fingerprint. Throws OutOfCoreError
+  /// when a budget cannot be honoured.
+  void set_device_memory_budget(std::size_t bytes);
+  std::size_t device_memory_budget() const { return device_memory_budget_; }
+  /// Streamed-pass prefetch (on by default): the refill of window p+1 is
+  /// issued as soon as window p-1's drain frees its double buffer, so it
+  /// overlaps window p's kernel. Off serializes each window's evict-then-
+  /// refill (the naive baseline bench/out_of_core compares against).
+  /// Results are bit-identical either way; only the timeline changes.
+  void set_spill_prefetch_enabled(bool on) { spill_prefetch_ = on; }
+  bool spill_prefetch_enabled() const { return spill_prefetch_; }
 
   std::uint64_t tasks_scheduled() const { return next_task_ - 1; }
 
@@ -566,6 +622,9 @@ private:
     /// attribution). Structural like everything else here: a replayed plan
     /// dispatches the same transfers, so it re-contributes the same stats.
     TransferStats transfers;
+    /// Refills of previously spilled rows among this task's planned copies
+    /// (their routing/byte attribution lands here instead of `transfers`).
+    SpillStats spill;
     /// Overlap setting the plan was built under: replays must mirror the
     /// build's dependency wiring exactly (see wire_strips / the legacy-path
     /// availability waits), so the flag travels with the shape.
@@ -816,6 +875,40 @@ private:
                        int pattern_index, const SegmentReq& req,
                        const MemoryAnalyzer::Alloc& alloc);
 
+  // --- Out-of-core execution (DESIGN.md §5.16) ------------------------------
+  /// True when the device-memory budget forces streaming: some active slot's
+  /// working set for this task alone (planned bytes over its deduped datums)
+  /// exceeds the budget. Registers the task's datums and records its
+  /// requirements as a side effect (idempotent hull growth, same as
+  /// AnalyzeCall). Always false under the unlimited default budget.
+  bool streaming_required(const std::vector<PatternSpec>& specs,
+                          const Work* work);
+  /// Budget enforcement for in-core builds (called from build_plan before
+  /// allocations materialize): evicts least-recently-touched residents the
+  /// task does not reference, per active slot, until the task's datums fit.
+  /// Throws OutOfCoreError when they cannot.
+  void enforce_budget(const std::vector<PatternSpec>& specs, int slots_eff);
+  /// Writes one (datum, slot) allocation's dirty rows back to the bound host
+  /// buffer, marks the holding spilled, resets the location's ordering maps
+  /// and frees the buffer. The first eviction of a wave quiesces in-flight
+  /// work and drops the plan cache (`quiesced`); later ones reuse the drain.
+  void spill_allocation(const Datum* datum, int slot, bool& quiesced);
+  /// Makes the bound host buffer authoritative for every row of `datum`
+  /// (synchronous d2h of whatever the monitor says the host is missing).
+  /// Streamed tasks flush their inputs through this before windowing.
+  void flush_datum_to_host(Datum* datum);
+  /// Streamed multi-pass execution of one task over resident row-windows —
+  /// the out-of-core tentpole. Bypasses plan building and the plan cache;
+  /// windows are spans of the partition's block rows, so every pass is a
+  /// pure function of the partition and results are bit-identical to the
+  /// in-core dispatch. Synchronous (the node is drained on return); outputs
+  /// land in the bound host buffers. `factory` is null for routines.
+  TaskHandle dispatch_streamed(std::vector<PatternSpec> specs,
+                               const Work* work, const CostHints& hints,
+                               const char* label, const BodyFactory& factory,
+                               UnmodifiedRoutine routine, void* context,
+                               std::vector<std::vector<std::byte>> consts);
+
   /// True when plan builds should route copies through the transfer planner
   /// (forced host staging prescribes every route, leaving nothing to plan).
   bool planner_active() const {
@@ -928,6 +1021,17 @@ private:
   /// Monotonic per-datum stamp of host-buffer content changes (mirrors,
   /// gathers, MarkHostModified, repairs). Cheap staleness guard for AggLog.
   std::unordered_map<const void*, std::uint64_t> host_content_stamp_;
+
+  // --- Out-of-core state ----------------------------------------------------
+  std::size_t device_memory_budget_ = 0; ///< bytes per device; 0 = unlimited
+  bool spill_prefetch_ = true;
+  /// LRU recency per (datum key, slot): bumped once per task reference on
+  /// every live slot, read by enforce_budget's eviction ordering. Keys of
+  /// destroyed datums linger harmlessly (never dereferenced).
+  std::uint64_t touch_counter_ = 0;
+  std::unordered_map<std::pair<const void*, int>, std::uint64_t,
+                     PtrIntPairHash>
+      last_touch_;
 
   bool force_host_staged_ = false;
   bool transfer_planner_enabled_ = true;

@@ -368,4 +368,17 @@ unsigned exec_chunk_block_rows(unsigned block_rows,
   return std::max(1u, std::min(chunk, block_rows));
 }
 
+std::size_t streaming_window_block_rows(std::size_t bytes_per_block_row,
+                                        std::size_t persistent_bytes,
+                                        std::size_t budget_bytes,
+                                        std::size_t total_block_rows) {
+  if (budget_bytes <= persistent_bytes || bytes_per_block_row == 0) {
+    return 0;
+  }
+  const std::size_t windowed = budget_bytes - persistent_bytes;
+  // Two windows must fit: the executing pass and the prefetched next pass.
+  const std::size_t w = windowed / (2 * bytes_per_block_row);
+  return std::min(w, total_block_rows);
+}
+
 } // namespace maps::multi

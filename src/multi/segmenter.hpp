@@ -119,6 +119,22 @@ struct StripShape {
 StripShape strip_halo_blocks(const std::vector<PatternSpec>& specs,
                              std::size_t rows_per_block_row);
 
+/// Window size (in block rows) for the scheduler's out-of-core multi-pass
+/// execution (DESIGN.md §5.16): the largest W such that two W-block-row
+/// windows — the resident pass plus the prefetched next pass (double
+/// buffering is what lets the refill of window p+1 overlap the kernel of
+/// window p) — fit in `budget_bytes` alongside the task's window-invariant
+/// residents (`persistent_bytes`: replicated inputs and whole-datum
+/// reductive partials). Capped at `total_block_rows`; returns 0 when even a
+/// single-block-row window does not fit, the condition the scheduler turns
+/// into its budget-smaller-than-one-segment diagnostic. Windows are spans of
+/// the partition's block rows, so every pass is a pure function of the
+/// partition — the bit-identity contract of the differential tests.
+std::size_t streaming_window_block_rows(std::size_t bytes_per_block_row,
+                                        std::size_t persistent_bytes,
+                                        std::size_t budget_bytes,
+                                        std::size_t total_block_rows);
+
 /// Chunk size (in block rows) for the parallel execution backend's
 /// block-row fan-out (kernel_exec.hpp). Balances two pressures:
 /// enough chunks that `parallelism` threads load-balance across uneven

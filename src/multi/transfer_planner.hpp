@@ -137,6 +137,36 @@ struct TransferStats {
   }
 };
 
+/// Out-of-core spill/refill accounting (DESIGN.md §5.16). Spill routes —
+/// dirty-segment write-backs under the device-memory budget and the refills
+/// that rematerialize evicted rows — are ordinary planned copies, but they
+/// are policy traffic rather than algorithmic data movement, so they carry
+/// their own TransferStats instead of blending into the per-task transfer
+/// counters — `spill` isolates what the budget cost on top of the data
+/// movement the program inherently needs.
+struct SpillStats {
+  std::uint64_t evictions = 0;      ///< device allocations evicted (LRU)
+  std::uint64_t refills = 0;        ///< planned copies refilling evicted rows
+  std::uint64_t bytes_spilled = 0;  ///< dirty bytes written back on eviction
+  std::uint64_t bytes_refilled = 0; ///< bytes of refill copies
+  std::uint64_t pass_count = 0;     ///< row-window passes of streamed tasks
+  std::uint64_t streamed_tasks = 0; ///< tasks run multi-pass over windows
+  /// Path classification of the spill/refill traffic itself (write-backs are
+  /// d2h, refills h2d or p2p when a peer still holds the rows). Invariant:
+  /// transfers.bytes_total() == bytes_spilled + bytes_refilled.
+  TransferStats transfers;
+
+  void add(const SpillStats& o) {
+    evictions += o.evictions;
+    refills += o.refills;
+    bytes_spilled += o.bytes_spilled;
+    bytes_refilled += o.bytes_refilled;
+    pass_count += o.pass_count;
+    streamed_tasks += o.streamed_tasks;
+    transfers.add(o.transfers);
+  }
+};
+
 class TransferPlanner {
 public:
   /// `devices` maps scheduler slots to sim device indices (location 1 + slot

@@ -375,6 +375,120 @@ TEST(FaultRecoveryTest, LosingEveryDeviceThrows) {
   EXPECT_THROW(sched.kill_device(1), std::runtime_error);
 }
 
+// --- Out-of-core interplay: spilled segments restore from the host -----------
+
+/// Point-wise copy used to drive LRU evictions under a tight memory budget.
+struct FtPointCopy {
+  template <typename In, typename Out>
+  void operator()(const maps::ThreadContext&, In& x, Out& y) const {
+    MAPS_FOREACH(it, y) { *it = x.at(it, 0, 0); }
+  }
+};
+
+TEST(FaultRecoveryTest, SpilledSegmentsRestoreFromHostWithoutReexecution) {
+  // Three 16x32 datums under a two-datum budget: task 2 evicts Y from every
+  // slot (its rows are written back, so the host is authoritative). Killing
+  // a device then loses nothing — Y's rows on the victim were spilled, and
+  // recovery restores them from the host without re-executing a single
+  // segment. The follow-up task refills Y from the host on the survivor and
+  // the whole chain stays bit-identical.
+  const std::size_t W = 16, H = 32;
+  const std::size_t band_bytes = W * (H / 2) * sizeof(int); // per-slot band
+  std::vector<int> x = random_values(W * H, 1000, 21), y(W * H, 0),
+                   z(W * H, 0);
+  const std::vector<int> x0 = x;
+
+  sim::Node node = make_node(2);
+  Scheduler sched(node);
+  sched.set_fault_tolerance_enabled(true);
+  sched.set_sanitizer_enabled(true);
+  sched.set_device_memory_budget(2 * band_bytes);
+  Matrix<int> X(W, H, "X"), Y(W, H, "Y"), Z(W, H, "Z");
+  X.Bind(x.data());
+  Y.Bind(y.data());
+  Z.Bind(z.data());
+
+  using Pt = Window2D<int, 0, maps::NO_CHECKS>;
+  using Out = StructuredInjective<int, 2>;
+  sched.Invoke(FtPointCopy{}, Pt(X), Out(Y)); // residents: X, Y
+  sched.Invoke(FtPointCopy{}, Pt(X), Out(Z)); // evicts Y on both slots
+  ASSERT_GT(sched.stats().spill.evictions, 0u);
+  ASSERT_EQ(sched.stats().recovery.segments_restored_from_host, 0u);
+
+  sched.kill_device(1);
+
+  const SchedulerStats& st = sched.stats();
+  EXPECT_EQ(st.recovery.devices_lost, 1u);
+  EXPECT_EQ(st.recovery.segments_restored_from_host, 1u); // Y, and only Y
+  EXPECT_EQ(st.recovery.segments_reexecuted, 0u);
+
+  sched.Invoke(FtPointCopy{}, Pt(Y), Out(X)); // survivor refills Y from host
+  sched.Gather(X);
+  sched.Gather(Y);
+  sched.Gather(Z);
+  sched.WaitAll();
+  EXPECT_EQ(x, x0);
+  EXPECT_EQ(y, x0);
+  EXPECT_EQ(z, x0);
+  EXPECT_EQ(st.recovery.segments_reexecuted, 0u);
+}
+
+namespace {
+/// Tall Game of Life run (64x256, 4 ticks, 4 devices) with an optional
+/// device memory budget — tall enough that a quarter-working-set budget
+/// still holds one double-buffered streaming window per slot.
+GolRun run_tall_gol(std::size_t budget, FaultInjector injector) {
+  const std::size_t W = 64, H = 256;
+  GolRun r;
+  r.a = random_values(W * H, 2, 42);
+  r.b.assign(W * H, 0);
+
+  sim::Node node = make_node(4);
+  Scheduler sched(node);
+  sched.set_fault_tolerance_enabled(true);
+  sched.set_sanitizer_enabled(true);
+  sched.set_device_memory_budget(budget);
+  if (injector) {
+    sched.set_fault_injector(std::move(injector));
+  }
+  Matrix<int> A(W, H, "A"), B(W, H, "B");
+  A.Bind(r.a.data());
+  B.Bind(r.b.data());
+  apps::gol::run(sched, A, B, 4, apps::gol::Scheme::Maps);
+  sched.WaitAll();
+  r.stats = sched.stats();
+  r.live = sched.live_devices();
+  return r;
+}
+} // namespace
+
+TEST(FaultRecoveryTest, StreamedRunKilledAtGatherReexecutesLessThanInCore) {
+  // Control: an in-core mid-task loss re-executes every block-row chunk of
+  // the victim's segment. Under a budget below the working set the same
+  // workload streams every tick and drains every output window to the host
+  // as it goes — a loss at the gather then has nothing to re-execute, and
+  // the result is still bit-identical to the fault-free run.
+  const GolRun clean = run_tall_gol(0, nullptr);
+  const GolRun incore =
+      run_tall_gol(0, kill_at_nth(1, KillStage::KernelIssued, 1));
+  ASSERT_EQ(incore.a, clean.a);
+  const std::uint64_t reexecuted_incore =
+      incore.stats.recovery.segments_reexecuted;
+  ASSERT_GT(reexecuted_incore, 0u);
+
+  // 16 KiB per slot: below the ~33 KiB in-core working set (two 16 KiB
+  // bands plus halos), above the minimum double-buffered window.
+  const GolRun streamed =
+      run_tall_gol(16 * 1024, kill_at_nth(1, KillStage::PreGather, 0));
+
+  EXPECT_EQ(streamed.a, clean.a);
+  EXPECT_EQ(streamed.b, clean.b);
+  EXPECT_GT(streamed.stats.spill.streamed_tasks, 0u);
+  EXPECT_EQ(streamed.stats.recovery.devices_lost, 1u);
+  EXPECT_LT(streamed.stats.recovery.segments_reexecuted, reexecuted_incore);
+  EXPECT_EQ(streamed.stats.recovery.segments_reexecuted, 0u);
+}
+
 // --- reset_stats regression --------------------------------------------------
 
 TEST(FaultRecoveryTest, ResetStatsClearsEverythingIncludingSanitizer) {
